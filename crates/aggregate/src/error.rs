@@ -1,0 +1,34 @@
+//! Errors for the aggregate framework.
+
+use std::fmt;
+
+/// Errors raised while defining or evaluating aggregate functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggError {
+    /// An aggregate name was not found in the registry.
+    UnknownFunction(String),
+    /// A scratchpad state tuple had the wrong shape for `merge`.
+    BadState { function: String, detail: String },
+    /// A function was registered twice.
+    DuplicateFunction(String),
+    /// Invalid construction parameter (e.g. `N_TILE(expr, 0)`).
+    Invalid(String),
+}
+
+impl fmt::Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::UnknownFunction(n) => write!(f, "unknown aggregate function: {n}"),
+            AggError::BadState { function, detail } => {
+                write!(f, "bad scratchpad state for {function}: {detail}")
+            }
+            AggError::DuplicateFunction(n) => write!(f, "aggregate already registered: {n}"),
+            AggError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+/// Convenience alias.
+pub type AggResult<T> = Result<T, AggError>;

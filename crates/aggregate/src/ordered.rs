@@ -1,0 +1,315 @@
+//! Red Brick's ordered aggregates (§1.2): RANK, N_TILE, RATIO_TO_TOTAL,
+//! and the cumulative family (CUMULATIVE, RUNNING_SUM, RUNNING_AVERAGE).
+//!
+//! These differ from the Init/Iter/Final aggregates: they map a whole
+//! ordered column to a column of the same length, and they may be "reset
+//! each time a grouping value changes in an ordered selection" — provided
+//! here by [`segmented`]. The paper points out (§3) that the cumulative
+//! family "works especially well with ROLLUP because the answer set is
+//! naturally sequential (linear)".
+
+use crate::error::{AggError, AggResult};
+use dc_relation::Value;
+
+fn numeric(v: &Value) -> Option<f64> {
+    if v.is_null() || v.is_all() {
+        None
+    } else {
+        v.as_f64()
+    }
+}
+
+/// Red Brick `Rank(expression)`: "If there are N values in the column, and
+/// this is the highest value, the rank is N, if it is the lowest value the
+/// rank is 1." Ties share the lowest applicable rank; NULL/ALL rank as
+/// NULL.
+pub fn rank(values: &[Value]) -> Vec<Value> {
+    values
+        .iter()
+        .map(|v| {
+            if v.is_null() || v.is_all() {
+                return Value::Null;
+            }
+            let below = values
+                .iter()
+                .filter(|o| !o.is_null() && !o.is_all() && *o < v)
+                .count();
+            Value::Int(below as i64 + 1)
+        })
+        .collect()
+}
+
+/// Red Brick `N_tile(expression, n)`: divide the value range into `n`
+/// buckets "of approximately equal population" and return each value's
+/// bucket number, 1-based. Ties land in the same bucket. The paper notes
+/// Red Brick ships only `N_tile(expression, 3)`; we allow any `n >= 1`.
+pub fn n_tile(values: &[Value], n: usize) -> AggResult<Vec<Value>> {
+    if n == 0 {
+        return Err(AggError::Invalid("N_TILE requires n >= 1".into()));
+    }
+    let total = values.iter().filter(|v| !v.is_null() && !v.is_all()).count();
+    Ok(values
+        .iter()
+        .map(|v| {
+            if v.is_null() || v.is_all() || total == 0 {
+                return Value::Null;
+            }
+            // Min-rank of ties keeps equal values in one bucket.
+            let below = values
+                .iter()
+                .filter(|o| !o.is_null() && !o.is_all() && *o < v)
+                .count();
+            Value::Int((below * n / total) as i64 + 1)
+        })
+        .collect())
+}
+
+/// Red Brick `Ratio_To_Total(expression)`: "Sums all the expressions. Then
+/// for each instance, divides the expression instance by the total sum."
+pub fn ratio_to_total(values: &[Value]) -> Vec<Value> {
+    let total: f64 = values.iter().filter_map(numeric).sum();
+    values
+        .iter()
+        .map(|v| match numeric(v) {
+            Some(x) if total != 0.0 => Value::Float(x / total),
+            _ => Value::Null,
+        })
+        .collect()
+}
+
+/// Red Brick `Cumulative(expression)`: prefix sums over the given order.
+/// NULLs contribute nothing and yield the running total unchanged.
+pub fn cumulative(values: &[Value]) -> Vec<Value> {
+    let mut sum = 0.0;
+    let mut seen_any = false;
+    values
+        .iter()
+        .map(|v| {
+            if let Some(x) = numeric(v) {
+                sum += x;
+                seen_any = true;
+            }
+            if seen_any {
+                Value::Float(sum)
+            } else {
+                Value::Null
+            }
+        })
+        .collect()
+}
+
+/// Red Brick `Running_Sum(expression, n)`: sum of the most recent `n`
+/// values. "The initial n-1 values are NULL."
+pub fn running_sum(values: &[Value], n: usize) -> AggResult<Vec<Value>> {
+    running_window(values, n, |window| window.iter().sum())
+}
+
+/// Red Brick `Running_Average(expression, n)`: mean of the most recent `n`
+/// values. "The initial n-1 values are NULL."
+pub fn running_average(values: &[Value], n: usize) -> AggResult<Vec<Value>> {
+    running_window(values, n, |window| {
+        window.iter().sum::<f64>() / window.len() as f64
+    })
+}
+
+fn running_window(
+    values: &[Value],
+    n: usize,
+    f: impl Fn(&[f64]) -> f64,
+) -> AggResult<Vec<Value>> {
+    if n == 0 {
+        return Err(AggError::Invalid("running window requires n >= 1".into()));
+    }
+    let nums: Vec<Option<f64>> = values.iter().map(numeric).collect();
+    Ok((0..values.len())
+        .map(|i| {
+            if i + 1 < n {
+                return Value::Null; // the initial n-1 values
+            }
+            let window: Option<Vec<f64>> = nums[i + 1 - n..=i].iter().copied().collect();
+            match window {
+                Some(w) => Value::Float(f(&w)),
+                None => Value::Null, // a NULL inside the window poisons it
+            }
+        })
+        .collect())
+}
+
+/// Apply an ordered aggregate per group run: "These aggregate functions are
+/// optionally reset each time a grouping value changes in an ordered
+/// selection." `keys` must be ordered so equal keys are adjacent (i.e. the
+/// input is sorted by the grouping columns, as ROLLUP output naturally is).
+pub fn segmented(
+    values: &[Value],
+    keys: &[Value],
+    f: impl Fn(&[Value]) -> Vec<Value>,
+) -> Vec<Value> {
+    assert_eq!(values.len(), keys.len(), "values and keys must align");
+    let mut out = Vec::with_capacity(values.len());
+    let mut start = 0;
+    while start < values.len() {
+        let mut end = start + 1;
+        while end < values.len() && keys[end] == keys[start] {
+            end += 1;
+        }
+        out.extend(f(&values[start..end]));
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn rank_lowest_is_one_highest_is_n() {
+        let r = rank(&ints(&[30, 10, 20]));
+        assert_eq!(r, ints(&[3, 1, 2]));
+    }
+
+    #[test]
+    fn rank_ties_share_min_rank_and_nulls_pass_through() {
+        let mut vals = ints(&[10, 20, 20, 30]);
+        vals.push(Value::Null);
+        let r = rank(&vals);
+        assert_eq!(r[..4], ints(&[1, 2, 2, 4])[..]);
+        assert_eq!(r[4], Value::Null);
+    }
+
+    #[test]
+    fn n_tile_splits_population() {
+        // 10 values into 10 tiles: each value its own tile — the paper's
+        // bank-balance example ("among the largest 10% ... would return 10").
+        let vals = ints(&(1..=10).collect::<Vec<_>>());
+        let t = n_tile(&vals, 10).unwrap();
+        assert_eq!(t, ints(&(1..=10).collect::<Vec<_>>()));
+        // Red Brick's actual N_tile(expr, 3).
+        let t3 = n_tile(&ints(&[1, 2, 3, 4, 5, 6]), 3).unwrap();
+        assert_eq!(t3, ints(&[1, 1, 2, 2, 3, 3]));
+        assert!(n_tile(&vals, 0).is_err());
+    }
+
+    #[test]
+    fn n_tile_ties_stay_together() {
+        let t = n_tile(&ints(&[5, 5, 5, 5]), 2).unwrap();
+        assert!(t.iter().all(|v| *v == Value::Int(1)));
+    }
+
+    #[test]
+    fn ratio_to_total_sums_to_one() {
+        let r = ratio_to_total(&ints(&[50, 40, 85, 115]));
+        let total: f64 = r.iter().map(|v| v.as_f64().unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(r[0], Value::Float(50.0 / 290.0));
+    }
+
+    #[test]
+    fn cumulative_is_prefix_sum() {
+        let c = cumulative(&ints(&[1, 2, 3]));
+        assert_eq!(
+            c,
+            vec![Value::Float(1.0), Value::Float(3.0), Value::Float(6.0)]
+        );
+        // Leading NULL yields NULL, then sums resume.
+        let mut vals = vec![Value::Null];
+        vals.extend(ints(&[5, 7]));
+        let c = cumulative(&vals);
+        assert_eq!(c, vec![Value::Null, Value::Float(5.0), Value::Float(12.0)]);
+    }
+
+    #[test]
+    fn running_sum_initial_values_are_null() {
+        let r = running_sum(&ints(&[1, 2, 3, 4]), 2).unwrap();
+        assert_eq!(
+            r,
+            vec![Value::Null, Value::Float(3.0), Value::Float(5.0), Value::Float(7.0)]
+        );
+        assert!(running_sum(&ints(&[1]), 0).is_err());
+    }
+
+    #[test]
+    fn running_average_over_full_window_only() {
+        let r = running_average(&ints(&[2, 4, 6]), 3).unwrap();
+        assert_eq!(r, vec![Value::Null, Value::Null, Value::Float(4.0)]);
+    }
+
+    #[test]
+    fn segmented_resets_per_group() {
+        // Two groups (Chevy, Ford): cumulative resets at the boundary.
+        let values = ints(&[50, 40, 85, 75]);
+        let keys = vec![
+            Value::str("Chevy"),
+            Value::str("Chevy"),
+            Value::str("Ford"),
+            Value::str("Ford"),
+        ];
+        let c = segmented(&values, &keys, cumulative);
+        assert_eq!(
+            c,
+            vec![
+                Value::Float(50.0),
+                Value::Float(90.0),
+                Value::Float(85.0),
+                Value::Float(160.0)
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn ints(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn segmented_running_sum_resets() {
+        // The Red Brick manual's reset-per-group semantics with a window.
+        let values = ints(&[1, 2, 3, 10, 20, 30]);
+        let keys = vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(2),
+            Value::Int(2),
+        ];
+        let out = segmented(&values, &keys, |seg| running_sum(seg, 2).unwrap());
+        assert_eq!(
+            out,
+            vec![
+                Value::Null,
+                Value::Float(3.0),
+                Value::Float(5.0),
+                Value::Null, // reset: window does not straddle groups
+                Value::Float(30.0),
+                Value::Float(50.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn ratio_to_total_of_all_nulls_is_null() {
+        let vals = vec![Value::Null, Value::Null];
+        assert_eq!(ratio_to_total(&vals), vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn rank_on_empty_and_singleton() {
+        assert!(rank(&[]).is_empty());
+        assert_eq!(rank(&ints(&[42])), ints(&[1]));
+    }
+
+    #[test]
+    fn cumulative_all_tokens() {
+        let vals = vec![Value::Null, Value::All];
+        assert_eq!(cumulative(&vals), vec![Value::Null, Value::Null]);
+    }
+}

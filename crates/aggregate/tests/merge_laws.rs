@@ -1,0 +1,156 @@
+//! Property tests for the framework's central contracts:
+//!
+//! * **the partition law** (§5): folding any partitioning of the input via
+//!   `merge` (Iter_super) equals one pass over the whole input — the very
+//!   property that makes the from-core cascade and parallel aggregation
+//!   correct;
+//! * **the retraction law** (§6): inserting then retracting a value is an
+//!   identity on the aggregate (for functions that apply retractions).
+
+use dc_aggregate::{builtins, Accumulator, AggRef, Retract};
+use dc_relation::Value;
+use proptest::prelude::*;
+
+fn builtin_list() -> Vec<AggRef> {
+    let reg = builtins();
+    reg.names().iter().map(|n| reg.get(n).unwrap()).collect()
+}
+
+fn feed(f: &AggRef, vals: &[Value]) -> Box<dyn Accumulator> {
+    let mut acc = f.init();
+    for v in vals {
+        acc.iter(v);
+    }
+    acc
+}
+
+fn approx_eq(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => a == b,
+    }
+}
+
+/// Mixed-type inputs: ints, bools, and the tokens aggregates must skip.
+fn arb_values(max: usize) -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1i64..100).prop_map(Value::Int),
+            any::<bool>().prop_map(Value::Bool),
+            Just(Value::Null),
+        ],
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// F(whole) = merge of F(partitions), for every builtin and every
+    /// split point.
+    #[test]
+    fn partition_law(vals in arb_values(40), split in 0usize..40) {
+        let split = split.min(vals.len());
+        let (left, right) = vals.split_at(split);
+        for f in builtin_list() {
+            let mut merged = feed(&f, left);
+            let partial = feed(&f, right);
+            merged.merge(&partial.state());
+            let whole = feed(&f, &vals);
+            prop_assert!(
+                approx_eq(&merged.final_value(), &whole.final_value()),
+                "{}: merged {:?} != whole {:?}",
+                f.name(),
+                merged.final_value(),
+                whole.final_value()
+            );
+        }
+    }
+
+    /// Three-way partitioning in arbitrary merge order.
+    #[test]
+    fn partition_law_three_way(vals in arb_values(45)) {
+        let third = vals.len() / 3;
+        let (a, rest) = vals.split_at(third);
+        let (b, c) = rest.split_at(third.min(rest.len()));
+        for f in builtin_list() {
+            // Merge c into b, then (b+c) into a — chained scratchpads.
+            let mut bc = feed(&f, b);
+            bc.merge(&feed(&f, c).state());
+            let mut abc = feed(&f, a);
+            abc.merge(&bc.state());
+            let whole = feed(&f, &vals);
+            prop_assert!(
+                approx_eq(&abc.final_value(), &whole.final_value()),
+                "{}: chained merge diverged",
+                f.name()
+            );
+        }
+    }
+
+    /// Insert-then-retract is an identity whenever the retraction is
+    /// applied in place.
+    #[test]
+    fn retraction_law(vals in arb_values(30), extra in 1i64..100) {
+        let v = Value::Int(extra);
+        for f in builtin_list() {
+            let baseline = feed(&f, &vals).final_value();
+            let mut acc = feed(&f, &vals);
+            acc.iter(&v);
+            match acc.retract(&v) {
+                Retract::Applied => {
+                    prop_assert!(
+                        approx_eq(&acc.final_value(), &baseline),
+                        "{}: insert+retract of {v} changed {:?} -> {:?}",
+                        f.name(),
+                        baseline,
+                        acc.final_value()
+                    );
+                }
+                // Recompute/Unsupported are legitimate answers (MIN/MAX
+                // champions, MaxN members); the maintenance layer handles
+                // them by rescanning.
+                Retract::Recompute | Retract::Unsupported => {}
+            }
+        }
+    }
+
+    /// Retractable functions never ask for a recompute — §6's
+    /// "algebraic for insert, update, and delete" class.
+    #[test]
+    fn retractable_functions_always_apply(vals in arb_values(30)) {
+        for f in builtin_list().into_iter().filter(|f| f.retractable()) {
+            let mut acc = feed(&f, &vals);
+            for v in &vals {
+                prop_assert_eq!(
+                    acc.retract(v),
+                    Retract::Applied,
+                    "{} claims retractable but refused",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    /// Tokens never change any aggregate except COUNT(*).
+    #[test]
+    fn tokens_are_inert(vals in arb_values(25)) {
+        for f in builtin_list() {
+            if f.name() == "COUNT(*)" {
+                continue;
+            }
+            let baseline = feed(&f, &vals).final_value();
+            let mut acc = feed(&f, &vals);
+            acc.iter(&Value::Null);
+            acc.iter(&Value::All);
+            prop_assert!(
+                approx_eq(&acc.final_value(), &baseline),
+                "{}: NULL/ALL participated",
+                f.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! C3 / C10 / F8: the §5 cost trichotomy, measured.
+//!
+//! * C3 — the 2^N algorithm does `T × 2^N` Iter() calls; computing from
+//!   the core does `T` plus cell merges ("reducing the number of calls by
+//!   approximately a factor of T").
+//! * F8 — algebraic functions (AVG) cascade through scratchpads.
+//! * C10 — holistic functions (MEDIAN) get no from-core shortcut: the
+//!   cascade shuffles whole multisets and wins nothing over 2^N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::Algorithm;
+use dc_bench::{avg_units, median_units, sales_query, sales_table, sum_units};
+
+fn bench_distributive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C3_distributive_sum");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        let table = sales_table(rows, 8);
+        for (name, alg) in [
+            ("2^N", Algorithm::TwoToTheN),
+            ("union_group_bys", Algorithm::UnionGroupBys),
+            ("from_core", Algorithm::FromCore),
+            ("pipesort", Algorithm::PipeSort),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, rows), &table, |b, t| {
+                let q = sales_query(3).algorithm(alg);
+                b.iter(|| q.cube(t).unwrap());
+            });
+        }
+        // Report the Iter()-call accounting once per size (the unit of
+        // the paper's cost claim).
+        let (_, naive) = sales_query(3)
+            .algorithm(Algorithm::TwoToTheN)
+            .cube_with_stats(&table)
+            .unwrap();
+        let (_, cascade) = sales_query(3)
+            .algorithm(Algorithm::FromCore)
+            .cube_with_stats(&table)
+            .unwrap();
+        println!(
+            "C3 rows={rows}: 2^N iter_calls={} (T x 2^N = {}); from_core iter_calls={} merge_calls={}",
+            naive.iter_calls,
+            rows * 8,
+            cascade.iter_calls,
+            cascade.merge_calls
+        );
+    }
+    group.finish();
+}
+
+fn bench_algebraic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F8_algebraic_avg");
+    group.sample_size(10);
+    let table = sales_table(10_000, 8);
+    for (name, alg) in [("2^N", Algorithm::TwoToTheN), ("from_core", Algorithm::FromCore)] {
+        group.bench_with_input(BenchmarkId::new(name, 10_000), &table, |b, t| {
+            let q = datacube::CubeQuery::new()
+                .dimensions(dc_bench::sales_dims())
+                .aggregate(avg_units())
+                .algorithm(alg);
+            b.iter(|| q.cube(t).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_holistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C10_holistic_median");
+    group.sample_size(10);
+    let table = sales_table(10_000, 8);
+    // MEDIAN via 2^N (what Auto picks) vs MEDIAN forced through the
+    // cascade (whole multisets as "scratchpads") vs SUM for scale.
+    for (name, alg, spec) in [
+        ("median_2^N", Algorithm::TwoToTheN, median_units()),
+        ("median_from_core", Algorithm::FromCore, median_units()),
+        ("sum_from_core", Algorithm::FromCore, sum_units()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 10_000), &table, |b, t| {
+            let q = datacube::CubeQuery::new()
+                .dimensions(dc_bench::sales_dims())
+                .aggregate(spec.clone())
+                .algorithm(alg);
+            b.iter(|| q.cube(t).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributive, bench_algebraic, bench_holistic);
+criterion_main!(benches);

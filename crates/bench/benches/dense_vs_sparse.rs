@@ -1,0 +1,46 @@
+//! C7: dense-array vs hash cube (§5's Graefe tips).
+//!
+//! "If possible, use arrays or hashing to organize the aggregation
+//! columns in memory ... the values become dense and the aggregates can
+//! be stored as an N-dimensional array. ... It is possible that the core
+//! of the cube is sparse. In that case, only the non-null elements ...
+//! should be represented [via] hashing or a B-tree."
+//!
+//! Density sweep: with small cardinalities every array cell is hit and
+//! the dense representation shines; with large cardinalities the array
+//! is mostly empty slots and hashing wins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::Algorithm;
+use dc_bench::{sales_query, sales_table};
+
+fn bench_dense_vs_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C7_dense_vs_sparse");
+    group.sample_size(10);
+    let rows = 20_000;
+    // cardinality^3 cells; density = rows / cells.
+    for cardinality in [4usize, 8, 16, 32, 64] {
+        let table = sales_table(rows, cardinality);
+        let cells: usize = (cardinality + 1).pow(3);
+        for (name, alg) in
+            [("dense_array", Algorithm::Array), ("hash_from_core", Algorithm::FromCore)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(name, cardinality),
+                &table,
+                |b, t| {
+                    let q = sales_query(3).algorithm(alg);
+                    b.iter(|| q.cube(t).unwrap());
+                },
+            );
+        }
+        println!(
+            "C7 C={cardinality}: array cells={cells}, base rows={rows}, density={:.2}",
+            rows as f64 / cells as f64
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_vs_sparse);
+criterion_main!(benches);

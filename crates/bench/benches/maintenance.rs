@@ -1,0 +1,102 @@
+//! C9: incremental maintenance (§6).
+//!
+//! * INSERT is cheap for everything: visit the record's 2^N cells.
+//! * DELETE is cheap for functions that are "algebraic for delete"
+//!   (SUM/COUNT) and expensive for delete-holistic MAX when the deleted
+//!   row held a champion — those cells are recomputed from base rows.
+//! * The full-recompute baseline shows what triggers save.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::maintain::MaterializedCube;
+use dc_bench::{sales_dims, sales_table, sum_units};
+use datacube::AggSpec;
+use dc_aggregate::builtin;
+
+fn max_units() -> AggSpec {
+    AggSpec::new(builtin("MAX").unwrap(), "units").with_name("max_units")
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let rows = 20_000;
+    let table = sales_table(rows, 8);
+
+    let mut group = c.benchmark_group("C9_maintenance");
+    group.sample_size(10);
+
+    // INSERT cost: 2^N cell updates per record.
+    group.bench_function(BenchmarkId::new("insert_sum", rows), |b| {
+        let cube = MaterializedCube::cube(&table, sales_dims(), vec![sum_units()]).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cube.insert(dc_relation::Row::new(vec![
+                dc_relation::Value::str("model-000"),
+                dc_relation::Value::Int(1990),
+                dc_relation::Value::str("color-000"),
+                dc_relation::Value::Int((i % 100) as i64),
+            ]))
+            .unwrap();
+        });
+    });
+
+    // DELETE for an algebraic-for-delete function: in-place retraction.
+    group.bench_function(BenchmarkId::new("delete_sum", rows), |b| {
+        b.iter_batched(
+            || {
+                let cube =
+                    MaterializedCube::cube(&table, sales_dims(), vec![sum_units()]).unwrap();
+                let victim = table.rows()[0].clone();
+                (cube, victim)
+            },
+            |(cube, victim)| cube.delete(&victim).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    // DELETE for delete-holistic MAX: champions force recomputes.
+    group.bench_function(BenchmarkId::new("delete_max_champion", rows), |b| {
+        b.iter_batched(
+            || {
+                let cube =
+                    MaterializedCube::cube(&table, sales_dims(), vec![max_units()]).unwrap();
+                // Pick a row holding the global maximum so every enclosing
+                // cell must recompute.
+                let victim = table
+                    .rows()
+                    .iter()
+                    .max_by_key(|r| r[3].as_i64().unwrap())
+                    .unwrap()
+                    .clone();
+                (cube, victim)
+            },
+            |(cube, victim)| cube.delete(&victim).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    // Baseline: recompute the whole cube from scratch after one change.
+    group.bench_function(BenchmarkId::new("full_recompute", rows), |b| {
+        let q = dc_bench::sales_query(3);
+        b.iter(|| q.cube(&table).unwrap());
+    });
+
+    group.finish();
+
+    // One-shot stats printout for EXPERIMENTS.md.
+    let cube = MaterializedCube::cube(&table, sales_dims(), vec![max_units()]).unwrap();
+    let victim = table
+        .rows()
+        .iter()
+        .max_by_key(|r| r[3].as_i64().unwrap())
+        .unwrap()
+        .clone();
+    cube.delete(&victim).unwrap();
+    let s = cube.stats();
+    println!(
+        "C9 delete of MAX champion: cells_recomputed={} cells_updated={} rows_rescanned={}",
+        s.cells_recomputed, s.cells_updated, s.rows_rescanned
+    );
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

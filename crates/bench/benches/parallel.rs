@@ -1,0 +1,32 @@
+//! C8: partition-parallel aggregation (§5).
+//!
+//! "If the source data spans many disks or nodes, use parallelism to
+//! aggregate each partition and then coalesce these aggregates." Thread
+//! sweep over a fixed workload; coalescing uses the same Iter_super
+//! merge as the cascade (the paper's observation that the taxonomy is
+//! what makes parallel aggregation work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::Algorithm;
+use dc_bench::{sales_query, sales_table};
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C8_parallel");
+    group.sample_size(10);
+    let table = sales_table(200_000, 16);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &table, |b, t| {
+            let q = sales_query(3).algorithm(Algorithm::Parallel { threads });
+            b.iter(|| q.cube(t).unwrap());
+        });
+    }
+    // Sequential baseline for reference.
+    group.bench_with_input(BenchmarkId::new("sequential", 0), &table, |b, t| {
+        let q = sales_query(3).algorithm(Algorithm::FromCore);
+        b.iter(|| q.cube(t).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

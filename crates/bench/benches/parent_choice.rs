@@ -1,0 +1,67 @@
+//! C6 (ablation): §5's parent-selection rule — "The algorithm will be
+//! most efficient if it aggregates the smaller of the two ... pick the *
+//! with the smallest Cᵢ."
+//!
+//! The workload has deliberately skewed cardinalities (2 × 16 × 512), so
+//! cascading through the wrong parent merges orders of magnitude more
+//! cells. All three policies produce identical results; only work
+//! differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::ParentChoice;
+use dc_bench::sum_units;
+use dc_relation::{DataType, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn skewed_cardinality_table(rows: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("tiny", DataType::Int),   // C = 2
+        ("mid", DataType::Int),    // C = 16
+        ("huge", DataType::Int),   // C = 512
+        ("units", DataType::Int),
+    ]);
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut t = Table::empty(schema);
+    for _ in 0..rows {
+        t.push_unchecked(Row::new(vec![
+            Value::Int(rng.gen_range(0..2)),
+            Value::Int(rng.gen_range(0..16)),
+            Value::Int(rng.gen_range(0..512)),
+            Value::Int(rng.gen_range(1..=100)),
+        ]));
+    }
+    t
+}
+
+fn query() -> datacube::CubeQuery {
+    datacube::CubeQuery::new()
+        .dimensions(vec![
+            datacube::Dimension::column("tiny"),
+            datacube::Dimension::column("mid"),
+            datacube::Dimension::column("huge"),
+        ])
+        .aggregate(sum_units())
+}
+
+fn bench_parent_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C6_parent_choice");
+    group.sample_size(10);
+    let table = skewed_cardinality_table(50_000);
+    for (name, choice) in [
+        ("smallest_cardinality", ParentChoice::SmallestCardinality),
+        ("largest_cardinality", ParentChoice::LargestCardinality),
+        ("always_core", ParentChoice::AlwaysCore),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "2x16x512"), &table, |b, t| {
+            let q = query();
+            b.iter(|| q.cube_with_parent_choice(t, choice).unwrap());
+        });
+        let (_, stats) = query().cube_with_parent_choice(&table, choice).unwrap();
+        println!("C6 {name}: merge_calls={}", stats.merge_calls);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parent_choice);
+criterion_main!(benches);

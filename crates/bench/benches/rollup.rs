@@ -1,0 +1,41 @@
+//! C5: sort-based ROLLUP (§5) vs hash-based alternatives.
+//!
+//! "The basic technique for computing a ROLLUP is to sort the table on
+//! the aggregating attributes ... Sorting is especially convenient for
+//! ROLLUP since the user often wants the answer set in a sorted order."
+//! The sort algorithm pays one sort but does only T Iter() calls and
+//! emits in report order; the naive path does T × (N+1) Iters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::Algorithm;
+use dc_bench::{sales_query, sales_table};
+
+fn bench_rollup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C5_rollup");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000, 50_000] {
+        let table = sales_table(rows, 8);
+        for (name, alg) in [
+            ("sort_based", Algorithm::Sort),
+            ("from_core_hash", Algorithm::FromCore),
+            ("order_n_naive", Algorithm::TwoToTheN),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, rows), &table, |b, t| {
+                let q = sales_query(3).algorithm(alg);
+                b.iter(|| q.rollup(t).unwrap());
+            });
+        }
+        let (_, sort) = sales_query(3)
+            .algorithm(Algorithm::Sort)
+            .rollup_with_stats(&table)
+            .unwrap();
+        println!(
+            "C5 rows={rows}: sort algorithm sorts={} iter_calls={} merge_calls={}",
+            sort.sorts, sort.iter_calls, sort.merge_calls
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollup);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! C11 (extension): HRU partial-cube materialization — the §6 citation,
+//! measured.
+//!
+//! Sweep the number of greedily-materialized views k and measure the cost
+//! of answering the whole lattice on demand. More views → fewer rows
+//! re-scanned per query, with diminishing returns — HRU's benefit curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::{cube_sets, greedy_select, PartialCube, SizeModel};
+use dc_bench::{sales_dims, sales_table, sum_units};
+
+fn bench_subcube(c: &mut Criterion) {
+    let table = sales_table(50_000, 16);
+    let cards = [16usize, 16, 16];
+    let model = SizeModel::independent(&cards, table.len() as u64).unwrap();
+
+    let mut group = c.benchmark_group("C11_partial_cube");
+    group.sample_size(10);
+    for k in [0usize, 2, 4, 7] {
+        let (selection, predicted) = greedy_select(3, k, &model).unwrap();
+        group.bench_with_input(BenchmarkId::new("answer_all_sets", k), &table, |b, t| {
+            b.iter_batched(
+                || {
+                    PartialCube::materialize(
+                        t,
+                        sales_dims(),
+                        vec![sum_units()],
+                        &selection,
+                    )
+                    .unwrap()
+                },
+                |mut pc| {
+                    for set in cube_sets(3).unwrap() {
+                        pc.query(set).unwrap();
+                    }
+                    pc.stats().rows_scanned
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        let mut pc =
+            PartialCube::materialize(&table, sales_dims(), vec![sum_units()], &selection)
+                .unwrap();
+        for set in cube_sets(3).unwrap() {
+            pc.query(set).unwrap();
+        }
+        println!(
+            "C11 k={k}: materialized {} views, predicted cost {predicted}, rows rescanned {}",
+            selection.len(),
+            pc.stats().rows_scanned
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subcube);
+criterion_main!(benches);

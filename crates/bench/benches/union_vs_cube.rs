@@ -1,0 +1,47 @@
+//! C4: §2's complaint, measured — "A six dimension cross-tab requires a
+//! 64-way union of 64 different GROUP BY operators ... 64 scans of the
+//! data, 64 sorts or hashes, and a long wait."
+//!
+//! Sweeps the dimension count: the union plan re-scans the base table
+//! once per grouping set (2^N scans), while the CUBE operator scans once
+//! and cascades. The gap should widen geometrically with N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacube::Algorithm;
+use dc_bench::{wide_query, wide_table};
+
+fn bench_union_vs_cube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C4_union_vs_cube");
+    group.sample_size(10);
+    let rows = 20_000;
+    for n_dims in [2usize, 3, 4, 5, 6] {
+        let table = wide_table(rows, n_dims, 4);
+        for (name, alg) in [
+            ("union_of_group_bys", Algorithm::UnionGroupBys),
+            ("cube_from_core", Algorithm::FromCore),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n_dims), &table, |b, t| {
+                let q = wide_query(n_dims).algorithm(alg);
+                b.iter(|| q.cube(t).unwrap());
+            });
+        }
+        let (_, union) = wide_query(n_dims)
+            .algorithm(Algorithm::UnionGroupBys)
+            .cube_with_stats(&table)
+            .unwrap();
+        let (_, cube) = wide_query(n_dims)
+            .algorithm(Algorithm::FromCore)
+            .cube_with_stats(&table)
+            .unwrap();
+        println!(
+            "C4 N={n_dims}: union scans={} (2^N = {}); cube scans={}",
+            union.rows_scanned / rows as u64,
+            1 << n_dims,
+            cube.rows_scanned / rows as u64
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_vs_cube);
+criterion_main!(benches);

@@ -1,0 +1,381 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! Run with `cargo run -p dc-bench --bin paper_tables`. Each section is
+//! labeled with the paper artifact it reproduces; EXPERIMENTS.md records
+//! the output against the paper's printed values.
+
+use datacube::addressing::CubeView;
+use datacube::pivot::{cross_tab, pivot_table};
+use datacube::{
+    cube_sets, dense_cube_cardinality, rows_in_set, AggSpec, CompoundSpec, CubeQuery,
+    Dimension, GroupingSet,
+};
+use dc_aggregate::builtin;
+use dc_relation::{display::render_table, ColumnDef, DataType, Row, Schema, Table, Value};
+use dc_sql::Engine;
+use dc_warehouse::retail::{RetailParams, RetailWarehouse};
+use dc_warehouse::sales::{figure4_sales, table4_sales};
+use dc_warehouse::weather::{
+    continent_of, nation_of, weather_table, WeatherParams, STATIONS,
+};
+use dc_warehouse::workloads;
+
+fn section(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===============================================");
+}
+
+fn main() {
+    table1_weather();
+    table2_benchmarks();
+    table3_rollup_reports();
+    table4_pivot();
+    table5_sales_summary();
+    table6_cross_tabs();
+    table7_decorations();
+    figure3_lattice();
+    figure4_cardinality();
+    figure5_compound();
+    figure6_snowflake();
+    claim_c2_cube_vs_groupby_size();
+    println!("\nAll paper artifacts regenerated.");
+}
+
+/// Table 1: a sample of the Weather relation.
+fn table1_weather() {
+    section("T1", "Weather relation (sample)");
+    let t = weather_table(WeatherParams { rows: 8, ..Default::default() });
+    print!("{}", render_table(&t));
+    println!("(synthetic observations from {} stations)", STATIONS.len());
+}
+
+/// Table 2: SQL aggregates in standard benchmarks, counted through the
+/// dc-sql parser over reconstructed query sets.
+fn table2_benchmarks() {
+    section("T2", "SQL aggregates in standard benchmarks");
+    let profiles = workloads::table2().expect("reconstructions parse");
+    let schema = Schema::from_pairs(&[
+        ("Benchmark", DataType::Str),
+        ("Queries", DataType::Int),
+        ("Aggregates", DataType::Int),
+        ("GROUP BYs", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for p in profiles {
+        t.push_unchecked(Row::new(vec![
+            Value::str(p.name),
+            Value::Int(p.queries as i64),
+            Value::Int(p.aggregates as i64),
+            Value::Int(p.group_bys as i64),
+        ]));
+    }
+    print!("{}", render_table(&t));
+    println!("(counts are measured over reconstructed query sets; see DESIGN.md)");
+}
+
+/// Tables 3.a and 3.b: the roll-up report, in the indented report-writer
+/// form and in Chris Date's 2^N-column form the paper rejects.
+fn table3_rollup_reports() {
+    section("T3a", "Sales roll-up by Model by Year by Color (report form)");
+    let sales = table4_sales();
+    let chevy = sales.filter(|r| r[0] == Value::str("Chevy"));
+    let rollup = CubeQuery::new()
+        .dimensions(vec![
+            Dimension::column("model"),
+            Dimension::column("year"),
+            Dimension::column("color"),
+        ])
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"))
+        .rollup(&chevy)
+        .unwrap();
+    // Report form: one column per aggregation level, blank cells elsewhere.
+    println!(
+        "{:<8} {:<6} {:<7} {:>10} {:>9} {:>9}",
+        "Model", "Year", "Color", "by M,Y,C", "by M,Y", "by M"
+    );
+    let mut report: Vec<&Row> = rollup.rows().iter().collect();
+    // Order rows as the paper's report: details before their sub-totals.
+    report.sort_by_key(|r| (r[0].clone(), r[1].clone(), r[2].clone()));
+    for r in report {
+        if r[0].is_all() {
+            continue; // grand total shown by Table 5 instead
+        }
+        let n_all = (0..3).filter(|&d| r[d].is_all()).count();
+        let (a, b, c) = match n_all {
+            0 => (r[3].to_string(), String::new(), String::new()),
+            1 => (String::new(), r[3].to_string(), String::new()),
+            _ => (String::new(), String::new(), r[3].to_string()),
+        };
+        let blank_if_all = |v: &Value| if v.is_all() { String::new() } else { v.to_string() };
+        println!(
+            "{:<8} {:<6} {:<7} {:>10} {:>9} {:>9}",
+            blank_if_all(&r[0]),
+            blank_if_all(&r[1]),
+            blank_if_all(&r[2]),
+            a,
+            b,
+            c
+        );
+    }
+
+    section("T3b", "the same roll-up in Date's 2^N-column form");
+    // Every detail row repeats all its super-aggregates: the column count
+    // grows as the power set, which is why the paper rejects it.
+    let view = CubeView::new(rollup, 3, "units").unwrap();
+    let schema = Schema::from_pairs(&[
+        ("Model", DataType::Str),
+        ("Year", DataType::Int),
+        ("Color", DataType::Str),
+        ("Sales", DataType::Int),
+        ("Sales by Model by Year", DataType::Int),
+        ("Sales by Model", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for r in chevy.rows() {
+        let (m, y, c) = (r[0].clone(), r[1].clone(), r[2].clone());
+        t.push_unchecked(Row::new(vec![
+            m.clone(),
+            y.clone(),
+            c.clone(),
+            view.v(&[m.clone(), y.clone(), c]),
+            view.v(&[m.clone(), y, Value::All]),
+            view.v(&[m, Value::All, Value::All]),
+        ]));
+    }
+    print!("{}", render_table(&t));
+}
+
+/// Table 4: the Excel pivot with Ford data included.
+fn table4_pivot() {
+    section("T4", "Excel-style pivot of the sales data");
+    let cube = full_sales_cube();
+    let pv = pivot_table(&cube, "model", "year", "color", "units").unwrap();
+    print!("{}", render_table(&pv));
+}
+
+/// Tables 5.a and 5.b: the ALL-value representation.
+fn table5_sales_summary() {
+    section("T5a", "Sales Summary - ROLLUP with the ALL value (Chevy)");
+    let sales = table4_sales();
+    let chevy = sales.filter(|r| r[0] == Value::str("Chevy"));
+    let query = CubeQuery::new()
+        .dimensions(vec![
+            Dimension::column("model"),
+            Dimension::column("year"),
+            Dimension::column("color"),
+        ])
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"));
+    let rollup = query.rollup(&chevy).unwrap();
+    print!("{}", render_table(&rollup));
+
+    section("T5b", "rows a CUBE adds beyond the ROLLUP");
+    let cube = query.cube(&chevy).unwrap();
+    let missing = cube.difference(&rollup).unwrap();
+    print!("{}", render_table(&missing));
+}
+
+/// Tables 6.a and 6.b: the Chevy and Ford cross tabs.
+fn table6_cross_tabs() {
+    let cube = full_sales_cube();
+    for model in ["Chevy", "Ford"] {
+        section(
+            if model == "Chevy" { "T6a" } else { "T6b" },
+            &format!("{model} Sales Cross Tab"),
+        );
+        let slice = cube.filter(|r| r[0] == Value::str(model));
+        let xt = cross_tab(&slice, "color", "year", "units").unwrap();
+        print!("{}", render_table(&xt));
+    }
+}
+
+/// Table 7: decorations interacting with ALL, via the SQL engine.
+fn table7_decorations() {
+    section("T7", "decorations and ALL (weather by day and nation)");
+    let mut engine = Engine::new();
+    // Build a nation/continent-annotated observation table from the
+    // synthetic weather data (the §3.5 dimension join, pre-applied).
+    let weather = weather_table(WeatherParams { rows: 500, days: 30, ..Default::default() });
+    let schema = Schema::from_pairs(&[
+        ("day", DataType::Date),
+        ("nation", DataType::Str),
+        ("continent", DataType::Str),
+        ("temp", DataType::Float),
+    ]);
+    let mut obs = Table::empty(schema);
+    for r in weather.rows() {
+        let lat = r[1].as_f64().unwrap();
+        let lon = r[2].as_f64().unwrap();
+        let Some(nation) = nation_of(lat, lon) else { continue };
+        let date = r[0].as_date().unwrap();
+        obs.push_unchecked(Row::new(vec![
+            Value::Date(dc_relation::Date::ymd(date.year(), date.month(), date.day())),
+            Value::str(nation),
+            Value::str(continent_of(nation).unwrap()),
+            r[4].clone(),
+        ]));
+    }
+    engine.register_table("obs", obs).unwrap();
+    let out = engine
+        .execute(
+            "SELECT day, nation, MAX(temp), continent FROM obs
+             GROUP BY CUBE day, nation
+             ORDER BY 1, 2 LIMIT 12",
+        )
+        .unwrap();
+    print!("{}", render_table(&out));
+    println!("(continent is NULL exactly where nation is ALL - the §3.5 rule)");
+}
+
+/// Figure 3: the 0D-3D cube structure — C(N,k) grouping sets per arity.
+fn figure3_lattice() {
+    section("F3", "cube lattice structure by dimension (Figure 3)");
+    println!("{:<4} {:>6} sets per arity (N..0)", "N", "sets");
+    for n in 0..=4 {
+        let sets = cube_sets(n).unwrap();
+        let per_arity: Vec<String> = (0..=n)
+            .rev()
+            .map(|k| sets.iter().filter(|s| s.len() == k).count().to_string())
+            .collect();
+        println!("{:<4} {:>6} {}", n, sets.len(), per_arity.join(" "));
+    }
+    println!("(2D = plane + 2 lines + point; 3D = cube + 3 planes + 3 lines + point)");
+}
+
+/// Figure 4: the 18-row SALES table and its 48-row cube.
+fn figure4_cardinality() {
+    section("F4", "Figure 4 - SALES (18 rows) -> data cube (48 rows)");
+    let sales = figure4_sales();
+    let cube = CubeQuery::new()
+        .dimensions(vec![
+            Dimension::column("model"),
+            Dimension::column("year"),
+            Dimension::column("color"),
+        ])
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"))
+        .cube(&sales)
+        .unwrap();
+    println!("SALES rows:        {}", sales.len());
+    println!("cube rows:         {}", cube.len());
+    println!(
+        "paper formula:     Pi(Ci+1) = 3 x 4 x 4 = {}",
+        dense_cube_cardinality(&[2, 3, 3])
+    );
+    println!("core rows:         {}", rows_in_set(&cube, 3, GroupingSet::full(3)));
+    println!("super-aggregates:  {}", cube.len() - 18);
+    print!("{}", render_table(&cube.filter(|r| (0..3).all(|d| r[d].is_all()))));
+}
+
+/// Figure 5: the GROUP BY ⊗ ROLLUP ⊗ CUBE compound shape.
+fn figure5_compound() {
+    section("F5", "compound GROUP BY Manufacturer ROLLUP Year CUBE Category, Product");
+    let w = RetailWarehouse::generate(RetailParams { sales: 2_000, ..Default::default() });
+    let wide = w.denormalize();
+    // Derive year from date for the rollup block.
+    let spec = CompoundSpec::new()
+        .group_by(vec![Dimension::column("manufacturer")])
+        .rollup(vec![Dimension::computed("year", DataType::Int, |r: &Row| {
+            r[8].as_date().map_or(Value::Null, |d| Value::Int(i64::from(d.year())))
+        })])
+        .cube(vec![Dimension::column("category"), Dimension::column("product")]);
+    let out = CubeQuery::new()
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "price").with_name("revenue"))
+        .compound(&wide, &spec)
+        .unwrap();
+    let sets = spec.grouping_sets().unwrap();
+    println!("grouping sets: {} (1 GROUP BY x 2 ROLLUP prefixes x 4 CUBE subsets)", sets.len());
+    println!("result rows:   {}", out.len());
+    println!(
+        "manufacturer is never ALL: {}",
+        out.rows().iter().all(|r| !r[0].is_all())
+    );
+}
+
+/// Figure 6: the snowflake schema and a granularity roll-up.
+fn figure6_snowflake() {
+    section("F6", "snowflake schema (retail warehouse)");
+    let w = RetailWarehouse::generate(RetailParams { sales: 5_000, ..Default::default() });
+    println!(
+        "fact sales_item: {} rows; office dim: {}; product dim: {}; customer dim: {}",
+        w.fact.len(),
+        w.office.len(),
+        w.product.len(),
+        w.customer.len()
+    );
+    let mut engine = Engine::new();
+    w.register(&mut engine).unwrap();
+    // Roll up the office hierarchy: geography, region, district.
+    let out = engine
+        .execute(
+            "SELECT geography, region, district, SUM(units) AS units
+             FROM sales_wide GROUP BY ROLLUP geography, region, district",
+        )
+        .unwrap();
+    print!("{}", render_table(&out));
+}
+
+/// §5's claim: with Ci = 4, a 4D cube is ~2.4× the base GROUP BY.
+fn claim_c2_cube_vs_groupby_size() {
+    section("C2", "cube size vs GROUP BY core: ((Ci+1)/Ci)^N");
+    println!("{:<4} {:>14} {:>14} {:>8}", "N", "GROUP BY cells", "cube cells", "ratio");
+    for n in 1..=6u32 {
+        let group_by: u64 = 4u64.pow(n);
+        let cube: u64 = 5u64.pow(n);
+        println!(
+            "{:<4} {:>14} {:>14} {:>8.2}",
+            n,
+            group_by,
+            cube,
+            cube as f64 / group_by as f64
+        );
+    }
+    // Measured on an actually dense table (Ci = 4, every cell populated).
+    let t = dense_4d_table();
+    let cube = CubeQuery::new()
+        .dimensions((0..4).map(|d| Dimension::column(format!("d{d}"))).collect())
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"))
+        .cube(&t)
+        .unwrap();
+    let core = rows_in_set(&cube, 4, GroupingSet::full(4));
+    println!(
+        "measured 4D, Ci=4: core {} rows, cube {} rows, ratio {:.2} (paper: 2.4)",
+        core,
+        cube.len(),
+        cube.len() as f64 / core as f64
+    );
+}
+
+/// A fully dense 4D table with Ci = 4: one row per cell.
+fn dense_4d_table() -> Table {
+    let mut cols: Vec<ColumnDef> =
+        (0..4).map(|d| ColumnDef::new(format!("d{d}"), DataType::Int)).collect();
+    cols.push(ColumnDef::new("units", DataType::Int));
+    let mut t = Table::empty(Schema::new(cols).unwrap());
+    for a in 0..4i64 {
+        for b in 0..4i64 {
+            for c in 0..4i64 {
+                for d in 0..4i64 {
+                    t.push_unchecked(Row::new(vec![
+                        Value::Int(a),
+                        Value::Int(b),
+                        Value::Int(c),
+                        Value::Int(d),
+                        Value::Int(1),
+                    ]));
+                }
+            }
+        }
+    }
+    t
+}
+
+/// The 3D cube over the Tables 4-6 sales data, shared by several sections.
+fn full_sales_cube() -> Table {
+    CubeQuery::new()
+        .dimensions(vec![
+            Dimension::column("model"),
+            Dimension::column("year"),
+            Dimension::column("color"),
+        ])
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"))
+        .cube(&table4_sales())
+        .unwrap()
+}

@@ -1,0 +1,286 @@
+//! Addressing the data cube (§4).
+//!
+//! "The current approach to selecting a field value from a 2D cube would
+//! read as SELECT v FROM cube WHERE row = :i AND column = :j. We recommend
+//! the simpler syntax: cube.v(:i, :j)." [`CubeView`] provides exactly that
+//! accessor over a cube relation, plus the §4 conveniences built on it:
+//! percent-of-total against the `(ALL, ..., ALL)` cell and the financial
+//! `index()` function, and the §3.3 `ALL()` function recovering "the set
+//! over which the aggregate was computed".
+
+use crate::error::{CubeError, CubeResult};
+use dc_relation::{Row, Table, Value};
+use std::collections::HashMap;
+
+/// A point-access view over a cube relation produced by
+/// [`crate::CubeQuery`]: the first `n_dims` columns are grouping columns,
+/// `measure` names an aggregate column.
+pub struct CubeView {
+    table: Table,
+    n_dims: usize,
+    measure_idx: usize,
+    index: HashMap<Row, Value>,
+}
+
+impl CubeView {
+    /// Index a cube relation for O(1) cell access.
+    pub fn new(table: Table, n_dims: usize, measure: &str) -> CubeResult<Self> {
+        if n_dims > table.schema().len() {
+            return Err(CubeError::BadSpec(format!(
+                "n_dims {n_dims} exceeds column count"
+            )));
+        }
+        let measure_idx = table.schema().index_of(measure)?;
+        if measure_idx < n_dims {
+            return Err(CubeError::BadSpec(format!(
+                "'{measure}' is a grouping column, not a measure"
+            )));
+        }
+        let mut index = HashMap::with_capacity(table.len());
+        for row in table.rows() {
+            let key = Row::new(row.values()[..n_dims].to_vec());
+            index.insert(key, row[measure_idx].clone());
+        }
+        Ok(CubeView { table, n_dims, measure_idx, index })
+    }
+
+    /// The underlying relation.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    pub fn n_dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// The paper's `cube.v(:i, :j)`: the measure at a full coordinate —
+    /// one value per dimension, [`Value::All`] where aggregated. `NULL`
+    /// when the cell is not materialized (no base data matched it).
+    pub fn v(&self, coordinate: &[Value]) -> Value {
+        if coordinate.len() != self.n_dims {
+            return Value::Null;
+        }
+        self.index
+            .get(&Row::new(coordinate.to_vec()))
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+
+    /// The grand-total cell `(ALL, ALL, ..., ALL)`.
+    pub fn total(&self) -> Value {
+        self.v(&vec![Value::All; self.n_dims])
+    }
+
+    /// §4's percent-of-total: `v(coordinate) / v(ALL, ..., ALL)`, the
+    /// quantity the paper's nested-SELECT example computes.
+    pub fn percent_of_total(&self, coordinate: &[Value]) -> Value {
+        match (self.v(coordinate).as_f64(), self.total().as_f64()) {
+            (Some(v), Some(t)) if t != 0.0 => Value::Float(v / t),
+            _ => Value::Null,
+        }
+    }
+
+    /// §4's 1D `index(v_i) = v_i / (Σ_i v_i)` along one dimension: the
+    /// share contributed by `value` on dimension `dim`, with every other
+    /// dimension aggregated. "In a set of N values, one expects each item
+    /// to contribute one Nth to the sum."
+    pub fn index1d(&self, dim: usize, value: &Value) -> Value {
+        if dim >= self.n_dims {
+            return Value::Null;
+        }
+        let mut coord = vec![Value::All; self.n_dims];
+        coord[dim] = value.clone();
+        self.percent_of_total(&coord)
+    }
+
+    /// The §3.3 `ALL()` function: the set an `ALL` on dimension `dim`
+    /// stands for — e.g. `Model.ALL = {Chevy, Ford}`. Recovered from the
+    /// core rows of the relation (super-aggregate rows are excluded by
+    /// `domain`'s token filtering).
+    pub fn all_set(&self, dim: usize) -> CubeResult<Vec<Value>> {
+        if dim >= self.n_dims {
+            return Err(CubeError::BadSpec(format!("dimension {dim} out of range")));
+        }
+        let name = self.table.schema().column_at(dim).name.clone();
+        Ok(self.table.domain(&name)?)
+    }
+
+    /// All rows whose `dim` coordinate equals `value` — a slab of the
+    /// cube (Figure 3's "planes ... hanging off the data cube core").
+    pub fn slice(&self, dim: usize, value: &Value) -> Table {
+        self.table.filter(|r| &r[dim] == value)
+    }
+
+    /// The measure column index (useful to callers re-reading slices).
+    pub fn measure_index(&self) -> usize {
+        self.measure_idx
+    }
+
+    /// Drill down (§2: "Going down is called drilling-down into the
+    /// data"): from a coordinate whose `dim` slot is `ALL`, return the
+    /// child rows that break that dimension out — same values elsewhere,
+    /// concrete values at `dim`. Empty when `dim` is already concrete.
+    pub fn drill_down(&self, coordinate: &[Value], dim: usize) -> Vec<(Value, Value)> {
+        if dim >= self.n_dims
+            || coordinate.len() != self.n_dims
+            || !coordinate[dim].is_all()
+        {
+            return Vec::new();
+        }
+        let mut out: Vec<(Value, Value)> = self
+            .table
+            .rows()
+            .iter()
+            .filter(|r| {
+                !r[dim].is_all()
+                    && (0..self.n_dims).all(|d| d == dim || r[d] == coordinate[d])
+            })
+            .map(|r| (r[dim].clone(), r[self.measure_idx].clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Roll up (§2: "Going up the levels is called rolling-up the data"):
+    /// the super-aggregate of this coordinate with `dim` collapsed to
+    /// `ALL`. `NULL` if the coordinate already has `ALL` there or the
+    /// cell is unmaterialized.
+    pub fn roll_up(&self, coordinate: &[Value], dim: usize) -> Value {
+        if dim >= self.n_dims
+            || coordinate.len() != self.n_dims
+            || coordinate[dim].is_all()
+        {
+            return Value::Null;
+        }
+        let mut parent = coordinate.to_vec();
+        parent[dim] = Value::All;
+        self.v(&parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AggSpec, Dimension};
+    use crate::CubeQuery;
+    use dc_aggregate::builtin;
+    use dc_relation::{row, DataType, Schema};
+
+    fn chevy_ford_view() -> CubeView {
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+        ]);
+        let mut t = Table::empty(schema);
+        for (m, y, u) in [
+            ("Chevy", 1994, 90),
+            ("Chevy", 1995, 200),
+            ("Ford", 1994, 60),
+            ("Ford", 1995, 160),
+        ] {
+            t.push(row![m, y, u]).unwrap();
+        }
+        let cube = CubeQuery::new()
+            .dimensions(vec![Dimension::column("model"), Dimension::column("year")])
+            .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"))
+            .cube(&t)
+            .unwrap();
+        CubeView::new(cube, 2, "units").unwrap()
+    }
+
+    #[test]
+    fn point_access_like_the_paper() {
+        let view = chevy_ford_view();
+        assert_eq!(view.v(&[Value::str("Chevy"), Value::Int(1994)]), Value::Int(90));
+        assert_eq!(view.v(&[Value::str("Chevy"), Value::All]), Value::Int(290));
+        assert_eq!(view.v(&[Value::All, Value::Int(1995)]), Value::Int(360));
+        assert_eq!(view.total(), Value::Int(510));
+        // Unmaterialized cell → NULL.
+        assert_eq!(view.v(&[Value::str("Dodge"), Value::All]), Value::Null);
+        // Wrong arity → NULL, not a panic.
+        assert_eq!(view.v(&[Value::All]), Value::Null);
+    }
+
+    #[test]
+    fn percent_of_total() {
+        let view = chevy_ford_view();
+        let p = view.percent_of_total(&[Value::str("Chevy"), Value::All]);
+        assert_eq!(p, Value::Float(290.0 / 510.0));
+        assert_eq!(
+            view.percent_of_total(&[Value::str("Dodge"), Value::All]),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn index1d_shares_sum_to_one() {
+        let view = chevy_ford_view();
+        let chevy = view.index1d(0, &Value::str("Chevy")).as_f64().unwrap();
+        let ford = view.index1d(0, &Value::str("Ford")).as_f64().unwrap();
+        assert!((chevy + ford - 1.0).abs() < 1e-12);
+        assert!(chevy > ford); // Chevy outsold Ford
+    }
+
+    #[test]
+    fn all_set_recovers_the_domain() {
+        // §3.3: Model.ALL = {Chevy, Ford}; Year.ALL = {1994, 1995}.
+        let view = chevy_ford_view();
+        assert_eq!(
+            view.all_set(0).unwrap(),
+            vec![Value::str("Chevy"), Value::str("Ford")]
+        );
+        assert_eq!(view.all_set(1).unwrap(), vec![Value::Int(1994), Value::Int(1995)]);
+        assert!(view.all_set(5).is_err());
+    }
+
+    #[test]
+    fn slice_extracts_a_plane() {
+        let view = chevy_ford_view();
+        let chevy = view.slice(0, &Value::str("Chevy"));
+        // 2 core rows + the (Chevy, ALL) sub-total.
+        assert_eq!(chevy.len(), 3);
+    }
+
+    #[test]
+    fn drill_down_breaks_out_a_dimension() {
+        let view = chevy_ford_view();
+        // From (Chevy, ALL): drill into years.
+        let children = view.drill_down(&[Value::str("Chevy"), Value::All], 1);
+        assert_eq!(
+            children,
+            vec![
+                (Value::Int(1994), Value::Int(90)),
+                (Value::Int(1995), Value::Int(200)),
+            ]
+        );
+        // Children sum back to the parent: the roll-up identity.
+        let total: i64 = children.iter().map(|(_, v)| v.as_i64().unwrap()).sum();
+        assert_eq!(total, 290);
+        // Drilling a concrete dimension yields nothing.
+        assert!(view.drill_down(&[Value::str("Chevy"), Value::Int(1994)], 1).is_empty());
+    }
+
+    #[test]
+    fn roll_up_climbs_to_the_super_aggregate() {
+        let view = chevy_ford_view();
+        assert_eq!(
+            view.roll_up(&[Value::str("Chevy"), Value::Int(1994)], 1),
+            Value::Int(290)
+        );
+        assert_eq!(
+            view.roll_up(&[Value::str("Chevy"), Value::All], 0),
+            Value::Int(510)
+        );
+        // Already ALL: nothing above.
+        assert_eq!(view.roll_up(&[Value::All, Value::All], 0), Value::Null);
+    }
+
+    #[test]
+    fn rejects_measure_in_grouping_columns() {
+        let view = chevy_ford_view();
+        let t = view.table().clone();
+        assert!(CubeView::new(t.clone(), 2, "model").is_err());
+        assert!(CubeView::new(t, 99, "units").is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Cube computation algorithms (§5 of the paper).
+//!
+//! Every algorithm consumes the same inputs — base rows, bound dimensions
+//! and aggregates, and a grouping-set [`Lattice`] — and produces the same
+//! cells, so results are interchangeable and property tests assert their
+//! equality. What differs is the *work*, reported through
+//! [`crate::ExecStats`]:
+//!
+//! | Algorithm | §5 reference | Cost shape |
+//! |---|---|---|
+//! | [`Algorithm::TwoToTheN`] | "the 2^N-algorithm" | `T × 2^N` Iter() calls, 1 scan |
+//! | [`Algorithm::UnionGroupBys`] | §2's 64-way UNION | `2^N` scans, `T × 2^N` Iters |
+//! | [`Algorithm::FromCore`] | "compute the super-aggregates from the core" | `T` Iters + cell merges |
+//! | [`Algorithm::Sort`] | "sort the table ... then compute" (ROLLUP) | 1 sort + `T × N` Iters |
+//! | [`Algorithm::Array`] | dense N-dimensional array over symbol tables | `T` Iters + array sweeps |
+//! | [`Algorithm::Parallel`] | "use parallelism to aggregate each partition and then coalesce" | `T/P` Iters per thread + merges |
+//! | [`Algorithm::PipeSort`] | the \[ADGNRS\] shared-sort idea | `C(N, N/2)` sorts, `T` Iters each |
+
+pub(crate) mod array;
+pub(crate) mod from_core;
+pub(crate) mod naive;
+pub(crate) mod parallel;
+pub(crate) mod pipesort;
+pub(crate) mod sort;
+pub(crate) mod unions;
+
+pub use array::MAX_CELLS;
+pub use from_core::ParentChoice;
+pub use pipesort::symmetric_chains;
+
+use crate::error::{CubeError, CubeResult};
+use crate::groupby::{ExecStats, SetMaps};
+use crate::lattice::Lattice;
+use crate::spec::{BoundAgg, BoundDimension};
+use dc_aggregate::AggKind;
+use dc_relation::Row;
+
+/// Selects how a cube / rollup / grouping-sets query is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Algorithm {
+    /// Pick automatically: holistic aggregates force the 2^N algorithm
+    /// (§5: "We know of no more efficient way of computing
+    /// super-aggregates of holistic functions"); otherwise cascade from
+    /// the core.
+    #[default]
+    Auto,
+    /// Update every matching cell of every grouping set for every input
+    /// row.
+    TwoToTheN,
+    /// Run one independent GROUP BY per grouping set and union the
+    /// results — the plan §2 predicts for the hand-written 64-way UNION.
+    UnionGroupBys,
+    /// Compute the core GROUP BY once, then cascade super-aggregates by
+    /// merging scratchpads, dropping the smallest-cardinality dimension
+    /// first.
+    FromCore,
+    /// Sort-based single-pass ROLLUP (rollup lattices only).
+    Sort,
+    /// Dense N-dimensional array over dictionary-encoded dimensions
+    /// (full-cube lattices only; falls back with an error when the array
+    /// would exceed [`array::MAX_CELLS`]).
+    Array,
+    /// PipeSort-style shared sorts (the paper's \[ADGNRS\] reference):
+    /// cover the lattice with C(N, N/2) symmetric chains, one sorted
+    /// scan each (full-cube lattices only).
+    PipeSort,
+    /// Partition the input across threads, aggregate each partition's
+    /// core, coalesce by merging, then cascade.
+    Parallel { threads: usize },
+}
+
+
+/// Execute the lattice with the chosen algorithm.
+pub(crate) fn run(
+    algorithm: Algorithm,
+    rows: &[Row],
+    dims: &[BoundDimension],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    stats: &mut ExecStats,
+) -> CubeResult<SetMaps> {
+    match algorithm {
+        Algorithm::Auto => {
+            if aggs.iter().any(|a| a.func.kind() == AggKind::Holistic) {
+                naive::run(rows, dims, aggs, lattice, stats)
+            } else {
+                from_core::run(rows, dims, aggs, lattice, stats)
+            }
+        }
+        Algorithm::TwoToTheN => naive::run(rows, dims, aggs, lattice, stats),
+        Algorithm::UnionGroupBys => unions::run(rows, dims, aggs, lattice, stats),
+        Algorithm::FromCore => from_core::run(rows, dims, aggs, lattice, stats),
+        Algorithm::Sort => sort::run(rows, dims, aggs, lattice, stats),
+        Algorithm::Array => array::run(rows, dims, aggs, lattice, stats),
+        Algorithm::PipeSort => pipesort::run(rows, dims, aggs, lattice, stats),
+        Algorithm::Parallel { threads } => {
+            if threads == 0 {
+                return Err(CubeError::BadSpec("Parallel requires threads >= 1".into()));
+            }
+            parallel::run(rows, dims, aggs, lattice, threads, stats)
+        }
+    }
+}

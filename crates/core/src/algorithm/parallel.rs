@@ -1,0 +1,159 @@
+//! Partition-parallel aggregation (§5).
+//!
+//! "If the source data spans many disks or nodes, use parallelism to
+//! aggregate each partition and then coalesce these aggregates." And the
+//! taxonomy discussion adds: "the distributive, algebraic, and holistic
+//! taxonomy is very useful in computing aggregates for parallel database
+//! systems ... The combination step is very similar to the logic and
+//! mechanism used in Figure 8." Here each worker thread computes the core
+//! cells of its row partition; partitions are coalesced by scratchpad
+//! merging (the same `Iter_super` as the cascade), and the cascade then
+//! produces the super-aggregates.
+
+use crate::algorithm::from_core::{cascade, ParentChoice};
+use crate::error::{CubeError, CubeResult};
+use crate::groupby::{compute_core, init_accs, ExecStats, GroupMap, SetMaps};
+use crate::lattice::Lattice;
+use crate::spec::{BoundAgg, BoundDimension};
+use dc_relation::Row;
+
+pub(crate) fn run(
+    rows: &[Row],
+    dims: &[BoundDimension],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    threads: usize,
+    stats: &mut ExecStats,
+) -> CubeResult<SetMaps> {
+    let threads = threads.max(1).min(rows.len().max(1));
+    let chunk = rows.len().div_ceil(threads);
+
+    // Aggregate each partition's core in parallel.
+    let partials: Vec<(GroupMap, ExecStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks(chunk.max(1))
+            .map(|part| {
+                scope.spawn(move |_| {
+                    let mut local = ExecStats::default();
+                    let core = compute_core(part, dims, aggs, &mut local);
+                    (core, local)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .map_err(|_| CubeError::Unsupported("parallel worker panicked".into()))?;
+
+    // Coalesce: merge every partition's cells into one core.
+    let mut core = GroupMap::new();
+    for (partial, local) in partials {
+        stats.add(&local);
+        for (key, accs) in partial {
+            match core.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (t, s) in e.get_mut().iter_mut().zip(accs.iter()) {
+                        t.merge(&s.state());
+                        stats.merge_calls += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    // First partition to produce this cell: adopt its
+                    // scratchpads by merging into fresh accumulators (the
+                    // cell may be revisited by later partitions).
+                    let mut fresh = init_accs(aggs);
+                    for (t, s) in fresh.iter_mut().zip(accs.iter()) {
+                        t.merge(&s.state());
+                        stats.merge_calls += 1;
+                    }
+                    e.insert(fresh);
+                }
+            }
+        }
+    }
+
+    cascade(core, aggs, lattice, ParentChoice::SmallestCardinality, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::naive;
+    use crate::spec::{AggSpec, Dimension};
+    use dc_aggregate::builtin;
+    use dc_relation::{row, DataType, Schema, Table, Value};
+
+    fn setup(n_rows: usize) -> (Table, Vec<BoundDimension>, Vec<BoundAgg>) {
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+        ]);
+        let mut t = Table::empty(schema);
+        let models = ["Chevy", "Ford", "Dodge"];
+        for i in 0..n_rows {
+            t.push(row![models[i % 3], 1990 + (i % 5) as i64, (i * 7 % 100) as i64])
+                .unwrap();
+        }
+        let dims = ["model", "year"]
+            .iter()
+            .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
+            .collect();
+        let aggs = vec![
+            AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap(),
+            AggSpec::new(builtin("AVG").unwrap(), "units").bind(t.schema()).unwrap(),
+        ];
+        (t, dims, aggs)
+    }
+
+    #[test]
+    fn matches_naive_across_thread_counts() {
+        let (t, dims, aggs) = setup(101);
+        let lattice = Lattice::cube(2).unwrap();
+        let expected =
+            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let got = run(
+                t.rows(),
+                &dims,
+                &aggs,
+                &lattice,
+                threads,
+                &mut ExecStats::default(),
+            )
+            .unwrap();
+            for (set, map) in &expected {
+                let (_, gmap) = got.iter().find(|(s, _)| s == set).unwrap();
+                assert_eq!(gmap.len(), map.len(), "{threads} threads, set {set}");
+                for (k, accs) in map {
+                    for (i, acc) in accs.iter().enumerate() {
+                        assert_eq!(
+                            gmap[k][i].final_value(),
+                            acc.final_value(),
+                            "{threads} threads, {k}, agg {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let (t, dims, aggs) = setup(3);
+        let lattice = Lattice::cube(2).unwrap();
+        let maps =
+            run(t.rows(), &dims, &aggs, &lattice, 16, &mut ExecStats::default()).unwrap();
+        let (_, grand) = maps.iter().find(|(s, _)| s.is_empty()).unwrap();
+        let key = Row::new(vec![Value::All, Value::All]);
+        assert_eq!(grand[&key][0].final_value(), Value::Int(7 + 14));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (t, dims, aggs) = setup(0);
+        let lattice = Lattice::cube(2).unwrap();
+        let maps =
+            run(t.rows(), &dims, &aggs, &lattice, 4, &mut ExecStats::default()).unwrap();
+        assert!(maps.iter().all(|(_, m)| m.is_empty()));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the cube operators.
+
+use dc_aggregate::AggError;
+use dc_relation::RelError;
+use std::fmt;
+
+/// Errors raised while planning or executing cube queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CubeError {
+    /// Underlying relational error (unknown column, arity, ...).
+    Rel(RelError),
+    /// Underlying aggregate-framework error.
+    Agg(AggError),
+    /// A grouping-set specification referenced a dimension out of range or
+    /// was otherwise malformed.
+    BadSpec(String),
+    /// The requested algorithm cannot run this query (e.g. the dense array
+    /// would exceed the cell budget, or sort-based execution was asked for
+    /// a non-rollup lattice).
+    Unsupported(String),
+}
+
+impl fmt::Display for CubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CubeError::Rel(e) => write!(f, "relational error: {e}"),
+            CubeError::Agg(e) => write!(f, "aggregate error: {e}"),
+            CubeError::BadSpec(msg) => write!(f, "bad cube specification: {msg}"),
+            CubeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CubeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CubeError::Rel(e) => Some(e),
+            CubeError::Agg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for CubeError {
+    fn from(e: RelError) -> Self {
+        CubeError::Rel(e)
+    }
+}
+
+impl From<AggError> for CubeError {
+    fn from(e: AggError) -> Self {
+        CubeError::Agg(e)
+    }
+}
+
+/// Convenience alias.
+pub type CubeResult<T> = Result<T, CubeError>;

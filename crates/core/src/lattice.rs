@@ -1,0 +1,360 @@
+//! The grouping-set lattice.
+//!
+//! "Creating a data cube requires generating the power set (set of all
+//! subsets) of the aggregation columns" (§3). A [`GroupingSet`] is one
+//! subset, represented as a bitmask over dimension indices; [`Lattice`]
+//! holds a family of sets together with the parent/child edges the
+//! from-core cascade of §5 walks ("the super-aggregates can be computed
+//! dropping one dimension at a time").
+
+use crate::error::{CubeError, CubeResult};
+use std::fmt;
+
+/// A subset of the N grouping dimensions, as a bitmask (bit i set ⇔
+/// dimension i is grouped, i.e. *not* replaced by `ALL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupingSet(u32);
+
+impl GroupingSet {
+    /// Maximum supported dimension count. 2^20 grouping sets is already far
+    /// past anything the paper contemplates (it worries about 6D = 64).
+    pub const MAX_DIMS: usize = 20;
+
+    /// The empty set: every dimension is `ALL` — the grand total.
+    pub const EMPTY: GroupingSet = GroupingSet(0);
+
+    /// From a raw bitmask.
+    pub fn from_bits(bits: u32) -> Self {
+        GroupingSet(bits)
+    }
+
+    /// From explicit dimension indices.
+    pub fn from_dims(dims: &[usize]) -> CubeResult<Self> {
+        let mut bits = 0u32;
+        for &d in dims {
+            if d >= Self::MAX_DIMS {
+                return Err(CubeError::BadSpec(format!("dimension index {d} out of range")));
+            }
+            bits |= 1 << d;
+        }
+        Ok(GroupingSet(bits))
+    }
+
+    /// The set {0, 1, ..., k-1}.
+    pub fn first_k(k: usize) -> Self {
+        debug_assert!(k <= Self::MAX_DIMS);
+        GroupingSet(if k == 0 { 0 } else { (1u32 << k) - 1 })
+    }
+
+    /// The full set over n dimensions — the cube *core* (the ordinary
+    /// GROUP BY of Figure 3).
+    pub fn full(n: usize) -> Self {
+        Self::first_k(n)
+    }
+
+    /// Shift all members up by `by` (used to place ROLLUP/CUBE blocks after
+    /// the GROUP BY block in a compound spec).
+    pub fn shift(self, by: usize) -> Self {
+        GroupingSet(self.0 << by)
+    }
+
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    pub fn contains(self, dim: usize) -> bool {
+        dim < Self::MAX_DIMS && self.0 & (1 << dim) != 0
+    }
+
+    pub fn union(self, other: Self) -> Self {
+        GroupingSet(self.0 | other.0)
+    }
+
+    /// Number of grouped dimensions (the set's arity / lattice level).
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if `self` ⊆ `other` — `other` can cascade down to `self`.
+    pub fn subset_of(self, other: Self) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Remove one dimension — the "drop one dimension at a time" step.
+    pub fn without(self, dim: usize) -> Self {
+        GroupingSet(self.0 & !(1 << dim))
+    }
+
+    /// With one dimension added.
+    pub fn with(self, dim: usize) -> Self {
+        GroupingSet(self.0 | (1 << dim))
+    }
+
+    /// Member dimension indices, ascending.
+    pub fn dims(self) -> Vec<usize> {
+        (0..Self::MAX_DIMS).filter(|&d| self.contains(d)).collect()
+    }
+
+    /// Immediate supersets within an n-dimensional cube: the sets one level
+    /// up, i.e. the candidate *parents* for the cascade.
+    pub fn parents(self, n: usize) -> Vec<GroupingSet> {
+        (0..n).filter(|&d| !self.contains(d)).map(|d| self.with(d)).collect()
+    }
+}
+
+impl fmt::Display for GroupingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.dims().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// All 2^n grouping sets of an n-dimensional CUBE, core first, then by
+/// decreasing arity (the order the cascade computes them in).
+pub fn cube_sets(n: usize) -> CubeResult<Vec<GroupingSet>> {
+    if n > GroupingSet::MAX_DIMS {
+        return Err(CubeError::BadSpec(format!(
+            "{n} dimensions exceeds the {}-dimension limit",
+            GroupingSet::MAX_DIMS
+        )));
+    }
+    let mut sets: Vec<GroupingSet> = (0..(1u32 << n)).map(GroupingSet::from_bits).collect();
+    sets.sort_by(|a, b| b.len().cmp(&a.len()).then(a.0.cmp(&b.0)));
+    Ok(sets)
+}
+
+/// The n+1 grouping sets of an n-dimensional ROLLUP: `(v1..vn)`,
+/// `(v1..vn-1, ALL)`, ..., `(ALL..ALL)` (§3).
+pub fn rollup_sets(n: usize) -> CubeResult<Vec<GroupingSet>> {
+    if n > GroupingSet::MAX_DIMS {
+        return Err(CubeError::BadSpec(format!(
+            "{n} dimensions exceeds the {}-dimension limit",
+            GroupingSet::MAX_DIMS
+        )));
+    }
+    Ok((0..=n).rev().map(GroupingSet::first_k).collect())
+}
+
+/// A family of grouping sets with cascade structure.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    n_dims: usize,
+    /// Ordered core-first, then decreasing arity.
+    sets: Vec<GroupingSet>,
+}
+
+impl Lattice {
+    /// Build from an explicit family (deduplicated, cascade-ordered). The
+    /// core (full set) is added if missing — every cascade starts there.
+    pub fn new(n_dims: usize, mut sets: Vec<GroupingSet>) -> CubeResult<Self> {
+        if n_dims > GroupingSet::MAX_DIMS {
+            return Err(CubeError::BadSpec(format!(
+                "{n_dims} dimensions exceeds the {}-dimension limit",
+                GroupingSet::MAX_DIMS
+            )));
+        }
+        let full = GroupingSet::full(n_dims);
+        for s in &sets {
+            if !s.subset_of(full) {
+                return Err(CubeError::BadSpec(format!(
+                    "grouping set {s} references dimensions beyond the {n_dims} declared"
+                )));
+            }
+        }
+        if !sets.contains(&full) {
+            sets.push(full);
+        }
+        sets.sort_by(|a, b| b.len().cmp(&a.len()).then(a.bits().cmp(&b.bits())));
+        sets.dedup();
+        Ok(Lattice { n_dims, sets })
+    }
+
+    /// The full cube lattice.
+    pub fn cube(n_dims: usize) -> CubeResult<Self> {
+        Ok(Lattice { n_dims, sets: cube_sets(n_dims)? })
+    }
+
+    /// The rollup chain.
+    pub fn rollup(n_dims: usize) -> CubeResult<Self> {
+        Ok(Lattice { n_dims, sets: rollup_sets(n_dims)? })
+    }
+
+    pub fn n_dims(&self) -> usize {
+        self.n_dims
+    }
+
+    pub fn sets(&self) -> &[GroupingSet] {
+        &self.sets
+    }
+
+    pub fn core(&self) -> GroupingSet {
+        GroupingSet::full(self.n_dims)
+    }
+
+    /// True when this family is exactly the full cube.
+    pub fn is_full_cube(&self) -> bool {
+        self.sets.len() == 1usize << self.n_dims
+    }
+
+    /// Choose the cascade parent for `set`: among *materialized* supersets
+    /// reachable by adding one dimension, pick the one whose added
+    /// dimension has the smallest cardinality — §5: "The algorithm will be
+    /// most efficient if it aggregates the smaller of the two ... pick the
+    /// `*` with the smallest Cᵢ." Falls back to the smallest materialized
+    /// superset of any arity (a sparse family may lack one-step parents),
+    /// and finally to the core.
+    ///
+    /// `cardinalities[d]` is `C_d`; `materialized` are the already-computed
+    /// sets.
+    pub fn choose_parent(
+        &self,
+        set: GroupingSet,
+        cardinalities: &[usize],
+        materialized: &[GroupingSet],
+    ) -> GroupingSet {
+        let one_step = set
+            .parents(self.n_dims)
+            .into_iter()
+            .filter(|p| materialized.contains(p))
+            .min_by_key(|p| {
+                // The dimension we'll aggregate away.
+                let added = p.bits() & !set.bits();
+                let d = added.trailing_zeros() as usize;
+                cardinalities.get(d).copied().unwrap_or(usize::MAX)
+            });
+        if let Some(p) = one_step {
+            return p;
+        }
+        materialized
+            .iter()
+            .copied()
+            .filter(|p| set.subset_of(*p) && *p != set)
+            .min_by_key(|p| {
+                // Approximate cell count: product of (C_d) over extra dims.
+                p.dims()
+                    .iter()
+                    .filter(|d| !set.contains(**d))
+                    .map(|&d| cardinalities.get(d).copied().unwrap_or(2))
+                    .product::<usize>()
+            })
+            .unwrap_or_else(|| self.core())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_sets_count_and_order() {
+        let sets = cube_sets(3).unwrap();
+        assert_eq!(sets.len(), 8);
+        assert_eq!(sets[0], GroupingSet::full(3)); // core first
+        assert_eq!(*sets.last().unwrap(), GroupingSet::EMPTY);
+        // Arity never increases along the order.
+        for w in sets.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn super_aggregate_count_is_2n_minus_1() {
+        // §3: "If there are N attributes ... there will be 2^N − 1
+        // super-aggregate values" (set families beyond the core).
+        for n in 0..=6 {
+            let sets = cube_sets(n).unwrap();
+            assert_eq!(sets.len() - 1, (1 << n) - 1);
+        }
+    }
+
+    #[test]
+    fn rollup_sets_are_prefixes() {
+        let sets = rollup_sets(3).unwrap();
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[0].dims(), vec![0, 1, 2]);
+        assert_eq!(sets[1].dims(), vec![0, 1]);
+        assert_eq!(sets[2].dims(), vec![0]);
+        assert_eq!(sets[3].dims(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn figure_3_arity_histogram() {
+        // Figure 3: the 3D cube = 1 cube + 3 planes + 3 lines + 1 point,
+        // i.e. C(3,k) grouping sets of each arity k.
+        let sets = cube_sets(3).unwrap();
+        let count_arity = |k| sets.iter().filter(|s| s.len() == k).count();
+        assert_eq!(count_arity(3), 1);
+        assert_eq!(count_arity(2), 3);
+        assert_eq!(count_arity(1), 3);
+        assert_eq!(count_arity(0), 1);
+    }
+
+    #[test]
+    fn set_operations() {
+        let s = GroupingSet::from_dims(&[0, 2]).unwrap();
+        assert!(s.contains(0) && !s.contains(1) && s.contains(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.without(2).dims(), vec![0]);
+        assert_eq!(s.with(1).dims(), vec![0, 1, 2]);
+        assert!(s.subset_of(GroupingSet::full(3)));
+        assert!(!GroupingSet::full(3).subset_of(s));
+        assert_eq!(s.to_string(), "{0,2}");
+    }
+
+    #[test]
+    fn parents_are_one_level_up() {
+        let s = GroupingSet::from_dims(&[1]).unwrap();
+        let ps = s.parents(3);
+        assert_eq!(ps.len(), 2);
+        assert!(ps.iter().all(|p| p.len() == 2 && s.subset_of(*p)));
+    }
+
+    #[test]
+    fn lattice_rejects_out_of_range() {
+        assert!(GroupingSet::from_dims(&[25]).is_err());
+        assert!(cube_sets(21).is_err());
+        let bad = Lattice::new(2, vec![GroupingSet::from_dims(&[3]).unwrap()]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn lattice_adds_core_and_dedups() {
+        let l = Lattice::new(2, vec![GroupingSet::EMPTY, GroupingSet::EMPTY]).unwrap();
+        assert_eq!(l.sets().len(), 2); // EMPTY + auto-added core
+        assert_eq!(l.sets()[0], GroupingSet::full(2));
+    }
+
+    #[test]
+    fn choose_parent_prefers_smallest_cardinality() {
+        // Computing {2} (say, color) from a 3D cube: candidate parents are
+        // {0,2} and {1,2}. With C_0 = 2 (model) and C_1 = 1000 (day), the
+        // paper's rule picks {0,2} — aggregate away the 2-valued dimension.
+        let l = Lattice::cube(3).unwrap();
+        let set = GroupingSet::from_dims(&[2]).unwrap();
+        let materialized = vec![
+            GroupingSet::full(3),
+            GroupingSet::from_dims(&[0, 2]).unwrap(),
+            GroupingSet::from_dims(&[1, 2]).unwrap(),
+        ];
+        let parent = l.choose_parent(set, &[2, 1000, 3], &materialized);
+        assert_eq!(parent, GroupingSet::from_dims(&[0, 2]).unwrap());
+    }
+
+    #[test]
+    fn choose_parent_falls_back_to_core() {
+        let l = Lattice::new(3, vec![GroupingSet::EMPTY]).unwrap();
+        let parent =
+            l.choose_parent(GroupingSet::EMPTY, &[5, 5, 5], &[GroupingSet::full(3)]);
+        assert_eq!(parent, GroupingSet::full(3));
+    }
+}

@@ -1,0 +1,538 @@
+//! Maintaining materialized cubes (§6).
+//!
+//! "We have been surprised that some customers use these operators to
+//! compute and store the cube. These customers then define triggers on the
+//! underlying tables so that when the tables change, the cube is
+//! dynamically updated." [`MaterializedCube`] is that pattern: it stores
+//! live scratchpads for every cell of every grouping set, updates them on
+//! insert ("just visit the 2^N super-aggregates of this record"), and
+//! handles the asymmetry the section is really about —
+//!
+//! > "max is a distributive \[function\] for SELECT and INSERT, but it is
+//! > holistic for DELETE."
+//!
+//! Deleting a row *retracts* it from each affected cell; any aggregate
+//! whose scratchpad cannot absorb the retraction (MAX losing its champion,
+//! [`dc_aggregate::Retract::Recompute`]) forces that cell to be recomputed
+//! from the retained base rows. [`MaintainStats`] counts both paths so the
+//! C9 benchmark can show the cost cliff.
+//!
+//! The cube is readable while being maintained: interior state lives
+//! behind a `parking_lot::RwLock`, so concurrent readers (`cell`,
+//! `to_table`) proceed in parallel and writers take the lock exclusively,
+//! trigger-style.
+
+use crate::error::{CubeError, CubeResult};
+use crate::groupby::{full_key, init_accs, project_key, result_schema};
+use crate::lattice::{GroupingSet, Lattice};
+use crate::spec::{AggSpec, BoundAgg, BoundDimension, Dimension};
+use dc_aggregate::{Accumulator, Retract};
+use dc_relation::{Row, Schema, Table, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Work counters for maintenance operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintainStats {
+    pub inserts: u64,
+    pub deletes: u64,
+    /// Cell scratchpad updates applied in place (the cheap path).
+    pub cells_updated: u64,
+    /// Cells that had to be recomputed from base rows (the delete-holistic
+    /// path).
+    pub cells_recomputed: u64,
+    /// Base rows rescanned during recomputations.
+    pub rows_rescanned: u64,
+}
+
+struct Cell {
+    accs: Vec<Box<dyn Accumulator>>,
+    /// Base rows contributing to this cell; when it reaches zero the cell
+    /// disappears from the cube (sparse representation, §5).
+    support: u64,
+}
+
+struct Inner {
+    base: Vec<Row>,
+    cells: Vec<(GroupingSet, HashMap<Row, Cell>)>,
+    stats: MaintainStats,
+}
+
+/// A cube kept up to date under INSERT / DELETE / UPDATE.
+pub struct MaterializedCube {
+    base_schema: Schema,
+    result_schema: Schema,
+    dims: Vec<BoundDimension>,
+    aggs: Vec<BoundAgg>,
+    inner: RwLock<Inner>,
+}
+
+impl MaterializedCube {
+    /// Materialize the full cube of `table`.
+    pub fn cube(table: &Table, dims: Vec<Dimension>, aggs: Vec<AggSpec>) -> CubeResult<Self> {
+        let lattice = Lattice::cube(dims.len())?;
+        Self::with_lattice(table, dims, aggs, lattice)
+    }
+
+    /// Materialize a rollup of `table`.
+    pub fn rollup(table: &Table, dims: Vec<Dimension>, aggs: Vec<AggSpec>) -> CubeResult<Self> {
+        let lattice = Lattice::rollup(dims.len())?;
+        Self::with_lattice(table, dims, aggs, lattice)
+    }
+
+    /// Materialize an explicit grouping-set family.
+    pub fn with_lattice(
+        table: &Table,
+        dims: Vec<Dimension>,
+        aggs: Vec<AggSpec>,
+        lattice: Lattice,
+    ) -> CubeResult<Self> {
+        if aggs.is_empty() {
+            return Err(CubeError::BadSpec("at least one aggregate is required".into()));
+        }
+        let schema = table.schema();
+        let bdims: Vec<BoundDimension> =
+            dims.iter().map(|d| d.bind(schema)).collect::<CubeResult<_>>()?;
+        let baggs: Vec<BoundAgg> =
+            aggs.iter().map(|a| a.bind(schema)).collect::<CubeResult<_>>()?;
+        let agg_types: Vec<_> =
+            aggs.iter().map(|a| a.output_type(schema)).collect::<CubeResult<_>>()?;
+        let result_schema = result_schema(&bdims, &baggs, &agg_types)?;
+
+        let cells = lattice.sets().iter().map(|&s| (s, HashMap::new())).collect();
+        let cube = MaterializedCube {
+            base_schema: schema.clone(),
+            result_schema,
+            dims: bdims,
+            aggs: baggs,
+            inner: RwLock::new(Inner { base: Vec::new(), cells, stats: MaintainStats::default() }),
+        };
+        for row in table.rows() {
+            cube.insert(row.clone())?;
+        }
+        // Initial population is not "maintenance": reset the counters.
+        cube.inner.write().stats = MaintainStats::default();
+        Ok(cube)
+    }
+
+    /// Trigger path for `INSERT`: visit this record's cell in every
+    /// grouping set and fold it in.
+    pub fn insert(&self, row: Row) -> CubeResult<()> {
+        if row.len() != self.base_schema.len() {
+            return Err(CubeError::Rel(dc_relation::RelError::ArityMismatch {
+                expected: self.base_schema.len(),
+                got: row.len(),
+            }));
+        }
+        for (col, v) in self.base_schema.columns().iter().zip(row.iter()) {
+            col.check(v)?;
+        }
+        let mut inner = self.inner.write();
+        let full = full_key(&self.dims, &row);
+        for (set, map) in inner.cells.iter_mut() {
+            let key = project_key(&full, *set);
+            let cell = map
+                .entry(key)
+                .or_insert_with(|| Cell { accs: init_accs(&self.aggs), support: 0 });
+            for (acc, agg) in cell.accs.iter_mut().zip(self.aggs.iter()) {
+                acc.iter(agg.input_value(&row));
+            }
+            cell.support += 1;
+        }
+        inner.stats.cells_updated += inner.cells.len() as u64;
+        inner.stats.inserts += 1;
+        inner.base.push(row);
+        Ok(())
+    }
+
+    /// Trigger path for `DELETE`: retract the record from each affected
+    /// cell; cells whose scratchpads cannot absorb the retraction are
+    /// recomputed from the remaining base rows. Errors if the row is not
+    /// present in the base table.
+    pub fn delete(&self, row: &Row) -> CubeResult<()> {
+        let mut inner = self.inner.write();
+        let pos = inner
+            .base
+            .iter()
+            .position(|r| r == row)
+            .ok_or_else(|| CubeError::BadSpec(format!("row not in base table: {row}")))?;
+        inner.base.swap_remove(pos);
+        let full = full_key(&self.dims, row);
+
+        let Inner { base, cells, stats } = &mut *inner;
+        for (set, map) in cells.iter_mut() {
+            let key = project_key(&full, *set);
+            let Some(cell) = map.get_mut(&key) else {
+                return Err(CubeError::BadSpec(format!(
+                    "corrupt cube: no cell for deleted row in {set}"
+                )));
+            };
+            cell.support -= 1;
+            if cell.support == 0 {
+                map.remove(&key);
+                stats.cells_updated += 1;
+                continue;
+            }
+            let mut needs_recompute = false;
+            for (acc, agg) in cell.accs.iter_mut().zip(self.aggs.iter()) {
+                match acc.retract(agg.input_value(row)) {
+                    Retract::Applied => {}
+                    Retract::Recompute | Retract::Unsupported => needs_recompute = true,
+                }
+            }
+            if needs_recompute {
+                // The delete-holistic path: rebuild this cell from base.
+                let mut accs = init_accs(&self.aggs);
+                for brow in base.iter() {
+                    stats.rows_rescanned += 1;
+                    if project_key(&full_key(&self.dims, brow), *set) == key {
+                        for (acc, agg) in accs.iter_mut().zip(self.aggs.iter()) {
+                            acc.iter(agg.input_value(brow));
+                        }
+                    }
+                }
+                cell.accs = accs;
+                stats.cells_recomputed += 1;
+            } else {
+                stats.cells_updated += 1;
+            }
+        }
+        stats.deletes += 1;
+        Ok(())
+    }
+
+    /// `UPDATE` "is just delete plus insert" (§6).
+    pub fn update(&self, old: &Row, new: Row) -> CubeResult<()> {
+        self.delete(old)?;
+        self.insert(new)
+    }
+
+    /// Read one cell's aggregate values at a full coordinate (`ALL` where
+    /// aggregated). `None` when the cell is not materialized.
+    pub fn cell(&self, coordinate: &[Value]) -> Option<Vec<Value>> {
+        let inner = self.inner.read();
+        let mask = coordinate
+            .iter()
+            .enumerate()
+            .fold(GroupingSet::EMPTY, |m, (d, v)| if v.is_all() { m } else { m.with(d) });
+        let (_, map) = inner.cells.iter().find(|(s, _)| *s == mask)?;
+        let cell = map.get(&Row::new(coordinate.to_vec()))?;
+        Some(cell.accs.iter().map(|a| a.final_value()).collect())
+    }
+
+    /// Snapshot the cube as a relation (same canonical order as
+    /// [`crate::CubeQuery::cube`]).
+    pub fn to_table(&self) -> Table {
+        let inner = self.inner.read();
+        let mut out = Table::empty(self.result_schema.clone());
+        for (_, map) in &inner.cells {
+            let mut keys: Vec<&Row> = map.keys().collect();
+            keys.sort();
+            for key in keys {
+                let cell = &map[key];
+                let mut vals = key.values().to_vec();
+                vals.extend(cell.accs.iter().map(|a| a.final_value()));
+                out.push_unchecked(Row::new(vals));
+            }
+        }
+        out
+    }
+
+    /// Current base-table contents.
+    pub fn base_rows(&self) -> Vec<Row> {
+        self.inner.read().base.clone()
+    }
+
+    /// Maintenance work counters since construction.
+    pub fn stats(&self) -> MaintainStats {
+        self.inner.read().stats
+    }
+
+    /// Number of materialized cells across all grouping sets.
+    pub fn cell_count(&self) -> usize {
+        self.inner.read().cells.iter().map(|(_, m)| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CubeQuery;
+    use dc_aggregate::builtin;
+    use dc_relation::{row, DataType};
+
+    fn base() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                row!["Chevy", 1994, 50],
+                row!["Chevy", 1995, 85],
+                row!["Ford", 1994, 60],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dims() -> Vec<Dimension> {
+        vec![Dimension::column("model"), Dimension::column("year")]
+    }
+
+    fn sum_spec() -> AggSpec {
+        AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units")
+    }
+
+    fn max_spec() -> AggSpec {
+        AggSpec::new(builtin("MAX").unwrap(), "units").with_name("max_units")
+    }
+
+    #[test]
+    fn matches_batch_cube_after_construction() {
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
+        let batch = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_spec())
+            .cube(&t)
+            .unwrap();
+        assert_eq!(mat.to_table().rows(), batch.rows());
+    }
+
+    #[test]
+    fn insert_updates_every_grouping_set() {
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
+        mat.insert(row!["Ford", 1995, 160]).unwrap();
+        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(355)]));
+        assert_eq!(
+            mat.cell(&[Value::str("Ford"), Value::All]),
+            Some(vec![Value::Int(220)])
+        );
+        // Exactly the 2^N = 4 cells were touched.
+        assert_eq!(mat.stats().cells_updated, 4);
+        assert_eq!(mat.stats().cells_recomputed, 0);
+        // And the result still equals a from-scratch cube.
+        let mut t2 = base();
+        t2.push(row!["Ford", 1995, 160]).unwrap();
+        let batch = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_spec())
+            .cube(&t2)
+            .unwrap();
+        assert_eq!(mat.to_table().rows(), batch.rows());
+    }
+
+    #[test]
+    fn sum_deletes_without_recompute() {
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
+        mat.delete(&row!["Chevy", 1994, 50]).unwrap();
+        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(145)]));
+        assert_eq!(mat.stats().cells_recomputed, 0);
+        assert_eq!(mat.stats().rows_rescanned, 0);
+    }
+
+    #[test]
+    fn deleting_the_max_forces_recompute() {
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![max_spec()]).unwrap();
+        // 85 is the global max and the (Chevy, *) max: deleting it must
+        // recompute those cells; losers' cells update in place.
+        mat.delete(&row!["Chevy", 1995, 85]).unwrap();
+        let s = mat.stats();
+        assert!(s.cells_recomputed > 0, "delete of champion must recompute");
+        assert!(s.rows_rescanned > 0);
+        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(60)]));
+        assert_eq!(
+            mat.cell(&[Value::str("Chevy"), Value::All]),
+            Some(vec![Value::Int(50)])
+        );
+    }
+
+    #[test]
+    fn deleting_a_loser_is_cheap_even_for_max() {
+        // §6: "if the new value 'loses' one competition, then it will lose
+        // in all lower dimensions" — the dual holds for deleting losers.
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![max_spec()]).unwrap();
+        mat.delete(&row!["Chevy", 1994, 50]).unwrap();
+        // (Chevy,1994) cell dies with its only supporter; the surviving
+        // Chevy and global cells just drop a loser: no recompute.
+        assert_eq!(mat.stats().cells_recomputed, 0);
+        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(85)]));
+    }
+
+    #[test]
+    fn cell_dies_when_support_reaches_zero() {
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
+        let before = mat.cell_count();
+        mat.delete(&row!["Ford", 1994, 60]).unwrap();
+        // Ford's only row: the (Ford,1994), (Ford,ALL) and (ALL,1994)...
+        // no — (ALL,1994) still has Chevy support. Exactly the two
+        // Ford-keyed cells disappear.
+        assert_eq!(mat.cell_count(), before - 2);
+        assert_eq!(mat.cell(&[Value::str("Ford"), Value::All]), None);
+    }
+
+    #[test]
+    fn update_is_delete_plus_insert() {
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
+        mat.update(&row!["Chevy", 1994, 50], row!["Chevy", 1994, 75]).unwrap();
+        assert_eq!(
+            mat.cell(&[Value::str("Chevy"), Value::Int(1994)]),
+            Some(vec![Value::Int(75)])
+        );
+        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(220)]));
+        let s = mat.stats();
+        assert_eq!((s.inserts, s.deletes), (1, 1));
+    }
+
+    #[test]
+    fn delete_of_absent_row_errors() {
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
+        assert!(mat.delete(&row!["Dodge", 2000, 1]).is_err());
+        // Nothing changed.
+        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(195)]));
+    }
+
+    #[test]
+    fn insert_validates_against_base_schema() {
+        let t = base();
+        let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
+        assert!(mat.insert(row!["Ford", 1995]).is_err());
+        assert!(mat.insert(row![1995, "Ford", 1]).is_err());
+    }
+
+    #[test]
+    fn rollup_materialization() {
+        let t = base();
+        let mat = MaterializedCube::rollup(&t, dims(), vec![sum_spec()]).unwrap();
+        // Rollup has no (ALL, year) cells.
+        assert_eq!(mat.cell(&[Value::All, Value::Int(1994)]), None);
+        assert_eq!(
+            mat.cell(&[Value::str("Chevy"), Value::All]),
+            Some(vec![Value::Int(135)])
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_during_maintenance() {
+        use std::sync::Arc;
+        let t = base();
+        let mat =
+            Arc::new(MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap());
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&mat);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        // Total must always be a consistent multiple state.
+                        let v = m.cell(&[Value::All, Value::All]);
+                        assert!(v.is_some());
+                    }
+                })
+            })
+            .collect();
+        for i in 0..50 {
+            mat.insert(row!["Dodge", 1994, i]).unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(mat.base_rows().len(), 53);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::{AggSpec, Dimension};
+    use dc_aggregate::builtin;
+    use dc_relation::{row, DataType};
+
+    #[test]
+    fn champion_delete_on_rollup_recomputes_only_its_chain() {
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+        ]);
+        let t = Table::new(
+            schema,
+            vec![
+                row!["Chevy", 1994, 10],
+                row!["Chevy", 1994, 99], // champion of its whole rollup chain
+                row!["Chevy", 1995, 50],
+                row!["Ford", 1994, 60],
+            ],
+        )
+        .unwrap();
+        let dims = vec![Dimension::column("model"), Dimension::column("year")];
+        let max = AggSpec::new(builtin("MAX").unwrap(), "units").with_name("m");
+        let mat = MaterializedCube::rollup(&t, dims, vec![max]).unwrap();
+        mat.delete(&row!["Chevy", 1994, 99]).unwrap();
+        // The champion sat in 3 rollup cells: (Chevy,1994), (Chevy,ALL),
+        // (ALL,ALL) — all three recomputed, nothing else.
+        assert_eq!(mat.stats().cells_recomputed, 3);
+        assert_eq!(
+            mat.cell(&[Value::str("Chevy"), Value::Int(1994)]),
+            Some(vec![Value::Int(10)])
+        );
+        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(60)]));
+    }
+
+    #[test]
+    fn mixed_aggregates_recompute_together() {
+        // One cell holds SUM and MAX; deleting the max forces the whole
+        // cell to rebuild, and the rebuilt SUM is still right.
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Str),
+            ("units", DataType::Int),
+        ]);
+        let t = Table::new(
+            schema,
+            vec![row!["a", 5], row!["a", 100], row!["a", 7]],
+        )
+        .unwrap();
+        let mat = MaterializedCube::cube(
+            &t,
+            vec![Dimension::column("k")],
+            vec![
+                AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s"),
+                AggSpec::new(builtin("MAX").unwrap(), "units").with_name("m"),
+            ],
+        )
+        .unwrap();
+        mat.delete(&row!["a", 100]).unwrap();
+        assert_eq!(
+            mat.cell(&[Value::str("a")]),
+            Some(vec![Value::Int(12), Value::Int(7)])
+        );
+    }
+
+    #[test]
+    fn reinserting_a_deleted_champion_restores_state() {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Str),
+            ("units", DataType::Int),
+        ]);
+        let t = Table::new(schema, vec![row!["a", 5], row!["a", 100]]).unwrap();
+        let mat = MaterializedCube::cube(
+            &t,
+            vec![Dimension::column("k")],
+            vec![AggSpec::new(builtin("MAX").unwrap(), "units").with_name("m")],
+        )
+        .unwrap();
+        let before = mat.to_table();
+        mat.delete(&row!["a", 100]).unwrap();
+        mat.insert(row!["a", 100]).unwrap();
+        assert_eq!(mat.to_table().rows(), before.rows());
+    }
+}

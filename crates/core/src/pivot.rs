@@ -1,0 +1,381 @@
+//! Cross-tab and pivot rendering (§2, Tables 4 and 6).
+//!
+//! "The cross-tab-array representation (Table 6.a, 6.b) is equivalent to
+//! the relational representation using the ALL value." This module is the
+//! report-writer side of that equivalence: it consumes a cube *relation*
+//! and lays it out as the compact cross tab of Table 6 or the two-level
+//! Excel-style pivot of Table 4 — demonstrating that the value-pivoted
+//! spreadsheet view is derivable from (and no richer than) the relation.
+
+use crate::error::{CubeError, CubeResult};
+use dc_relation::{ColumnDef, DataType, Row, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Label used for `ALL` rows/columns in rendered reports, matching the
+/// paper's "total (ALL)" in Table 6.
+pub const TOTAL_LABEL: &str = "total (ALL)";
+
+fn display_label(v: &Value) -> String {
+    if v.is_all() {
+        TOTAL_LABEL.to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Indices of the grouping (`ALL ALLOWED`) columns of a cube relation.
+fn grouping_columns(table: &Table) -> Vec<usize> {
+    table
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.all_allowed)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The 2D (or k-D) slab a report lays out: rows of the cube where every
+/// grouping column *not* in `kept` is fixed. A non-kept column that is
+/// already constant in the input (e.g. the cube was pre-sliced to
+/// `model = Chevy`) is left alone; otherwise its `ALL` rows are selected.
+fn slab(table: &Table, kept: &[usize]) -> Table {
+    let fix: Vec<usize> = grouping_columns(table)
+        .into_iter()
+        .filter(|g| !kept.contains(g))
+        .filter(|&g| {
+            let mut values = table.rows().iter().map(|r| &r[g]);
+            let first = values.next();
+            first.is_some_and(|f| values.any(|v| v != f))
+        })
+        .collect();
+    table.filter(|r| fix.iter().all(|&g| r[g] == Value::All))
+}
+
+/// Render the Table 6 cross tab: rows = `row_dim` values (+ total),
+/// columns = `col_dim` values (+ total), cells = `measure`.
+///
+/// The input must be a cube relation containing both dimensions (other
+/// grouping columns are automatically fixed at `ALL`). Missing cells —
+/// combinations with no base data — render as `NULL`.
+pub fn cross_tab(
+    cube: &Table,
+    row_dim: &str,
+    col_dim: &str,
+    measure: &str,
+) -> CubeResult<Table> {
+    let r = cube.schema().index_of(row_dim)?;
+    let c = cube.schema().index_of(col_dim)?;
+    let m = cube.schema().index_of(measure)?;
+    if !cube.schema().column_at(r).all_allowed || !cube.schema().column_at(c).all_allowed {
+        return Err(CubeError::BadSpec(
+            "cross_tab dimensions must be grouping columns of a cube relation".into(),
+        ));
+    }
+
+    let slab = slab(cube, &[r, c]);
+    let mut col_headers: Vec<Value> = slab.domain(&cube.schema().column_at(c).name)?;
+    col_headers.push(Value::All);
+    let mut row_headers: Vec<Value> = slab.domain(&cube.schema().column_at(r).name)?;
+    row_headers.push(Value::All);
+
+    let mut cells: HashMap<(Value, Value), Value> = HashMap::with_capacity(slab.len());
+    for row in slab.rows() {
+        cells.insert((row[r].clone(), row[c].clone()), row[m].clone());
+    }
+
+    let measure_ty = cube.schema().column_at(m).dtype;
+    let mut cols = vec![ColumnDef::new(row_dim, DataType::Str)];
+    for h in &col_headers {
+        cols.push(ColumnDef::new(display_label(h), measure_ty));
+    }
+    let schema = Schema::new(cols)?;
+
+    let mut out = Table::empty(schema);
+    for rh in &row_headers {
+        let mut vals = vec![Value::str(display_label(rh))];
+        for ch in &col_headers {
+            vals.push(cells.get(&(rh.clone(), ch.clone())).cloned().unwrap_or(Value::Null));
+        }
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+/// Render the Table 4 Excel-style pivot: rows = `row_dim`; columns are the
+/// cross product of `outer_dim` × `inner_dim` values, followed by a
+/// per-outer-value total column, and a final grand-total column.
+///
+/// This is the representation the paper *rejects* as a result format ("We
+/// cringe at the prospect of so many columns and such obtuse column
+/// names") — reproduced here to show both that the cube relation carries
+/// enough information to build it, and why the column count explodes:
+/// pivot "creates columns based on subsets of column values".
+pub fn pivot_table(
+    cube: &Table,
+    row_dim: &str,
+    outer_dim: &str,
+    inner_dim: &str,
+    measure: &str,
+) -> CubeResult<Table> {
+    let r = cube.schema().index_of(row_dim)?;
+    let o = cube.schema().index_of(outer_dim)?;
+    let i = cube.schema().index_of(inner_dim)?;
+    let m = cube.schema().index_of(measure)?;
+    for (idx, what) in [(r, row_dim), (o, outer_dim), (i, inner_dim)] {
+        if !cube.schema().column_at(idx).all_allowed {
+            return Err(CubeError::BadSpec(format!(
+                "pivot dimension '{what}' must be a grouping column"
+            )));
+        }
+    }
+
+    let slab = slab(cube, &[r, o, i]);
+    let outer_vals = slab.domain(&cube.schema().column_at(o).name)?;
+    let inner_vals = slab.domain(&cube.schema().column_at(i).name)?;
+    let mut row_headers = slab.domain(&cube.schema().column_at(r).name)?;
+    row_headers.push(Value::All);
+
+    let mut cells: HashMap<(Value, Value, Value), Value> = HashMap::with_capacity(slab.len());
+    for row in slab.rows() {
+        cells.insert(
+            (row[r].clone(), row[o].clone(), row[i].clone()),
+            row[m].clone(),
+        );
+    }
+
+    let measure_ty = cube.schema().column_at(m).dtype;
+    // The obtuse column names the paper warns about: "1994 black",
+    // "1994 Total", ..., "Grand Total".
+    let mut cols = vec![ColumnDef::new(row_dim, DataType::Str)];
+    for ov in &outer_vals {
+        for iv in &inner_vals {
+            cols.push(ColumnDef::new(format!("{ov} {iv}"), measure_ty));
+        }
+        cols.push(ColumnDef::new(format!("{ov} Total"), measure_ty));
+    }
+    cols.push(ColumnDef::new("Grand Total", measure_ty));
+    let schema = Schema::new(cols)?;
+
+    let mut out = Table::empty(schema);
+    for rh in &row_headers {
+        let mut vals = vec![Value::str(if rh.is_all() {
+            "Grand Total".to_string()
+        } else {
+            rh.to_string()
+        })];
+        for ov in &outer_vals {
+            for iv in &inner_vals {
+                vals.push(
+                    cells
+                        .get(&(rh.clone(), ov.clone(), iv.clone()))
+                        .cloned()
+                        .unwrap_or(Value::Null),
+                );
+            }
+            vals.push(
+                cells
+                    .get(&(rh.clone(), ov.clone(), Value::All))
+                    .cloned()
+                    .unwrap_or(Value::Null),
+            );
+        }
+        vals.push(
+            cells
+                .get(&(rh.clone(), Value::All, Value::All))
+                .cloned()
+                .unwrap_or(Value::Null),
+        );
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AggSpec, Dimension};
+    use crate::CubeQuery;
+    use dc_aggregate::builtin;
+    use dc_relation::row;
+
+    /// Table 4/5/6's sales data: Chevy & Ford, 1994/1995, black/white.
+    fn sales_cube() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("color", DataType::Str),
+            ("units", DataType::Int),
+        ]);
+        let mut t = Table::empty(schema);
+        for (m, y, c, u) in [
+            ("Chevy", 1994, "black", 50),
+            ("Chevy", 1994, "white", 40),
+            ("Chevy", 1995, "black", 85),
+            ("Chevy", 1995, "white", 115),
+            ("Ford", 1994, "black", 50),
+            ("Ford", 1994, "white", 10),
+            ("Ford", 1995, "black", 85),
+            ("Ford", 1995, "white", 75),
+        ] {
+            t.push(row![m, y, c, u]).unwrap();
+        }
+        CubeQuery::new()
+            .dimensions(vec![
+                Dimension::column("model"),
+                Dimension::column("year"),
+                Dimension::column("color"),
+            ])
+            .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"))
+            .cube(&t)
+            .unwrap()
+    }
+
+    #[test]
+    fn table_6a_chevy_cross_tab() {
+        // Slice the cube to Chevy, then cross-tab color × year.
+        let cube = sales_cube();
+        let chevy = cube.filter(|r| r[0] == Value::str("Chevy"));
+        let xt = cross_tab(&chevy, "color", "year", "units").unwrap();
+        assert_eq!(
+            xt.schema().names(),
+            vec!["color", "1994", "1995", TOTAL_LABEL]
+        );
+        // Table 6.a: black 50 85 135 / white 40 115 155 / total 90 200 290.
+        assert_eq!(xt.rows()[0], row!["black", 50, 85, 135]);
+        assert_eq!(xt.rows()[1], row!["white", 40, 115, 155]);
+        assert_eq!(xt.rows()[2], row![TOTAL_LABEL, 90, 200, 290]);
+    }
+
+    #[test]
+    fn table_6b_ford_cross_tab() {
+        let cube = sales_cube();
+        let ford = cube.filter(|r| r[0] == Value::str("Ford"));
+        let xt = cross_tab(&ford, "color", "year", "units").unwrap();
+        assert_eq!(xt.rows()[0], row!["black", 50, 85, 135]);
+        assert_eq!(xt.rows()[1], row!["white", 10, 75, 85]);
+        assert_eq!(xt.rows()[2], row![TOTAL_LABEL, 60, 160, 220]);
+    }
+
+    #[test]
+    fn table_4_pivot() {
+        let cube = sales_cube();
+        let pv = pivot_table(&cube, "model", "year", "color", "units").unwrap();
+        assert_eq!(
+            pv.schema().names(),
+            vec![
+                "model",
+                "1994 black",
+                "1994 white",
+                "1994 Total",
+                "1995 black",
+                "1995 white",
+                "1995 Total",
+                "Grand Total"
+            ]
+        );
+        // Table 4's rows exactly.
+        assert_eq!(pv.rows()[0], row!["Chevy", 50, 40, 90, 85, 115, 200, 290]);
+        assert_eq!(pv.rows()[1], row!["Ford", 50, 10, 60, 85, 75, 160, 220]);
+        assert_eq!(
+            pv.rows()[2],
+            row!["Grand Total", 100, 50, 150, 170, 190, 360, 510]
+        );
+    }
+
+    #[test]
+    fn missing_cells_are_null() {
+        // A sparse cube: no Ford 1995 data at all.
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+        ]);
+        let t = Table::new(
+            schema,
+            vec![row!["Chevy", 1994, 1], row!["Chevy", 1995, 2], row!["Ford", 1994, 3]],
+        )
+        .unwrap();
+        let cube = CubeQuery::new()
+            .dimensions(vec![Dimension::column("model"), Dimension::column("year")])
+            .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"))
+            .cube(&t)
+            .unwrap();
+        let xt = cross_tab(&cube, "model", "year", "units").unwrap();
+        let ford = &xt.rows()[1];
+        assert_eq!(ford[0], Value::str("Ford"));
+        assert_eq!(ford[2], Value::Null); // Ford 1995: never observed
+        assert_eq!(ford[3], Value::Int(3));
+    }
+
+    #[test]
+    fn rejects_non_grouping_dimensions() {
+        let cube = sales_cube();
+        assert!(cross_tab(&cube, "units", "year", "units").is_err());
+        assert!(pivot_table(&cube, "model", "units", "color", "units").is_err());
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::spec::{AggSpec, Dimension};
+    use crate::CubeQuery;
+    use dc_aggregate::builtin;
+    use dc_relation::row;
+
+    #[test]
+    fn cross_tab_single_value_dimensions() {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Str),
+            ("b", DataType::Str),
+            ("x", DataType::Int),
+        ]);
+        let t = Table::new(schema, vec![row!["only", "one", 7]]).unwrap();
+        let cube = CubeQuery::new()
+            .dimensions(vec![Dimension::column("a"), Dimension::column("b")])
+            .aggregate(AggSpec::new(builtin("SUM").unwrap(), "x").with_name("x"))
+            .cube(&t)
+            .unwrap();
+        let xt = cross_tab(&cube, "a", "b", "x").unwrap();
+        // 1 value row + total row; 1 value column + total column.
+        assert_eq!(xt.len(), 2);
+        assert_eq!(xt.schema().len(), 3);
+        assert_eq!(xt.rows()[0], row!["only", 7, 7]);
+        assert_eq!(xt.rows()[1], row![TOTAL_LABEL, 7, 7]);
+    }
+
+    #[test]
+    fn cross_tab_on_empty_cube() {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Str),
+            ("b", DataType::Str),
+            ("x", DataType::Int),
+        ]);
+        let t = Table::empty(schema);
+        let cube = CubeQuery::new()
+            .dimensions(vec![Dimension::column("a"), Dimension::column("b")])
+            .aggregate(AggSpec::new(builtin("SUM").unwrap(), "x").with_name("x"))
+            .cube(&t)
+            .unwrap();
+        let xt = cross_tab(&cube, "a", "b", "x").unwrap();
+        // Only the (empty) total row/column skeleton.
+        assert_eq!(xt.len(), 1);
+        assert_eq!(xt.schema().len(), 2);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let cube = {
+            let schema = Schema::from_pairs(&[("a", DataType::Str), ("x", DataType::Int)]);
+            let t = Table::new(schema, vec![row!["v", 1]]).unwrap();
+            CubeQuery::new()
+                .dimensions(vec![Dimension::column("a")])
+                .aggregate(AggSpec::new(builtin("SUM").unwrap(), "x").with_name("x"))
+                .cube(&t)
+                .unwrap()
+        };
+        assert!(cross_tab(&cube, "nope", "a", "x").is_err());
+        assert!(cross_tab(&cube, "a", "a", "nope").is_err());
+    }
+}

@@ -1,0 +1,500 @@
+//! Partial cube materialization (§6's pointer to Harinarayan, Rajaraman
+//! and Ullman, "Implementing Data Cubes Efficiently", SIGMOD 1996).
+//!
+//! "Harinarayn, Rajaraman, and Ullman have interesting ideas on
+//! pre-computing a sub-cube of the cube." The full cube has 2^N grouping
+//! sets; materializing all of them may be too expensive, but any set can
+//! be *answered* from any materialized superset (for distributive and
+//! algebraic functions — the same property the from-core cascade uses).
+//! HRU's greedy algorithm picks the k views whose materialization most
+//! reduces the total cost of answering every set, and is provably within
+//! (1 − 1/e) of optimal.
+//!
+//! [`greedy_select`] implements the algorithm over estimated view sizes;
+//! [`PartialCube`] materializes a selection and answers arbitrary
+//! grouping-set queries from the cheapest materialized ancestor.
+
+use crate::error::{CubeError, CubeResult};
+use crate::groupby::ExecStats;
+use crate::lattice::{cube_sets, GroupingSet};
+use crate::spec::{AggSpec, Dimension};
+use crate::CubeQuery;
+use dc_relation::{Row, Table, Value};
+use std::collections::HashMap;
+
+/// Estimated row count of each grouping set, the quantity HRU's benefit
+/// function works with.
+#[derive(Debug, Clone)]
+pub struct SizeModel {
+    sizes: HashMap<GroupingSet, u64>,
+}
+
+impl SizeModel {
+    /// The standard independence estimate: |set| ≈ min(Π C_i, T) — the
+    /// product of member cardinalities capped by the base row count.
+    pub fn independent(cardinalities: &[usize], base_rows: u64) -> CubeResult<Self> {
+        let n = cardinalities.len();
+        let mut sizes = HashMap::new();
+        for set in cube_sets(n)? {
+            let product: u64 = set
+                .dims()
+                .iter()
+                .map(|&d| cardinalities[d].max(1) as u64)
+                .product();
+            sizes.insert(set, product.min(base_rows).max(1));
+        }
+        Ok(SizeModel { sizes })
+    }
+
+    /// Exact sizes measured from a computed cube relation (useful in
+    /// tests and when the cube is cheap enough to census).
+    pub fn measured(cube: &Table, n_dims: usize) -> CubeResult<Self> {
+        let mut sizes: HashMap<GroupingSet, u64> = HashMap::new();
+        for row in cube.rows() {
+            let mut mask = GroupingSet::EMPTY;
+            for d in 0..n_dims {
+                if !row[d].is_all() {
+                    mask = mask.with(d);
+                }
+            }
+            *sizes.entry(mask).or_insert(0) += 1;
+        }
+        for set in cube_sets(n_dims)? {
+            sizes.entry(set).or_insert(1);
+        }
+        Ok(SizeModel { sizes })
+    }
+
+    pub fn size(&self, set: GroupingSet) -> u64 {
+        self.sizes.get(&set).copied().unwrap_or(1)
+    }
+}
+
+/// Cost of answering every grouping set given `materialized` views: each
+/// set reads the smallest materialized superset (HRU's linear cost
+/// model). The core must be in `materialized`.
+pub fn total_cost(
+    sets: &[GroupingSet],
+    materialized: &[GroupingSet],
+    model: &SizeModel,
+) -> u64 {
+    sets.iter()
+        .map(|&s| {
+            materialized
+                .iter()
+                .filter(|m| s.subset_of(**m))
+                .map(|&m| model.size(m))
+                .min()
+                .unwrap_or(u64::MAX)
+        })
+        .sum()
+}
+
+/// One greedy pick: the view (with its benefit) that most reduces total
+/// cost, per HRU's benefit function.
+fn best_candidate(
+    sets: &[GroupingSet],
+    materialized: &[GroupingSet],
+    model: &SizeModel,
+) -> Option<(GroupingSet, u64)> {
+    let mut best: Option<(GroupingSet, u64)> = None;
+    for &v in sets {
+        if materialized.contains(&v) {
+            continue;
+        }
+        // Benefit of v: for every set w ⊆ v, the saving over its current
+        // cheapest ancestor.
+        let v_size = model.size(v);
+        let mut benefit = 0u64;
+        for &w in sets {
+            if !w.subset_of(v) {
+                continue;
+            }
+            let current = materialized
+                .iter()
+                .filter(|m| w.subset_of(**m))
+                .map(|&m| model.size(m))
+                .min()
+                .unwrap_or(u64::MAX);
+            benefit += current.saturating_sub(v_size);
+        }
+        match best {
+            Some((_, b)) if b >= benefit => {}
+            _ => best = Some((v, benefit)),
+        }
+    }
+    best
+}
+
+/// HRU's greedy algorithm: starting from the core (always materialized),
+/// pick `k` further views maximizing marginal benefit. Returns the
+/// selection (core first, then picks in order) and the final total cost.
+pub fn greedy_select(
+    n_dims: usize,
+    k: usize,
+    model: &SizeModel,
+) -> CubeResult<(Vec<GroupingSet>, u64)> {
+    let sets = cube_sets(n_dims)?;
+    let core = GroupingSet::full(n_dims);
+    let mut materialized = vec![core];
+    for _ in 0..k.min(sets.len().saturating_sub(1)) {
+        let Some((pick, benefit)) = best_candidate(&sets, &materialized, model) else {
+            break;
+        };
+        if benefit == 0 {
+            break; // nothing left to gain
+        }
+        materialized.push(pick);
+    }
+    let cost = total_cost(&sets, &materialized, model);
+    Ok((materialized, cost))
+}
+
+/// A cube materialized only at the selected grouping sets; any other set
+/// is answered on demand by aggregating the cheapest materialized
+/// ancestor (sound for distributive and algebraic aggregates — the same
+/// Iter_super property the cascade relies on).
+pub struct PartialCube {
+    dims: Vec<Dimension>,
+    aggs: Vec<AggSpec>,
+    n_dims: usize,
+    model: SizeModel,
+    /// Materialized views: set → its relation (dims + agg columns).
+    views: HashMap<GroupingSet, Table>,
+    stats: ExecStats,
+}
+
+impl PartialCube {
+    /// Materialize `selection` (must include the core) over `table`.
+    pub fn materialize(
+        table: &Table,
+        dims: Vec<Dimension>,
+        aggs: Vec<AggSpec>,
+        selection: &[GroupingSet],
+    ) -> CubeResult<Self> {
+        let n_dims = dims.len();
+        let core = GroupingSet::full(n_dims);
+        if !selection.contains(&core) {
+            return Err(CubeError::BadSpec(
+                "a partial cube must materialize the core grouping set".into(),
+            ));
+        }
+        let query = CubeQuery::new().dimensions(dims.clone());
+        let query = aggs.iter().fold(query, |q, a| q.aggregate(a.clone()));
+        let sets: Vec<Vec<usize>> = selection.iter().map(|s| s.dims()).collect();
+        let all = query.grouping_sets(table, &sets)?;
+
+        // Split the one relation into per-set views.
+        let mut views: HashMap<GroupingSet, Table> =
+            selection.iter().map(|&s| (s, Table::empty(all.schema().clone()))).collect();
+        for row in all.rows() {
+            let mut mask = GroupingSet::EMPTY;
+            for d in 0..n_dims {
+                if !row[d].is_all() {
+                    mask = mask.with(d);
+                }
+            }
+            views
+                .get_mut(&mask)
+                .expect("row belongs to a selected set")
+                .push_unchecked(row.clone());
+        }
+        let model = SizeModel::measured(&all, n_dims)?;
+        Ok(PartialCube { dims, aggs, n_dims, model, views, stats: ExecStats::default() })
+    }
+
+    /// Answer one grouping set: directly if materialized, otherwise by
+    /// re-aggregating the smallest materialized superset.
+    pub fn query(&mut self, set: GroupingSet) -> CubeResult<Table> {
+        if let Some(v) = self.views.get(&set) {
+            return Ok(v.clone());
+        }
+        let ancestor = self
+            .views
+            .keys()
+            .copied()
+            .filter(|m| set.subset_of(*m))
+            .min_by_key(|&m| self.model.size(m))
+            .ok_or_else(|| {
+                CubeError::BadSpec(format!("no materialized ancestor covers {set}"))
+            })?;
+        let source = &self.views[&ancestor];
+        self.stats.rows_scanned += source.len() as u64;
+
+        // Re-aggregate the ancestor: group by the surviving dimensions,
+        // folding each aggregate column with its own function's merge...
+        // but the view stores *final* values, so this only works for
+        // functions whose final value is a valid input (distributive). To
+        // stay correct for algebraic functions too, recompute through the
+        // operator over the ancestor's rows reinterpreted as base data is
+        // NOT sound for AVG — so we restrict to distributive aggregates
+        // here and document it.
+        for a in &self.aggs {
+            if !a.func.kind().bounded_state()
+                || a.func.kind() == dc_aggregate::AggKind::Algebraic
+            {
+                return Err(CubeError::Unsupported(format!(
+                    "answering unmaterialized sets from final values requires \
+                     distributive aggregates; {} is {:?} (materialize it, or \
+                     store scratchpads)",
+                    a.func.name(),
+                    a.func.kind()
+                )));
+            }
+        }
+        let dim_names: Vec<String> =
+            self.dims.iter().map(|d| d.name.to_string()).collect();
+        let surviving: Vec<Dimension> = set
+            .dims()
+            .iter()
+            .map(|&d| Dimension::column(&dim_names[d]))
+            .collect();
+        let reagg_specs: Vec<AggSpec> = self
+            .aggs
+            .iter()
+            .map(|a| {
+                // G = F for SUM/MIN/MAX; G = SUM for COUNT (§5).
+                let func = if a.func.name() == "COUNT" || a.func.name() == "COUNT(*)" {
+                    dc_aggregate::builtin("SUM").expect("SUM is built in")
+                } else {
+                    a.func.clone()
+                };
+                AggSpec::new(func, &*a.output).with_name(&*a.output)
+            })
+            .collect();
+        let q = CubeQuery::new().dimensions(surviving);
+        let q = reagg_specs.into_iter().fold(q, |q, s| q.aggregate(s));
+        let grouped = q.group_by(source)?;
+
+        // Re-expand to the full dimension arity with ALL in dropped slots.
+        let mut out = Table::empty(self.views[&ancestor].schema().clone());
+        for row in grouped.rows() {
+            let mut vals = Vec::with_capacity(self.n_dims + self.aggs.len());
+            let mut it = row.values().iter();
+            for d in 0..self.n_dims {
+                if set.contains(d) {
+                    vals.push(it.next().expect("surviving dim present").clone());
+                } else {
+                    vals.push(Value::All);
+                }
+            }
+            vals.extend(it.cloned());
+            out.push_unchecked(Row::new(vals));
+        }
+        Ok(out)
+    }
+
+    /// Rows read answering on-demand queries so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// The materialized sets.
+    pub fn materialized(&self) -> Vec<GroupingSet> {
+        let mut v: Vec<GroupingSet> = self.views.keys().copied().collect();
+        v.sort_by(|a, b| b.len().cmp(&a.len()).then(a.bits().cmp(&b.bits())));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_aggregate::builtin;
+    use dc_relation::{row, DataType, Schema};
+
+    fn sum_units() -> AggSpec {
+        AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units")
+    }
+
+    fn base() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("color", DataType::Str),
+            ("units", DataType::Int),
+        ]);
+        let mut t = Table::empty(schema);
+        for (m, y, c, u) in [
+            ("Chevy", 1994, "black", 50),
+            ("Chevy", 1994, "white", 40),
+            ("Chevy", 1995, "black", 85),
+            ("Ford", 1994, "black", 50),
+            ("Ford", 1995, "white", 75),
+        ] {
+            t.push(row![m, y, c, u]).unwrap();
+        }
+        t
+    }
+
+    fn dims() -> Vec<Dimension> {
+        vec![
+            Dimension::column("model"),
+            Dimension::column("year"),
+            Dimension::column("color"),
+        ]
+    }
+
+    #[test]
+    fn independence_model_caps_at_base_rows() {
+        let m = SizeModel::independent(&[100, 100, 100], 5_000).unwrap();
+        assert_eq!(m.size(GroupingSet::full(3)), 5_000); // 10^6 capped
+        assert_eq!(m.size(GroupingSet::from_dims(&[0]).unwrap()), 100);
+        assert_eq!(m.size(GroupingSet::EMPTY), 1);
+    }
+
+    #[test]
+    fn greedy_prefers_high_benefit_views() {
+        // 3 dims with very different cardinalities: materializing the
+        // small {2}-ancestors saves the most.
+        let model = SizeModel::independent(&[1_000, 1_000, 2], 1_000_000).unwrap();
+        let (selection, _) = greedy_select(3, 1, &model).unwrap();
+        assert_eq!(selection.len(), 2);
+        let pick = selection[1];
+        // The pick must be a 2-dim view (answers four sets), and the
+        // cheapest such view includes the tiny dimension: {0,2} or {1,2}.
+        assert_eq!(pick.len(), 2);
+        assert!(pick.contains(2), "greedy should pick a view shrunk by the C=2 dim");
+    }
+
+    #[test]
+    fn greedy_cost_is_monotone_in_k() {
+        let model = SizeModel::independent(&[50, 20, 10, 5], 100_000).unwrap();
+        let mut last = u64::MAX;
+        for k in 0..=15 {
+            let (_, cost) = greedy_select(4, k, &model).unwrap();
+            assert!(cost <= last, "cost must not increase with k (k={k})");
+            last = cost;
+        }
+        // Materializing everything: every set answered at its own size.
+        let sets = cube_sets(4).unwrap();
+        let all_cost = total_cost(&sets, &sets, &model);
+        let (_, max_k_cost) = greedy_select(4, 15, &model).unwrap();
+        assert_eq!(max_k_cost, all_cost);
+    }
+
+    #[test]
+    fn greedy_is_competitive_with_exhaustive_optimum() {
+        // HRU prove greedy is within (1 − 1/e) ≈ 0.63 of the optimal
+        // *benefit*. For a 3D lattice we can brute-force the optimum and
+        // check the guarantee holds on assorted size models.
+        let sets = cube_sets(3).unwrap();
+        let core = GroupingSet::full(3);
+        for cards in [[2usize, 3, 4], [100, 2, 50], [7, 7, 7], [1000, 1, 10]] {
+            let model = SizeModel::independent(&cards, 1_000_000).unwrap();
+            let base_cost = total_cost(&sets, &[core], &model);
+            for k in 1..=3usize {
+                let (_, greedy_cost) = greedy_select(3, k, &model).unwrap();
+                // Exhaustive optimum over all k-subsets of non-core views.
+                let candidates: Vec<GroupingSet> =
+                    sets.iter().copied().filter(|s| *s != core).collect();
+                let mut best = u64::MAX;
+                let mut pick = vec![0usize; k];
+                // Simple k-combination enumeration.
+                fn combos(
+                    cands: &[GroupingSet],
+                    k: usize,
+                    start: usize,
+                    current: &mut Vec<GroupingSet>,
+                    all: &mut Vec<Vec<GroupingSet>>,
+                ) {
+                    if current.len() == k {
+                        all.push(current.clone());
+                        return;
+                    }
+                    for i in start..cands.len() {
+                        current.push(cands[i]);
+                        combos(cands, k, i + 1, current, all);
+                        current.pop();
+                    }
+                }
+                let mut all = Vec::new();
+                combos(&candidates, k, 0, &mut Vec::new(), &mut all);
+                for combo in all {
+                    let mut mat = vec![core];
+                    mat.extend(combo);
+                    best = best.min(total_cost(&sets, &mat, &model));
+                }
+                let _ = &mut pick;
+                let greedy_benefit = base_cost - greedy_cost;
+                let optimal_benefit = base_cost - best;
+                assert!(
+                    greedy_benefit as f64 >= 0.63 * optimal_benefit as f64,
+                    "cards {cards:?}, k={k}: greedy benefit {greedy_benefit} \
+                     < 63% of optimal {optimal_benefit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_cube_answers_match_full_cube() {
+        let t = base();
+        let full = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .cube(&t)
+            .unwrap();
+        // Materialize only the core and {model}.
+        let selection =
+            vec![GroupingSet::full(3), GroupingSet::from_dims(&[0]).unwrap()];
+        let mut pc =
+            PartialCube::materialize(&t, dims(), vec![sum_units()], &selection).unwrap();
+
+        for set in cube_sets(3).unwrap() {
+            let mut got = pc.query(set).unwrap();
+            got.sort_by_indices(&[0, 1, 2]);
+            let want = full.filter(|r| {
+                (0..3).all(|d| (r[d] != Value::All) == set.contains(d))
+            });
+            assert_eq!(got.rows(), want.rows(), "grouping set {set}");
+        }
+        assert!(pc.stats().rows_scanned > 0, "on-demand sets re-scan ancestors");
+    }
+
+    #[test]
+    fn materialized_sets_answer_without_scanning() {
+        let t = base();
+        let selection = vec![GroupingSet::full(3)];
+        let mut pc =
+            PartialCube::materialize(&t, dims(), vec![sum_units()], &selection).unwrap();
+        pc.query(GroupingSet::full(3)).unwrap();
+        assert_eq!(pc.stats().rows_scanned, 0);
+    }
+
+    #[test]
+    fn count_reaggregates_as_sum() {
+        // §5: "G = SUM() for the COUNT() function."
+        let t = base();
+        let count = AggSpec::new(builtin("COUNT").unwrap(), "units").with_name("n");
+        let selection = vec![GroupingSet::full(3)];
+        let mut pc =
+            PartialCube::materialize(&t, dims(), vec![count.clone()], &selection).unwrap();
+        let grand = pc.query(GroupingSet::EMPTY).unwrap();
+        assert_eq!(grand.rows()[0][3], Value::Int(5));
+    }
+
+    #[test]
+    fn algebraic_on_demand_is_rejected() {
+        let t = base();
+        let avg = AggSpec::new(builtin("AVG").unwrap(), "units").with_name("avg");
+        let selection = vec![GroupingSet::full(3)];
+        let mut pc =
+            PartialCube::materialize(&t, dims(), vec![avg], &selection).unwrap();
+        // AVG of AVGs is wrong; the module must refuse rather than lie.
+        let err = pc.query(GroupingSet::EMPTY);
+        assert!(matches!(err, Err(CubeError::Unsupported(_))));
+    }
+
+    #[test]
+    fn requires_the_core() {
+        let t = base();
+        let err = PartialCube::materialize(
+            &t,
+            dims(),
+            vec![sum_units()],
+            &[GroupingSet::EMPTY],
+        );
+        assert!(matches!(err, Err(CubeError::BadSpec(_))));
+    }
+}

@@ -1,0 +1,275 @@
+//! CSV import/export for tables.
+//!
+//! Minimal RFC-4180-style reader/writer so examples and experiments can
+//! exchange data with the outside world (and cube relations can be
+//! eyeballed in a spreadsheet — fitting, given the paper's pivot-table
+//! lineage). Values are parsed against a declared [`Schema`]; the `ALL`
+//! token round-trips through the literal string `ALL` in `ALL ALLOWED`
+//! columns, and empty fields are `NULL`.
+
+use crate::date::Date;
+use crate::error::{RelError, RelResult};
+use crate::row::Row;
+use crate::schema::{DataType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Render a table as CSV with a header row.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> =
+        table.schema().names().iter().map(|n| escape(n)).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => escape(&other.to_string()),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parse CSV text (with a header row) into a table under `schema`.
+/// Header names must match the schema in order; fields are parsed by the
+/// column's declared type.
+pub fn from_csv(text: &str, schema: Schema) -> RelResult<Table> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(RelError::Invalid("CSV input has no header row".into()));
+    }
+    let header = records.remove(0);
+    let expected = schema.names();
+    if header.len() != expected.len()
+        || header.iter().zip(expected.iter()).any(|(h, e)| h != e)
+    {
+        return Err(RelError::SchemaMismatch(format!(
+            "CSV header {header:?} does not match schema {expected:?}"
+        )));
+    }
+    let mut table = Table::empty(schema);
+    for (line_no, record) in records.into_iter().enumerate() {
+        if record.len() != table.schema().len() {
+            return Err(RelError::ArityMismatch {
+                expected: table.schema().len(),
+                got: record.len(),
+            });
+        }
+        let mut values = Vec::with_capacity(record.len());
+        for (field, col) in record.into_iter().zip(table.schema().columns().to_vec()) {
+            values.push(parse_field(&field, col.dtype, col.all_allowed).map_err(|e| {
+                RelError::Invalid(format!("row {}: column '{}': {e}", line_no + 1, col.name))
+            })?);
+        }
+        table.push(Row::new(values))?;
+    }
+    Ok(table)
+}
+
+fn parse_field(field: &str, dtype: DataType, all_allowed: bool) -> Result<Value, String> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    if all_allowed && field == "ALL" {
+        return Ok(Value::All);
+    }
+    match dtype {
+        DataType::Bool => match field.to_ascii_uppercase().as_str() {
+            "TRUE" | "T" | "1" => Ok(Value::Bool(true)),
+            "FALSE" | "F" | "0" => Ok(Value::Bool(false)),
+            _ => Err(format!("'{field}' is not a boolean")),
+        },
+        DataType::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("'{field}' is not an integer")),
+        DataType::Float => field
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("'{field}' is not a float")),
+        DataType::Str => Ok(Value::str(field)),
+        DataType::Date => parse_date(field).ok_or_else(|| format!("'{field}' is not a date")),
+    }
+}
+
+/// Dates as `YYYY-MM-DD` or `YYYY-MM-DD HH:MM` (the [`Date`] display
+/// forms).
+fn parse_date(s: &str) -> Option<Value> {
+    let (date_part, time_part) = match s.split_once(' ') {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut it = date_part.split('-');
+    let year: i32 = it.next()?.parse().ok()?;
+    let month: u8 = it.next()?.parse().ok()?;
+    let day: u8 = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    let (hour, minute) = match time_part {
+        None => (0, 0),
+        Some(t) => {
+            let (h, m) = t.split_once(':')?;
+            (h.parse().ok()?, m.parse().ok()?)
+        }
+    };
+    Date::new_at(year, month, day, hour, minute).map(Value::Date)
+}
+
+/// Split CSV text into records of unescaped fields.
+fn parse_records(text: &str) -> RelResult<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    field.push('"');
+                    chars.next();
+                }
+                '"' => in_quotes = false,
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                '"' => return Err(RelError::Invalid("stray quote in CSV field".into())),
+                ',' => record.push(std::mem::take(&mut field)),
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelError::Invalid("unterminated quoted CSV field".into()));
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::ColumnDef;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn round_trip_plain() {
+        let t = Table::new(
+            schema(),
+            vec![row!["Chevy", 1994, 90], row!["Ford", 1995, 160]],
+        )
+        .unwrap();
+        let csv = to_csv(&t);
+        let back = from_csv(&csv, schema()).unwrap();
+        assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn quoting_and_escaping() {
+        let t = Table::new(
+            schema(),
+            vec![row!["has,comma", 1, 1], row!["has \"quotes\"", 2, 2]],
+        )
+        .unwrap();
+        let csv = to_csv(&t);
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has \"\"quotes\"\"\""));
+        let back = from_csv(&csv, schema()).unwrap();
+        assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn null_and_all_round_trip() {
+        let cube_schema = Schema::new(vec![
+            ColumnDef::with_all("model", DataType::Str),
+            ColumnDef::new("units", DataType::Int),
+        ])
+        .unwrap();
+        let t = Table::new(
+            cube_schema.clone(),
+            vec![
+                row!["Chevy", 290],
+                Row::new(vec![Value::All, Value::Int(510)]),
+                Row::new(vec![Value::Null, Value::Int(7)]),
+            ],
+        )
+        .unwrap();
+        let csv = to_csv(&t);
+        let back = from_csv(&csv, cube_schema).unwrap();
+        assert_eq!(back.rows(), t.rows());
+        // But in an ALL NOT ALLOWED column, "ALL" is just a string.
+        let plain = from_csv("model,units\nALL,1\n", schema_model_units()).unwrap();
+        assert_eq!(plain.rows()[0][0], Value::str("ALL"));
+    }
+
+    fn schema_model_units() -> Schema {
+        Schema::from_pairs(&[("model", DataType::Str), ("units", DataType::Int)])
+    }
+
+    #[test]
+    fn dates_round_trip() {
+        let s = Schema::from_pairs(&[("t", DataType::Date)]);
+        let t = Table::new(
+            s.clone(),
+            vec![
+                Row::new(vec![Value::Date(Date::ymd(1995, 6, 1))]),
+                Row::new(vec![Value::Date(Date::new_at(1996, 2, 29, 15, 30).unwrap())]),
+            ],
+        )
+        .unwrap();
+        let back = from_csv(&to_csv(&t), s).unwrap();
+        assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(from_csv("", schema()).is_err());
+        assert!(from_csv("wrong,header,names\n", schema()).is_err());
+        assert!(from_csv("model,year,units\nChevy,notanumber,1\n", schema()).is_err());
+        assert!(from_csv("model,year,units\nChevy,1994\n", schema()).is_err());
+        assert!(from_csv("model,year,units\n\"unterminated,1,2\n", schema()).is_err());
+    }
+
+    #[test]
+    fn crlf_and_trailing_newline_tolerated() {
+        let t =
+            from_csv("model,year,units\r\nChevy,1994,90\r\n", schema()).unwrap();
+        assert_eq!(t.len(), 1);
+        let t2 = from_csv("model,year,units\nChevy,1994,90", schema()).unwrap();
+        assert_eq!(t2.len(), 1);
+    }
+}

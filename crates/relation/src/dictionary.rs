@@ -1,0 +1,121 @@
+//! Dictionary (hashed symbol table) encoding of dimension values.
+//!
+//! §5 of the paper, quoting Graefe's aggregation tips: "If the aggregation
+//! values are large strings, it may be wise to keep a hashed symbol table
+//! that maps each string to an integer so that the aggregate values are
+//! small. ... the values become dense and the aggregates can be stored as an
+//! N-dimensional array." [`SymbolTable`] is that structure; the dense-array
+//! cube algorithm in `datacube::algorithm::array` builds on it.
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Maps each distinct [`Value`] of one dimension to a dense code
+/// `0..cardinality`, in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    codes: HashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+impl SymbolTable {
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Code for `v`, assigning the next dense code on first sight.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&c) = self.codes.get(v) {
+            return c;
+        }
+        let c = u32::try_from(self.values.len()).expect("dimension cardinality exceeds u32");
+        self.codes.insert(v.clone(), c);
+        self.values.push(v.clone());
+        c
+    }
+
+    /// Code for `v` if already interned.
+    pub fn lookup(&self, v: &Value) -> Option<u32> {
+        self.codes.get(v).copied()
+    }
+
+    /// The value behind a code.
+    pub fn decode(&self, code: u32) -> Option<&Value> {
+        self.values.get(code as usize)
+    }
+
+    /// Number of distinct values seen — the dimension's cardinality `C_i`.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All interned values in code order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+/// Dictionary-encode several columns of rows at once: returns one
+/// [`SymbolTable`] per column and the coded rows. The coded form is what the
+/// dense-array cube indexes with.
+pub fn encode_columns(
+    rows: &[crate::Row],
+    indices: &[usize],
+) -> (Vec<SymbolTable>, Vec<Vec<u32>>) {
+    let mut tables: Vec<SymbolTable> = indices.iter().map(|_| SymbolTable::new()).collect();
+    let coded = rows
+        .iter()
+        .map(|row| {
+            indices
+                .iter()
+                .zip(tables.iter_mut())
+                .map(|(&i, t)| t.intern(&row[i]))
+                .collect()
+        })
+        .collect();
+    (tables, coded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn intern_is_dense_and_stable() {
+        let mut t = SymbolTable::new();
+        let a = t.intern(&Value::str("Chevy"));
+        let b = t.intern(&Value::str("Ford"));
+        let a2 = t.intern(&Value::str("Chevy"));
+        assert_eq!((a, b, a2), (0, 1, 0));
+        assert_eq!(t.cardinality(), 2);
+        assert_eq!(t.decode(1), Some(&Value::str("Ford")));
+        assert_eq!(t.lookup(&Value::str("Dodge")), None);
+    }
+
+    #[test]
+    fn interns_any_value_type() {
+        let mut t = SymbolTable::new();
+        t.intern(&Value::Int(1994));
+        t.intern(&Value::Int(1995));
+        t.intern(&Value::Null); // NULL is a groupable key
+        assert_eq!(t.cardinality(), 3);
+    }
+
+    #[test]
+    fn encode_columns_per_dimension() {
+        let rows = vec![
+            row!["Chevy", 1994, "black"],
+            row!["Chevy", 1995, "white"],
+            row!["Ford", 1994, "black"],
+        ];
+        let (tables, coded) = encode_columns(&rows, &[0, 2]);
+        assert_eq!(tables[0].cardinality(), 2); // Chevy, Ford
+        assert_eq!(tables[1].cardinality(), 2); // black, white
+        assert_eq!(coded, vec![vec![0, 0], vec![0, 1], vec![1, 0]]);
+    }
+}

@@ -1,0 +1,90 @@
+//! ASCII rendering of tables.
+//!
+//! The `paper_tables` harness uses this to regenerate the paper's
+//! illustrative tables (Tables 1, 3, 5, 6, 7) in a layout a reader can put
+//! side by side with the PDF.
+
+use crate::table::Table;
+
+/// Render a table with a header row, column rule, and right-aligned numeric
+/// columns.
+pub fn render_table(t: &Table) -> String {
+    let names = t.schema().names();
+    let ncols = names.len();
+    let mut widths: Vec<usize> = names.iter().map(|n| n.chars().count()).collect();
+    let cells: Vec<Vec<String>> = t
+        .rows()
+        .iter()
+        .map(|r| r.iter().map(ToString::to_string).collect())
+        .collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+    let numeric: Vec<bool> = t
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.dtype.is_numeric())
+        .collect();
+
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    let line = |out: &mut String, row: &[String]| {
+        out.push('|');
+        for i in 0..ncols {
+            let pad = widths[i] - row[i].chars().count();
+            if numeric[i] {
+                out.push_str(&format!(" {}{} |", " ".repeat(pad), row[i]));
+            } else {
+                out.push_str(&format!(" {}{} |", row[i], " ".repeat(pad)));
+            }
+        }
+        out.push('\n');
+    };
+
+    rule(&mut out);
+    line(&mut out, &names.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    rule(&mut out);
+    for row in &cells {
+        line(&mut out, row);
+    }
+    rule(&mut out);
+    out.push_str(&format!("{} row(s)\n", t.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{row, DataType, Schema, Table};
+
+    #[test]
+    fn renders_header_and_rows() {
+        let t = Table::new(
+            Schema::from_pairs(&[("model", DataType::Str), ("units", DataType::Int)]),
+            vec![row!["Chevy", 290], row!["Ford", 220]],
+        )
+        .unwrap();
+        let s = render_table(&t);
+        assert!(s.contains("| model | units |"));
+        assert!(s.contains("| Chevy |   290 |")); // numeric right-aligned
+        assert!(s.contains("2 row(s)"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::empty(Schema::from_pairs(&[("x", DataType::Int)]));
+        let s = render_table(&t);
+        assert!(s.contains("| x |"));
+        assert!(s.contains("0 row(s)"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational layer.
+///
+/// Higher layers (`dc-aggregate`, `datacube`, `dc-sql`) wrap this in their
+/// own error enums rather than panicking, so a malformed query or a type
+/// mismatch surfaces as a `Result` to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A column name was not found in a schema.
+    UnknownColumn(String),
+    /// A row's arity did not match the schema it was inserted under.
+    ArityMismatch { expected: usize, got: usize },
+    /// A value's type did not match the column or operation that received it.
+    TypeMismatch { expected: String, got: String },
+    /// Two schemas that had to be union-compatible were not.
+    SchemaMismatch(String),
+    /// A duplicate column name was used where names must be unique.
+    DuplicateColumn(String),
+    /// Anything else worth reporting with context.
+    Invalid(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            RelError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+            }
+            RelError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            RelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            RelError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            RelError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenience alias used across the substrate.
+pub type RelResult<T> = Result<T, RelError>;

@@ -1,0 +1,134 @@
+//! Property tests for the value domain and table operations: the laws the
+//! cube layer silently depends on.
+
+use dc_relation::{csv, ColumnDef, DataType, Row, Schema, Table, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        Just(Value::All),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Ord is a total order: antisymmetric, transitive, total.
+    #[test]
+    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        // Totality + antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+        // Transitivity.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Eq ⇒ equal hashes (the HashMap contract the group-by relies on).
+    #[test]
+    fn eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// ALL collates after every other value; NULL before.
+    #[test]
+    fn token_collation(v in arb_value()) {
+        if !v.is_all() {
+            prop_assert_eq!(Value::All.cmp(&v), Ordering::Greater);
+        }
+        if !v.is_null() {
+            prop_assert_eq!(Value::Null.cmp(&v), Ordering::Less);
+        }
+    }
+
+    /// sql_cmp is None exactly when a token is involved or types are
+    /// incomparable, and agrees with Ord otherwise.
+    #[test]
+    fn sql_cmp_consistent_with_ord(a in arb_value(), b in arb_value()) {
+        match a.sql_cmp(&b) {
+            Some(ord) => prop_assert_eq!(ord, a.cmp(&b)),
+            None => {
+                let token = a.is_null() || b.is_null() || a.is_all() || b.is_all();
+                let cross_type = a.dtype() != b.dtype()
+                    && !(a.dtype().is_some_and(|t| t.is_numeric())
+                        && b.dtype().is_some_and(|t| t.is_numeric()));
+                prop_assert!(token || cross_type, "None for comparable {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// Sorting a table then filtering preserves multiset semantics, and
+    /// distinct is idempotent.
+    #[test]
+    fn table_ops_preserve_rows(
+        rows in proptest::collection::vec((0i64..5, 0i64..5), 0..50)
+    ) {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let mut t = Table::empty(schema);
+        for (a, b) in &rows {
+            t.push_unchecked(Row::new(vec![Value::Int(*a), Value::Int(*b)]));
+        }
+        let sorted = t.sort_by_columns(&["a", "b"]).unwrap();
+        prop_assert_eq!(sorted.len(), t.len());
+        // Sorted output is actually sorted.
+        for w in sorted.rows().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let d = t.distinct();
+        let dd = d.distinct();
+        prop_assert_eq!(dd.rows(), d.rows());
+        prop_assert!(d.len() <= t.len());
+    }
+
+    /// CSV round-trips any table of ints/strings/tokens under a cube-ish
+    /// schema.
+    #[test]
+    fn csv_round_trip(
+        rows in proptest::collection::vec(
+            (prop_oneof![
+                Just(Value::All),
+                Just(Value::Null),
+                "[a-zA-Z0-9 ,\"']{0,8}".prop_map(Value::str),
+            ], -100i64..100),
+            0..30,
+        )
+    ) {
+        let schema = Schema::new(vec![
+            ColumnDef::with_all("dim", DataType::Str),
+            ColumnDef::new("measure", DataType::Int),
+        ]).unwrap();
+        let mut t = Table::empty(schema.clone());
+        for (dim, m) in rows {
+            // The literal string "ALL" in an ALL ALLOWED column cannot be
+            // distinguished from the token in CSV; skip that collision
+            // (documented limitation of the text format).
+            if dim.as_str() == Some("ALL") || dim.as_str() == Some("") {
+                continue;
+            }
+            t.push_unchecked(Row::new(vec![dim, Value::Int(m)]));
+        }
+        let text = csv::to_csv(&t);
+        let back = csv::from_csv(&text, schema).unwrap();
+        prop_assert_eq!(back.rows(), t.rows());
+    }
+}

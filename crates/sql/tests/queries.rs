@@ -1,0 +1,662 @@
+//! End-to-end SQL tests over the paper's running examples.
+
+use dc_relation::{row, DataType, Date, Row, Schema, Table, Value};
+use dc_sql::scalar::ScalarFn;
+use dc_sql::{Engine, SqlError};
+
+/// The Table 4/5/6 sales data: Chevy & Ford × 1994/1995 × black/white.
+fn sales() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("Model", DataType::Str),
+        ("Year", DataType::Int),
+        ("Color", DataType::Str),
+        ("Sales", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for (m, y, c, u) in [
+        ("Chevy", 1994, "black", 50),
+        ("Chevy", 1994, "white", 40),
+        ("Chevy", 1995, "black", 85),
+        ("Chevy", 1995, "white", 115),
+        ("Ford", 1994, "black", 50),
+        ("Ford", 1994, "white", 10),
+        ("Ford", 1995, "black", 85),
+        ("Ford", 1995, "white", 75),
+    ] {
+        t.push(row![m, y, c, u]).unwrap();
+    }
+    t
+}
+
+fn weather() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("Time", DataType::Date),
+        ("Latitude", DataType::Float),
+        ("Longitude", DataType::Float),
+        ("Altitude", DataType::Int),
+        ("Temp", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for (time, lat, lon, alt, temp) in [
+        (Date::new_at(1995, 1, 25, 15, 0).unwrap(), 37.97, -122.75, 102, 28),
+        (Date::new_at(1995, 1, 25, 18, 0).unwrap(), 19.43, -99.13, 2240, 41),
+        (Date::new_at(1995, 1, 26, 15, 0).unwrap(), 37.97, -122.75, 102, 37),
+        (Date::new_at(1995, 1, 26, 18, 0).unwrap(), 35.68, 139.69, 40, 48),
+    ] {
+        t.push(Row::new(vec![
+            Value::Date(time),
+            Value::Float(lat),
+            Value::Float(lon),
+            Value::Int(alt),
+            Value::Int(temp),
+        ]))
+        .unwrap();
+    }
+    t
+}
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.register_table("Sales", sales()).unwrap();
+    e.register_table("Weather", weather()).unwrap();
+    // The paper's Nation() function, §2.
+    e.register_scalar(ScalarFn::new("NATION", 2, DataType::Str, |args| {
+        match (args[0].as_f64(), args[1].as_f64()) {
+            (Some(lat), Some(lon)) if lat > 30.0 && lon < -100.0 => Value::str("USA"),
+            (Some(lat), Some(lon)) if lat < 30.0 && lon < -90.0 => Value::str("Mexico"),
+            (Some(_), Some(lon)) if lon > 100.0 => Value::str("Japan"),
+            _ => Value::Null,
+        }
+    }))
+    .unwrap();
+    e
+}
+
+fn col(t: &Table, name: &str) -> usize {
+    t.schema().index_of(name).unwrap()
+}
+
+#[test]
+fn simple_aggregate_without_group_by() {
+    let out = engine().execute("SELECT AVG(Temp) FROM Weather").unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows()[0][0], Value::Float(38.5));
+}
+
+#[test]
+fn count_distinct_reporting_times() {
+    // §1.1: "counts the distinct number of reporting times".
+    let out = engine()
+        .execute("SELECT COUNT(DISTINCT Time) FROM Weather")
+        .unwrap();
+    assert_eq!(out.rows()[0][0], Value::Int(4));
+}
+
+#[test]
+fn group_by_time_altitude() {
+    let out = engine()
+        .execute("SELECT Time, Altitude, AVG(Temp) FROM Weather GROUP BY Time, Altitude")
+        .unwrap();
+    assert_eq!(out.len(), 4);
+}
+
+#[test]
+fn histogram_group_by_computed_day_and_nation() {
+    // §2's histogram query: GROUP BY Day(Time), Nation(Latitude, Longitude).
+    let out = engine()
+        .execute(
+            "SELECT day, nation, MAX(Temp)
+             FROM Weather
+             GROUP BY Day(Time) AS day, Nation(Latitude, Longitude) AS nation",
+        )
+        .unwrap();
+    // (25th, USA), (25th, Mexico), (26th, USA), (26th, Japan).
+    assert_eq!(out.len(), 4);
+    let usa_25 = out
+        .rows()
+        .iter()
+        .find(|r| {
+            r[0] == Value::Date(Date::ymd(1995, 1, 25)) && r[1] == Value::str("USA")
+        })
+        .unwrap();
+    assert_eq!(usa_25[2], Value::Int(28));
+}
+
+#[test]
+fn full_cube_matches_figure_4_arithmetic() {
+    let out = engine()
+        .execute(
+            "SELECT Model, Year, Color, SUM(Sales) AS units
+             FROM Sales GROUP BY CUBE Model, Year, Color",
+        )
+        .unwrap();
+    // 2×2×2 core + supers: Π(C_i + 1) = 3 × 3 × 3 = 27 (dense core).
+    assert_eq!(out.len(), 27);
+    let grand = out
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::All && r[1] == Value::All && r[2] == Value::All)
+        .unwrap();
+    assert_eq!(grand[3], Value::Int(510));
+}
+
+#[test]
+fn rollup_produces_table_5a() {
+    let out = engine()
+        .execute(
+            "SELECT Model, Year, Color, SUM(Sales) AS Units
+             FROM Sales WHERE Model = 'Chevy'
+             GROUP BY ROLLUP Model, Year, Color",
+        )
+        .unwrap();
+    // Table 5.a: 4 core + 2 (model,year) + 1 (model) + 1 grand = 8 rows.
+    assert_eq!(out.len(), 8);
+    let m = col(&out, "Model");
+    let y = col(&out, "Year");
+    let c = col(&out, "Color");
+    let u = col(&out, "Units");
+    let find = |mv: Value, yv: Value, cv: Value| {
+        out.rows()
+            .iter()
+            .find(|r| r[m] == mv && r[y] == yv && r[c] == cv)
+            .map(|r| r[u].clone())
+    };
+    assert_eq!(
+        find(Value::str("Chevy"), Value::Int(1994), Value::All),
+        Some(Value::Int(90))
+    );
+    assert_eq!(
+        find(Value::str("Chevy"), Value::Int(1995), Value::All),
+        Some(Value::Int(200))
+    );
+    assert_eq!(find(Value::str("Chevy"), Value::All, Value::All), Some(Value::Int(290)));
+}
+
+#[test]
+fn union_of_group_bys_equals_rollup() {
+    // §2's hand-written 4-way union vs the ROLLUP operator.
+    let e = engine();
+    let union = e
+        .execute(
+            "SELECT 'ALL', 'ALL', 'ALL', SUM(Sales) FROM Sales WHERE Model = 'Chevy'
+             UNION
+             SELECT Model, 'ALL', 'ALL', SUM(Sales) FROM Sales WHERE Model = 'Chevy'
+                 GROUP BY Model
+             UNION
+             SELECT Model, STR(Year), 'ALL', SUM(Sales) FROM Sales WHERE Model = 'Chevy'
+                 GROUP BY Model, Year
+             UNION
+             SELECT Model, STR(Year), Color, SUM(Sales) FROM Sales WHERE Model = 'Chevy'
+                 GROUP BY Model, Year, Color",
+        )
+        .unwrap();
+    assert_eq!(union.len(), 8); // same 8 logical rows as Table 5.a
+    // Sub-total values agree with the rollup (the 'ALL' strings here are
+    // the paper's *display* convention; the rollup uses the ALL token).
+    let total: Vec<&Row> = union
+        .rows()
+        .iter()
+        .filter(|r| r[0] == Value::str("ALL"))
+        .collect();
+    assert_eq!(total.len(), 1);
+    assert_eq!(total[0][3], Value::Int(290));
+}
+
+#[test]
+fn grouping_sets_explicit_family() {
+    let out = engine()
+        .execute(
+            "SELECT Model, Year, SUM(Sales) AS s FROM Sales
+             GROUP BY GROUPING SETS ((Model), (Year), ())",
+        )
+        .unwrap();
+    // 2 model rows + 2 year rows + 1 grand total.
+    assert_eq!(out.len(), 5);
+}
+
+#[test]
+fn compound_group_by_rollup_cube() {
+    // Figure 5's shape on the sales data.
+    let out = engine()
+        .execute(
+            "SELECT Model, Year, Color, SUM(Sales) AS s FROM Sales
+             GROUP BY Model ROLLUP Year CUBE Color",
+        )
+        .unwrap();
+    // Sets: {M,Y,C}=8, {M,Y}=4, {M,C}=4, {M}=2 → 18 rows.
+    assert_eq!(out.len(), 18);
+    // Model is never ALL (it is in the plain GROUP BY block).
+    let m = col(&out, "Model");
+    assert!(out.rows().iter().all(|r| r[m] != Value::All));
+}
+
+#[test]
+fn grouping_function_discriminates() {
+    // §3.4's minimalist encoding through SQL.
+    let out = engine()
+        .execute(
+            "SELECT Model, SUM(Sales) AS s, GROUPING(Model) AS g
+             FROM Sales GROUP BY CUBE Model",
+        )
+        .unwrap();
+    for r in out.rows() {
+        assert_eq!(r[2], Value::Bool(r[0].is_all()));
+    }
+}
+
+#[test]
+fn having_filters_super_aggregates() {
+    let out = engine()
+        .execute(
+            "SELECT Model, SUM(Sales) AS s FROM Sales
+             GROUP BY CUBE Model HAVING SUM(Sales) > 250",
+        )
+        .unwrap();
+    // Chevy (290) and the grand total (510); Ford (220) filtered out.
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn percent_of_total_with_scalar_subquery() {
+    // §4's percent-of-total query.
+    let out = engine()
+        .execute(
+            "SELECT Model, Year, Color, SUM(Sales),
+                    SUM(Sales) / (SELECT SUM(Sales) FROM Sales
+                                  WHERE Model IN ('Ford', 'Chevy')
+                                    AND Year BETWEEN 1990 AND 1995)
+             FROM Sales
+             WHERE Model IN ('Ford', 'Chevy') AND Year BETWEEN 1990 AND 1995
+             GROUP BY CUBE Model, Year, Color",
+        )
+        .unwrap();
+    let grand = out
+        .rows()
+        .iter()
+        .find(|r| (0..3).all(|d| r[d] == Value::All))
+        .unwrap();
+    assert_eq!(grand[4], Value::Float(1.0)); // 510 / 510
+}
+
+#[test]
+fn order_by_and_limit() {
+    let out = engine()
+        .execute(
+            "SELECT Model, SUM(Sales) AS total FROM Sales
+             GROUP BY Model ORDER BY total DESC LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows()[0], row!["Chevy", 290]);
+}
+
+#[test]
+fn order_by_ordinal() {
+    let out = engine()
+        .execute("SELECT Model, SUM(Sales) FROM Sales GROUP BY Model ORDER BY 2 ASC")
+        .unwrap();
+    assert_eq!(out.rows()[0][0], Value::str("Ford"));
+}
+
+#[test]
+fn decoration_functionally_dependent(){
+    // §3.5: decorate with a column not in the GROUP BY. Build a table
+    // where nation → continent.
+    let mut e = Engine::new();
+    let schema = Schema::from_pairs(&[
+        ("nation", DataType::Str),
+        ("continent", DataType::Str),
+        ("temp", DataType::Int),
+    ]);
+    let t = Table::new(
+        schema,
+        vec![
+            row!["USA", "North America", 28],
+            row!["USA", "North America", 37],
+            row!["Mexico", "North America", 41],
+            row!["Japan", "Asia", 48],
+        ],
+    )
+    .unwrap();
+    e.register_table("obs", t).unwrap();
+    let out = e
+        .execute(
+            "SELECT nation, continent, MAX(temp) FROM obs GROUP BY CUBE nation",
+        )
+        .unwrap();
+    let n = col(&out, "nation");
+    let c = col(&out, "continent");
+    for r in out.rows() {
+        if r[n].is_all() {
+            // Table 7: continent is NULL when nation is aggregated away.
+            assert_eq!(r[c], Value::Null);
+        } else {
+            assert_ne!(r[c], Value::Null);
+        }
+    }
+}
+
+#[test]
+fn decoration_requires_fd() {
+    let mut e = Engine::new();
+    let schema = Schema::from_pairs(&[
+        ("a", DataType::Str),
+        ("b", DataType::Str),
+        ("x", DataType::Int),
+    ]);
+    let t = Table::new(
+        schema,
+        vec![row!["k", "one", 1], row!["k", "two", 2]],
+    )
+    .unwrap();
+    e.register_table("t", t).unwrap();
+    let err = e.execute("SELECT a, b, SUM(x) FROM t GROUP BY a").unwrap_err();
+    assert!(matches!(err, SqlError::Plan(_)), "{err}");
+}
+
+#[test]
+fn join_using_star_query() {
+    // A small star query (§3.6): fact JOIN dimension USING (key).
+    let mut e = Engine::new();
+    let fact = Table::new(
+        Schema::from_pairs(&[("office_id", DataType::Int), ("amount", DataType::Int)]),
+        vec![row![1, 100], row![1, 50], row![2, 70]],
+    )
+    .unwrap();
+    let dim = Table::new(
+        Schema::from_pairs(&[("office_id", DataType::Int), ("region", DataType::Str)]),
+        vec![row![1, "Western"], row![2, "Eastern"]],
+    )
+    .unwrap();
+    e.register_table("fact", fact).unwrap();
+    e.register_table("office", dim).unwrap();
+    let out = e
+        .execute(
+            "SELECT region, SUM(amount) AS total
+             FROM fact JOIN office USING (office_id)
+             GROUP BY ROLLUP region",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 3);
+    let grand = out.rows().iter().find(|r| r[0] == Value::All).unwrap();
+    assert_eq!(grand[1], Value::Int(220));
+}
+
+#[test]
+fn aggregate_over_computed_expression() {
+    let out = engine()
+        .execute("SELECT Model, SUM(Sales * 2) AS dbl FROM Sales GROUP BY Model")
+        .unwrap();
+    let chevy = out.rows().iter().find(|r| r[0] == Value::str("Chevy")).unwrap();
+    assert_eq!(chevy[1], Value::Int(580));
+}
+
+#[test]
+fn arithmetic_over_aggregates() {
+    let out = engine()
+        .execute(
+            "SELECT Model, SUM(Sales) / COUNT(*) AS mean, AVG(Sales) AS avg
+             FROM Sales GROUP BY Model",
+        )
+        .unwrap();
+    for r in out.rows() {
+        assert_eq!(r[1], r[2], "SUM/COUNT must equal AVG for {}", r[0]);
+    }
+}
+
+#[test]
+fn where_three_valued_logic_excludes_unknown() {
+    let mut e = Engine::new();
+    let schema = Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]);
+    let t = Table::new(
+        schema,
+        vec![
+            row![1, 10],
+            Row::new(vec![Value::Null, Value::Int(20)]),
+            row![3, 30],
+        ],
+    )
+    .unwrap();
+    e.register_table("t", t).unwrap();
+    // The NULL x row is neither > 1 nor NOT > 1: excluded both ways.
+    let gt = e.execute("SELECT SUM(y) FROM t WHERE x > 1").unwrap();
+    assert_eq!(gt.rows()[0][0], Value::Int(30));
+    let not_gt = e.execute("SELECT SUM(y) FROM t WHERE NOT (x > 1)").unwrap();
+    assert_eq!(not_gt.rows()[0][0], Value::Int(10));
+}
+
+#[test]
+fn global_aggregate_over_empty_input() {
+    let mut e = Engine::new();
+    let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+    e.register_table("t", Table::empty(schema)).unwrap();
+    let out = e.execute("SELECT COUNT(*), SUM(x) FROM t").unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows()[0][0], Value::Int(0));
+    assert_eq!(out.rows()[0][1], Value::Null);
+}
+
+#[test]
+fn error_unknown_table_column_function() {
+    let e = engine();
+    assert!(matches!(e.execute("SELECT x FROM nope"), Err(SqlError::Plan(_))));
+    assert!(e.execute("SELECT nope FROM Sales").is_err());
+    assert!(e.execute("SELECT NOPE(Sales) FROM Sales").is_err());
+    assert!(e.execute("SELECT SUM(Sales) FROM Sales GROUP BY").is_err());
+}
+
+#[test]
+fn error_distinct_on_non_count() {
+    let err = engine()
+        .execute("SELECT SUM(DISTINCT Sales) FROM Sales")
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Plan(_)));
+}
+
+#[test]
+fn select_star_passthrough() {
+    let out = engine().execute("SELECT * FROM Sales WHERE Year = 1995").unwrap();
+    assert_eq!(out.len(), 4);
+    assert_eq!(out.schema().len(), 4);
+}
+
+#[test]
+fn union_all_keeps_duplicates() {
+    let e = engine();
+    let out = e
+        .execute(
+            "SELECT Model FROM Sales WHERE Year = 1994
+             UNION ALL SELECT Model FROM Sales WHERE Year = 1995",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 8);
+    let distinct = e
+        .execute(
+            "SELECT Model FROM Sales WHERE Year = 1994
+             UNION SELECT Model FROM Sales WHERE Year = 1995",
+        )
+        .unwrap();
+    assert_eq!(distinct.len(), 2);
+}
+
+#[test]
+fn registered_uda_usable_from_sql() {
+    use dc_aggregate::{AggKind, UdaBuilder};
+    let mut e = engine();
+    let range = UdaBuilder::new("RANGE", AggKind::Algebraic, || (None::<f64>, None::<f64>))
+        .iter(|s, v| {
+            if let Some(x) = v.as_f64() {
+                s.0 = Some(s.0.map_or(x, |m: f64| m.min(x)));
+                s.1 = Some(s.1.map_or(x, |m: f64| m.max(x)));
+            }
+        })
+        .state(|s| {
+            vec![
+                s.0.map_or(Value::Null, Value::Float),
+                s.1.map_or(Value::Null, Value::Float),
+            ]
+        })
+        .merge(|s, st| {
+            if let Some(x) = st[0].as_f64() {
+                s.0 = Some(s.0.map_or(x, |m: f64| m.min(x)));
+            }
+            if let Some(x) = st[1].as_f64() {
+                s.1 = Some(s.1.map_or(x, |m: f64| m.max(x)));
+            }
+        })
+        .finalize(|s| match (s.0, s.1) {
+            (Some(lo), Some(hi)) => Value::Float(hi - lo),
+            _ => Value::Null,
+        })
+        .build()
+        .unwrap();
+    e.register_aggregate(range).unwrap();
+    let out = e
+        .execute("SELECT Model, RANGE(Sales) AS spread FROM Sales GROUP BY CUBE Model")
+        .unwrap();
+    let grand = out.rows().iter().find(|r| r[0] == Value::All).unwrap();
+    assert_eq!(grand[1], Value::Float(105.0)); // 115 - 10
+}
+
+#[test]
+fn explain_describes_the_plan() {
+    let out = engine()
+        .execute(
+            "EXPLAIN SELECT Model, MEDIAN(Sales), SUM(Sales) FROM Sales
+             GROUP BY Model ROLLUP Year CUBE Color
+             HAVING SUM(Sales) > 10 ORDER BY 1 LIMIT 5",
+        )
+        .unwrap();
+    let text: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
+    let plan = text.join("\n");
+    assert!(plan.contains("scan: Sales"), "{plan}");
+    assert!(plan.contains("GROUP BY 1 dim(s), ROLLUP 1, CUBE 1"), "{plan}");
+    assert!(plan.contains("grouping sets: 4"), "{plan}");
+    assert!(plan.contains("MEDIAN(Sales) [Holistic]"), "{plan}");
+    assert!(plan.contains("SUM(Sales) [Distributive]"), "{plan}");
+    // A holistic aggregate forces the 2^N route (§5).
+    assert!(plan.contains("algorithm: 2^N"), "{plan}");
+    assert!(plan.contains("HAVING"), "{plan}");
+    assert!(plan.contains("sort: ORDER BY 1 key(s)"), "{plan}");
+    assert!(plan.contains("limit: 5"), "{plan}");
+    // Nothing was executed: EXPLAIN of a query on a bad column still
+    // parses but fails at describe time only if the aggregate is unknown.
+    let err = engine().execute("EXPLAIN SELECT NOPEFN(Sales) FROM Sales GROUP BY Model");
+    assert!(err.is_ok(), "scalar calls are not described, only aggregates");
+}
+
+#[test]
+fn explain_without_holistic_uses_cascade() {
+    let out = engine()
+        .execute("EXPLAIN SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model, Year")
+        .unwrap();
+    let plan: String =
+        out.rows().iter().map(|r| r[0].to_string() + "\n").collect();
+    assert!(plan.contains("from-core cascade"), "{plan}");
+    assert!(plan.contains("grouping sets: 4"), "{plan}");
+}
+
+#[test]
+fn ordered_aggregates_over_base_rows() {
+    // §1.2's Red Brick functions on a plain selection.
+    let out = engine()
+        .execute("SELECT Model, Sales, RANK(Sales), RATIO_TO_TOTAL(Sales) FROM Sales")
+        .unwrap();
+    // Ranks: 10 is rank 1; 115 is rank 8.
+    let lowest = out.rows().iter().find(|r| r[1] == Value::Int(10)).unwrap();
+    assert_eq!(lowest[2], Value::Int(1));
+    let highest = out.rows().iter().find(|r| r[1] == Value::Int(115)).unwrap();
+    assert_eq!(highest[2], Value::Int(8));
+    // Ratios sum to 1.
+    let total: f64 = out.rows().iter().map(|r| r[3].as_f64().unwrap()).sum();
+    assert!((total - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn n_tile_middle_decile_query() {
+    // The paper's §1.2 example: min/max of the middle 10% via N_tile.
+    let out = engine()
+        .execute("SELECT Sales, N_TILE(Sales, 4) AS quartile FROM Sales")
+        .unwrap();
+    // 8 values into 4 tiles of ~2; the tied 85s share tile 3, so the
+    // populations are 2/2/3/1 (ties never straddle a boundary).
+    let counts: Vec<usize> = (1..=4i64)
+        .map(|q| out.rows().iter().filter(|r| r[1] == Value::Int(q)).count())
+        .collect();
+    assert_eq!(counts, vec![2, 2, 3, 1]);
+    // Tiles are monotone in the value.
+    let mut pairs: Vec<(i64, i64)> = out
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+        .collect();
+    pairs.sort();
+    for w in pairs.windows(2) {
+        assert!(w[0].1 <= w[1].1);
+    }
+}
+
+#[test]
+fn cumulative_over_rollup_output() {
+    // §3: "Cumulative aggregates ... work especially well with ROLLUP
+    // because the answer set is naturally sequential."
+    let out = engine()
+        .execute(
+            "SELECT Model, SUM(Sales) AS s, CUMULATIVE(SUM(Sales)) AS running
+             FROM Sales GROUP BY Model",
+        )
+        .unwrap();
+    // Canonical order: Chevy (290) then Ford (220); running 290, 510.
+    assert_eq!(out.rows()[0][2], Value::Float(290.0));
+    assert_eq!(out.rows()[1][2], Value::Float(510.0));
+}
+
+#[test]
+fn running_sum_requires_literal_n() {
+    let err = engine()
+        .execute("SELECT RUNNING_SUM(Sales, Sales) FROM Sales")
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Plan(_)));
+    let ok = engine()
+        .execute("SELECT RUNNING_SUM(Sales, 2) FROM Sales")
+        .unwrap();
+    assert_eq!(ok.rows()[0][0], Value::Null); // first n-1 values are NULL
+    assert_eq!(ok.rows()[1][0], Value::Float(90.0));
+}
+
+#[test]
+fn parameterized_aggregates_maxn_percentile() {
+    // §5 lists MaxN/MinN among the algebraic functions; PERCENTILE is the
+    // holistic rank question of §1.2.
+    let out = engine()
+        .execute(
+            "SELECT Model, MAXN(Sales, 2) AS second_best, MINN(Sales, 1) AS worst,
+                    PERCENTILE(Sales, 0.5) AS median_ish
+             FROM Sales GROUP BY CUBE Model",
+        )
+        .unwrap();
+    let chevy = out.rows().iter().find(|r| r[0] == Value::str("Chevy")).unwrap();
+    // Chevy sales 50,40,85,115: 2nd largest 85, smallest 40.
+    assert_eq!(chevy[1], Value::Int(85));
+    assert_eq!(chevy[2], Value::Int(40));
+    let grand = out.rows().iter().find(|r| r[0].is_all()).unwrap();
+    assert_eq!(grand[1], Value::Int(85)); // 2nd largest overall
+    // Nearest-rank median of 8 values.
+    assert_eq!(grand[3], Value::Int(50));
+    // Parameter must be a literal.
+    assert!(engine()
+        .execute("SELECT MAXN(Sales, Sales) FROM Sales")
+        .is_err());
+    assert!(engine()
+        .execute("SELECT PERCENTILE(Sales, 1.5) FROM Sales")
+        .is_err());
+}
+
+#[test]
+fn median_is_usable_but_holistic() {
+    let out = engine()
+        .execute("SELECT Model, MEDIAN(Sales) FROM Sales GROUP BY CUBE Model")
+        .unwrap();
+    let grand = out.rows().iter().find(|r| r[0] == Value::All).unwrap();
+    assert_eq!(grand[1], Value::Float(62.5)); // between 50 and 75
+}

@@ -1,0 +1,87 @@
+//! Property tests over the workload generators: whatever the parameters,
+//! the data must honor the invariants the experiments assume.
+
+use datacube::decoration::functionally_determines;
+use dc_warehouse::retail::{RetailParams, RetailWarehouse};
+use dc_warehouse::sales::{skewed_sales, synthetic_sales, SalesParams};
+use dc_warehouse::weather::{weather_table, WeatherParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sales generators respect the requested cardinalities for any
+    /// parameters — these are the C_i every cube-size formula relies on.
+    #[test]
+    fn sales_cardinalities_bounded(
+        rows in 0usize..400,
+        models in 1usize..8,
+        years in 1usize..5,
+        colors in 1usize..6,
+        seed in 0u64..1000,
+        skew in any::<bool>(),
+    ) {
+        let p = SalesParams { rows, models, years, colors, seed };
+        let t = if skew { skewed_sales(p) } else { synthetic_sales(p) };
+        prop_assert_eq!(t.len(), rows);
+        prop_assert!(t.domain("model").unwrap().len() <= models);
+        prop_assert!(t.domain("year").unwrap().len() <= years);
+        prop_assert!(t.domain("color").unwrap().len() <= colors);
+        // Units are always positive (SUM cubes stay monotone).
+        for r in t.rows() {
+            prop_assert!(r[3].as_i64().unwrap() >= 1);
+        }
+    }
+
+    /// The retail snowflake's granularity FDs hold for any generated
+    /// warehouse: office → district → region → geography and product →
+    /// category/manufacturer. Figure 6's hierarchy depends on this.
+    #[test]
+    fn retail_hierarchies_always_functional(
+        sales in 1usize..300,
+        customers in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let w = RetailWarehouse::generate(RetailParams {
+            sales,
+            customers,
+            seed,
+            ..Default::default()
+        });
+        prop_assert!(functionally_determines(&w.office, &["office"], "district").unwrap());
+        prop_assert!(functionally_determines(&w.office, &["district"], "region").unwrap());
+        prop_assert!(functionally_determines(&w.office, &["region"], "geography").unwrap());
+        prop_assert!(functionally_determines(&w.product, &["product"], "category").unwrap());
+        prop_assert!(
+            functionally_determines(&w.product, &["product"], "manufacturer").unwrap()
+        );
+        // Every fact row joins: foreign keys are dense indices.
+        let wide = w.denormalize();
+        prop_assert_eq!(wide.len(), w.fact.len());
+    }
+
+    /// Weather observations stay inside the generator's physical envelope
+    /// and the date range requested.
+    #[test]
+    fn weather_rows_in_envelope(
+        rows in 0usize..300,
+        days in 1usize..400,
+        seed in 0u64..1000,
+    ) {
+        let p = WeatherParams {
+            rows,
+            days,
+            seed,
+            start: dc_relation::Date::ymd(1995, 1, 1),
+        };
+        let t = weather_table(p);
+        prop_assert_eq!(t.len(), rows);
+        let last_day = p.start.plus_days(days as i64);
+        for r in t.rows() {
+            let d = r[0].as_date().unwrap();
+            prop_assert!(d >= p.start && d < last_day.plus_days(1), "{d}");
+            let temp = r[4].as_f64().unwrap();
+            prop_assert!((-40.0..60.0).contains(&temp));
+        }
+    }
+}

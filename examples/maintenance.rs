@@ -1,0 +1,73 @@
+//! §6's maintained cube: triggers keep a materialized cube fresh under
+//! INSERT / DELETE / UPDATE, and MAX shows its delete-holistic face.
+//!
+//! Run with `cargo run --example maintenance`.
+
+use datacube::maintain::MaterializedCube;
+use datacube::{AggSpec, Dimension};
+use dc_aggregate::builtin;
+use dc_relation::{row, DataType, Schema, Table, Value};
+
+fn main() {
+    let schema = Schema::from_pairs(&[
+        ("model", DataType::Str),
+        ("year", DataType::Int),
+        ("units", DataType::Int),
+    ]);
+    let base = Table::new(
+        schema,
+        vec![
+            row!["Chevy", 1994, 50],
+            row!["Chevy", 1995, 85],
+            row!["Ford", 1994, 60],
+            row!["Ford", 1995, 160],
+        ],
+    )
+    .unwrap();
+
+    let dims = vec![Dimension::column("model"), Dimension::column("year")];
+    let cube = MaterializedCube::cube(
+        &base,
+        dims,
+        vec![
+            AggSpec::new(builtin("SUM").unwrap(), "units").with_name("sum_units"),
+            AggSpec::new(builtin("MAX").unwrap(), "units").with_name("max_units"),
+        ],
+    )
+    .unwrap();
+    println!("materialized cube ({} cells):\n{}", cube.cell_count(), cube.to_table());
+
+    // INSERT: visit the record's 2^N cells.
+    println!("-- INSERT (Dodge, 1995, 30)");
+    cube.insert(row!["Dodge", 1995, 30]).unwrap();
+    println!(
+        "grand total now {:?}; stats: {:?}",
+        cube.cell(&[Value::All, Value::All]).unwrap(),
+        cube.stats()
+    );
+
+    // DELETE of a loser: cheap for both SUM and MAX.
+    println!("-- DELETE (Chevy, 1994, 50) — not a champion anywhere above itself");
+    cube.delete(&row!["Chevy", 1994, 50]).unwrap();
+    println!("stats after cheap delete: {:?}", cube.stats());
+
+    // DELETE of the champion: SUM retracts in place, MAX forces
+    // recomputation of every cell the champion dominated (§6: "max is ...
+    // holistic for DELETE").
+    println!("-- DELETE (Ford, 1995, 160) — the global maximum");
+    cube.delete(&row!["Ford", 1995, 160]).unwrap();
+    let s = cube.stats();
+    println!(
+        "stats after champion delete: cells_recomputed={}, rows_rescanned={}",
+        s.cells_recomputed, s.rows_rescanned
+    );
+    println!(
+        "new global (sum, max) = {:?}",
+        cube.cell(&[Value::All, Value::All]).unwrap()
+    );
+
+    // UPDATE = delete + insert.
+    println!("-- UPDATE (Dodge, 1995, 30) -> (Dodge, 1995, 45)");
+    cube.update(&row!["Dodge", 1995, 30], row!["Dodge", 1995, 45]).unwrap();
+    println!("final cube:\n{}", cube.to_table());
+}

@@ -1,0 +1,86 @@
+//! The Figure 6 retail snowflake: star queries, the §3.1 compound
+//! GROUP BY ⊗ ROLLUP ⊗ CUBE, and report rendering (pivot / cross tab).
+//!
+//! Run with `cargo run --example retail`.
+
+use datacube::pivot::{cross_tab, pivot_table};
+use datacube::{AggSpec, CompoundSpec, CubeQuery, Dimension};
+use dc_aggregate::builtin;
+use dc_relation::{DataType, Row, Value};
+use dc_sql::Engine;
+use dc_warehouse::retail::{RetailParams, RetailWarehouse};
+
+fn main() {
+    let warehouse = RetailWarehouse::generate(RetailParams {
+        sales: 20_000,
+        ..Default::default()
+    });
+    println!(
+        "snowflake: fact {} rows; office {}, product {}, customer {} dimension rows",
+        warehouse.fact.len(),
+        warehouse.office.len(),
+        warehouse.product.len(),
+        warehouse.customer.len()
+    );
+
+    let mut engine = Engine::new();
+    warehouse.register(&mut engine).unwrap();
+
+    // A star query: join the fact to a dimension, then roll up its
+    // granularity hierarchy.
+    let by_region = engine
+        .execute(
+            "SELECT geography, region, SUM(units) AS units
+             FROM sales_fact JOIN office USING (office_id)
+             GROUP BY ROLLUP geography, region",
+        )
+        .unwrap();
+    println!("\nunits by geography, region (star query + rollup):\n{by_region}");
+
+    // Figure 5's compound aggregation over the denormalized table.
+    let wide = warehouse.denormalize();
+    let spec = CompoundSpec::new()
+        .group_by(vec![Dimension::column("manufacturer")])
+        .rollup(vec![Dimension::computed("year", DataType::Int, |r: &Row| {
+            r[8].as_date().map_or(Value::Null, |d| Value::Int(i64::from(d.year())))
+        })])
+        .cube(vec![Dimension::column("category"), Dimension::column("segment")]);
+    let revenue = CubeQuery::new()
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "price").with_name("revenue"))
+        .compound(&wide, &spec)
+        .unwrap();
+    println!(
+        "compound GROUP BY manufacturer ROLLUP year CUBE category, segment: {} rows",
+        revenue.len()
+    );
+
+    // Reports from the cube relation: the cross tab of Table 6 and the
+    // pivot of Table 4, over manufacturer × segment.
+    let cube = CubeQuery::new()
+        .dimensions(vec![
+            Dimension::column("manufacturer"),
+            Dimension::column("category"),
+            Dimension::column("segment"),
+        ])
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("units"))
+        .cube(&wide)
+        .unwrap();
+    let xt = cross_tab(&cube, "manufacturer", "segment", "units").unwrap();
+    println!("cross tab — units by manufacturer × segment:\n{xt}");
+
+    let pv = pivot_table(&cube, "manufacturer", "category", "segment", "units").unwrap();
+    println!(
+        "pivot — category × segment columns ({} columns, the explosion §2 warns about)",
+        pv.schema().len()
+    );
+
+    // Percent-of-total through SQL (§4).
+    let share = engine
+        .execute(
+            "SELECT manufacturer, SUM(price) AS revenue,
+                    SUM(price) / (SELECT SUM(price) FROM sales_wide) AS share
+             FROM sales_wide GROUP BY manufacturer ORDER BY revenue DESC",
+        )
+        .unwrap();
+    println!("revenue share by manufacturer:\n{share}");
+}

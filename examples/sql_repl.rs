@@ -1,0 +1,102 @@
+//! A tiny SQL shell over the paper's datasets.
+//!
+//! Run with `cargo run --example sql_repl`, then type queries such as
+//!
+//! ```sql
+//! SELECT model, year, SUM(units) FROM sales GROUP BY CUBE model, year;
+//! SELECT day, nation, MAX(temp) FROM weather
+//!     GROUP BY DAY(time) AS day, NATION(latitude, longitude) AS nation;
+//! SELECT region, SUM(units) FROM sales_wide GROUP BY ROLLUP region;
+//! ```
+//!
+//! `\tables` lists tables; `\q` quits. Also accepts a single query as a
+//! command-line argument for non-interactive use.
+
+use std::io::{BufRead, Write};
+
+use dc_relation::{DataType, Value};
+use dc_sql::scalar::ScalarFn;
+use dc_sql::Engine;
+use dc_warehouse::retail::{RetailParams, RetailWarehouse};
+use dc_warehouse::sales::table4_sales;
+use dc_warehouse::weather::{nation_of, weather_table, WeatherParams};
+
+fn build_engine() -> Engine {
+    let mut engine = Engine::new();
+    engine.register_table("sales", table4_sales()).unwrap();
+    engine
+        .register_table(
+            "weather",
+            weather_table(WeatherParams { rows: 2_000, ..Default::default() }),
+        )
+        .unwrap();
+    let warehouse =
+        RetailWarehouse::generate(RetailParams { sales: 5_000, ..Default::default() });
+    warehouse.register(&mut engine).unwrap();
+    engine
+        .register_scalar(ScalarFn::new("NATION", 2, DataType::Str, |args| {
+            match (args[0].as_f64(), args[1].as_f64()) {
+                (Some(lat), Some(lon)) => {
+                    nation_of(lat, lon).map_or(Value::Null, Value::str)
+                }
+                _ => Value::Null,
+            }
+        }))
+        .unwrap();
+    engine
+}
+
+const TABLES: &[&str] =
+    &["sales", "weather", "sales_fact", "office", "product", "customer", "sales_wide"];
+
+fn main() {
+    let engine = build_engine();
+
+    // Non-interactive: `cargo run --example sql_repl -- "SELECT ..."`.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        run(&engine, &args.join(" "));
+        return;
+    }
+
+    println!("data cube SQL shell — tables: {}", TABLES.join(", "));
+    println!("\\tables lists tables, \\q quits, end queries with ; — EXPLAIN SELECT ... shows the plan");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("cube> ");
+        } else {
+            print!("  ... ");
+        }
+        std::io::stdout().flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        match trimmed {
+            "\\q" | "exit" | "quit" => break,
+            "\\tables" => {
+                for t in TABLES {
+                    let n = engine.table(t).map(|t| t.len()).unwrap_or(0);
+                    println!("  {t} ({n} rows)");
+                }
+                continue;
+            }
+            _ => {}
+        }
+        buffer.push_str(&line);
+        if buffer.trim_end().ends_with(';') {
+            let sql = std::mem::take(&mut buffer);
+            run(&engine, &sql);
+        }
+    }
+}
+
+fn run(engine: &Engine, sql: &str) {
+    match engine.execute(sql) {
+        Ok(table) => print!("{table}"),
+        Err(e) => eprintln!("error: {e}"),
+    }
+}

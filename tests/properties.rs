@@ -1,0 +1,220 @@
+//! Property-based tests over the cube invariants, with proptest.
+//!
+//! Strategy: generate small random relations (bounded cardinalities so
+//! cubes stay dense enough to be interesting) and check the paper's
+//! algebraic claims hold for *every* input, not just the examples.
+
+use datacube::{AggSpec, Algorithm, CubeQuery, Dimension};
+use dc_aggregate::builtin;
+use dc_relation::{DataType, Row, Schema, Table, Value};
+use proptest::prelude::*;
+
+fn schema3() -> Schema {
+    Schema::from_pairs(&[
+        ("a", DataType::Int),
+        ("b", DataType::Int),
+        ("c", DataType::Int),
+        ("units", DataType::Int),
+    ])
+}
+
+/// Rows over a 3-dimensional space with small per-dimension domains.
+fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    proptest::collection::vec(
+        (0i64..4, 0i64..3, 0i64..3, 1i64..100),
+        0..max_rows,
+    )
+    .prop_map(|rows| {
+        let mut t = Table::empty(schema3());
+        for (a, b, c, u) in rows {
+            t.push_unchecked(Row::new(vec![
+                Value::Int(a),
+                Value::Int(b),
+                Value::Int(c),
+                Value::Int(u),
+            ]));
+        }
+        t
+    })
+}
+
+fn dims() -> Vec<Dimension> {
+    vec![Dimension::column("a"), Dimension::column("b"), Dimension::column("c")]
+}
+
+fn sum_units() -> AggSpec {
+    AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s")
+}
+
+fn count_units() -> AggSpec {
+    AggSpec::new(builtin("COUNT").unwrap(), "units").with_name("n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All §5 algorithms compute the same cube on every input.
+    #[test]
+    fn algorithms_are_equivalent(t in arb_table(120)) {
+        let reference = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .algorithm(Algorithm::TwoToTheN)
+            .cube(&t)
+            .unwrap();
+        for alg in [
+            Algorithm::FromCore,
+            Algorithm::UnionGroupBys,
+            Algorithm::Array,
+            Algorithm::Parallel { threads: 3 },
+            Algorithm::PipeSort,
+        ] {
+            let got = CubeQuery::new()
+                .dimensions(dims())
+                .aggregate(sum_units())
+                .algorithm(alg)
+                .cube(&t)
+                .unwrap();
+            prop_assert_eq!(got.rows(), reference.rows(), "algorithm {:?}", alg);
+        }
+    }
+
+    /// Sort-based rollup equals the hash rollup on every input.
+    #[test]
+    fn sort_rollup_equivalent(t in arb_table(120)) {
+        let a = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .algorithm(Algorithm::Sort)
+            .rollup(&t)
+            .unwrap();
+        let b = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .rollup(&t)
+            .unwrap();
+        prop_assert_eq!(a.rows(), b.rows());
+    }
+
+    /// §3's cardinality claims: the cube has Π(C_i + 1) rows when the core
+    /// is dense, and at most that many otherwise; the rollup's sets are a
+    /// subset of the cube's rows.
+    #[test]
+    fn cardinality_bounds(t in arb_table(150)) {
+        let cube = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .cube(&t)
+            .unwrap();
+        if t.is_empty() {
+            prop_assert!(cube.is_empty());
+            return Ok(());
+        }
+        let cards: Vec<usize> = ["a", "b", "c"]
+            .iter()
+            .map(|d| t.domain(d).unwrap().len())
+            .collect();
+        let dense: usize = cards.iter().map(|c| c + 1).product();
+        prop_assert!(cube.len() <= dense, "cube {} > dense bound {}", cube.len(), dense);
+        // Lower bound: at least the core plus the grand total.
+        let core = datacube::rows_in_set(&cube, 3, datacube::GroupingSet::full(3));
+        prop_assert!(cube.len() > core);
+
+        // ROLLUP ⊆ CUBE as row sets.
+        let rollup = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .rollup(&t)
+            .unwrap();
+        let cube_rows: std::collections::HashSet<&Row> = cube.rows().iter().collect();
+        for r in rollup.rows() {
+            prop_assert!(cube_rows.contains(r), "rollup row {} not in cube", r);
+        }
+    }
+
+    /// Every super-aggregate SUM equals the sum of the core rows it
+    /// covers, and COUNT counts them — checked via direct recomputation.
+    #[test]
+    fn super_aggregates_cover_their_sets(t in arb_table(100)) {
+        let cube = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .aggregate(count_units())
+            .cube(&t)
+            .unwrap();
+        for row in cube.rows() {
+            let matches: Vec<&Row> = t
+                .rows()
+                .iter()
+                .filter(|base| {
+                    (0..3).all(|d| row[d].is_all() || row[d] == base[d])
+                })
+                .collect();
+            let want_sum: i64 = matches.iter().map(|r| r[3].as_i64().unwrap()).sum();
+            let want_n = matches.len() as i64;
+            prop_assert_eq!(row[3].as_i64().unwrap(), want_sum, "SUM at {}", row);
+            prop_assert_eq!(row[4].as_i64().unwrap(), want_n, "COUNT at {}", row);
+        }
+    }
+
+    /// The grand total row is unique and aggregates everything (when the
+    /// input is non-empty).
+    #[test]
+    fn grand_total_unique(t in arb_table(100)) {
+        prop_assume!(!t.is_empty());
+        let cube = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .cube(&t)
+            .unwrap();
+        let grand: Vec<&Row> = cube
+            .rows()
+            .iter()
+            .filter(|r| (0..3).all(|d| r[d].is_all()))
+            .collect();
+        prop_assert_eq!(grand.len(), 1);
+        let total: i64 = t.rows().iter().map(|r| r[3].as_i64().unwrap()).sum();
+        prop_assert_eq!(grand[0][3].as_i64().unwrap(), total);
+    }
+
+    /// Aggregating the cube's core re-derives the super-aggregates: the
+    /// "cubes are relations" composition property for distributive
+    /// functions.
+    #[test]
+    fn recubing_the_core_is_idempotent(t in arb_table(100)) {
+        let cube = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .cube(&t)
+            .unwrap();
+        // Extract the core rows as a new base table and cube them.
+        let core = cube.filter(|r| (0..3).all(|d| !r[d].is_all()));
+        let core_table = Table::new(schema3(), core.rows().to_vec().into_iter()
+            .map(|r| Row::new(r.values().to_vec())).collect()).unwrap();
+        let recubed = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s"))
+            .cube(&core_table)
+            .unwrap();
+        prop_assert_eq!(recubed.rows(), cube.rows());
+    }
+
+    /// GROUPING() bits and the NULL encoding agree on every row.
+    #[test]
+    fn grouping_encoding_consistent(t in arb_table(80)) {
+        let cube = CubeQuery::new()
+            .dimensions(dims())
+            .aggregate(sum_units())
+            .cube(&t)
+            .unwrap();
+        let enc = cube.to_null_grouping_encoding(&["a", "b", "c"]).unwrap();
+        for (orig, enc_row) in cube.rows().iter().zip(enc.rows()) {
+            for d in 0..3 {
+                let bit = enc_row[4 + d] == Value::Bool(true);
+                prop_assert_eq!(orig[d].is_all(), bit);
+            }
+        }
+        let back = enc.from_null_grouping_encoding(&["a", "b", "c"]).unwrap();
+        prop_assert_eq!(back.rows(), cube.rows());
+    }
+}
