@@ -1,0 +1,133 @@
+//! E-keys: the encoded-key execution engine, measured.
+//!
+//! The engine packs each row's cube coordinate into one `u64` (one bit
+//! field per dimension, `0` = ALL), hashes it with the Fx hash, and keeps
+//! scratchpads in flat per-set arenas. This bench isolates the two levers:
+//!
+//! * **encoded vs Row keys** — the same cube query with
+//!   [`CubeQuery::encoded_keys`] on and off, over the string-dimension
+//!   sales generator and the mixed Date/Float/Int weather generator;
+//! * **Fx vs SipHash** — raw map-insert throughput for packed `u64` keys
+//!   and for cloned `Row` keys, isolating the hasher from the rest of the
+//!   engine.
+//!
+//! Acceptance target (EXPERIMENTS.md E-keys): ≥ 2× end-to-end on
+//! string-dimension workloads.
+
+use criterion::{criterion_group, criterion_main, black_box, BenchmarkId, Criterion};
+use datacube::{AggSpec, Algorithm, CubeQuery, Dimension};
+use dc_bench::{sales_query, sales_table};
+use dc_relation::{FxHashMap, Row, Value};
+use dc_warehouse::weather::{weather_table, WeatherParams};
+use std::collections::HashMap;
+
+fn weather_query() -> CubeQuery {
+    CubeQuery::new()
+        .dimensions(vec![
+            Dimension::column("time"),
+            Dimension::column("latitude"),
+            Dimension::column("altitude"),
+        ])
+        .aggregate(
+            AggSpec::new(dc_aggregate::builtin("SUM").unwrap(), "pressure")
+                .with_name("sum_pressure"),
+        )
+}
+
+fn bench_encoded_vs_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("Ekeys_encoded_vs_row");
+    group.sample_size(10);
+
+    for rows in [10_000usize, 50_000] {
+        let sales = sales_table(rows, 8);
+        for (alg_name, alg) in
+            [("from_core", Algorithm::FromCore), ("2^N", Algorithm::TwoToTheN)]
+        {
+            for (name, encoded) in [("encoded", true), ("row_keys", false)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("sales_{alg_name}_{name}"), rows),
+                    &sales,
+                    |b, t| {
+                        let q = sales_query(3).algorithm(alg).encoded_keys(encoded);
+                        b.iter(|| q.cube(t).unwrap());
+                    },
+                );
+            }
+        }
+    }
+
+    let weather = weather_table(WeatherParams { rows: 20_000, ..Default::default() });
+    for (name, encoded) in [("encoded", true), ("row_keys", false)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("weather_{name}"), 20_000),
+            &weather,
+            |b, t| {
+                let q = weather_query()
+                    .algorithm(Algorithm::FromCore)
+                    .encoded_keys(encoded);
+                b.iter(|| q.cube(t).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fx_vs_siphash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("Ekeys_fx_vs_siphash");
+    group.sample_size(10);
+
+    // The key streams a cube group-by actually produces: packed u64
+    // coordinates, and the Row keys the fallback path clones.
+    let n = 100_000usize;
+    let u64_keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37) % 4096).collect();
+    let row_keys: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::str(format!("model{}", i % 16)),
+                Value::Int(1990 + (i % 16) as i64),
+                Value::str(format!("color{}", i % 16)),
+            ])
+        })
+        .collect();
+
+    group.bench_function(BenchmarkId::new("u64_fx", n), |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for &k in &u64_keys {
+                *m.entry(k).or_insert(0) += 1;
+            }
+            black_box(m.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("u64_siphash", n), |b| {
+        b.iter(|| {
+            let mut m: HashMap<u64, u64> = HashMap::new();
+            for &k in &u64_keys {
+                *m.entry(k).or_insert(0) += 1;
+            }
+            black_box(m.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("row_fx", n), |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<Row, u64> = FxHashMap::default();
+            for k in &row_keys {
+                *m.entry(k.clone()).or_insert(0) += 1;
+            }
+            black_box(m.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("row_siphash", n), |b| {
+        b.iter(|| {
+            let mut m: HashMap<Row, u64> = HashMap::new();
+            for k in &row_keys {
+                *m.entry(k.clone()).or_insert(0) += 1;
+            }
+            black_box(m.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoded_vs_row, bench_fx_vs_siphash);
+criterion_main!(benches);

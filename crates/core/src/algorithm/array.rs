@@ -114,7 +114,7 @@ pub(crate) fn run(
 
     // Decode the array into per-set hash maps.
     let mut maps: SetMaps =
-        lattice.sets().iter().map(|&s| (s, GroupMap::new())).collect();
+        lattice.sets().iter().map(|&s| (s, GroupMap::default())).collect();
     for (idx, slot) in array.into_iter().enumerate() {
         let Some(accs) = slot else { continue };
         let mut key_vals = Vec::with_capacity(n);
@@ -178,7 +178,7 @@ mod tests {
         let lattice = Lattice::cube(2).unwrap();
         let a = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
         let b =
-            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
         for (set, map) in &b {
             let (_, amap) = a.iter().find(|(s, _)| s == set).unwrap();
             assert_eq!(amap.len(), map.len(), "cells of {set}");

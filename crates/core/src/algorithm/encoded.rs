@@ -1,0 +1,528 @@
+//! The encoded-key execution engine: flat accumulator arenas over packed
+//! `u64` group keys (see [`crate::encode`] for the key layout).
+//!
+//! Three things make this path faster than the `Row`-keyed one, none of
+//! which change any observable result:
+//!
+//! 1. **Packed keys.** A cell key is one `u64`; projecting it onto a
+//!    grouping set is `key & mask` instead of cloning N `Value`s.
+//! 2. **Fx hashing.** Group maps hash a single integer with the Fx
+//!    multiply-rotate hash instead of feeding a whole `Row` through
+//!    SipHash.
+//! 3. **Flat arenas.** Each grouping set keeps *one* accumulator vector
+//!    for all cells ([`Arena`]): the map stores only `key → slot`, and
+//!    cell `i`'s accumulators live at `accs[i*n_aggs..(i+1)*n_aggs]` —
+//!    no per-cell `Vec` allocation, better locality for the cascade's
+//!    sequential merges.
+//!
+//! The from-core cascade is additionally *parallel*: grouping sets of
+//! equal arity never depend on each other (every cascade parent has
+//! strictly greater arity), so each lattice level's sets are farmed
+//! across a crossbeam scope. Parent selection, merge counts, and results
+//! are identical to the serial cascade.
+//!
+//! Every function mirrors its `Row`-keyed counterpart's [`ExecStats`]
+//! accounting exactly: the encoding pass is free (it is the same single
+//! scan that feeds the core), `rows_scanned`/`iter_calls` are counted per
+//! row touch, `merge_calls` per scratchpad fold.
+
+use crate::encode::{EncodedInput, KeyEncoder};
+use crate::error::{CubeError, CubeResult};
+use crate::groupby::{ExecStats, GroupMap, SetMaps};
+use crate::lattice::{GroupingSet, Lattice};
+use crate::spec::BoundAgg;
+use dc_aggregate::Accumulator;
+use dc_relation::{FxHashMap, Row};
+
+use super::from_core::ParentChoice;
+
+/// Below this many core cells the cascade runs serially — thread spawn
+/// costs more than the merges it would spread.
+const PARALLEL_CASCADE_MIN_CELLS: usize = 1 << 10;
+
+/// Flat accumulator storage for one grouping set: the map resolves a
+/// packed key to a cell slot; slot `i`'s accumulators occupy the
+/// contiguous range `accs[i*n_aggs..(i+1)*n_aggs]`.
+pub(crate) struct Arena {
+    slots: FxHashMap<u64, u32>,
+    accs: Vec<Box<dyn Accumulator>>,
+    n_aggs: usize,
+}
+
+impl Arena {
+    fn new(n_aggs: usize) -> Self {
+        Arena { slots: FxHashMap::default(), accs: Vec::new(), n_aggs }
+    }
+
+    fn with_capacity(n_aggs: usize, cells: usize) -> Self {
+        Arena {
+            slots: FxHashMap::with_capacity_and_hasher(cells, Default::default()),
+            accs: Vec::with_capacity(cells * n_aggs),
+            n_aggs,
+        }
+    }
+
+    pub fn n_cells(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The cell slot for `key`, appending fresh accumulators (the paper's
+    /// Init() burst) on first touch.
+    #[inline]
+    fn slot(&mut self, key: u64, aggs: &[BoundAgg]) -> usize {
+        match self.slots.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get() as usize,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let s = self.accs.len() / self.n_aggs;
+                e.insert(s as u32);
+                for a in aggs {
+                    self.accs.push(a.func.init());
+                }
+                s
+            }
+        }
+    }
+
+    #[inline]
+    fn accs_mut(&mut self, slot: usize) -> &mut [Box<dyn Accumulator>] {
+        &mut self.accs[slot * self.n_aggs..(slot + 1) * self.n_aggs]
+    }
+
+    #[inline]
+    fn accs_at(&self, slot: usize) -> &[Box<dyn Accumulator>] {
+        &self.accs[slot * self.n_aggs..(slot + 1) * self.n_aggs]
+    }
+
+    /// Fold one base row into the cell for `key` — Init on first touch,
+    /// then Iter per aggregate, mirroring `groupby::update_cell`.
+    #[inline]
+    fn update(&mut self, key: u64, row: &Row, aggs: &[BoundAgg], stats: &mut ExecStats) {
+        let s = self.slot(key, aggs);
+        for (acc, agg) in self.accs_mut(s).iter_mut().zip(aggs.iter()) {
+            acc.iter(agg.input_value(row));
+            stats.iter_calls += 1;
+        }
+    }
+
+    /// Decode into the `Row`-keyed cell map the materializer consumes.
+    fn into_group_map(self, encoder: &KeyEncoder) -> GroupMap {
+        let n = self.n_aggs;
+        let mut per_slot: Vec<Vec<Box<dyn Accumulator>>> =
+            Vec::with_capacity(if n == 0 { 0 } else { self.accs.len() / n });
+        let mut cell = Vec::with_capacity(n);
+        for acc in self.accs {
+            cell.push(acc);
+            if cell.len() == n {
+                per_slot.push(std::mem::replace(&mut cell, Vec::with_capacity(n)));
+            }
+        }
+        let mut map =
+            GroupMap::with_capacity_and_hasher(self.slots.len(), Default::default());
+        for (key, slot) in self.slots {
+            map.insert(
+                encoder.decode_key(key),
+                std::mem::take(&mut per_slot[slot as usize]),
+            );
+        }
+        map
+    }
+}
+
+/// The core GROUP BY over packed keys — one scan, mirroring
+/// `groupby::compute_core`.
+pub(crate) fn compute_core(
+    enc: &EncodedInput,
+    rows: &[Row],
+    aggs: &[BoundAgg],
+    stats: &mut ExecStats,
+) -> Arena {
+    let mut arena = Arena::new(aggs.len());
+    for (row, &key) in rows.iter().zip(&enc.keys) {
+        stats.rows_scanned += 1;
+        arena.update(key, row, aggs, stats);
+    }
+    arena
+}
+
+/// The 2^N algorithm on packed keys: every row updates every grouping
+/// set's cell, located by one AND per set.
+pub(crate) fn naive(
+    enc: &EncodedInput,
+    rows: &[Row],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    stats: &mut ExecStats,
+) -> CubeResult<SetMaps> {
+    let mut arenas: Vec<(GroupingSet, u64, Arena)> = lattice
+        .sets()
+        .iter()
+        .map(|&s| (s, enc.encoder.set_mask(s), Arena::new(aggs.len())))
+        .collect();
+    for (row, &key) in rows.iter().zip(&enc.keys) {
+        stats.rows_scanned += 1;
+        for (_, mask, arena) in arenas.iter_mut() {
+            arena.update(key & *mask, row, aggs, stats);
+        }
+    }
+    Ok(arenas
+        .into_iter()
+        .map(|(s, _, a)| (s, a.into_group_map(&enc.encoder)))
+        .collect())
+}
+
+/// The union-of-GROUP-BYs plan on packed keys: one independent scan per
+/// grouping set, `rows_scanned` counted per scan like the `Row` path.
+pub(crate) fn unions(
+    enc: &EncodedInput,
+    rows: &[Row],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    stats: &mut ExecStats,
+) -> CubeResult<SetMaps> {
+    let mut maps = SetMaps::with_capacity(lattice.sets().len());
+    for &set in lattice.sets() {
+        let mask = enc.encoder.set_mask(set);
+        let mut arena = Arena::new(aggs.len());
+        for (row, &key) in rows.iter().zip(&enc.keys) {
+            stats.rows_scanned += 1;
+            arena.update(key & mask, row, aggs, stats);
+        }
+        maps.push((set, arena.into_group_map(&enc.encoder)));
+    }
+    Ok(maps)
+}
+
+/// From-core with the full cascade: core scan + [`cascade`].
+pub(crate) fn from_core(
+    enc: &EncodedInput,
+    rows: &[Row],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    choice: ParentChoice,
+    stats: &mut ExecStats,
+) -> CubeResult<SetMaps> {
+    let core = compute_core(enc, rows, aggs, stats);
+    cascade(core, &enc.encoder, aggs, lattice, choice, stats)
+}
+
+/// Build one child set by folding a parent arena through the set's mask.
+/// Returns the child arena and its merge count (one per parent cell per
+/// aggregate, exactly like the serial `Row`-keyed cascade).
+fn merged_child(parent: &Arena, mask: u64, aggs: &[BoundAgg]) -> (Arena, u64) {
+    let mut child = Arena::with_capacity(aggs.len(), parent.n_cells() / 2 + 1);
+    let mut merges = 0u64;
+    for (&pkey, &pslot) in &parent.slots {
+        let cslot = child.slot(pkey & mask, aggs);
+        let paccs = parent.accs_at(pslot as usize);
+        for (acc, pacc) in child.accs_mut(cslot).iter_mut().zip(paccs.iter()) {
+            acc.merge(&pacc.state());
+            merges += 1;
+        }
+    }
+    (child, merges)
+}
+
+/// The cascade over arenas, parallel by lattice level.
+///
+/// Correctness of the parallel schedule: a set's cascade parent is always
+/// a strict superset, hence of strictly greater arity, hence materialized
+/// in an *earlier* level — so all sets of one level only read arenas from
+/// previous levels and can run concurrently. Parent *selection* is also
+/// unchanged: the serial cascade consults the materialized-so-far list,
+/// but same-level entries can never qualify (a strict superset of equal
+/// arity cannot exist), so selecting per level sees the same candidates.
+pub(crate) fn cascade(
+    core: Arena,
+    encoder: &KeyEncoder,
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    choice: ParentChoice,
+    stats: &mut ExecStats,
+) -> CubeResult<SetMaps> {
+    let core_set = lattice.core();
+    // Satellite of the encoding pass: the C_i come straight off the
+    // symbol tables — no per-key HashSet scan over the core.
+    let cardinalities = encoder.cardinalities();
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let go_parallel = threads > 1 && core.n_cells() >= PARALLEL_CASCADE_MIN_CELLS;
+
+    let mut done: FxHashMap<GroupingSet, Arena> = FxHashMap::default();
+    let mut order: Vec<GroupingSet> = Vec::with_capacity(lattice.sets().len());
+    done.insert(core_set, core);
+    order.push(core_set);
+
+    // Walk the lattice in runs of equal arity (it is ordered core-first,
+    // decreasing arity).
+    let sets: Vec<GroupingSet> =
+        lattice.sets().iter().copied().filter(|&s| s != core_set).collect();
+    let mut i = 0;
+    while i < sets.len() {
+        let arity = sets[i].len();
+        let mut level: Vec<(GroupingSet, GroupingSet)> = Vec::new();
+        while i < sets.len() && sets[i].len() == arity {
+            let set = sets[i];
+            let parent = match choice {
+                ParentChoice::AlwaysCore => core_set,
+                ParentChoice::SmallestCardinality => {
+                    lattice.choose_parent(set, &cardinalities, &order)
+                }
+                ParentChoice::LargestCardinality => {
+                    super::from_core::choose_largest(lattice, set, &cardinalities, &order)
+                }
+            };
+            level.push((set, parent));
+            i += 1;
+        }
+
+        let built: Vec<(GroupingSet, Arena, u64)> = if go_parallel && level.len() > 1 {
+            let workers = threads.min(level.len());
+            let chunk = level.len().div_ceil(workers);
+            let done_ref = &done;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = level
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            part.iter()
+                                .map(|&(set, parent)| {
+                                    let (arena, merges) = merged_child(
+                                        &done_ref[&parent],
+                                        encoder.set_mask(set),
+                                        aggs,
+                                    );
+                                    (set, arena, merges)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("cascade worker panicked"))
+                    .collect()
+            })
+            .map_err(|_| CubeError::Unsupported("cascade worker panicked".into()))?
+        } else {
+            level
+                .iter()
+                .map(|&(set, parent)| {
+                    let (arena, merges) =
+                        merged_child(&done[&parent], encoder.set_mask(set), aggs);
+                    (set, arena, merges)
+                })
+                .collect()
+        };
+
+        for (set, arena, merges) in built {
+            stats.merge_calls += merges;
+            done.insert(set, arena);
+            order.push(set);
+        }
+    }
+
+    Ok(lattice
+        .sets()
+        .iter()
+        .map(|s| {
+            (*s, done.remove(s).expect("every set materialized").into_group_map(encoder))
+        })
+        .collect())
+}
+
+/// Partition-parallel aggregation on packed keys: each worker computes
+/// its partition's core arena; partitions coalesce by *adopting* a
+/// first-seen cell's accumulators outright and merging on collisions;
+/// the (parallel) cascade finishes the job.
+pub(crate) fn parallel(
+    enc: &EncodedInput,
+    rows: &[Row],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    threads: usize,
+    stats: &mut ExecStats,
+) -> CubeResult<SetMaps> {
+    let threads = threads.max(1).min(rows.len().max(1));
+    let chunk = rows.len().div_ceil(threads).max(1);
+
+    let partials: Vec<(Arena, ExecStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks(chunk)
+            .zip(enc.keys.chunks(chunk))
+            .map(|(part_rows, part_keys)| {
+                scope.spawn(move |_| {
+                    let mut local = ExecStats::default();
+                    let mut arena = Arena::new(aggs.len());
+                    for (row, &key) in part_rows.iter().zip(part_keys) {
+                        local.rows_scanned += 1;
+                        arena.update(key, row, aggs, &mut local);
+                    }
+                    (arena, local)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .map_err(|_| CubeError::Unsupported("parallel worker panicked".into()))?;
+
+    let mut core = Arena::new(aggs.len());
+    let n = aggs.len();
+    for (partial, local) in partials {
+        stats.add(&local);
+        let mut boxes: Vec<Option<Box<dyn Accumulator>>> =
+            partial.accs.into_iter().map(Some).collect();
+        for (key, pslot) in partial.slots {
+            let range = pslot as usize * n..(pslot as usize + 1) * n;
+            match core.slots.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let s = *e.get() as usize;
+                    for (acc, pacc) in
+                        core.accs[s * n..(s + 1) * n].iter_mut().zip(&boxes[range])
+                    {
+                        acc.merge(&pacc.as_ref().expect("slot visited once").state());
+                        stats.merge_calls += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    // First partition to produce this cell: adopt its
+                    // scratchpads wholesale — no Init, no merge.
+                    let s = core.accs.len() / n;
+                    e.insert(s as u32);
+                    for b in &mut boxes[range] {
+                        core.accs.push(b.take().expect("slot visited once"));
+                    }
+                }
+            }
+        }
+    }
+
+    cascade(core, &enc.encoder, aggs, lattice, ParentChoice::SmallestCardinality, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::from_core;
+    use crate::algorithm::naive as row_naive;
+    use crate::encode::encode;
+    use crate::groupby::ExecStats;
+    use crate::spec::{AggSpec, BoundDimension, Dimension};
+    use dc_aggregate::builtin;
+    use dc_relation::{row, DataType, Schema, Table, Value};
+
+    fn setup() -> (Table, Vec<BoundDimension>, Vec<BoundAgg>) {
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("color", DataType::Str),
+            ("units", DataType::Int),
+        ]);
+        let mut t = Table::empty(schema);
+        for (m, y, c, u) in [
+            ("Chevy", 1994, "black", 50),
+            ("Chevy", 1994, "white", 40),
+            ("Chevy", 1995, "black", 85),
+            ("Ford", 1994, "black", 50),
+            ("Ford", 1995, "white", 75),
+        ] {
+            t.push(row![m, y, c, u]).unwrap();
+        }
+        let dims = ["model", "year", "color"]
+            .iter()
+            .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
+            .collect();
+        let aggs = vec![
+            AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap(),
+            AggSpec::new(builtin("COUNT").unwrap(), "units").bind(t.schema()).unwrap(),
+        ];
+        (t, dims, aggs)
+    }
+
+    fn finals(maps: &SetMaps) -> Vec<(GroupingSet, Vec<(Row, Vec<Value>)>)> {
+        maps.iter()
+            .map(|(s, m)| {
+                let mut cells: Vec<(Row, Vec<Value>)> = m
+                    .iter()
+                    .map(|(k, a)| (k.clone(), a.iter().map(|x| x.final_value()).collect()))
+                    .collect();
+                cells.sort();
+                (*s, cells)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encoded_cascade_matches_row_cascade_cells_and_stats() {
+        let (t, dims, aggs) = setup();
+        let lattice = Lattice::cube(3).unwrap();
+        let enc = encode(t.rows(), &dims).unwrap();
+
+        let mut se = ExecStats::default();
+        let e = from_core(
+            &enc,
+            t.rows(),
+            &aggs,
+            &lattice,
+            ParentChoice::SmallestCardinality,
+            &mut se,
+        )
+        .unwrap();
+
+        let mut sr = ExecStats::default();
+        let r = from_core::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr).unwrap();
+
+        assert_eq!(finals(&e), finals(&r));
+        assert_eq!(se, sr, "work counters must be identical across key engines");
+    }
+
+    #[test]
+    fn encoded_naive_matches_row_naive() {
+        let (t, dims, aggs) = setup();
+        let lattice = Lattice::cube(3).unwrap();
+        let enc = encode(t.rows(), &dims).unwrap();
+        let mut se = ExecStats::default();
+        let e = naive(&enc, t.rows(), &aggs, &lattice, &mut se).unwrap();
+        let mut sr = ExecStats::default();
+        let r = row_naive::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr).unwrap();
+        assert_eq!(finals(&e), finals(&r));
+        assert_eq!(se, sr);
+    }
+
+    #[test]
+    fn encoded_parallel_adopts_without_extra_merges() {
+        let (t, dims, aggs) = setup();
+        let lattice = Lattice::cube(3).unwrap();
+        let enc = encode(t.rows(), &dims).unwrap();
+
+        // One thread: the coalesce step adopts every cell — zero merges
+        // beyond the cascade's own.
+        let mut s1 = ExecStats::default();
+        let one = parallel(&enc, t.rows(), &aggs, &lattice, 1, &mut s1).unwrap();
+        let mut sc = ExecStats::default();
+        let serial = from_core(
+            &enc,
+            t.rows(),
+            &aggs,
+            &lattice,
+            ParentChoice::SmallestCardinality,
+            &mut sc,
+        )
+        .unwrap();
+        assert_eq!(finals(&one), finals(&serial));
+        assert_eq!(s1.merge_calls, sc.merge_calls);
+
+        // Multi-thread still agrees on cells.
+        let mut s4 = ExecStats::default();
+        let four = parallel(&enc, t.rows(), &aggs, &lattice, 4, &mut s4).unwrap();
+        assert_eq!(finals(&four), finals(&serial));
+    }
+
+    #[test]
+    fn arena_slots_are_contiguous_per_cell() {
+        let (t, dims, aggs) = setup();
+        let enc = encode(t.rows(), &dims).unwrap();
+        let arena = compute_core(&enc, t.rows(), &aggs, &mut ExecStats::default());
+        assert_eq!(arena.n_cells(), 5);
+        assert_eq!(arena.accs.len(), 5 * aggs.len());
+    }
+}

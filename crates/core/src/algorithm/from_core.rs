@@ -41,11 +41,57 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    encoded: bool,
 ) -> CubeResult<SetMaps> {
-    run_with_choice(rows, dims, aggs, lattice, ParentChoice::SmallestCardinality, stats)
+    run_with_choice(
+        rows,
+        dims,
+        aggs,
+        lattice,
+        ParentChoice::SmallestCardinality,
+        stats,
+        encoded,
+    )
 }
 
 pub(crate) fn run_with_choice(
+    rows: &[Row],
+    dims: &[BoundDimension],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    choice: ParentChoice,
+    stats: &mut ExecStats,
+    encoded: bool,
+) -> CubeResult<SetMaps> {
+    if encoded {
+        if let Some(enc) = crate::encode::encode(rows, dims) {
+            return super::encoded::from_core(&enc, rows, aggs, lattice, choice, stats);
+        }
+    }
+    run_with_choice_row_path(rows, dims, aggs, lattice, choice, stats)
+}
+
+/// The `Row`-keyed path: fallback when keys don't pack, and the reference
+/// the encoded engine is property-tested against.
+#[cfg(test)]
+pub(crate) fn run_row_path(
+    rows: &[Row],
+    dims: &[BoundDimension],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    stats: &mut ExecStats,
+) -> CubeResult<SetMaps> {
+    run_with_choice_row_path(
+        rows,
+        dims,
+        aggs,
+        lattice,
+        ParentChoice::SmallestCardinality,
+        stats,
+    )
+}
+
+pub(crate) fn run_with_choice_row_path(
     rows: &[Row],
     dims: &[BoundDimension],
     aggs: &[BoundAgg],
@@ -91,7 +137,8 @@ pub(crate) fn cascade(
             }
         };
         let parent_map = &done[&parent];
-        let mut map = GroupMap::with_capacity(parent_map.len() / 2 + 1);
+        let mut map =
+            GroupMap::with_capacity_and_hasher(parent_map.len() / 2 + 1, Default::default());
         for (pkey, paccs) in parent_map {
             let key = project_key(pkey, set);
             let accs = map.entry(key).or_insert_with(|| init_accs(aggs));
@@ -112,7 +159,7 @@ pub(crate) fn cascade(
         .collect())
 }
 
-fn choose_largest(
+pub(crate) fn choose_largest(
     lattice: &Lattice,
     set: GroupingSet,
     cardinalities: &[usize],
@@ -182,9 +229,9 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(3).unwrap();
         let mut s1 = ExecStats::default();
-        let a = run(t.rows(), &dims, &aggs, &lattice, &mut s1).unwrap();
+        let a = run(t.rows(), &dims, &aggs, &lattice, &mut s1, true).unwrap();
         let mut s2 = ExecStats::default();
-        let b = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2).unwrap();
+        let b = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2, true).unwrap();
         assert_eq!(finals(&a), finals(&b));
         // And it does it in ONE scan with T iters, vs T × 2^N.
         assert_eq!(s1.rows_scanned, 8);
@@ -205,13 +252,14 @@ mod tests {
                 &lattice,
                 ParentChoice::SmallestCardinality,
                 &mut base,
+                true,
             )
             .unwrap(),
         );
         for choice in [ParentChoice::LargestCardinality, ParentChoice::AlwaysCore] {
             let mut stats = ExecStats::default();
             let got = finals(
-                &run_with_choice(t.rows(), &dims, &aggs, &lattice, choice, &mut stats)
+                &run_with_choice(t.rows(), &dims, &aggs, &lattice, choice, &mut stats, true)
                     .unwrap(),
             );
             assert_eq!(got, expected, "{choice:?} must produce identical cells");
@@ -227,7 +275,7 @@ mod tests {
         let aggs =
             vec![AggSpec::new(builtin("AVG").unwrap(), "units").bind(t.schema()).unwrap()];
         let lattice = Lattice::cube(3).unwrap();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
         let (_, grand) = maps.iter().find(|(s, _)| s.is_empty()).unwrap();
         let key = Row::new(vec![Value::All, Value::All, Value::All]);
         // Mean of the 8 unit values = 510 / 8.
@@ -238,7 +286,7 @@ mod tests {
     fn works_on_rollup_lattices() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::rollup(3).unwrap();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
         assert_eq!(maps.len(), 4);
         // Each rollup level's sub-totals sum to the grand total.
         for (_, map) in &maps {

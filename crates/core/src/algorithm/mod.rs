@@ -17,6 +17,7 @@
 //! | [`Algorithm::PipeSort`] | the \[ADGNRS\] shared-sort idea | `C(N, N/2)` sorts, `T` Iters each |
 
 pub(crate) mod array;
+pub(crate) mod encoded;
 pub(crate) mod from_core;
 pub(crate) mod naive;
 pub(crate) mod parallel;
@@ -72,6 +73,13 @@ pub enum Algorithm {
 
 
 /// Execute the lattice with the chosen algorithm.
+///
+/// `encoded` enables the packed-`u64`-key engine for the hash-based
+/// algorithms (2^N, unions, from-core, parallel); each falls back to
+/// `Row` keys automatically when the coordinate does not pack (see
+/// [`crate::encode`]). The sort- and array-based algorithms have their
+/// own key machinery and ignore the flag. Results and [`ExecStats`] are
+/// identical either way.
 pub(crate) fn run(
     algorithm: Algorithm,
     rows: &[Row],
@@ -79,18 +87,19 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    encoded: bool,
 ) -> CubeResult<SetMaps> {
     match algorithm {
         Algorithm::Auto => {
             if aggs.iter().any(|a| a.func.kind() == AggKind::Holistic) {
-                naive::run(rows, dims, aggs, lattice, stats)
+                naive::run(rows, dims, aggs, lattice, stats, encoded)
             } else {
-                from_core::run(rows, dims, aggs, lattice, stats)
+                from_core::run(rows, dims, aggs, lattice, stats, encoded)
             }
         }
-        Algorithm::TwoToTheN => naive::run(rows, dims, aggs, lattice, stats),
-        Algorithm::UnionGroupBys => unions::run(rows, dims, aggs, lattice, stats),
-        Algorithm::FromCore => from_core::run(rows, dims, aggs, lattice, stats),
+        Algorithm::TwoToTheN => naive::run(rows, dims, aggs, lattice, stats, encoded),
+        Algorithm::UnionGroupBys => unions::run(rows, dims, aggs, lattice, stats, encoded),
+        Algorithm::FromCore => from_core::run(rows, dims, aggs, lattice, stats, encoded),
         Algorithm::Sort => sort::run(rows, dims, aggs, lattice, stats),
         Algorithm::Array => array::run(rows, dims, aggs, lattice, stats),
         Algorithm::PipeSort => pipesort::run(rows, dims, aggs, lattice, stats),
@@ -98,7 +107,7 @@ pub(crate) fn run(
             if threads == 0 {
                 return Err(CubeError::BadSpec("Parallel requires threads >= 1".into()));
             }
-            parallel::run(rows, dims, aggs, lattice, threads, stats)
+            parallel::run(rows, dims, aggs, lattice, threads, stats, encoded)
         }
     }
 }

@@ -20,9 +20,27 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    encoded: bool,
+) -> CubeResult<SetMaps> {
+    if encoded {
+        if let Some(enc) = crate::encode::encode(rows, dims) {
+            return super::encoded::naive(&enc, rows, aggs, lattice, stats);
+        }
+    }
+    run_row_path(rows, dims, aggs, lattice, stats)
+}
+
+/// The `Row`-keyed path: fallback when keys don't pack, and the reference
+/// the encoded engine is property-tested against.
+pub(crate) fn run_row_path(
+    rows: &[Row],
+    dims: &[BoundDimension],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    stats: &mut ExecStats,
 ) -> CubeResult<SetMaps> {
     let mut maps: SetMaps =
-        lattice.sets().iter().map(|&s| (s, GroupMap::new())).collect();
+        lattice.sets().iter().map(|&s| (s, GroupMap::default())).collect();
     for row in rows {
         stats.rows_scanned += 1;
         let full = full_key(dims, row);
@@ -71,7 +89,7 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(2).unwrap();
         let mut stats = ExecStats::default();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut stats).unwrap();
+        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut stats, true).unwrap();
         // T × 2^N × |aggs| = 3 × 4 × 1 Iter calls — the paper's cost formula.
         assert_eq!(stats.iter_calls, 12);
         assert_eq!(stats.rows_scanned, 3);

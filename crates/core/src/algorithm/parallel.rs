@@ -12,12 +12,31 @@
 
 use crate::algorithm::from_core::{cascade, ParentChoice};
 use crate::error::{CubeError, CubeResult};
-use crate::groupby::{compute_core, init_accs, ExecStats, GroupMap, SetMaps};
+use crate::groupby::{compute_core, ExecStats, GroupMap, SetMaps};
 use crate::lattice::Lattice;
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_relation::Row;
 
 pub(crate) fn run(
+    rows: &[Row],
+    dims: &[BoundDimension],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    threads: usize,
+    stats: &mut ExecStats,
+    encoded: bool,
+) -> CubeResult<SetMaps> {
+    if encoded {
+        if let Some(enc) = crate::encode::encode(rows, dims) {
+            return super::encoded::parallel(&enc, rows, aggs, lattice, threads, stats);
+        }
+    }
+    run_row_path(rows, dims, aggs, lattice, threads, stats)
+}
+
+/// The `Row`-keyed path: fallback when keys don't pack, and the reference
+/// the encoded engine is property-tested against.
+pub(crate) fn run_row_path(
     rows: &[Row],
     dims: &[BoundDimension],
     aggs: &[BoundAgg],
@@ -45,7 +64,7 @@ pub(crate) fn run(
     .map_err(|_| CubeError::Unsupported("parallel worker panicked".into()))?;
 
     // Coalesce: merge every partition's cells into one core.
-    let mut core = GroupMap::new();
+    let mut core = GroupMap::default();
     for (partial, local) in partials {
         stats.add(&local);
         for (key, accs) in partial {
@@ -58,14 +77,11 @@ pub(crate) fn run(
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     // First partition to produce this cell: adopt its
-                    // scratchpads by merging into fresh accumulators (the
-                    // cell may be revisited by later partitions).
-                    let mut fresh = init_accs(aggs);
-                    for (t, s) in fresh.iter_mut().zip(accs.iter()) {
-                        t.merge(&s.state());
-                        stats.merge_calls += 1;
-                    }
-                    e.insert(fresh);
+                    // scratchpads outright — they are already exactly the
+                    // cell's state, so an Init + merge round-trip per
+                    // aggregate is pure waste. Later partitions that
+                    // revisit the cell hit the Occupied arm and merge.
+                    e.insert(accs);
                 }
             }
         }
@@ -110,7 +126,7 @@ mod tests {
         let (t, dims, aggs) = setup(101);
         let lattice = Lattice::cube(2).unwrap();
         let expected =
-            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
         for threads in [1, 2, 4, 7] {
             let got = run(
                 t.rows(),
@@ -119,6 +135,7 @@ mod tests {
                 &lattice,
                 threads,
                 &mut ExecStats::default(),
+                true,
             )
             .unwrap();
             for (set, map) in &expected {
@@ -142,7 +159,7 @@ mod tests {
         let (t, dims, aggs) = setup(3);
         let lattice = Lattice::cube(2).unwrap();
         let maps =
-            run(t.rows(), &dims, &aggs, &lattice, 16, &mut ExecStats::default()).unwrap();
+            run(t.rows(), &dims, &aggs, &lattice, 16, &mut ExecStats::default(), true).unwrap();
         let (_, grand) = maps.iter().find(|(s, _)| s.is_empty()).unwrap();
         let key = Row::new(vec![Value::All, Value::All]);
         assert_eq!(grand[&key][0].final_value(), Value::Int(7 + 14));
@@ -153,7 +170,7 @@ mod tests {
         let (t, dims, aggs) = setup(0);
         let lattice = Lattice::cube(2).unwrap();
         let maps =
-            run(t.rows(), &dims, &aggs, &lattice, 4, &mut ExecStats::default()).unwrap();
+            run(t.rows(), &dims, &aggs, &lattice, 4, &mut ExecStats::default(), true).unwrap();
         assert!(maps.iter().all(|(_, m)| m.is_empty()));
     }
 }

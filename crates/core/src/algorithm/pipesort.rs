@@ -94,7 +94,7 @@ pub(crate) fn run(
         .collect();
 
     let mut maps: SetMaps =
-        lattice.sets().iter().map(|&s| (s, GroupMap::new())).collect();
+        lattice.sets().iter().map(|&s| (s, GroupMap::default())).collect();
 
     for chain in symmetric_chains(n) {
         let order = chain_order(&chain, n);
@@ -298,7 +298,7 @@ mod tests {
         let mut s1 = ExecStats::default();
         let pipe = run(t.rows(), &dims, &aggs, &lattice, &mut s1).unwrap();
         let reference =
-            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
         for (set, map) in &reference {
             let (_, pmap) = pipe.iter().find(|(s, _)| s == set).unwrap();
             assert_eq!(pmap.len(), map.len(), "cells of {set}");

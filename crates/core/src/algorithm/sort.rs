@@ -43,7 +43,7 @@ pub(crate) fn run(
 
     let mut maps: SetMaps = (0..=n)
         .rev()
-        .map(|k| (GroupingSet::first_k(k), GroupMap::new()))
+        .map(|k| (GroupingSet::first_k(k), GroupMap::default()))
         .collect();
 
     // frames[k] aggregates the current run of rows agreeing on the first k
@@ -170,7 +170,7 @@ mod tests {
         let mut s1 = ExecStats::default();
         let sorted = run(t.rows(), &dims, &aggs, &lattice, &mut s1).unwrap();
         let mut s2 = ExecStats::default();
-        let naive = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2).unwrap();
+        let naive = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2, true).unwrap();
         for (set, map) in &naive {
             let (_, smap) = sorted.iter().find(|(s, _)| s == set).unwrap();
             assert_eq!(smap.len(), map.len(), "cell count for {set}");

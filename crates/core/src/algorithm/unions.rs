@@ -19,11 +19,29 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    encoded: bool,
+) -> CubeResult<SetMaps> {
+    if encoded {
+        if let Some(enc) = crate::encode::encode(rows, dims) {
+            return super::encoded::unions(&enc, rows, aggs, lattice, stats);
+        }
+    }
+    run_row_path(rows, dims, aggs, lattice, stats)
+}
+
+/// The `Row`-keyed path: fallback when keys don't pack, and the reference
+/// the encoded engine is property-tested against.
+pub(crate) fn run_row_path(
+    rows: &[Row],
+    dims: &[BoundDimension],
+    aggs: &[BoundAgg],
+    lattice: &Lattice,
+    stats: &mut ExecStats,
 ) -> CubeResult<SetMaps> {
     let mut maps = SetMaps::with_capacity(lattice.sets().len());
     for &set in lattice.sets() {
         // One full scan per grouping set — the cost §2 complains about.
-        let mut map = GroupMap::new();
+        let mut map = GroupMap::default();
         for row in rows {
             stats.rows_scanned += 1;
             let key = project_key(&full_key(dims, row), set);
@@ -51,7 +69,7 @@ mod tests {
             vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
         let lattice = Lattice::cube(1).unwrap();
         let mut stats = ExecStats::default();
-        run(t.rows(), &dims, &aggs, &lattice, &mut stats).unwrap();
+        run(t.rows(), &dims, &aggs, &lattice, &mut stats, true).unwrap();
         // 2 sets × 2 rows: each set re-scans the base table.
         assert_eq!(stats.rows_scanned, 4);
     }

@@ -11,8 +11,7 @@ use crate::error::CubeResult;
 use crate::lattice::GroupingSet;
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_aggregate::Accumulator;
-use dc_relation::{ColumnDef, Row, Schema, Table, Value};
-use std::collections::HashMap;
+use dc_relation::{ColumnDef, FxHashMap, Row, Schema, Table, Value};
 
 /// Work counters for one cube execution; the currency of the paper's cost
 /// analysis ("the 2^N-algorithm invokes the Iter() function T × 2^N
@@ -43,8 +42,9 @@ impl ExecStats {
 
 /// The cells of one grouping set: key (one value per *member* replaced by
 /// its actual value, dropped dimensions already `ALL`) → one accumulator
-/// per aggregate.
-pub(crate) type GroupMap = HashMap<Row, Vec<Box<dyn Accumulator>>>;
+/// per aggregate. Hashed with the Fx hash — group keys are not
+/// attacker-controlled, so SipHash's DoS resistance buys nothing here.
+pub(crate) type GroupMap = FxHashMap<Row, Vec<Box<dyn Accumulator>>>;
 
 /// Cells for a whole family of grouping sets.
 pub(crate) type SetMaps = Vec<(GroupingSet, GroupMap)>;
@@ -99,7 +99,7 @@ pub(crate) fn compute_core(
     aggs: &[BoundAgg],
     stats: &mut ExecStats,
 ) -> GroupMap {
-    let mut map = GroupMap::new();
+    let mut map = GroupMap::default();
     for row in rows {
         stats.rows_scanned += 1;
         let key = full_key(dims, row);
@@ -110,10 +110,12 @@ pub(crate) fn compute_core(
 
 /// Distinct-value count per dimension, read off the core's keys. These are
 /// the `C_i` of the paper's cardinality formula and drive smallest-parent
-/// selection.
+/// selection. Only the `Row`-key fallback pays this scan — the encoded
+/// engine reads the same counts off the symbol tables built during
+/// encoding ([`crate::encode::KeyEncoder::cardinalities`]).
 pub(crate) fn core_cardinalities(core: &GroupMap, n_dims: usize) -> Vec<usize> {
-    let mut seen: Vec<std::collections::HashSet<&Value>> =
-        (0..n_dims).map(|_| std::collections::HashSet::new()).collect();
+    let mut seen: Vec<dc_relation::FxHashSet<&Value>> =
+        (0..n_dims).map(|_| dc_relation::FxHashSet::default()).collect();
     for key in core.keys() {
         for (d, v) in key.iter().enumerate() {
             seen[d].insert(v);

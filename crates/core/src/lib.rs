@@ -41,6 +41,7 @@
 pub mod addressing;
 pub mod algorithm;
 pub mod decoration;
+pub(crate) mod encode;
 pub mod error;
 pub mod groupby;
 pub mod hierarchy;

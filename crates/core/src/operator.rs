@@ -49,6 +49,7 @@ pub struct CubeQuery {
     dims: Vec<Dimension>,
     aggs: Vec<AggSpec>,
     algorithm: Algorithm,
+    encoded: bool,
 }
 
 impl Default for CubeQuery {
@@ -59,7 +60,12 @@ impl Default for CubeQuery {
 
 impl CubeQuery {
     pub fn new() -> Self {
-        CubeQuery { dims: Vec::new(), aggs: Vec::new(), algorithm: Algorithm::Auto }
+        CubeQuery {
+            dims: Vec::new(),
+            aggs: Vec::new(),
+            algorithm: Algorithm::Auto,
+            encoded: true,
+        }
     }
 
     /// Set the grouping dimensions (answer-column order).
@@ -83,6 +89,17 @@ impl CubeQuery {
     /// Choose the execution algorithm (default [`Algorithm::Auto`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Enable or disable the encoded-key engine (default **on**): packed
+    /// `u64` group keys over dictionary-encoded dimensions, flat
+    /// accumulator arenas, and a parallel from-core cascade. Queries whose
+    /// coordinates do not pack into 64 bits fall back to `Row` keys
+    /// automatically; results and [`ExecStats`] are identical either way,
+    /// so this switch exists for benchmarking and property testing.
+    pub fn encoded_keys(mut self, encoded: bool) -> Self {
+        self.encoded = encoded;
         self
     }
 
@@ -125,6 +142,7 @@ impl CubeQuery {
             &lattice,
             choice,
             &mut stats,
+            self.encoded,
         )?;
         let out_schema = crate::groupby::result_schema(&dims, &aggs, &agg_types)?;
         Ok((crate::groupby::materialize(out_schema, maps, &mut stats), stats))
@@ -169,6 +187,7 @@ impl CubeQuery {
             dims: spec.dimensions(),
             aggs: self.aggs.clone(),
             algorithm: self.algorithm,
+            encoded: self.encoded,
         };
         let sets = spec.grouping_sets()?;
         let lattice = Lattice::new(query.dims.len(), sets.clone())?;
@@ -198,8 +217,15 @@ impl CubeQuery {
             self.aggs.iter().map(|a| a.output_type(schema)).collect::<CubeResult<_>>()?;
 
         let mut stats = ExecStats::default();
-        let mut maps =
-            algorithm::run(self.algorithm, table.rows(), &dims, &aggs, lattice, &mut stats)?;
+        let mut maps = algorithm::run(
+            self.algorithm,
+            table.rows(),
+            &dims,
+            &aggs,
+            lattice,
+            &mut stats,
+            self.encoded,
+        )?;
         if let Some(keep) = keep {
             maps.retain(|(s, _)| keep.contains(s));
         }

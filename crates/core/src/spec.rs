@@ -92,6 +92,17 @@ impl BoundDimension {
             BoundEval::Computed(f) => f(row),
         }
     }
+
+    /// The input column index, when this dimension is a plain column
+    /// reference. Lets hot loops borrow the value instead of cloning
+    /// through [`eval`](Self::eval).
+    #[inline]
+    pub fn column_index(&self) -> Option<usize> {
+        match &self.eval {
+            BoundEval::Column(i) => Some(*i),
+            BoundEval::Computed(_) => None,
+        }
+    }
 }
 
 /// One aggregate call in the select list: `SUM(units) AS total`.

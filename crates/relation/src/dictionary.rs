@@ -7,14 +7,14 @@
 //! N-dimensional array." [`SymbolTable`] is that structure; the dense-array
 //! cube algorithm in `datacube::algorithm::array` builds on it.
 
+use crate::fx::FxHashMap;
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// Maps each distinct [`Value`] of one dimension to a dense code
 /// `0..cardinality`, in first-seen order.
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
-    codes: HashMap<Value, u32>,
+    codes: FxHashMap<Value, u32>,
     values: Vec<Value>,
 }
 

@@ -29,6 +29,7 @@ pub mod date;
 pub mod dictionary;
 pub mod display;
 pub mod error;
+pub mod fx;
 pub mod row;
 pub mod schema;
 pub mod table;
@@ -36,6 +37,7 @@ pub mod value;
 
 pub use date::Date;
 pub use dictionary::SymbolTable;
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use error::{RelError, RelResult};
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema};

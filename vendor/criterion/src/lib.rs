@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `BenchmarkId`, `bench_function` / `bench_with_input`, `Bencher::iter` —
+//! with a simple calibrated wall-clock measurement: each benchmark is warmed
+//! up, then timed over enough iterations to fill a measurement window, and
+//! the mean time per iteration is printed. No statistics, plots, or saved
+//! baselines — just honest comparable numbers for the EXPERIMENTS.md tables.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+    measurement: Duration,
+}
+
+impl Bencher {
+    fn new(measurement: Duration) -> Self {
+        Bencher { mean_ns: 0.0, iters: 0, measurement }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up & calibration: run until ~10% of the window is spent.
+        let calib_target = self.measurement / 10;
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < calib_target {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let budget = (self.measurement - calib_target).as_secs_f64();
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(label: &str, measurement: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(measurement);
+    f(&mut b);
+    println!("{label:<56} {} /iter  ({} iters)", human(b.mean_ns), b.iters);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion's knob for reducing sample counts; this harness has no
+    /// samples, so it only shortens the measurement window a little.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.measurement = Duration::from_millis(300);
+        }
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.measurement, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.measurement, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- {name} --");
+        BenchmarkGroup {
+            name,
+            measurement: Duration::from_millis(500),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(id, Duration::from_millis(500), f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(20));
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("algo", 1000).id, "algo/1000");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

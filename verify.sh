@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repo verification: build, full test suite, and the paper-tables golden.
+# Run from the repository root. Exits non-zero on any failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== paper_tables vs golden =="
+cargo run -q --release -p dc-bench --bin paper_tables > /tmp/paper_tables_actual.txt
+if diff -u paper_tables_output.txt /tmp/paper_tables_actual.txt; then
+    echo "paper_tables output matches the checked-in golden."
+else
+    echo "paper_tables output DIVERGES from paper_tables_output.txt" >&2
+    exit 1
+fi
+
+echo "All checks passed."
