@@ -31,6 +31,8 @@ pub mod accumulator;
 pub mod algebraic;
 pub mod distributive;
 pub mod error;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod holistic;
 pub mod ordered;
 pub mod registry;

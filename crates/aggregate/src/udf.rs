@@ -184,6 +184,8 @@ struct UdaAcc<S> {
 
 impl<S: Send + Sync + 'static> Accumulator for UdaAcc<S> {
     fn iter(&mut self, v: &Value) {
+        #[cfg(feature = "faults")]
+        crate::faults::hit("uda::iter");
         (self.iter)(&mut self.handle, v);
     }
 
@@ -195,12 +197,16 @@ impl<S: Send + Sync + 'static> Accumulator for UdaAcc<S> {
     }
 
     fn merge(&mut self, state: &[Value]) {
+        #[cfg(feature = "faults")]
+        crate::faults::hit("uda::merge");
         if let Some(f) = &self.merge {
             f(&mut self.handle, state);
         }
     }
 
     fn final_value(&self) -> Value {
+        #[cfg(feature = "faults")]
+        crate::faults::hit("uda::final");
         (self.final_)(&self.handle)
     }
 
@@ -222,6 +228,8 @@ impl<S: Send + Sync + 'static> AggregateFunction for Uda<S> {
     }
 
     fn init(&self) -> Box<dyn Accumulator> {
+        #[cfg(feature = "faults")]
+        crate::faults::hit("uda::init");
         Box::new(UdaAcc {
             handle: (self.init)(),
             iter: Arc::clone(&self.iter),

@@ -13,7 +13,8 @@
 //! Full-cube lattices only; sparse cores waste array cells, which is the
 //! trade-off benchmark C7 measures against the hash-based algorithms.
 
-use crate::error::{CubeError, CubeResult};
+use crate::error::{CubeError, CubeResult, Resource};
+use crate::exec::{self, ExecContext};
 use crate::groupby::{ExecStats, GroupMap, SetMaps};
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::{BoundAgg, BoundDimension};
@@ -31,6 +32,7 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     let n = lattice.n_dims();
     if !lattice.is_full_cube() {
@@ -42,7 +44,8 @@ pub(crate) fn run(
     // Pass 1: evaluate keys and build per-dimension symbol tables.
     let mut symbols: Vec<SymbolTable> = (0..n).map(|_| SymbolTable::new()).collect();
     let mut coded: Vec<Vec<u32>> = Vec::with_capacity(rows.len());
-    for row in rows {
+    for (i, row) in rows.iter().enumerate() {
+        ctx.tick(i)?;
         stats.rows_scanned += 1;
         let code: Vec<u32> = dims
             .iter()
@@ -54,13 +57,20 @@ pub(crate) fn run(
 
     // Array geometry: dimension i has C_i real slots plus slot C_i = ALL.
     let sizes: Vec<usize> = symbols.iter().map(|t| t.cardinality() + 1).collect();
+    // Projected size is checked up front — the array never materializes
+    // over-budget, and the dispatcher can degrade to a sparse algorithm on
+    // this error knowing nothing was charged to the shared cell counter.
+    let effective = (MAX_CELLS as u64).min(ctx.cell_budget().unwrap_or(u64::MAX));
     let mut cells: usize = 1;
     for &s in &sizes {
         cells = cells.saturating_mul(s);
-        if cells > MAX_CELLS {
-            return Err(CubeError::Unsupported(format!(
-                "dense array would need {cells}+ cells (limit {MAX_CELLS})"
-            )));
+        if cells as u64 > effective {
+            return Err(CubeError::ResourceExhausted {
+                resource: Resource::Cells,
+                limit: effective,
+                observed: cells as u64,
+                stats: ExecStats::default(),
+            });
         }
     }
     let mut strides = vec![1usize; n];
@@ -72,17 +82,19 @@ pub(crate) fn run(
         std::iter::repeat_with(|| None).take(cells.max(1)).collect();
 
     // Pass 2: aggregate base rows into core cells.
-    for (code, row) in coded.iter().zip(rows.iter()) {
+    for (i, (code, row)) in coded.iter().zip(rows.iter()).enumerate() {
+        ctx.tick(i)?;
         let idx: usize = code
             .iter()
             .zip(strides.iter())
             .map(|(&c, &s)| c as usize * s)
             .sum();
-        let accs = array[idx].get_or_insert_with(|| {
-            aggs.iter().map(|a| a.func.init()).collect()
-        });
+        if array[idx].is_none() {
+            array[idx] = Some(exec::guarded_init(aggs)?);
+        }
+        let accs = array[idx].as_mut().expect("cell just initialized");
         for (acc, agg) in accs.iter_mut().zip(aggs.iter()) {
-            acc.iter(agg.input_value(row));
+            exec::guard(agg.func.name(), || acc.iter(agg.input_value(row)))?;
             stats.iter_calls += 1;
         }
     }
@@ -91,22 +103,27 @@ pub(crate) fn run(
     // every cell with digit d = ALL holds the aggregate over that
     // dimension; sweeping dimensions in sequence populates all 2^N
     // combinations.
+    exec::failpoint("array::sweep")?;
     for d in 0..n {
         let all_digit = sizes[d] - 1;
         for idx in 0..cells {
+            ctx.tick(idx)?;
             let digit = (idx / strides[d]) % sizes[d];
             if digit == all_digit || array[idx].is_none() {
                 continue;
             }
             let target = idx + (all_digit - digit) * strides[d];
             // Take the source states first to satisfy the borrow checker.
-            let states: Vec<Vec<Value>> =
-                array[idx].as_ref().unwrap().iter().map(|a| a.state()).collect();
-            let taccs = array[target].get_or_insert_with(|| {
-                aggs.iter().map(|a| a.func.init()).collect()
-            });
-            for (t, s) in taccs.iter_mut().zip(states.iter()) {
-                t.merge(s);
+            let mut states: Vec<Vec<Value>> = Vec::with_capacity(aggs.len());
+            for (a, agg) in array[idx].as_ref().unwrap().iter().zip(aggs.iter()) {
+                states.push(exec::guard(agg.func.name(), || a.state())?);
+            }
+            if array[target].is_none() {
+                array[target] = Some(exec::guarded_init(aggs)?);
+            }
+            let taccs = array[target].as_mut().expect("slab just initialized");
+            for ((t, s), agg) in taccs.iter_mut().zip(states.iter()).zip(aggs.iter()) {
+                exec::guard(agg.func.name(), || t.merge(s))?;
                 stats.merge_calls += 1;
             }
         }
@@ -176,9 +193,10 @@ mod tests {
     fn matches_naive() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(2).unwrap();
-        let a = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
-        let b =
-            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
+        let ctx = ExecContext::unlimited();
+        let a = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), &ctx).unwrap();
+        let b = naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true, &ctx)
+            .unwrap();
         for (set, map) in &b {
             let (_, amap) = a.iter().find(|(s, _)| s == set).unwrap();
             assert_eq!(amap.len(), map.len(), "cells of {set}");
@@ -192,7 +210,15 @@ mod tests {
     fn grand_total_in_the_all_corner() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(2).unwrap();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+        let maps = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         let (_, grand) = maps.iter().find(|(s, _)| s.is_empty()).unwrap();
         let key = Row::new(vec![Value::All, Value::All]);
         assert_eq!(grand[&key][0].final_value(), Value::Int(395));
@@ -203,7 +229,14 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::rollup(2).unwrap();
         assert!(matches!(
-            run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()),
+            run(
+                t.rows(),
+                &dims,
+                &aggs,
+                &lattice,
+                &mut ExecStats::default(),
+                &ExecContext::unlimited(),
+            ),
             Err(CubeError::Unsupported(_))
         ));
     }
@@ -230,7 +263,15 @@ mod tests {
         let aggs =
             vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
         let lattice = Lattice::cube(2).unwrap();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+        let maps = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         let (_, core) = maps.iter().find(|(s, _)| s.len() == 2).unwrap();
         assert_eq!(core.len(), 2); // not 4
     }

@@ -27,7 +27,8 @@
 //! row touch, `merge_calls` per scratchpad fold.
 
 use crate::encode::{EncodedInput, KeyEncoder};
-use crate::error::{CubeError, CubeResult};
+use crate::error::CubeResult;
+use crate::exec::{self, ExecContext};
 use crate::groupby::{ExecStats, GroupMap, SetMaps};
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::BoundAgg;
@@ -67,18 +68,20 @@ impl Arena {
     }
 
     /// The cell slot for `key`, appending fresh accumulators (the paper's
-    /// Init() burst) on first touch.
+    /// Init() burst) on first touch. A fresh cell charges the budget and
+    /// runs each Init under the panic guard.
     #[inline]
-    fn slot(&mut self, key: u64, aggs: &[BoundAgg]) -> usize {
+    fn slot(&mut self, key: u64, aggs: &[BoundAgg], ctx: &ExecContext) -> CubeResult<usize> {
         match self.slots.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get() as usize,
+            std::collections::hash_map::Entry::Occupied(e) => Ok(*e.get() as usize),
             std::collections::hash_map::Entry::Vacant(e) => {
+                ctx.charge_cells(1)?;
                 let s = self.accs.len() / self.n_aggs;
                 e.insert(s as u32);
                 for a in aggs {
-                    self.accs.push(a.func.init());
+                    self.accs.push(exec::guard(a.func.name(), || a.func.init())?);
                 }
-                s
+                Ok(s)
             }
         }
     }
@@ -96,19 +99,27 @@ impl Arena {
     /// Fold one base row into the cell for `key` — Init on first touch,
     /// then Iter per aggregate, mirroring `groupby::update_cell`.
     #[inline]
-    fn update(&mut self, key: u64, row: &Row, aggs: &[BoundAgg], stats: &mut ExecStats) {
-        let s = self.slot(key, aggs);
+    fn update(
+        &mut self,
+        key: u64,
+        row: &Row,
+        aggs: &[BoundAgg],
+        stats: &mut ExecStats,
+        ctx: &ExecContext,
+    ) -> CubeResult<()> {
+        let s = self.slot(key, aggs, ctx)?;
         for (acc, agg) in self.accs_mut(s).iter_mut().zip(aggs.iter()) {
-            acc.iter(agg.input_value(row));
+            exec::guard(agg.func.name(), || acc.iter(agg.input_value(row)))?;
             stats.iter_calls += 1;
         }
+        Ok(())
     }
 
     /// Decode into the `Row`-keyed cell map the materializer consumes.
     fn into_group_map(self, encoder: &KeyEncoder) -> GroupMap {
         let n = self.n_aggs;
         let mut per_slot: Vec<Vec<Box<dyn Accumulator>>> =
-            Vec::with_capacity(if n == 0 { 0 } else { self.accs.len() / n });
+            Vec::with_capacity(self.accs.len().checked_div(n).unwrap_or(0));
         let mut cell = Vec::with_capacity(n);
         for acc in self.accs {
             cell.push(acc);
@@ -135,13 +146,16 @@ pub(crate) fn compute_core(
     rows: &[Row],
     aggs: &[BoundAgg],
     stats: &mut ExecStats,
-) -> Arena {
+    ctx: &ExecContext,
+) -> CubeResult<Arena> {
+    exec::failpoint("core::scan")?;
     let mut arena = Arena::new(aggs.len());
-    for (row, &key) in rows.iter().zip(&enc.keys) {
+    for (i, (row, &key)) in rows.iter().zip(&enc.keys).enumerate() {
+        ctx.tick(i)?;
         stats.rows_scanned += 1;
-        arena.update(key, row, aggs, stats);
+        arena.update(key, row, aggs, stats, ctx)?;
     }
-    arena
+    Ok(arena)
 }
 
 /// The 2^N algorithm on packed keys: every row updates every grouping
@@ -152,16 +166,19 @@ pub(crate) fn naive(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
+    exec::failpoint("naive::scan")?;
     let mut arenas: Vec<(GroupingSet, u64, Arena)> = lattice
         .sets()
         .iter()
         .map(|&s| (s, enc.encoder.set_mask(s), Arena::new(aggs.len())))
         .collect();
-    for (row, &key) in rows.iter().zip(&enc.keys) {
+    for (i, (row, &key)) in rows.iter().zip(&enc.keys).enumerate() {
+        ctx.tick(i)?;
         stats.rows_scanned += 1;
         for (_, mask, arena) in arenas.iter_mut() {
-            arena.update(key & *mask, row, aggs, stats);
+            arena.update(key & *mask, row, aggs, stats, ctx)?;
         }
     }
     Ok(arenas
@@ -178,14 +195,17 @@ pub(crate) fn unions(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
+    exec::failpoint("unions::scan")?;
     let mut maps = SetMaps::with_capacity(lattice.sets().len());
     for &set in lattice.sets() {
         let mask = enc.encoder.set_mask(set);
         let mut arena = Arena::new(aggs.len());
-        for (row, &key) in rows.iter().zip(&enc.keys) {
+        for (i, (row, &key)) in rows.iter().zip(&enc.keys).enumerate() {
+            ctx.tick(i)?;
             stats.rows_scanned += 1;
-            arena.update(key & mask, row, aggs, stats);
+            arena.update(key & mask, row, aggs, stats, ctx)?;
         }
         maps.push((set, arena.into_group_map(&enc.encoder)));
     }
@@ -200,26 +220,35 @@ pub(crate) fn from_core(
     lattice: &Lattice,
     choice: ParentChoice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
-    let core = compute_core(enc, rows, aggs, stats);
-    cascade(core, &enc.encoder, aggs, lattice, choice, stats)
+    let core = compute_core(enc, rows, aggs, stats, ctx)?;
+    cascade(core, &enc.encoder, aggs, lattice, choice, stats, ctx)
 }
 
 /// Build one child set by folding a parent arena through the set's mask.
 /// Returns the child arena and its merge count (one per parent cell per
 /// aggregate, exactly like the serial `Row`-keyed cascade).
-fn merged_child(parent: &Arena, mask: u64, aggs: &[BoundAgg]) -> (Arena, u64) {
+fn merged_child(
+    parent: &Arena,
+    mask: u64,
+    aggs: &[BoundAgg],
+    ctx: &ExecContext,
+) -> CubeResult<(Arena, u64)> {
     let mut child = Arena::with_capacity(aggs.len(), parent.n_cells() / 2 + 1);
     let mut merges = 0u64;
-    for (&pkey, &pslot) in &parent.slots {
-        let cslot = child.slot(pkey & mask, aggs);
+    for (i, (&pkey, &pslot)) in parent.slots.iter().enumerate() {
+        ctx.tick(i)?;
+        let cslot = child.slot(pkey & mask, aggs, ctx)?;
         let paccs = parent.accs_at(pslot as usize);
-        for (acc, pacc) in child.accs_mut(cslot).iter_mut().zip(paccs.iter()) {
-            acc.merge(&pacc.state());
+        for ((acc, pacc), agg) in
+            child.accs_mut(cslot).iter_mut().zip(paccs.iter()).zip(aggs.iter())
+        {
+            exec::guard(agg.func.name(), || acc.merge(&pacc.state()))?;
             merges += 1;
         }
     }
-    (child, merges)
+    Ok((child, merges))
 }
 
 /// The cascade over arenas, parallel by lattice level.
@@ -238,6 +267,7 @@ pub(crate) fn cascade(
     lattice: &Lattice,
     choice: ParentChoice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     let core_set = lattice.core();
     // Satellite of the encoding pass: the C_i come straight off the
@@ -279,39 +309,58 @@ pub(crate) fn cascade(
             let workers = threads.min(level.len());
             let chunk = level.len().div_ceil(workers);
             let done_ref = &done;
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = level
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move |_| {
-                            part.iter()
-                                .map(|&(set, parent)| {
-                                    let (arena, merges) = merged_child(
-                                        &done_ref[&parent],
-                                        encoder.set_mask(set),
-                                        aggs,
-                                    );
-                                    (set, arena, merges)
-                                })
-                                .collect::<Vec<_>>()
+            // Every handle is joined before any error propagates: an `?`
+            // inside the join loop would drop the remaining handles and
+            // let a second panicking worker unwind through the scope.
+            let joined: Vec<CubeResult<Vec<(GroupingSet, Arena, u64)>>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = level
+                        .chunks(chunk)
+                        .map(|part| {
+                            scope.spawn(move |_| -> CubeResult<Vec<_>> {
+                                exec::failpoint("cascade::level")?;
+                                part.iter()
+                                    .map(|&(set, parent)| {
+                                        ctx.checkpoint()?;
+                                        let (arena, merges) = merged_child(
+                                            &done_ref[&parent],
+                                            encoder.set_mask(set),
+                                            aggs,
+                                            ctx,
+                                        )?;
+                                        Ok((set, arena, merges))
+                                    })
+                                    .collect()
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("cascade worker panicked"))
-                    .collect()
-            })
-            .map_err(|_| CubeError::Unsupported("cascade worker panicked".into()))?
-        } else {
-            level
-                .iter()
-                .map(|&(set, parent)| {
-                    let (arena, merges) =
-                        merged_child(&done[&parent], encoder.set_mask(set), aggs);
-                    (set, arena, merges)
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|p| {
+                                Err(exec::panic_error("cascade::level", p.as_ref()))
+                            })
+                        })
+                        .collect()
                 })
-                .collect()
+                .unwrap_or_else(|p| {
+                    vec![Err(exec::panic_error("cascade::level", p.as_ref()))]
+                });
+            let mut built = Vec::new();
+            for part in joined {
+                built.extend(part?);
+            }
+            built
+        } else {
+            exec::failpoint("cascade::level")?;
+            let mut built = Vec::with_capacity(level.len());
+            for &(set, parent) in &level {
+                ctx.checkpoint()?;
+                let (arena, merges) =
+                    merged_child(&done[&parent], encoder.set_mask(set), aggs, ctx)?;
+                built.push((set, arena, merges));
+            }
+            built
         };
 
         for (set, arena, merges) in built {
@@ -341,33 +390,49 @@ pub(crate) fn parallel(
     lattice: &Lattice,
     threads: usize,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     let threads = threads.max(1).min(rows.len().max(1));
+    stats.threads_used = stats.threads_used.max(threads as u64);
     let chunk = rows.len().div_ceil(threads).max(1);
 
-    let partials: Vec<(Arena, ExecStats)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = rows
-            .chunks(chunk)
-            .zip(enc.keys.chunks(chunk))
-            .map(|(part_rows, part_keys)| {
-                scope.spawn(move |_| {
-                    let mut local = ExecStats::default();
-                    let mut arena = Arena::new(aggs.len());
-                    for (row, &key) in part_rows.iter().zip(part_keys) {
-                        local.rows_scanned += 1;
-                        arena.update(key, row, aggs, &mut local);
-                    }
-                    (arena, local)
+    // Join every handle before surfacing any error — see `cascade`.
+    let partials: Vec<CubeResult<(Arena, ExecStats)>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .zip(enc.keys.chunks(chunk))
+                .map(|(part_rows, part_keys)| {
+                    scope.spawn(move |_| -> CubeResult<(Arena, ExecStats)> {
+                        exec::failpoint("parallel::worker")?;
+                        let mut local = ExecStats::default();
+                        let mut arena = Arena::new(aggs.len());
+                        for (i, (row, &key)) in
+                            part_rows.iter().zip(part_keys).enumerate()
+                        {
+                            ctx.tick(i)?;
+                            local.rows_scanned += 1;
+                            arena.update(key, row, aggs, &mut local, ctx)?;
+                        }
+                        Ok((arena, local))
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .map_err(|_| CubeError::Unsupported("parallel worker panicked".into()))?;
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(exec::panic_error("parallel::worker", p.as_ref()))
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|p| vec![Err(exec::panic_error("parallel::worker", p.as_ref()))]);
 
     let mut core = Arena::new(aggs.len());
     let n = aggs.len();
-    for (partial, local) in partials {
+    for partial in partials {
+        let (partial, local) = partial?;
         stats.add(&local);
         let mut boxes: Vec<Option<Box<dyn Accumulator>>> =
             partial.accs.into_iter().map(Some).collect();
@@ -376,10 +441,13 @@ pub(crate) fn parallel(
             match core.slots.entry(key) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     let s = *e.get() as usize;
-                    for (acc, pacc) in
-                        core.accs[s * n..(s + 1) * n].iter_mut().zip(&boxes[range])
+                    for ((acc, pacc), agg) in core.accs[s * n..(s + 1) * n]
+                        .iter_mut()
+                        .zip(&boxes[range])
+                        .zip(aggs.iter())
                     {
-                        acc.merge(&pacc.as_ref().expect("slot visited once").state());
+                        let pacc = pacc.as_ref().expect("slot visited once");
+                        exec::guard(agg.func.name(), || acc.merge(&pacc.state()))?;
                         stats.merge_calls += 1;
                     }
                 }
@@ -396,7 +464,15 @@ pub(crate) fn parallel(
         }
     }
 
-    cascade(core, &enc.encoder, aggs, lattice, ParentChoice::SmallestCardinality, stats)
+    cascade(
+        core,
+        &enc.encoder,
+        aggs,
+        lattice,
+        ParentChoice::SmallestCardinality,
+        stats,
+        ctx,
+    )
 }
 
 #[cfg(test)]
@@ -438,7 +514,9 @@ mod tests {
         (t, dims, aggs)
     }
 
-    fn finals(maps: &SetMaps) -> Vec<(GroupingSet, Vec<(Row, Vec<Value>)>)> {
+    type FinalCells = Vec<(GroupingSet, Vec<(Row, Vec<Value>)>)>;
+
+    fn finals(maps: &SetMaps) -> FinalCells {
         maps.iter()
             .map(|(s, m)| {
                 let mut cells: Vec<(Row, Vec<Value>)> = m
@@ -457,6 +535,7 @@ mod tests {
         let lattice = Lattice::cube(3).unwrap();
         let enc = encode(t.rows(), &dims).unwrap();
 
+        let ctx = ExecContext::unlimited();
         let mut se = ExecStats::default();
         let e = from_core(
             &enc,
@@ -465,11 +544,13 @@ mod tests {
             &lattice,
             ParentChoice::SmallestCardinality,
             &mut se,
+            &ctx,
         )
         .unwrap();
 
         let mut sr = ExecStats::default();
-        let r = from_core::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr).unwrap();
+        let r = from_core::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr, &ctx)
+            .unwrap();
 
         assert_eq!(finals(&e), finals(&r));
         assert_eq!(se, sr, "work counters must be identical across key engines");
@@ -480,10 +561,12 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(3).unwrap();
         let enc = encode(t.rows(), &dims).unwrap();
+        let ctx = ExecContext::unlimited();
         let mut se = ExecStats::default();
-        let e = naive(&enc, t.rows(), &aggs, &lattice, &mut se).unwrap();
+        let e = naive(&enc, t.rows(), &aggs, &lattice, &mut se, &ctx).unwrap();
         let mut sr = ExecStats::default();
-        let r = row_naive::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr).unwrap();
+        let r = row_naive::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr, &ctx)
+            .unwrap();
         assert_eq!(finals(&e), finals(&r));
         assert_eq!(se, sr);
     }
@@ -496,8 +579,9 @@ mod tests {
 
         // One thread: the coalesce step adopts every cell — zero merges
         // beyond the cascade's own.
+        let ctx = ExecContext::unlimited();
         let mut s1 = ExecStats::default();
-        let one = parallel(&enc, t.rows(), &aggs, &lattice, 1, &mut s1).unwrap();
+        let one = parallel(&enc, t.rows(), &aggs, &lattice, 1, &mut s1, &ctx).unwrap();
         let mut sc = ExecStats::default();
         let serial = from_core(
             &enc,
@@ -506,6 +590,7 @@ mod tests {
             &lattice,
             ParentChoice::SmallestCardinality,
             &mut sc,
+            &ctx,
         )
         .unwrap();
         assert_eq!(finals(&one), finals(&serial));
@@ -513,7 +598,7 @@ mod tests {
 
         // Multi-thread still agrees on cells.
         let mut s4 = ExecStats::default();
-        let four = parallel(&enc, t.rows(), &aggs, &lattice, 4, &mut s4).unwrap();
+        let four = parallel(&enc, t.rows(), &aggs, &lattice, 4, &mut s4, &ctx).unwrap();
         assert_eq!(finals(&four), finals(&serial));
     }
 
@@ -521,7 +606,14 @@ mod tests {
     fn arena_slots_are_contiguous_per_cell() {
         let (t, dims, aggs) = setup();
         let enc = encode(t.rows(), &dims).unwrap();
-        let arena = compute_core(&enc, t.rows(), &aggs, &mut ExecStats::default());
+        let arena = compute_core(
+            &enc,
+            t.rows(),
+            &aggs,
+            &mut ExecStats::default(),
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         assert_eq!(arena.n_cells(), 5);
         assert_eq!(arena.accs.len(), 5 * aggs.len());
     }

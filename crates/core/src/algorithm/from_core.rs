@@ -15,8 +15,9 @@
 //! and benchmark C10 shows why.
 
 use crate::error::CubeResult;
+use crate::exec::{self, ExecContext};
 use crate::groupby::{
-    compute_core, core_cardinalities, init_accs, project_key, ExecStats, GroupMap, SetMaps,
+    compute_core, core_cardinalities, project_key, ExecStats, GroupMap, SetMaps,
 };
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::{BoundAgg, BoundDimension};
@@ -42,6 +43,7 @@ pub(crate) fn run(
     lattice: &Lattice,
     stats: &mut ExecStats,
     encoded: bool,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     run_with_choice(
         rows,
@@ -51,9 +53,11 @@ pub(crate) fn run(
         ParentChoice::SmallestCardinality,
         stats,
         encoded,
+        ctx,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_with_choice(
     rows: &[Row],
     dims: &[BoundDimension],
@@ -62,13 +66,48 @@ pub(crate) fn run_with_choice(
     choice: ParentChoice,
     stats: &mut ExecStats,
     encoded: bool,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     if encoded {
         if let Some(enc) = crate::encode::encode(rows, dims) {
-            return super::encoded::from_core(&enc, rows, aggs, lattice, choice, stats);
+            stats.encoded_keys = true;
+            if let Some(budget) = ctx.cell_budget() {
+                let projected =
+                    projected_lattice_cells(&enc.encoder.cardinalities(), lattice);
+                if projected > budget {
+                    // Degradation rung 2: the cascade would hold the whole
+                    // lattice's cells live at once. Stream one grouping
+                    // set at a time instead — only cells that actually
+                    // exist are charged, so a sparse cube whose §3
+                    // estimate is pessimistic still completes; a genuinely
+                    // dense one trips the budget mid-scan.
+                    stats.degraded_to_streaming = true;
+                    return super::encoded::unions(&enc, rows, aggs, lattice, stats, ctx);
+                }
+            }
+            return super::encoded::from_core(
+                &enc, rows, aggs, lattice, choice, stats, ctx,
+            );
         }
     }
-    run_with_choice_row_path(rows, dims, aggs, lattice, choice, stats)
+    run_with_choice_row_path(rows, dims, aggs, lattice, choice, stats, ctx)
+}
+
+/// §3's size estimate summed over the lattice: each grouping set projects
+/// to `Π C_d` over its member dimensions (an `ALL` coordinate contributes
+/// a factor of 1). Saturating: an overflowing estimate is "too big".
+pub(crate) fn projected_lattice_cells(cardinalities: &[usize], lattice: &Lattice) -> u64 {
+    let mut total = 0u64;
+    for set in lattice.sets() {
+        let mut cells = 1u64;
+        for (d, &c) in cardinalities.iter().enumerate() {
+            if set.contains(d) {
+                cells = cells.saturating_mul(c.max(1) as u64);
+            }
+        }
+        total = total.saturating_add(cells);
+    }
+    total
 }
 
 /// The `Row`-keyed path: fallback when keys don't pack, and the reference
@@ -80,6 +119,7 @@ pub(crate) fn run_row_path(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     run_with_choice_row_path(
         rows,
@@ -88,6 +128,7 @@ pub(crate) fn run_row_path(
         lattice,
         ParentChoice::SmallestCardinality,
         stats,
+        ctx,
     )
 }
 
@@ -98,9 +139,10 @@ pub(crate) fn run_with_choice_row_path(
     lattice: &Lattice,
     choice: ParentChoice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
-    let core = compute_core(rows, dims, aggs, stats);
-    cascade(core, aggs, lattice, choice, stats)
+    let core = compute_core(rows, dims, aggs, stats, ctx)?;
+    cascade(core, aggs, lattice, choice, stats, ctx)
 }
 
 /// The cascade proper: given the core cells, materialize every other
@@ -112,7 +154,9 @@ pub(crate) fn cascade(
     lattice: &Lattice,
     choice: ParentChoice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
+    exec::failpoint("cascade::level")?;
     let core_set = lattice.core();
     let cardinalities = core_cardinalities(&core, lattice.n_dims());
 
@@ -136,14 +180,21 @@ pub(crate) fn cascade(
                 choose_largest(lattice, set, &cardinalities, &order)
             }
         };
+        ctx.checkpoint()?;
         let parent_map = &done[&parent];
         let mut map =
             GroupMap::with_capacity_and_hasher(parent_map.len() / 2 + 1, Default::default());
         for (pkey, paccs) in parent_map {
             let key = project_key(pkey, set);
-            let accs = map.entry(key).or_insert_with(|| init_accs(aggs));
-            for (acc, pacc) in accs.iter_mut().zip(paccs.iter()) {
-                acc.merge(&pacc.state());
+            let accs = match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    ctx.charge_cells(1)?;
+                    e.insert(exec::guarded_init(aggs)?)
+                }
+            };
+            for ((acc, pacc), agg) in accs.iter_mut().zip(paccs.iter()).zip(aggs.iter()) {
+                exec::guard(agg.func.name(), || acc.merge(&pacc.state()))?;
                 stats.merge_calls += 1;
             }
         }
@@ -228,10 +279,11 @@ mod tests {
     fn matches_the_2n_algorithm() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(3).unwrap();
+        let ctx = ExecContext::unlimited();
         let mut s1 = ExecStats::default();
-        let a = run(t.rows(), &dims, &aggs, &lattice, &mut s1, true).unwrap();
+        let a = run(t.rows(), &dims, &aggs, &lattice, &mut s1, true, &ctx).unwrap();
         let mut s2 = ExecStats::default();
-        let b = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2, true).unwrap();
+        let b = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2, true, &ctx).unwrap();
         assert_eq!(finals(&a), finals(&b));
         // And it does it in ONE scan with T iters, vs T × 2^N.
         assert_eq!(s1.rows_scanned, 8);
@@ -243,6 +295,7 @@ mod tests {
     fn parent_choices_agree_on_results() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(3).unwrap();
+        let ctx = ExecContext::unlimited();
         let mut base = ExecStats::default();
         let expected = finals(
             &run_with_choice(
@@ -253,14 +306,24 @@ mod tests {
                 ParentChoice::SmallestCardinality,
                 &mut base,
                 true,
+                &ctx,
             )
             .unwrap(),
         );
         for choice in [ParentChoice::LargestCardinality, ParentChoice::AlwaysCore] {
             let mut stats = ExecStats::default();
             let got = finals(
-                &run_with_choice(t.rows(), &dims, &aggs, &lattice, choice, &mut stats, true)
-                    .unwrap(),
+                &run_with_choice(
+                    t.rows(),
+                    &dims,
+                    &aggs,
+                    &lattice,
+                    choice,
+                    &mut stats,
+                    true,
+                    &ctx,
+                )
+                .unwrap(),
             );
             assert_eq!(got, expected, "{choice:?} must produce identical cells");
         }
@@ -275,7 +338,16 @@ mod tests {
         let aggs =
             vec![AggSpec::new(builtin("AVG").unwrap(), "units").bind(t.schema()).unwrap()];
         let lattice = Lattice::cube(3).unwrap();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
+        let maps = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            true,
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         let (_, grand) = maps.iter().find(|(s, _)| s.is_empty()).unwrap();
         let key = Row::new(vec![Value::All, Value::All, Value::All]);
         // Mean of the 8 unit values = 510 / 8.
@@ -286,7 +358,16 @@ mod tests {
     fn works_on_rollup_lattices() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::rollup(3).unwrap();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
+        let maps = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            true,
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         assert_eq!(maps.len(), 4);
         // Each rollup level's sub-totals sum to the grand total.
         for (_, map) in &maps {

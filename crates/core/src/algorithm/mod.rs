@@ -29,7 +29,8 @@ pub use array::MAX_CELLS;
 pub use from_core::ParentChoice;
 pub use pipesort::symmetric_chains;
 
-use crate::error::{CubeError, CubeResult};
+use crate::error::{CubeError, CubeResult, Resource};
+use crate::exec::ExecContext;
 use crate::groupby::{ExecStats, SetMaps};
 use crate::lattice::Lattice;
 use crate::spec::{BoundAgg, BoundDimension};
@@ -80,6 +81,7 @@ pub enum Algorithm {
 /// [`crate::encode`]). The sort- and array-based algorithms have their
 /// own key machinery and ignore the flag. Results and [`ExecStats`] are
 /// identical either way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     algorithm: Algorithm,
     rows: &[Row],
@@ -88,26 +90,42 @@ pub(crate) fn run(
     lattice: &Lattice,
     stats: &mut ExecStats,
     encoded: bool,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     match algorithm {
         Algorithm::Auto => {
             if aggs.iter().any(|a| a.func.kind() == AggKind::Holistic) {
-                naive::run(rows, dims, aggs, lattice, stats, encoded)
+                naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
             } else {
-                from_core::run(rows, dims, aggs, lattice, stats, encoded)
+                from_core::run(rows, dims, aggs, lattice, stats, encoded, ctx)
             }
         }
-        Algorithm::TwoToTheN => naive::run(rows, dims, aggs, lattice, stats, encoded),
-        Algorithm::UnionGroupBys => unions::run(rows, dims, aggs, lattice, stats, encoded),
-        Algorithm::FromCore => from_core::run(rows, dims, aggs, lattice, stats, encoded),
-        Algorithm::Sort => sort::run(rows, dims, aggs, lattice, stats),
-        Algorithm::Array => array::run(rows, dims, aggs, lattice, stats),
-        Algorithm::PipeSort => pipesort::run(rows, dims, aggs, lattice, stats),
+        Algorithm::TwoToTheN => naive::run(rows, dims, aggs, lattice, stats, encoded, ctx),
+        Algorithm::UnionGroupBys => {
+            unions::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+        }
+        Algorithm::FromCore => from_core::run(rows, dims, aggs, lattice, stats, encoded, ctx),
+        Algorithm::Sort => sort::run(rows, dims, aggs, lattice, stats, ctx),
+        Algorithm::Array => match array::run(rows, dims, aggs, lattice, stats, ctx) {
+            // Degradation rung 1: the dense array's *projected* size is
+            // checked before anything is materialized, so a cell/memory
+            // trip here is free to retry on the sparse hash-based path
+            // (which only pays for cells that actually exist).
+            Err(CubeError::ResourceExhausted {
+                resource: Resource::Cells | Resource::MemoryBytes,
+                ..
+            }) => {
+                stats.degraded_dense_to_sparse = true;
+                from_core::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+            }
+            other => other,
+        },
+        Algorithm::PipeSort => pipesort::run(rows, dims, aggs, lattice, stats, ctx),
         Algorithm::Parallel { threads } => {
             if threads == 0 {
                 return Err(CubeError::BadSpec("Parallel requires threads >= 1".into()));
             }
-            parallel::run(rows, dims, aggs, lattice, threads, stats, encoded)
+            parallel::run(rows, dims, aggs, lattice, threads, stats, encoded, ctx)
         }
     }
 }

@@ -9,6 +9,7 @@
 //! single scan.
 
 use crate::error::CubeResult;
+use crate::exec::{self, ExecContext};
 use crate::groupby::{full_key, project_key, update_cell, ExecStats, GroupMap, SetMaps};
 use crate::lattice::Lattice;
 use crate::spec::{BoundAgg, BoundDimension};
@@ -21,13 +22,15 @@ pub(crate) fn run(
     lattice: &Lattice,
     stats: &mut ExecStats,
     encoded: bool,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     if encoded {
         if let Some(enc) = crate::encode::encode(rows, dims) {
-            return super::encoded::naive(&enc, rows, aggs, lattice, stats);
+            stats.encoded_keys = true;
+            return super::encoded::naive(&enc, rows, aggs, lattice, stats, ctx);
         }
     }
-    run_row_path(rows, dims, aggs, lattice, stats)
+    run_row_path(rows, dims, aggs, lattice, stats, ctx)
 }
 
 /// The `Row`-keyed path: fallback when keys don't pack, and the reference
@@ -38,15 +41,18 @@ pub(crate) fn run_row_path(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
+    exec::failpoint("naive::scan")?;
     let mut maps: SetMaps =
         lattice.sets().iter().map(|&s| (s, GroupMap::default())).collect();
-    for row in rows {
+    for (i, row) in rows.iter().enumerate() {
+        ctx.tick(i)?;
         stats.rows_scanned += 1;
         let full = full_key(dims, row);
         for (set, map) in maps.iter_mut() {
             let key = project_key(&full, *set);
-            update_cell(map, key, row, aggs, stats);
+            update_cell(map, key, row, aggs, stats, ctx)?;
         }
     }
     Ok(maps)
@@ -89,7 +95,8 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(2).unwrap();
         let mut stats = ExecStats::default();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut stats, true).unwrap();
+        let ctx = ExecContext::unlimited();
+        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut stats, true, &ctx).unwrap();
         // T × 2^N × |aggs| = 3 × 4 × 1 Iter calls — the paper's cost formula.
         assert_eq!(stats.iter_calls, 12);
         assert_eq!(stats.rows_scanned, 3);

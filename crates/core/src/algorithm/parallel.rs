@@ -11,12 +11,14 @@
 //! produces the super-aggregates.
 
 use crate::algorithm::from_core::{cascade, ParentChoice};
-use crate::error::{CubeError, CubeResult};
+use crate::error::CubeResult;
+use crate::exec::{self, ExecContext};
 use crate::groupby::{compute_core, ExecStats, GroupMap, SetMaps};
 use crate::lattice::Lattice;
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_relation::Row;
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     rows: &[Row],
     dims: &[BoundDimension],
@@ -25,13 +27,15 @@ pub(crate) fn run(
     threads: usize,
     stats: &mut ExecStats,
     encoded: bool,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     if encoded {
         if let Some(enc) = crate::encode::encode(rows, dims) {
-            return super::encoded::parallel(&enc, rows, aggs, lattice, threads, stats);
+            stats.encoded_keys = true;
+            return super::encoded::parallel(&enc, rows, aggs, lattice, threads, stats, ctx);
         }
     }
-    run_row_path(rows, dims, aggs, lattice, threads, stats)
+    run_row_path(rows, dims, aggs, lattice, threads, stats, ctx)
 }
 
 /// The `Row`-keyed path: fallback when keys don't pack, and the reference
@@ -43,35 +47,51 @@ pub(crate) fn run_row_path(
     lattice: &Lattice,
     threads: usize,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     let threads = threads.max(1).min(rows.len().max(1));
+    stats.threads_used = stats.threads_used.max(threads as u64);
     let chunk = rows.len().div_ceil(threads);
 
-    // Aggregate each partition's core in parallel.
-    let partials: Vec<(GroupMap, ExecStats)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = rows
-            .chunks(chunk.max(1))
-            .map(|part| {
-                scope.spawn(move |_| {
-                    let mut local = ExecStats::default();
-                    let core = compute_core(part, dims, aggs, &mut local);
-                    (core, local)
+    // Aggregate each partition's core in parallel. Every handle is joined
+    // before any error propagates: an early `?` would drop the remaining
+    // handles and let a second panicking worker unwind through the scope.
+    let partials: Vec<CubeResult<(GroupMap, ExecStats)>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk.max(1))
+                .map(|part| {
+                    scope.spawn(move |_| -> CubeResult<(GroupMap, ExecStats)> {
+                        exec::failpoint("parallel::worker")?;
+                        let mut local = ExecStats::default();
+                        let core = compute_core(part, dims, aggs, &mut local, ctx)?;
+                        Ok((core, local))
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .map_err(|_| CubeError::Unsupported("parallel worker panicked".into()))?;
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(exec::panic_error("parallel::worker", p.as_ref()))
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|p| vec![Err(exec::panic_error("parallel::worker", p.as_ref()))]);
 
     // Coalesce: merge every partition's cells into one core.
     let mut core = GroupMap::default();
-    for (partial, local) in partials {
+    for partial in partials {
+        let (partial, local) = partial?;
         stats.add(&local);
         for (key, accs) in partial {
             match core.entry(key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (t, s) in e.get_mut().iter_mut().zip(accs.iter()) {
-                        t.merge(&s.state());
+                    for ((t, s), agg) in
+                        e.get_mut().iter_mut().zip(accs.iter()).zip(aggs.iter())
+                    {
+                        exec::guard(agg.func.name(), || t.merge(&s.state()))?;
                         stats.merge_calls += 1;
                     }
                 }
@@ -87,7 +107,7 @@ pub(crate) fn run_row_path(
         }
     }
 
-    cascade(core, aggs, lattice, ParentChoice::SmallestCardinality, stats)
+    cascade(core, aggs, lattice, ParentChoice::SmallestCardinality, stats, ctx)
 }
 
 #[cfg(test)]
@@ -125,8 +145,17 @@ mod tests {
     fn matches_naive_across_thread_counts() {
         let (t, dims, aggs) = setup(101);
         let lattice = Lattice::cube(2).unwrap();
-        let expected =
-            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
+        let ctx = ExecContext::unlimited();
+        let expected = naive::run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            true,
+            &ctx,
+        )
+        .unwrap();
         for threads in [1, 2, 4, 7] {
             let got = run(
                 t.rows(),
@@ -136,6 +165,7 @@ mod tests {
                 threads,
                 &mut ExecStats::default(),
                 true,
+                &ctx,
             )
             .unwrap();
             for (set, map) in &expected {
@@ -158,8 +188,17 @@ mod tests {
     fn more_threads_than_rows_is_fine() {
         let (t, dims, aggs) = setup(3);
         let lattice = Lattice::cube(2).unwrap();
-        let maps =
-            run(t.rows(), &dims, &aggs, &lattice, 16, &mut ExecStats::default(), true).unwrap();
+        let maps = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            16,
+            &mut ExecStats::default(),
+            true,
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         let (_, grand) = maps.iter().find(|(s, _)| s.is_empty()).unwrap();
         let key = Row::new(vec![Value::All, Value::All]);
         assert_eq!(grand[&key][0].final_value(), Value::Int(7 + 14));
@@ -169,8 +208,17 @@ mod tests {
     fn empty_input() {
         let (t, dims, aggs) = setup(0);
         let lattice = Lattice::cube(2).unwrap();
-        let maps =
-            run(t.rows(), &dims, &aggs, &lattice, 4, &mut ExecStats::default(), true).unwrap();
+        let maps = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            4,
+            &mut ExecStats::default(),
+            true,
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         assert!(maps.iter().all(|(_, m)| m.is_empty()));
     }
 }

@@ -16,7 +16,8 @@
 //! we take the combinatorial core).
 
 use crate::error::{CubeError, CubeResult};
-use crate::groupby::{full_key, init_accs, ExecStats, GroupMap, SetMaps};
+use crate::exec::{self, ExecContext};
+use crate::groupby::{full_key, ExecStats, GroupMap, SetMaps};
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_aggregate::Accumulator;
@@ -76,6 +77,7 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     let n = lattice.n_dims();
     if !lattice.is_full_cube() {
@@ -97,13 +99,16 @@ pub(crate) fn run(
         lattice.sets().iter().map(|&s| (s, GroupMap::default())).collect();
 
     for chain in symmetric_chains(n) {
+        exec::failpoint("pipesort::pipeline")?;
+        ctx.checkpoint()?;
         let order = chain_order(&chain, n);
-        pipeline(&keyed, aggs, n, &order, &chain, &mut maps, stats);
+        pipeline(&keyed, aggs, n, &order, &chain, &mut maps, stats, ctx)?;
     }
     Ok(maps)
 }
 
 /// One pipeline: sort by `order`, scan once, emit the chain's sets.
+#[allow(clippy::too_many_arguments)]
 fn pipeline(
     keyed: &[(Row, &Row)],
     aggs: &[BoundAgg],
@@ -112,7 +117,8 @@ fn pipeline(
     chain: &[GroupingSet],
     maps: &mut SetMaps,
     stats: &mut ExecStats,
-) {
+    ctx: &ExecContext,
+) -> CubeResult<()> {
     // Sort row indices by the permuted key (each pipeline pays one sort —
     // the PipeSort cost unit).
     let mut idx: Vec<usize> = (0..keyed.len()).collect();
@@ -160,22 +166,28 @@ fn pipeline(
     let close = |frames: &mut Vec<PipeFrame>,
                  maps: &mut SetMaps,
                  level: usize,
-                 stats: &mut ExecStats| {
+                 stats: &mut ExecStats|
+     -> CubeResult<()> {
         if let Some((prefix, accs)) = frames[level].take() {
             if level > min_level {
-                let parent_prefix = prefix[..level - 1].to_vec();
-                let (_, paccs) = frames[level - 1]
-                    .get_or_insert_with(|| (parent_prefix, init_accs(aggs)));
-                for (p, c) in paccs.iter_mut().zip(accs.iter()) {
-                    p.merge(&c.state());
+                if frames[level - 1].is_none() {
+                    ctx.charge_cells(1)?;
+                    let parent_prefix = prefix[..level - 1].to_vec();
+                    frames[level - 1] = Some((parent_prefix, exec::guarded_init(aggs)?));
+                }
+                let (_, paccs) = frames[level - 1].as_mut().expect("parent frame open");
+                for ((p, c), agg) in paccs.iter_mut().zip(accs.iter()).zip(aggs.iter()) {
+                    exec::guard(agg.func.name(), || p.merge(&c.state()))?;
                     stats.merge_calls += 1;
                 }
             }
             emit(&prefix, accs, level, maps);
         }
+        Ok(())
     };
 
-    for &i in &idx {
+    for (t, &i) in idx.iter().enumerate() {
+        ctx.tick(t)?;
         let (key, row) = &keyed[i];
         let perm_key: Vec<Value> =
             order[..max_level].iter().map(|&d| key[d].clone()).collect();
@@ -192,28 +204,31 @@ fn pipeline(
             // Close every frame whose prefix changed (length > diverge),
             // down to the shallowest frame this pipeline keeps.
             for level in ((diverge + 1).max(min_level)..=max_level).rev() {
-                close(&mut frames, maps, level, stats);
+                close(&mut frames, maps, level, stats)?;
             }
         }
         for (level, frame) in frames.iter_mut().enumerate().skip(min_level.max(1)) {
             if frame.is_none() {
-                *frame = Some((perm_key[..level].to_vec(), init_accs(aggs)));
+                ctx.charge_cells(1)?;
+                *frame = Some((perm_key[..level].to_vec(), exec::guarded_init(aggs)?));
             }
         }
         if min_level == 0 && frames[0].is_none() {
-            frames[0] = Some((Vec::new(), init_accs(aggs)));
+            ctx.charge_cells(1)?;
+            frames[0] = Some((Vec::new(), exec::guarded_init(aggs)?));
         }
         let (_, accs) = frames[max_level].as_mut().expect("deepest frame open");
         for (acc, agg) in accs.iter_mut().zip(aggs.iter()) {
-            acc.iter(agg.input_value(row));
+            exec::guard(agg.func.name(), || acc.iter(agg.input_value(row)))?;
             stats.iter_calls += 1;
         }
     }
     if !keyed.is_empty() {
         for level in (min_level..=max_level).rev() {
-            close(&mut frames, maps, level, stats);
+            close(&mut frames, maps, level, stats)?;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -295,10 +310,19 @@ mod tests {
     fn pipesort_matches_naive_on_4d() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(4).unwrap();
+        let ctx = ExecContext::unlimited();
         let mut s1 = ExecStats::default();
-        let pipe = run(t.rows(), &dims, &aggs, &lattice, &mut s1).unwrap();
-        let reference =
-            naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true).unwrap();
+        let pipe = run(t.rows(), &dims, &aggs, &lattice, &mut s1, &ctx).unwrap();
+        let reference = naive::run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            true,
+            &ctx,
+        )
+        .unwrap();
         for (set, map) in &reference {
             let (_, pmap) = pipe.iter().find(|(s, _)| s == set).unwrap();
             assert_eq!(pmap.len(), map.len(), "cells of {set}");
@@ -315,7 +339,14 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::rollup(4).unwrap();
         assert!(matches!(
-            run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()),
+            run(
+                t.rows(),
+                &dims,
+                &aggs,
+                &lattice,
+                &mut ExecStats::default(),
+                &ExecContext::unlimited()
+            ),
             Err(CubeError::Unsupported(_))
         ));
     }
@@ -325,8 +356,15 @@ mod tests {
         let (t, dims, aggs) = setup();
         let empty = Table::empty(t.schema().clone());
         let lattice = Lattice::cube(4).unwrap();
-        let maps =
-            run(empty.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+        let maps = run(
+            empty.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         assert!(maps.iter().all(|(_, m)| m.is_empty()));
     }
 }

@@ -12,7 +12,8 @@
 //! merges, the paper's "order-N algorithm for roll-up".
 
 use crate::error::{CubeError, CubeResult};
-use crate::groupby::{full_key, init_accs, ExecStats, GroupMap, SetMaps};
+use crate::exec::{self, ExecContext};
+use crate::groupby::{full_key, ExecStats, GroupMap, SetMaps};
 use crate::lattice::{rollup_sets, GroupingSet, Lattice};
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_aggregate::Accumulator;
@@ -27,7 +28,9 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
+    exec::failpoint("sort::scan")?;
     let n = lattice.n_dims();
     if lattice.sets() != rollup_sets(n)?.as_slice() {
         return Err(CubeError::Unsupported(
@@ -53,16 +56,23 @@ pub(crate) fn run(
     let close_frame = |frames: &mut Vec<Frame>,
                            maps: &mut SetMaps,
                            level: usize,
-                           stats: &mut ExecStats| {
+                           stats: &mut ExecStats|
+     -> CubeResult<()> {
         if let Some((prefix, accs)) = frames[level].take() {
             // Fold this frame's scratchpads into the parent level first —
             // the cascade that makes this a single-scan algorithm.
             if level > 0 {
-                let parent_prefix = Row::new(prefix.values()[..level - 1].to_vec());
-                let (_, parent_accs) = frames[level - 1]
-                    .get_or_insert_with(|| (parent_prefix, init_accs(aggs)));
-                for (p, c) in parent_accs.iter_mut().zip(accs.iter()) {
-                    p.merge(&c.state());
+                if frames[level - 1].is_none() {
+                    ctx.charge_cells(1)?;
+                    let parent_prefix = Row::new(prefix.values()[..level - 1].to_vec());
+                    frames[level - 1] = Some((parent_prefix, exec::guarded_init(aggs)?));
+                }
+                let (_, parent_accs) =
+                    frames[level - 1].as_mut().expect("parent frame open");
+                for ((p, c), agg) in
+                    parent_accs.iter_mut().zip(accs.iter()).zip(aggs.iter())
+                {
+                    exec::guard(agg.func.name(), || p.merge(&c.state()))?;
                     stats.merge_calls += 1;
                 }
             }
@@ -72,9 +82,11 @@ pub(crate) fn run(
             let map_idx = n - level; // maps are ordered core (level n) first
             maps[map_idx].1.insert(Row::new(key_vals), accs);
         }
+        Ok(())
     };
 
-    for (key, row) in &keyed {
+    for (i, (key, row)) in keyed.iter().enumerate() {
+        ctx.tick(i)?;
         // Find the shallowest level whose prefix changed.
         let open_prefix = frames[n].as_ref().map(|(p, _)| p.clone());
         let diverge = match &open_prefix {
@@ -88,22 +100,25 @@ pub(crate) fn run(
         if open_prefix.is_some() {
             // Close frames deeper than the divergence point, deepest first.
             for level in ((diverge + 1)..=n).rev() {
-                close_frame(&mut frames, &mut maps, level, stats);
+                close_frame(&mut frames, &mut maps, level, stats)?;
             }
         }
         // (Re)open deeper frames for the new prefix.
         for (level, frame) in frames.iter_mut().enumerate().skip(1) {
             if frame.is_none() {
-                *frame = Some((Row::new(key.values()[..level].to_vec()), init_accs(aggs)));
+                ctx.charge_cells(1)?;
+                *frame =
+                    Some((Row::new(key.values()[..level].to_vec()), exec::guarded_init(aggs)?));
             }
         }
         if frames[0].is_none() {
-            frames[0] = Some((Row::new(Vec::new()), init_accs(aggs)));
+            ctx.charge_cells(1)?;
+            frames[0] = Some((Row::new(Vec::new()), exec::guarded_init(aggs)?));
         }
         // Feed only the core frame; parents are fed by merges at close.
         let (_, accs) = frames[n].as_mut().expect("core frame open");
         for (acc, agg) in accs.iter_mut().zip(aggs.iter()) {
-            acc.iter(agg.input_value(row));
+            exec::guard(agg.func.name(), || acc.iter(agg.input_value(row)))?;
             stats.iter_calls += 1;
         }
         stats.rows_scanned += 1;
@@ -113,7 +128,7 @@ pub(crate) fn run(
     // still emits no rows — matching GROUP BY semantics on empty tables.
     if !keyed.is_empty() {
         for level in (0..=n).rev() {
-            close_frame(&mut frames, &mut maps, level, stats);
+            close_frame(&mut frames, &mut maps, level, stats)?;
         }
     }
 
@@ -168,9 +183,20 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::rollup(3).unwrap();
         let mut s1 = ExecStats::default();
-        let sorted = run(t.rows(), &dims, &aggs, &lattice, &mut s1).unwrap();
+        let sorted =
+            run(t.rows(), &dims, &aggs, &lattice, &mut s1, &ExecContext::unlimited())
+                .unwrap();
         let mut s2 = ExecStats::default();
-        let naive = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2, true).unwrap();
+        let naive = naive::run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut s2,
+            true,
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         for (set, map) in &naive {
             let (_, smap) = sorted.iter().find(|(s, _)| s == set).unwrap();
             assert_eq!(smap.len(), map.len(), "cell count for {set}");
@@ -191,7 +217,15 @@ mod tests {
     fn emits_expected_subtotals() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::rollup(3).unwrap();
-        let maps = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+        let maps = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         // Table 5.a values.
         assert_eq!(
             cell(&maps, 2, Row::new(vec![Value::str("Chevy"), Value::Int(1994), Value::All])),
@@ -211,7 +245,14 @@ mod tests {
     fn rejects_cube_lattices() {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(3).unwrap();
-        let err = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default());
+        let err = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            &ExecContext::unlimited(),
+        );
         assert!(matches!(err, Err(CubeError::Unsupported(_))));
     }
 
@@ -220,8 +261,15 @@ mod tests {
         let (t, dims, aggs) = setup();
         let empty = Table::empty(t.schema().clone());
         let lattice = Lattice::rollup(3).unwrap();
-        let maps =
-            run(empty.rows(), &dims, &aggs, &lattice, &mut ExecStats::default()).unwrap();
+        let maps = run(
+            empty.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         assert!(maps.iter().all(|(_, m)| m.is_empty()));
     }
 }

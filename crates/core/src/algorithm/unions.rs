@@ -8,6 +8,7 @@
 //! saves over the hand-written query.
 
 use crate::error::CubeResult;
+use crate::exec::{self, ExecContext};
 use crate::groupby::{full_key, project_key, update_cell, ExecStats, GroupMap, SetMaps};
 use crate::lattice::Lattice;
 use crate::spec::{BoundAgg, BoundDimension};
@@ -20,13 +21,15 @@ pub(crate) fn run(
     lattice: &Lattice,
     stats: &mut ExecStats,
     encoded: bool,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     if encoded {
         if let Some(enc) = crate::encode::encode(rows, dims) {
-            return super::encoded::unions(&enc, rows, aggs, lattice, stats);
+            stats.encoded_keys = true;
+            return super::encoded::unions(&enc, rows, aggs, lattice, stats, ctx);
         }
     }
-    run_row_path(rows, dims, aggs, lattice, stats)
+    run_row_path(rows, dims, aggs, lattice, stats, ctx)
 }
 
 /// The `Row`-keyed path: fallback when keys don't pack, and the reference
@@ -37,15 +40,18 @@ pub(crate) fn run_row_path(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
+    ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
+    exec::failpoint("unions::scan")?;
     let mut maps = SetMaps::with_capacity(lattice.sets().len());
     for &set in lattice.sets() {
         // One full scan per grouping set — the cost §2 complains about.
         let mut map = GroupMap::default();
-        for row in rows {
+        for (i, row) in rows.iter().enumerate() {
+            ctx.tick(i)?;
             stats.rows_scanned += 1;
             let key = project_key(&full_key(dims, row), set);
-            update_cell(&mut map, key, row, aggs, stats);
+            update_cell(&mut map, key, row, aggs, stats, ctx)?;
         }
         maps.push((set, map));
     }
@@ -69,7 +75,8 @@ mod tests {
             vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
         let lattice = Lattice::cube(1).unwrap();
         let mut stats = ExecStats::default();
-        run(t.rows(), &dims, &aggs, &lattice, &mut stats, true).unwrap();
+        run(t.rows(), &dims, &aggs, &lattice, &mut stats, true, &ExecContext::unlimited())
+            .unwrap();
         // 2 sets × 2 rows: each set re-scans the base table.
         assert_eq!(stats.rows_scanned, 4);
     }

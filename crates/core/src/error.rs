@@ -1,8 +1,30 @@
 //! Error type for the cube operators.
 
+use crate::groupby::ExecStats;
 use dc_aggregate::AggError;
 use dc_relation::RelError;
 use std::fmt;
+
+/// Which execution budget a [`CubeError::ResourceExhausted`] trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// The materialized-cell budget (`ExecLimits::max_cells`).
+    Cells,
+    /// The estimated-memory budget (`ExecLimits::max_memory_bytes`).
+    MemoryBytes,
+    /// The wall-clock deadline (`ExecLimits::timeout`), in milliseconds.
+    TimeMs,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Cells => write!(f, "cells"),
+            Resource::MemoryBytes => write!(f, "memory bytes"),
+            Resource::TimeMs => write!(f, "milliseconds"),
+        }
+    }
+}
 
 /// Errors raised while planning or executing cube queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,10 +36,54 @@ pub enum CubeError {
     /// A grouping-set specification referenced a dimension out of range or
     /// was otherwise malformed.
     BadSpec(String),
-    /// The requested algorithm cannot run this query (e.g. the dense array
-    /// would exceed the cell budget, or sort-based execution was asked for
-    /// a non-rollup lattice).
+    /// The requested algorithm cannot run this query (e.g. sort-based
+    /// execution was asked for a non-rollup lattice).
     Unsupported(String),
+    /// An execution budget from `ExecLimits` was exceeded. `stats` carries
+    /// the work counters accumulated up to the trip point, so callers can
+    /// observe how far the query got.
+    ResourceExhausted {
+        /// The budget that tripped.
+        resource: Resource,
+        /// The configured limit.
+        limit: u64,
+        /// The observed value that exceeded it.
+        observed: u64,
+        /// Partial work counters at the trip point.
+        stats: ExecStats,
+    },
+    /// The query's cancellation token was triggered. `stats` carries the
+    /// partial work counters at the cancellation checkpoint.
+    Cancelled {
+        /// Partial work counters at the cancellation point.
+        stats: ExecStats,
+    },
+    /// A user-defined aggregate (or a worker running one) panicked; the
+    /// unwind was caught and converted instead of aborting the process or
+    /// poisoning a thread scope.
+    AggPanicked {
+        /// Name of the aggregate (or execution site) that panicked.
+        agg: String,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+}
+
+impl CubeError {
+    /// Attach partial execution stats to budget/cancellation errors; other
+    /// variants pass through unchanged. The operator layer calls this once
+    /// the global counters are known — deep call sites raise the error
+    /// with empty stats.
+    #[must_use]
+    pub fn with_partial_stats(self, partial: ExecStats) -> Self {
+        match self {
+            CubeError::ResourceExhausted { resource, limit, observed, .. } => {
+                CubeError::ResourceExhausted { resource, limit, observed, stats: partial }
+            }
+            CubeError::Cancelled { .. } => CubeError::Cancelled { stats: partial },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for CubeError {
@@ -27,6 +93,14 @@ impl fmt::Display for CubeError {
             CubeError::Agg(e) => write!(f, "aggregate error: {e}"),
             CubeError::BadSpec(msg) => write!(f, "bad cube specification: {msg}"),
             CubeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            CubeError::ResourceExhausted { resource, limit, observed, .. } => write!(
+                f,
+                "resource budget exhausted: {observed} {resource} observed, limit {limit}"
+            ),
+            CubeError::Cancelled { .. } => write!(f, "query cancelled"),
+            CubeError::AggPanicked { agg, message } => {
+                write!(f, "aggregate '{agg}' panicked: {message}")
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 //! arguments are phrased in (Iter() calls, scans, merges).
 
 use crate::error::CubeResult;
+use crate::exec::{self, ExecContext};
 use crate::lattice::GroupingSet;
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_aggregate::Accumulator;
@@ -28,6 +29,18 @@ pub struct ExecStats {
     pub final_calls: u64,
     /// Sort passes performed.
     pub sorts: u64,
+    /// Worker threads the parallel paths actually used after clamping to
+    /// the partition count (0 for serial algorithms).
+    pub threads_used: u64,
+    /// Whether the packed-u64 encoded-key engine carried this query
+    /// (false under the `Row`-key fallback: >64 key bits or >16 dims).
+    pub encoded_keys: bool,
+    /// The dense-array plan projected more cells than the budget allowed
+    /// and the query was re-run on the sparse hash-based path.
+    pub degraded_dense_to_sparse: bool,
+    /// The cascade's projected lattice size exceeded the cell budget and
+    /// the query fell back to per-grouping-set streaming scans.
+    pub degraded_to_streaming: bool,
 }
 
 impl ExecStats {
@@ -37,6 +50,10 @@ impl ExecStats {
         self.merge_calls += other.merge_calls;
         self.final_calls += other.final_calls;
         self.sorts += other.sorts;
+        self.threads_used = self.threads_used.max(other.threads_used);
+        self.encoded_keys |= other.encoded_keys;
+        self.degraded_dense_to_sparse |= other.degraded_dense_to_sparse;
+        self.degraded_to_streaming |= other.degraded_to_streaming;
     }
 }
 
@@ -75,7 +92,8 @@ pub(crate) fn project_key(full: &Row, set: GroupingSet) -> Row {
 }
 
 /// Fold one row into one grouping-set map (Init on first touch, then Iter
-/// per aggregate).
+/// per aggregate). A fresh cell charges the budget; every Init and Iter
+/// callback runs under the panic guard.
 #[inline]
 pub(crate) fn update_cell(
     map: &mut GroupMap,
@@ -83,12 +101,21 @@ pub(crate) fn update_cell(
     row: &Row,
     aggs: &[BoundAgg],
     stats: &mut ExecStats,
-) {
-    let accs = map.entry(key).or_insert_with(|| init_accs(aggs));
+    ctx: &ExecContext,
+) -> CubeResult<()> {
+    use std::collections::hash_map::Entry;
+    let accs = match map.entry(key) {
+        Entry::Occupied(e) => e.into_mut(),
+        Entry::Vacant(e) => {
+            ctx.charge_cells(1)?;
+            e.insert(exec::guarded_init(aggs)?)
+        }
+    };
     for (acc, agg) in accs.iter_mut().zip(aggs.iter()) {
-        acc.iter(agg.input_value(row));
+        exec::guard(agg.func.name(), || acc.iter(agg.input_value(row)))?;
         stats.iter_calls += 1;
     }
+    Ok(())
 }
 
 /// One full scan computing the cube *core* — the ordinary GROUP BY over
@@ -98,14 +125,17 @@ pub(crate) fn compute_core(
     dims: &[BoundDimension],
     aggs: &[BoundAgg],
     stats: &mut ExecStats,
-) -> GroupMap {
+    ctx: &ExecContext,
+) -> CubeResult<GroupMap> {
+    exec::failpoint("core::scan")?;
     let mut map = GroupMap::default();
-    for row in rows {
+    for (i, row) in rows.iter().enumerate() {
+        ctx.tick(i)?;
         stats.rows_scanned += 1;
         let key = full_key(dims, row);
-        update_cell(&mut map, key, row, aggs, stats);
+        update_cell(&mut map, key, row, aggs, stats, ctx)?;
     }
-    map
+    Ok(map)
 }
 
 /// Distinct-value count per dimension, read off the core's keys. These are
@@ -141,25 +171,30 @@ pub(crate) fn result_schema(
 
 /// Materialize cell maps into one relation, in the set order given
 /// (core first), each set's rows sorted by key so output is deterministic.
+/// Each Final() callback runs under the panic guard.
 pub(crate) fn materialize(
     schema: Schema,
     set_maps: SetMaps,
+    aggs: &[BoundAgg],
     stats: &mut ExecStats,
-) -> Table {
+    ctx: &ExecContext,
+) -> CubeResult<Table> {
+    exec::failpoint("materialize")?;
     let mut out = Table::empty(schema);
     for (_set, map) in set_maps {
+        ctx.checkpoint()?;
         let mut cells: Vec<(Row, Vec<Box<dyn Accumulator>>)> = map.into_iter().collect();
         cells.sort_by(|a, b| a.0.cmp(&b.0));
         for (key, accs) in cells {
             let mut vals = key.0;
-            for acc in &accs {
-                vals.push(acc.final_value());
+            for (acc, agg) in accs.iter().zip(aggs.iter()) {
+                vals.push(exec::guard(agg.func.name(), || acc.final_value())?);
                 stats.final_calls += 1;
             }
             out.push_unchecked(Row::new(vals));
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -207,7 +242,9 @@ mod tests {
         let t = sales();
         let (dims, aggs) = bind(&t, &["model", "year"], "SUM", "units");
         let mut stats = ExecStats::default();
-        let core = compute_core(t.rows(), &dims, &aggs, &mut stats);
+        let core =
+            compute_core(t.rows(), &dims, &aggs, &mut stats, &ExecContext::unlimited())
+                .unwrap();
         assert_eq!(core.len(), 3); // (Chevy,94) (Chevy,95) (Ford,94)
         assert_eq!(stats.rows_scanned, 4);
         assert_eq!(stats.iter_calls, 4); // one agg × four rows
@@ -219,7 +256,14 @@ mod tests {
     fn cardinalities_from_core() {
         let t = sales();
         let (dims, aggs) = bind(&t, &["model", "year"], "SUM", "units");
-        let core = compute_core(t.rows(), &dims, &aggs, &mut ExecStats::default());
+        let core = compute_core(
+            t.rows(),
+            &dims,
+            &aggs,
+            &mut ExecStats::default(),
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         assert_eq!(core_cardinalities(&core, 2), vec![2, 2]);
     }
 
@@ -237,10 +281,12 @@ mod tests {
         let t = sales();
         let (dims, aggs) = bind(&t, &["model"], "SUM", "units");
         let mut stats = ExecStats::default();
-        let core = compute_core(t.rows(), &dims, &aggs, &mut stats);
+        let ctx = ExecContext::unlimited();
+        let core = compute_core(t.rows(), &dims, &aggs, &mut stats, &ctx).unwrap();
         let schema = result_schema(&dims, &aggs, &[DataType::Int]).unwrap();
         let table =
-            materialize(schema, vec![(GroupingSet::full(1), core)], &mut stats);
+            materialize(schema, vec![(GroupingSet::full(1), core)], &aggs, &mut stats, &ctx)
+                .unwrap();
         assert_eq!(table.len(), 2);
         assert_eq!(table.rows()[0], row!["Chevy", 175]);
         assert_eq!(table.rows()[1], row!["Ford", 60]);

@@ -43,6 +43,7 @@ pub mod algorithm;
 pub mod decoration;
 pub(crate) mod encode;
 pub mod error;
+pub mod exec;
 pub mod groupby;
 pub mod hierarchy;
 pub mod lattice;
@@ -53,7 +54,8 @@ pub mod spec;
 pub mod subcube;
 
 pub use algorithm::{Algorithm, ParentChoice};
-pub use error::{CubeError, CubeResult};
+pub use error::{CubeError, CubeResult, Resource};
+pub use exec::{CancelToken, ExecContext, ExecLimits};
 pub use groupby::ExecStats;
 pub use lattice::{cube_sets, rollup_sets, GroupingSet, Lattice};
 pub use operator::{dense_cube_cardinality, rows_in_set, CubeQuery};

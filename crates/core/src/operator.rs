@@ -14,6 +14,7 @@
 
 use crate::algorithm::{self, Algorithm};
 use crate::error::{CubeError, CubeResult};
+use crate::exec::{self, ExecContext, ExecLimits};
 use crate::groupby::{materialize, result_schema, ExecStats};
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::{AggSpec, CompoundSpec, Dimension};
@@ -50,6 +51,7 @@ pub struct CubeQuery {
     aggs: Vec<AggSpec>,
     algorithm: Algorithm,
     encoded: bool,
+    limits: ExecLimits,
 }
 
 impl Default for CubeQuery {
@@ -65,6 +67,7 @@ impl CubeQuery {
             aggs: Vec::new(),
             algorithm: Algorithm::Auto,
             encoded: true,
+            limits: ExecLimits::none(),
         }
     }
 
@@ -103,6 +106,18 @@ impl CubeQuery {
         self
     }
 
+    /// Attach execution limits: cell/memory budgets, a wall-clock timeout,
+    /// and/or a [`crate::exec::CancelToken`]. Default is unlimited.
+    /// Exceeding a budget returns `CubeError::ResourceExhausted` (or
+    /// `Cancelled`) carrying the [`ExecStats`] accumulated so far; where a
+    /// cheaper plan fits the budget the engine degrades instead (dense
+    /// array → sparse hash, cascade → per-set streaming) and flags the
+    /// switch in the stats.
+    pub fn limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     /// `GROUP BY CUBE`: all 2^N grouping sets.
     pub fn cube(&self, table: &Table) -> CubeResult<Table> {
         Ok(self.cube_with_stats(table)?.0)
@@ -134,18 +149,35 @@ impl CubeQuery {
             self.aggs.iter().map(|a| a.bind(schema)).collect::<CubeResult<_>>()?;
         let agg_types: Vec<_> =
             self.aggs.iter().map(|a| a.output_type(schema)).collect::<CubeResult<_>>()?;
+        let ctx = ExecContext::new(
+            &self.limits,
+            exec::estimate_bytes_per_cell(dims.len(), aggs.len()),
+        );
         let mut stats = ExecStats::default();
-        let maps = crate::algorithm::from_core::run_with_choice(
-            table.rows(),
-            &dims,
-            &aggs,
-            &lattice,
-            choice,
-            &mut stats,
-            self.encoded,
-        )?;
+        let run = exec::guard("query", || {
+            crate::algorithm::from_core::run_with_choice(
+                table.rows(),
+                &dims,
+                &aggs,
+                &lattice,
+                choice,
+                &mut stats,
+                self.encoded,
+                &ctx,
+            )
+        });
+        let maps = match run {
+            Ok(Ok(maps)) => maps,
+            Ok(Err(e)) | Err(e) => return Err(e.with_partial_stats(stats)),
+        };
         let out_schema = crate::groupby::result_schema(&dims, &aggs, &agg_types)?;
-        Ok((crate::groupby::materialize(out_schema, maps, &mut stats), stats))
+        let out = exec::guard("query", || {
+            crate::groupby::materialize(out_schema, maps, &aggs, &mut stats, &ctx)
+        });
+        match out {
+            Ok(Ok(out)) => Ok((out, stats)),
+            Ok(Err(e)) | Err(e) => Err(e.with_partial_stats(stats)),
+        }
     }
 
     /// `GROUP BY ROLLUP`: the N+1 prefix grouping sets.
@@ -171,28 +203,45 @@ impl CubeQuery {
     /// computed even if not requested (the cascade needs it) but only the
     /// requested sets are returned.
     pub fn grouping_sets(&self, table: &Table, sets: &[Vec<usize>]) -> CubeResult<Table> {
+        Ok(self.grouping_sets_with_stats(table, sets)?.0)
+    }
+
+    /// GROUPING SETS with work counters.
+    pub fn grouping_sets_with_stats(
+        &self,
+        table: &Table,
+        sets: &[Vec<usize>],
+    ) -> CubeResult<(Table, ExecStats)> {
         let requested: Vec<GroupingSet> = sets
             .iter()
             .map(|s| GroupingSet::from_dims(s))
             .collect::<CubeResult<_>>()?;
         let lattice = Lattice::new(self.dims.len(), requested.clone())?;
-        let (table, _) = self.execute_filtered(table, &lattice, Some(&requested))?;
-        Ok(table)
+        self.execute_filtered(table, &lattice, Some(&requested))
     }
 
     /// The §3.1 compound form: `GROUP BY g ROLLUP r CUBE c`. The spec's
     /// dimension list replaces this query's.
     pub fn compound(&self, table: &Table, spec: &CompoundSpec) -> CubeResult<Table> {
+        Ok(self.compound_with_stats(table, spec)?.0)
+    }
+
+    /// Compound form with work counters.
+    pub fn compound_with_stats(
+        &self,
+        table: &Table,
+        spec: &CompoundSpec,
+    ) -> CubeResult<(Table, ExecStats)> {
         let query = CubeQuery {
             dims: spec.dimensions(),
             aggs: self.aggs.clone(),
             algorithm: self.algorithm,
             encoded: self.encoded,
+            limits: self.limits.clone(),
         };
         let sets = spec.grouping_sets()?;
         let lattice = Lattice::new(query.dims.len(), sets.clone())?;
-        let (out, _) = query.execute_filtered(table, &lattice, Some(&sets))?;
-        Ok(out)
+        query.execute_filtered(table, &lattice, Some(&sets))
     }
 
     fn execute(&self, table: &Table, lattice: &Lattice) -> CubeResult<(Table, ExecStats)> {
@@ -216,21 +265,40 @@ impl CubeQuery {
         let agg_types: Vec<_> =
             self.aggs.iter().map(|a| a.output_type(schema)).collect::<CubeResult<_>>()?;
 
+        let ctx = ExecContext::new(
+            &self.limits,
+            exec::estimate_bytes_per_cell(dims.len(), aggs.len()),
+        );
         let mut stats = ExecStats::default();
-        let mut maps = algorithm::run(
-            self.algorithm,
-            table.rows(),
-            &dims,
-            &aggs,
-            lattice,
-            &mut stats,
-            self.encoded,
-        )?;
+        // Outer safety net: `exec::guard` already isolates each UDA
+        // callback, but a panic in the engine itself must also surface as
+        // a typed error instead of unwinding into the caller.
+        let run = exec::guard("query", || {
+            algorithm::run(
+                self.algorithm,
+                table.rows(),
+                &dims,
+                &aggs,
+                lattice,
+                &mut stats,
+                self.encoded,
+                &ctx,
+            )
+        });
+        let mut maps = match run {
+            Ok(Ok(maps)) => maps,
+            Ok(Err(e)) | Err(e) => return Err(e.with_partial_stats(stats)),
+        };
         if let Some(keep) = keep {
             maps.retain(|(s, _)| keep.contains(s));
         }
         let out_schema = result_schema(&dims, &aggs, &agg_types)?;
-        Ok((materialize(out_schema, maps, &mut stats), stats))
+        let out =
+            exec::guard("query", || materialize(out_schema, maps, &aggs, &mut stats, &ctx));
+        match out {
+            Ok(Ok(out)) => Ok((out, stats)),
+            Ok(Err(e)) | Err(e) => Err(e.with_partial_stats(stats)),
+        }
     }
 }
 

@@ -10,6 +10,9 @@ pub enum Statement {
     Select(SelectStmt),
     /// `EXPLAIN SELECT ...`: describe the plan instead of executing it.
     Explain(SelectStmt),
+    /// `SET <option> = <integer>`: session execution options (resource
+    /// budgets, thread count). `0` resets an option to its default.
+    Set { name: String, value: i64 },
 }
 
 /// One `SELECT` block, possibly chained with `UNION [ALL]`.

@@ -12,10 +12,14 @@ use crate::error::{SqlError, SqlResult};
 use crate::eval::{eval, infer_type, EvalContext};
 use crate::parser::parse;
 use crate::scalar::{self, ScalarFn, ScalarRegistry};
-use datacube::{AggSpec, CompoundSpec, CubeQuery, Dimension};
+use datacube::{
+    AggSpec, Algorithm, CancelToken, CompoundSpec, CubeQuery, Dimension, ExecLimits,
+};
 use dc_aggregate::{AggRef, Registry};
 use dc_relation::{ColumnDef, DataType, Row, Schema, Table, Value};
 use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// A SQL engine over an in-memory catalog.
 ///
@@ -43,6 +47,35 @@ pub struct Engine {
     tables: HashMap<String, Table>,
     aggs: Registry,
     scalars: ScalarRegistry,
+    /// Session execution options (`SET ...` or the programmatic setters).
+    /// Behind a mutex so `SET` works through the `&self` `execute` path.
+    options: Mutex<EngineOptions>,
+}
+
+/// Session-level execution governance, applied to every aggregation
+/// query. `0` means "no limit" / "default" throughout.
+#[derive(Debug, Clone, Default)]
+struct EngineOptions {
+    max_cells: u64,
+    max_memory_bytes: u64,
+    timeout_ms: u64,
+    threads: u64,
+    cancel: Option<CancelToken>,
+}
+
+impl EngineOptions {
+    fn limits(&self) -> ExecLimits {
+        let mut limits = ExecLimits::none()
+            .max_cells(self.max_cells)
+            .max_memory_bytes(self.max_memory_bytes);
+        if self.timeout_ms > 0 {
+            limits = limits.timeout(Duration::from_millis(self.timeout_ms));
+        }
+        if let Some(token) = &self.cancel {
+            limits = limits.cancel_token(token.clone());
+        }
+        limits
+    }
 }
 
 impl Default for Engine {
@@ -58,6 +91,7 @@ impl Engine {
             tables: HashMap::new(),
             aggs: dc_aggregate::builtins(),
             scalars: scalar::builtins(),
+            options: Mutex::new(EngineOptions::default()),
         }
     }
 
@@ -104,7 +138,57 @@ impl Engine {
         match parse(sql)? {
             Statement::Select(stmt) => self.exec_select(&stmt),
             Statement::Explain(stmt) => self.explain_select(&stmt),
+            Statement::Set { name, value } => self.exec_set(&name, value),
         }
+    }
+
+    /// Set one session execution option. Recognized names
+    /// (case-insensitive): `MAX_CELLS`, `MAX_MEMORY_BYTES`, `TIMEOUT_MS`,
+    /// `THREADS`. `0` resets the option to unlimited/default. Also the
+    /// programmatic form of the `SET` statement.
+    pub fn set_option(&self, name: &str, value: i64) -> SqlResult<()> {
+        if value < 0 {
+            return Err(SqlError::Plan(format!(
+                "option {name} must be non-negative, got {value}"
+            )));
+        }
+        let value = value as u64;
+        let mut opts = self.options.lock().expect("options mutex");
+        match name.to_uppercase().as_str() {
+            "MAX_CELLS" => opts.max_cells = value,
+            "MAX_MEMORY_BYTES" => opts.max_memory_bytes = value,
+            "TIMEOUT_MS" => opts.timeout_ms = value,
+            "THREADS" => opts.threads = value,
+            other => {
+                return Err(SqlError::Plan(format!(
+                    "unknown option: {other} (expected MAX_CELLS, MAX_MEMORY_BYTES, \
+                     TIMEOUT_MS, or THREADS)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Attach (or clear, with `None`) a cancellation token observed by
+    /// every subsequent aggregation query on this engine.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        self.options.lock().expect("options mutex").cancel = token;
+    }
+
+    /// `SET <option> = <value>`: store the option and return a one-row
+    /// confirmation relation.
+    fn exec_set(&self, name: &str, value: i64) -> SqlResult<Table> {
+        self.set_option(name, value)?;
+        let schema = Schema::new(vec![
+            ColumnDef::new("option", DataType::Str),
+            ColumnDef::new("value", DataType::Int),
+        ])?;
+        let mut out = Table::empty(schema);
+        out.push_unchecked(Row::new(vec![
+            Value::str(name.to_uppercase()),
+            Value::Int(value),
+        ]));
+        Ok(out)
     }
 
     /// `EXPLAIN SELECT ...`: a one-column relation describing the plan —
@@ -483,9 +567,19 @@ impl Engine {
             }
         };
 
-        let query = agg_specs
+        // Session governance: resource budgets and the thread count from
+        // `SET ...` / the programmatic setters apply to every cube run.
+        let (limits, threads) = {
+            let opts = self.options.lock().expect("options mutex");
+            (opts.limits(), opts.threads)
+        };
+        let mut query = agg_specs
             .iter()
-            .fold(CubeQuery::new(), |q, spec| q.aggregate(spec.clone()));
+            .fold(CubeQuery::new(), |q, spec| q.aggregate(spec.clone()))
+            .limits(limits);
+        if threads > 0 {
+            query = query.algorithm(Algorithm::Parallel { threads: threads as usize });
+        }
 
         let mut cube = if let Some(sets) = &clause.grouping_sets {
             let dims: Vec<Dimension> = group_exprs

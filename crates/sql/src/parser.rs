@@ -111,6 +111,25 @@ impl Parser {
     // ------------------------------------------------------- statements --
 
     fn parse_statement(&mut self) -> SqlResult<Statement> {
+        if self.eat_keyword(Keyword::Set) {
+            let name = self.expect_ident()?;
+            self.expect_symbol(Symbol::Eq)?;
+            let negative = self.eat_symbol(Symbol::Minus);
+            let value = match self.next() {
+                Some(Token::Int(n)) => {
+                    if negative {
+                        -n
+                    } else {
+                        n
+                    }
+                }
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected an integer option value"));
+                }
+            };
+            return Ok(Statement::Set { name, value });
+        }
         let explain = self.eat_keyword(Keyword::Explain);
         let mut stmt = self.parse_select_core()?;
         // UNION chain, left-to-right.

@@ -37,6 +37,7 @@ pub enum Keyword {
     On,
     Limit,
     Explain,
+    Set,
 }
 
 impl Keyword {
@@ -74,6 +75,7 @@ impl Keyword {
             "ON" => On,
             "LIMIT" => Limit,
             "EXPLAIN" => Explain,
+            "SET" => Set,
             _ => return None,
         })
     }

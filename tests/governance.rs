@@ -1,0 +1,618 @@
+//! Execution-governance integration tests: resource budgets, cooperative
+//! cancellation, panic isolation, graceful degradation, and (behind the
+//! `faults` feature) the fault-injection suite.
+//!
+//! The invariant under test everywhere: the engine returns `Ok` or a
+//! *typed* `CubeError` — it never aborts the process, never leaks a
+//! wedged thread scope, and attaches the partial [`ExecStats`] to budget
+//! and cancellation errors.
+
+use datacube::{
+    AggSpec, Algorithm, CancelToken, CubeError, CubeQuery, Dimension, ExecLimits,
+    Resource,
+};
+use dc_aggregate::{builtin, AggKind, UdaBuilder};
+use dc_relation::{DataType, Row, Schema, Table, Value};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------- fixtures --
+
+/// `nx × ny` distinct (x, y) pairs — a dense grid core.
+fn grid(nx: i64, ny: i64) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Int),
+        ("y", DataType::Int),
+        ("units", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for x in 0..nx {
+        for y in 0..ny {
+            t.push_unchecked(Row::new(vec![
+                Value::Int(x),
+                Value::Int(y),
+                Value::Int((x + y) % 17),
+            ]));
+        }
+    }
+    t
+}
+
+/// `n` rows along the diagonal — maximally sparse: the dense array wants
+/// `(n+1)^2` cells but only `3n + 1` are ever backed by data.
+fn diagonal(n: i64) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Int),
+        ("y", DataType::Int),
+        ("units", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..n {
+        t.push_unchecked(Row::new(vec![Value::Int(i), Value::Int(i), Value::Int(1)]));
+    }
+    t
+}
+
+fn xy_dims() -> Vec<Dimension> {
+    vec![Dimension::column("x"), Dimension::column("y")]
+}
+
+fn sum_units() -> AggSpec {
+    AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s")
+}
+
+static PANIC_GATE: Mutex<()> = Mutex::new(());
+
+/// Run `f` with panic output silenced. These tests deliberately panic
+/// inside UDA callbacks and worker threads; the engine converts every one
+/// into a typed error, but the process-global panic hook would still
+/// spray backtraces over the test output. Serialized by a mutex because
+/// the hook is global.
+fn silent_panics<T>(f: impl FnOnce() -> T) -> T {
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct RestoreHook(Option<PanicHook>);
+    impl Drop for RestoreHook {
+        fn drop(&mut self) {
+            // `set_hook` panics on a panicking thread, which would turn a
+            // failing assertion into a process abort; leave the silent
+            // hook in place on that path.
+            if !std::thread::panicking() {
+                if let Some(prev) = self.0.take() {
+                    std::panic::set_hook(prev);
+                }
+            }
+        }
+    }
+    let _gate = PANIC_GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let _restore = if std::env::var_os("GOVERNANCE_TRACE").is_some() {
+        RestoreHook(None)
+    } else {
+        let prev = RestoreHook(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        prev
+    };
+    f()
+}
+
+// ------------------------------------------------------------ budgets --
+
+#[test]
+fn cell_budget_trips_fast_with_partial_stats() {
+    // A query projecting a 2^16-cell core (256 × 256 distinct values in
+    // each dimension) under a 2^10-cell budget must fail with
+    // ResourceExhausted carrying partial stats — and quickly, not after
+    // materializing the whole cube. The data itself is a sparse cover:
+    // every value of x and y appears, so the projected core is 2^16
+    // cells, but only 2048 distinct pairs exist.
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Int),
+        ("y", DataType::Int),
+        ("units", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for x in 0..256i64 {
+        for j in 0..8i64 {
+            t.push_unchecked(Row::new(vec![
+                Value::Int(x),
+                Value::Int((x + j * 32) % 256),
+                Value::Int(1),
+            ]));
+        }
+    }
+    let query = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .limits(ExecLimits::none().max_cells(1 << 10));
+    let start = Instant::now();
+    let err = query.cube_with_stats(&t).unwrap_err();
+    let elapsed = start.elapsed();
+    match err {
+        CubeError::ResourceExhausted { resource, limit, observed, stats } => {
+            assert_eq!(resource, Resource::Cells);
+            assert_eq!(limit, 1 << 10);
+            assert!(observed > limit);
+            assert!(stats.rows_scanned > 0, "partial stats missing: {stats:?}");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    assert!(elapsed < Duration::from_millis(100), "took {elapsed:?}");
+}
+
+#[test]
+fn memory_budget_trips_via_cell_model() {
+    let t = grid(64, 64);
+    let query = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .limits(ExecLimits::none().max_memory_bytes(1024));
+    match query.cube_with_stats(&t).unwrap_err() {
+        CubeError::ResourceExhausted { resource: Resource::MemoryBytes, observed, .. } => {
+            assert!(observed > 1024);
+        }
+        other => panic!("expected memory exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancel_token_stops_the_query() {
+    let token = CancelToken::new();
+    token.cancel();
+    let t = grid(32, 32);
+    let query = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .limits(ExecLimits::none().cancel_token(token));
+    assert!(matches!(
+        query.cube_with_stats(&t).unwrap_err(),
+        CubeError::Cancelled { .. }
+    ));
+}
+
+#[test]
+fn expired_deadline_stops_the_query() {
+    let t = grid(64, 64);
+    let query = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .limits(ExecLimits::none().timeout(Duration::from_nanos(1)));
+    match query.cube_with_stats(&t).unwrap_err() {
+        CubeError::ResourceExhausted { resource: Resource::TimeMs, .. } => {}
+        other => panic!("expected time exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn budgets_apply_across_every_algorithm() {
+    let t = grid(64, 64);
+    for alg in [
+        Algorithm::TwoToTheN,
+        Algorithm::UnionGroupBys,
+        Algorithm::FromCore,
+        Algorithm::PipeSort,
+        Algorithm::Parallel { threads: 4 },
+    ] {
+        let err = CubeQuery::new()
+            .dimensions(xy_dims())
+            .aggregate(sum_units())
+            .algorithm(alg)
+            .limits(ExecLimits::none().max_cells(16))
+            .cube(&t)
+            .unwrap_err();
+        assert!(
+            matches!(err, CubeError::ResourceExhausted { .. }),
+            "{alg:?} returned {err:?}"
+        );
+    }
+    // Sort is rollup-only; same budget, same trip.
+    let err = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .algorithm(Algorithm::Sort)
+        .limits(ExecLimits::none().max_cells(16))
+        .rollup(&t)
+        .unwrap_err();
+    assert!(matches!(err, CubeError::ResourceExhausted { .. }), "sort: {err:?}");
+}
+
+// ------------------------------------------------------- degradation --
+
+#[test]
+fn dense_array_degrades_to_sparse_then_streaming() {
+    // (50+1)^2 = 2601 projected dense cells against a 200-cell budget:
+    // the array refuses up front, the dispatcher falls back to the hash
+    // cascade, whose own projection also exceeds the budget, landing on
+    // per-set streaming — which fits, because only 151 cells have data.
+    let t = diagonal(50);
+    let unlimited = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .algorithm(Algorithm::Array)
+        .cube(&t)
+        .unwrap();
+    let (cube, stats) = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .algorithm(Algorithm::Array)
+        .limits(ExecLimits::none().max_cells(200))
+        .cube_with_stats(&t)
+        .unwrap();
+    assert!(stats.degraded_dense_to_sparse, "array → sparse flag missing: {stats:?}");
+    assert!(stats.degraded_to_streaming, "cascade → streaming flag missing: {stats:?}");
+    assert_eq!(cube.rows(), unlimited.rows(), "degraded plan changed the answer");
+    assert_eq!(cube.len(), 50 + 50 + 50 + 1);
+}
+
+#[test]
+fn cascade_degrades_to_streaming_only() {
+    let t = diagonal(50);
+    let (cube, stats) = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .algorithm(Algorithm::FromCore)
+        .limits(ExecLimits::none().max_cells(200))
+        .cube_with_stats(&t)
+        .unwrap();
+    assert!(stats.degraded_to_streaming);
+    assert!(!stats.degraded_dense_to_sparse);
+    assert_eq!(cube.len(), 151);
+}
+
+#[test]
+fn no_degradation_within_budget() {
+    let t = diagonal(10);
+    let (_, stats) = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .limits(ExecLimits::none().max_cells(10_000))
+        .cube_with_stats(&t)
+        .unwrap();
+    assert!(!stats.degraded_dense_to_sparse);
+    assert!(!stats.degraded_to_streaming);
+    assert!(stats.encoded_keys);
+}
+
+// ---------------------------------------------------- panic isolation --
+
+fn panicky_sum() -> AggSpec {
+    let f = UdaBuilder::new("BADSUM", AggKind::Algebraic, || 0i64)
+        .iter(|s, v| {
+            if *v == Value::Int(13) {
+                panic!("BADSUM cannot digest 13");
+            }
+            *s += v.as_i64().unwrap_or(0);
+        })
+        .state(|s| vec![Value::Int(*s)])
+        .merge(|s, st| *s += st[0].as_i64().unwrap_or(0))
+        .finalize(|s| Value::Int(*s))
+        .build()
+        .unwrap();
+    AggSpec::new(f, "units").with_name("bs")
+}
+
+#[test]
+fn uda_panics_become_typed_errors_serial_and_parallel() {
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Int),
+        ("y", DataType::Int),
+        ("units", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..40i64 {
+        t.push_unchecked(Row::new(vec![
+            Value::Int(i % 4),
+            Value::Int(i % 3),
+            Value::Int(if i == 25 { 13 } else { 1 }),
+        ]));
+    }
+    silent_panics(|| {
+        for alg in [
+            Algorithm::TwoToTheN,
+            Algorithm::UnionGroupBys,
+            Algorithm::FromCore,
+            Algorithm::Array,
+            Algorithm::PipeSort,
+            Algorithm::Parallel { threads: 4 },
+        ] {
+            let err = CubeQuery::new()
+                .dimensions(xy_dims())
+                .aggregate(panicky_sum())
+                .algorithm(alg)
+                .cube(&t)
+                .unwrap_err();
+            match err {
+                CubeError::AggPanicked { agg, message } => {
+                    assert_eq!(agg, "BADSUM", "{alg:?}");
+                    assert!(message.contains("cannot digest 13"), "{alg:?}: {message}");
+                }
+                other => panic!("{alg:?}: expected AggPanicked, got {other:?}"),
+            }
+        }
+    });
+}
+
+// --------------------------------------------- parallel path coverage --
+
+#[test]
+fn holistic_median_survives_adversarial_thread_counts() {
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Int),
+        ("y", DataType::Int),
+        ("units", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..23i64 {
+        t.push_unchecked(Row::new(vec![
+            Value::Int(i % 5),
+            Value::Int(i % 2),
+            Value::Int(i * 3 % 19),
+        ]));
+    }
+    for holistic in ["MEDIAN", "MODE"] {
+        let agg = AggSpec::new(builtin(holistic).unwrap(), "units").with_name("m");
+        let reference = CubeQuery::new()
+            .dimensions(xy_dims())
+            .aggregate(agg.clone())
+            .algorithm(Algorithm::TwoToTheN)
+            .cube(&t)
+            .unwrap();
+        // 1 (degenerate), rows+1 (more workers than rows), 7 (prime:
+        // uneven partitions).
+        for threads in [1, 24, 7] {
+            let got = CubeQuery::new()
+                .dimensions(xy_dims())
+                .aggregate(agg.clone())
+                .algorithm(Algorithm::Parallel { threads })
+                .cube(&t)
+                .unwrap();
+            assert_eq!(got.rows(), reference.rows(), "{holistic}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn stats_record_clamped_thread_count() {
+    let t = diagonal(3);
+    let (_, stats) = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .algorithm(Algorithm::Parallel { threads: 16 })
+        .cube_with_stats(&t)
+        .unwrap();
+    assert_eq!(stats.threads_used, 3, "3 rows cap the worker count");
+
+    let t = grid(10, 10);
+    let (_, stats) = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .algorithm(Algorithm::Parallel { threads: 4 })
+        .cube_with_stats(&t)
+        .unwrap();
+    assert_eq!(stats.threads_used, 4);
+}
+
+#[test]
+fn stats_record_encoded_key_fallback() {
+    // 11 dimensions × cardinality 40 → 6 bits each = 66 > 64: the packed
+    // u64 encoding fails and the engine falls back to Row keys, recorded
+    // as `encoded_keys: false`.
+    let n = 11usize;
+    let names: Vec<String> = (0..n).map(|d| format!("d{d}")).collect();
+    let mut cols: Vec<(&str, DataType)> =
+        names.iter().map(|s| (s.as_str(), DataType::Int)).collect();
+    cols.push(("units", DataType::Int));
+    let schema = Schema::from_pairs(&cols);
+    let mut t = Table::empty(schema);
+    for i in 0..40i64 {
+        let mut vals: Vec<Value> = (0..n).map(|_| Value::Int(i)).collect();
+        vals.push(Value::Int(1));
+        t.push_unchecked(Row::new(vals));
+    }
+    let dims: Vec<Dimension> = names.iter().map(String::as_str).map(Dimension::column).collect();
+    let (_, stats) = CubeQuery::new()
+        .dimensions(dims)
+        .aggregate(sum_units())
+        .rollup_with_stats(&t)
+        .unwrap();
+    assert!(!stats.encoded_keys, "11 wide dims cannot pack into u64");
+
+    // The 2-dimensional case packs fine.
+    let (_, stats) = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .cube_with_stats(&grid(4, 4))
+        .unwrap();
+    assert!(stats.encoded_keys);
+}
+
+// ------------------------------------------------- fault injection ----
+
+#[cfg(feature = "faults")]
+mod faults_suite {
+    use super::*;
+    use dc_aggregate::faults::{arm, disarm_all, Fault};
+
+    /// Every named failpoint site across the engine.
+    const SITES: [&str; 13] = [
+        "uda::init",
+        "uda::iter",
+        "uda::merge",
+        "uda::final",
+        "core::scan",
+        "naive::scan",
+        "unions::scan",
+        "cascade::level",
+        "parallel::worker",
+        "sort::scan",
+        "pipesort::pipeline",
+        "array::sweep",
+        "materialize",
+    ];
+
+    /// Disarms all faults when dropped, so a failing assertion cannot
+    /// leak an armed fault into the next combination.
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            disarm_all();
+        }
+    }
+
+    fn uda_sum() -> AggSpec {
+        // Built through UdaBuilder so the uda::* failpoints are live.
+        let f = UdaBuilder::new("GSUM", AggKind::Algebraic, || 0i64)
+            .iter(|s, v| *s += v.as_i64().unwrap_or(0))
+            .state(|s| vec![Value::Int(*s)])
+            .merge(|s, st| *s += st[0].as_i64().unwrap_or(0))
+            .finalize(|s| Value::Int(*s))
+            .build()
+            .unwrap();
+        AggSpec::new(f, "units").with_name("g")
+    }
+
+    fn cube_under_fault(t: &Table, alg: Algorithm) -> Result<Table, CubeError> {
+        CubeQuery::new()
+            .dimensions(xy_dims())
+            .aggregate(uda_sum())
+            .algorithm(alg)
+            .cube(t)
+    }
+
+    /// The tentpole property: with a fault armed at every site in turn,
+    /// under every algorithm and thread count, the engine either returns
+    /// the correct table (site not on this plan's path) or a typed error
+    /// — never a process abort, never a hung scope.
+    #[test]
+    fn every_site_every_algorithm_returns_ok_or_typed_error() {
+        let t = grid(6, 5);
+        let algorithms = [
+            Algorithm::TwoToTheN,
+            Algorithm::UnionGroupBys,
+            Algorithm::FromCore,
+            Algorithm::Array,
+            Algorithm::PipeSort,
+            Algorithm::Parallel { threads: 1 },
+            Algorithm::Parallel { threads: 4 },
+            Algorithm::Parallel { threads: 16 },
+        ];
+        // Failures are collected and asserted after the panic hook is
+        // restored — asserting inside the silenced region would swallow
+        // the test's own failure message.
+        let failures = silent_panics(|| {
+            let mut failures: Vec<String> = Vec::new();
+            let _cleanup = Disarm;
+            disarm_all();
+            let reference = cube_under_fault(&t, Algorithm::TwoToTheN).unwrap();
+            for site in SITES {
+                for fault in [
+                    Fault::Panic(format!("injected at {site}")),
+                    Fault::TripBudget,
+                ] {
+                    for alg in algorithms {
+                        if std::env::var_os("GOVERNANCE_TRACE").is_some() {
+                            eprintln!("combo: {site} {fault:?} {alg:?}");
+                        }
+                        arm(site, fault.clone());
+                        let result = cube_under_fault(&t, alg);
+                        disarm_all();
+                        match result {
+                            Ok(table) if table.rows() != reference.rows() => {
+                                failures.push(format!(
+                                    "site {site}, fault {fault:?}, {alg:?}: \
+                                     unexercised fault changed the answer"
+                                ));
+                            }
+                            Ok(_)
+                            | Err(
+                                CubeError::AggPanicked { .. }
+                                | CubeError::ResourceExhausted { .. },
+                            ) => {}
+                            Err(other) => failures.push(format!(
+                                "site {site}, fault {fault:?}, {alg:?}: \
+                                 unexpected error {other:?}"
+                            )),
+                        }
+                    }
+                    // The rollup-only sort algorithm.
+                    arm(site, fault.clone());
+                    let result = CubeQuery::new()
+                        .dimensions(xy_dims())
+                        .aggregate(uda_sum())
+                        .algorithm(Algorithm::Sort)
+                        .rollup(&t);
+                    disarm_all();
+                    if !matches!(
+                        result,
+                        Ok(_)
+                            | Err(CubeError::AggPanicked { .. }
+                                | CubeError::ResourceExhausted { .. })
+                    ) {
+                        failures.push(format!(
+                            "sort at {site} with {fault:?}: {result:?}"
+                        ));
+                    }
+                }
+            }
+            failures
+        });
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+
+    /// Slow workers delay but do not wedge: the scope joins every handle.
+    #[test]
+    fn slow_workers_complete() {
+        let t = grid(8, 8);
+        let _cleanup = Disarm;
+        for site in ["parallel::worker", "cascade::level"] {
+            arm(site, Fault::SleepMs(2));
+            let got = cube_under_fault(&t, Algorithm::Parallel { threads: 4 }).unwrap();
+            disarm_all();
+            let want = cube_under_fault(&t, Algorithm::TwoToTheN).unwrap();
+            assert_eq!(got.rows(), want.rows(), "{site}");
+        }
+    }
+
+    /// A panic in one worker must not leak other workers' panics through
+    /// the scope: every handle is joined, then the first error wins.
+    #[test]
+    fn worker_panics_are_contained_across_thread_counts() {
+        let t = grid(16, 4);
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            for threads in [1, 4, 16] {
+                arm("parallel::worker", Fault::Panic("worker down".into()));
+                let err =
+                    cube_under_fault(&t, Algorithm::Parallel { threads }).unwrap_err();
+                disarm_all();
+                match err {
+                    CubeError::AggPanicked { agg, message } => {
+                        assert_eq!(agg, "parallel::worker", "{threads} threads");
+                        assert!(message.contains("worker down"), "{threads}: {message}");
+                    }
+                    other => panic!("{threads} threads: {other:?}"),
+                }
+            }
+        });
+    }
+
+    /// Budget-trip faults surface as ResourceExhausted from the failpoint
+    /// itself — proof the error plumbing reaches every site.
+    #[test]
+    fn tripped_budgets_surface_from_engine_sites() {
+        let t = grid(6, 5);
+        let _cleanup = Disarm;
+        for (site, alg) in [
+            ("core::scan", Algorithm::FromCore),
+            ("naive::scan", Algorithm::TwoToTheN),
+            ("unions::scan", Algorithm::UnionGroupBys),
+            ("materialize", Algorithm::FromCore),
+        ] {
+            arm(site, Fault::TripBudget);
+            let result = cube_under_fault(&t, alg);
+            disarm_all();
+            assert!(
+                matches!(result, Err(CubeError::ResourceExhausted { .. })),
+                "{site} under {alg:?}: {result:?}"
+            );
+        }
+    }
+}

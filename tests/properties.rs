@@ -66,7 +66,7 @@ fn mixed_schema() -> Schema {
 fn mixed_dims(n_dims: usize) -> Vec<Dimension> {
     ["d0", "d1", "d2", "d3", "d4"][..n_dims]
         .iter()
-        .map(|d| Dimension::column(d))
+        .map(Dimension::column)
         .collect()
 }
 

@@ -40,6 +40,16 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// How much setup output to batch per timing run. This harness re-runs
+/// setup per iteration either way, so the variants only exist for API
+/// compatibility with real criterion.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
 /// Passed to benchmark closures; `iter` runs and times the workload.
 pub struct Bencher {
     /// Mean nanoseconds per iteration, filled by `iter`.
@@ -72,6 +82,40 @@ impl Bencher {
         }
         let elapsed = start.elapsed();
         self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Criterion's setup/measure split: `setup` builds a fresh input for
+    /// every call of `routine`, and only `routine` is timed. Used by
+    /// benches whose workload consumes or mutates its input.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate on the timed section only.
+        let calib_target = self.measurement / 10;
+        let mut timed = Duration::ZERO;
+        let mut calib_iters: u64 = 0;
+        while timed < calib_target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            calib_iters += 1;
+        }
+        let per_iter = timed.as_secs_f64() / calib_iters as f64;
+        let budget = (self.measurement - calib_target).as_secs_f64();
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
         self.iters = iters;
     }
 }

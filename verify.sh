@@ -11,6 +11,12 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fault-injection suite (--features faults) =="
+cargo test -q --features faults --test governance
+
 echo "== paper_tables vs golden =="
 cargo run -q --release -p dc-bench --bin paper_tables > /tmp/paper_tables_actual.txt
 if diff -u paper_tables_output.txt /tmp/paper_tables_actual.txt; then
