@@ -122,6 +122,14 @@ pub trait AggregateFunction: Send + Sync {
     fn cost(&self) -> u32 {
         1
     }
+
+    /// The vectorized kernel that computes this aggregate over primitive
+    /// column slices, if one exists (see [`crate::vectorized`]). `None` —
+    /// the default, and the only possibility for holistic and user-defined
+    /// aggregates — keeps the query on the Init/Iter/Final row path.
+    fn kernel(&self) -> Option<crate::vectorized::Kernel> {
+        None
+    }
 }
 
 #[cfg(test)]

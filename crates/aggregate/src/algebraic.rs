@@ -8,6 +8,7 @@
 //! is exactly that M-tuple.
 
 use crate::accumulator::{Accumulator, AggKind, AggregateFunction, Retract};
+use crate::vectorized::Kernel;
 use dc_relation::{DataType, Value};
 
 fn numeric(v: &Value) -> Option<f64> {
@@ -80,6 +81,9 @@ impl AggregateFunction for Avg {
     fn retractable(&self) -> bool {
         true
     }
+    fn kernel(&self) -> Option<Kernel> {
+        Some(Kernel::Avg)
+    }
 }
 
 // --------------------------------------------------- VARIANCE / STDDEV --
@@ -120,7 +124,11 @@ impl Accumulator for VarianceAcc {
     }
 
     fn state(&self) -> Vec<Value> {
-        vec![Value::Int(self.n), Value::Float(self.sum), Value::Float(self.sumsq)]
+        vec![
+            Value::Int(self.n),
+            Value::Float(self.sum),
+            Value::Float(self.sumsq),
+        ]
     }
 
     fn merge(&mut self, state: &[Value]) {
@@ -180,7 +188,9 @@ impl Accumulator for StdDevAcc {
         self.0.merge(state);
     }
     fn final_value(&self) -> Value {
-        self.0.variance().map_or(Value::Null, |v| Value::Float(v.sqrt()))
+        self.0
+            .variance()
+            .map_or(Value::Null, |v| Value::Float(v.sqrt()))
     }
     fn retract(&mut self, v: &Value) -> Retract {
         self.0.retract(v)
@@ -294,7 +304,11 @@ pub struct TopNAcc {
 
 impl TopNAcc {
     fn new(is_max: bool, n: usize) -> Self {
-        TopNAcc { is_max, n, best: Vec::with_capacity(n + 1) }
+        TopNAcc {
+            is_max,
+            n,
+            best: Vec::with_capacity(n + 1),
+        }
     }
 
     fn insert(&mut self, v: &Value) {

@@ -6,6 +6,7 @@
 //! `merge` is the function itself — except COUNT, whose merge is addition.
 
 use crate::accumulator::{Accumulator, AggKind, AggregateFunction, Retract};
+use crate::vectorized::Kernel;
 use dc_relation::{DataType, Value};
 
 fn participates(v: &Value) -> bool {
@@ -68,6 +69,9 @@ impl AggregateFunction for Count {
     fn retractable(&self) -> bool {
         true
     }
+    fn kernel(&self) -> Option<Kernel> {
+        Some(Kernel::Count)
+    }
 }
 
 // -------------------------------------------------------------- COUNT(*) --
@@ -119,6 +123,9 @@ impl AggregateFunction for CountStar {
     }
     fn retractable(&self) -> bool {
         true
+    }
+    fn kernel(&self) -> Option<Kernel> {
+        Some(Kernel::CountStar)
     }
 }
 
@@ -204,6 +211,9 @@ impl AggregateFunction for Sum {
     fn retractable(&self) -> bool {
         true
     }
+    fn kernel(&self) -> Option<Kernel> {
+        Some(Kernel::Sum)
+    }
 }
 
 // -------------------------------------------------------------- MIN/MAX --
@@ -284,6 +294,9 @@ impl AggregateFunction for Min {
     fn init(&self) -> Box<dyn Accumulator> {
         Box::new(ExtremumAcc::<false>::default())
     }
+    fn kernel(&self) -> Option<Kernel> {
+        Some(Kernel::Min)
+    }
 }
 
 /// `MAX(column)`.
@@ -298,6 +311,9 @@ impl AggregateFunction for Max {
     }
     fn init(&self) -> Box<dyn Accumulator> {
         Box::new(ExtremumAcc::<true>::default())
+    }
+    fn kernel(&self) -> Option<Kernel> {
+        Some(Kernel::Max)
     }
 }
 
@@ -318,7 +334,11 @@ pub struct ProductAcc {
 
 impl Default for ProductAcc {
     fn default() -> Self {
-        ProductAcc { nonzero_product: 1.0, zeros: 0, n: 0 }
+        ProductAcc {
+            nonzero_product: 1.0,
+            zeros: 0,
+            n: 0,
+        }
     }
 }
 
@@ -487,8 +507,13 @@ mod tests {
 
     #[test]
     fn count_skips_tokens_count_star_does_not() {
-        let vals =
-            vec![Value::Int(1), Value::Null, Value::All, Value::Int(2), Value::str("x")];
+        let vals = vec![
+            Value::Int(1),
+            Value::Null,
+            Value::All,
+            Value::Int(2),
+            Value::str("x"),
+        ];
         assert_eq!(run(&Count, &vals), Value::Int(3));
         assert_eq!(run(&CountStar, &vals), Value::Int(5));
     }
@@ -535,7 +560,12 @@ mod tests {
             for v in part_a.iter().chain(part_b.iter()) {
                 whole.iter(v);
             }
-            assert_eq!(left.final_value(), whole.final_value(), "law failed for {}", f.name());
+            assert_eq!(
+                left.final_value(),
+                whole.final_value(),
+                "law failed for {}",
+                f.name()
+            );
         }
     }
 
@@ -581,7 +611,10 @@ mod tests {
             run(&Product, &[Value::Int(2), Value::Int(3), Value::Int(4)]),
             Value::Float(24.0)
         );
-        assert_eq!(run(&Product, &[Value::Int(2), Value::Int(0)]), Value::Float(0.0));
+        assert_eq!(
+            run(&Product, &[Value::Int(2), Value::Int(0)]),
+            Value::Float(0.0)
+        );
         assert_eq!(run(&Product, &[]), Value::Null);
     }
 

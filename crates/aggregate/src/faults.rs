@@ -118,6 +118,9 @@ mod tests {
         let err = std::panic::catch_unwind(|| hit("site::boom")).unwrap_err();
         disarm_all();
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("site::boom") && msg.contains("kaboom"), "{msg}");
+        assert!(
+            msg.contains("site::boom") && msg.contains("kaboom"),
+            "{msg}"
+        );
     }
 }

@@ -225,7 +225,10 @@ impl AggregateFunction for Percentile {
         AggKind::Holistic
     }
     fn init(&self) -> Box<dyn Accumulator> {
-        Box::new(PercentileAcc { p: self.0.clamp(f64::MIN_POSITIVE, 1.0), bag: Bag::default() })
+        Box::new(PercentileAcc {
+            p: self.0.clamp(f64::MIN_POSITIVE, 1.0),
+            bag: Bag::default(),
+        })
     }
     fn cost(&self) -> u32 {
         8
@@ -323,7 +326,10 @@ mod tests {
     #[test]
     fn median_odd_even_empty() {
         assert_eq!(feed(&Median, &[3, 1, 2]).final_value(), Value::Int(2));
-        assert_eq!(feed(&Median, &[4, 1, 2, 3]).final_value(), Value::Float(2.5));
+        assert_eq!(
+            feed(&Median, &[4, 1, 2, 3]).final_value(),
+            Value::Float(2.5)
+        );
         assert_eq!(Median.init().final_value(), Value::Null);
     }
 

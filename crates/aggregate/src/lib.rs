@@ -37,11 +37,13 @@ pub mod holistic;
 pub mod ordered;
 pub mod registry;
 pub mod udf;
+pub mod vectorized;
 
 pub use accumulator::{Accumulator, AggKind, AggregateFunction, Retract};
 pub use error::{AggError, AggResult};
 pub use registry::{builtin, builtins, Registry};
 pub use udf::UdaBuilder;
+pub use vectorized::{Kernel, KernelCell};
 
 use std::sync::Arc;
 

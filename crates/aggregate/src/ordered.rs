@@ -47,7 +47,10 @@ pub fn n_tile(values: &[Value], n: usize) -> AggResult<Vec<Value>> {
     if n == 0 {
         return Err(AggError::Invalid("N_TILE requires n >= 1".into()));
     }
-    let total = values.iter().filter(|v| !v.is_null() && !v.is_all()).count();
+    let total = values
+        .iter()
+        .filter(|v| !v.is_null() && !v.is_all())
+        .count();
     Ok(values
         .iter()
         .map(|v| {
@@ -112,11 +115,7 @@ pub fn running_average(values: &[Value], n: usize) -> AggResult<Vec<Value>> {
     })
 }
 
-fn running_window(
-    values: &[Value],
-    n: usize,
-    f: impl Fn(&[f64]) -> f64,
-) -> AggResult<Vec<Value>> {
+fn running_window(values: &[Value], n: usize, f: impl Fn(&[f64]) -> f64) -> AggResult<Vec<Value>> {
     if n == 0 {
         return Err(AggError::Invalid("running window requires n >= 1".into()));
     }
@@ -227,7 +226,12 @@ mod tests {
         let r = running_sum(&ints(&[1, 2, 3, 4]), 2).unwrap();
         assert_eq!(
             r,
-            vec![Value::Null, Value::Float(3.0), Value::Float(5.0), Value::Float(7.0)]
+            vec![
+                Value::Null,
+                Value::Float(3.0),
+                Value::Float(5.0),
+                Value::Float(7.0)
+            ]
         );
         assert!(running_sum(&ints(&[1]), 0).is_err());
     }

@@ -94,7 +94,9 @@ pub fn builtin(name: &str) -> AggResult<AggRef> {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Registry").field("functions", &self.names()).finish()
+        f.debug_struct("Registry")
+            .field("functions", &self.names())
+            .finish()
     }
 }
 

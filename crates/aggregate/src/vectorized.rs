@@ -1,0 +1,448 @@
+//! Vectorized aggregation kernels for the distributive/algebraic built-ins.
+//!
+//! The paper's Init / Iter / Final protocol (§4) is the *generic* contract:
+//! any user-defined aggregate can plug in, at the price of one virtual call
+//! and one `Value` match per (row, aggregate). The built-ins that dominate
+//! real cube workloads — COUNT, SUM, MIN, MAX, AVG — are all distributive
+//! or algebraic with tiny POD state, so they can instead run as
+//! *monomorphized kernels* over the primitive column slices of a
+//! [`ColumnarBatch`](dc relation columnar batch): one tight loop per
+//! (kernel, column-type) pair, null-aware via the validity [`Bitmap`].
+//!
+//! A kernel's accumulator is a fixed 24-byte [`KernelCell`]; the engine
+//! stores one flat `Vec<KernelCell>` per grouping set (stride = number of
+//! kernel lanes). At materialization time each cell is rehydrated into the
+//! aggregate's ordinary accumulator via [`Kernel::state`] +
+//! `Accumulator::merge`, so Final() and output typing are exactly the row
+//! path's — the kernels are an execution detail, not a semantic fork.
+//!
+//! An aggregate opts in by returning `Some(Kernel)` from
+//! [`AggregateFunction::kernel`](crate::AggregateFunction::kernel); holistic
+//! and user-defined aggregates keep the default `None` and the engine falls
+//! back to Init/Iter/Final for the whole query.
+
+use crate::accumulator::Accumulator;
+use dc_relation::{Bitmap, Value};
+
+/// The vectorized kernels. Each corresponds to one built-in aggregate whose
+/// [`state`](Kernel::state) tuple matches that aggregate's row-path
+/// accumulator, so rehydration via `merge` is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// COUNT(x): rows with a present value.
+    Count,
+    /// COUNT(*): every row.
+    CountStar,
+    /// SUM(x) over `i64` or `f64`.
+    Sum,
+    /// MIN(x), strict comparison, first-seen wins ties.
+    Min,
+    /// MAX(x), strict comparison, first-seen wins ties.
+    Max,
+    /// AVG(x): running `f64` sum plus count.
+    Avg,
+}
+
+/// POD accumulator cell shared by all kernels: an integer lane, a float
+/// lane, and a count. Which lanes are meaningful depends on the kernel and
+/// the input column type.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCell {
+    /// Integer accumulator (SUM/MIN/MAX over `i64`).
+    pub acc_i: i64,
+    /// Float accumulator (SUM/MIN/MAX over `f64`, AVG always).
+    pub acc_f: f64,
+    /// Rows folded in (COUNT result; presence marker for MIN/MAX).
+    pub n: i64,
+}
+
+impl Kernel {
+    /// COUNT(*) update: no input column, every row counts. `slots[j]` is the
+    /// group slot of morsel row `j`; a cell's lanes live at
+    /// `cells[slot * stride + lane]`.
+    #[inline]
+    pub fn update_star(cells: &mut [KernelCell], stride: usize, lane: usize, slots: &[u32]) {
+        for &s in slots {
+            cells[s as usize * stride + lane].n += 1;
+        }
+    }
+
+    /// Fold one morsel of an `i64` column: `vals` is the morsel slice,
+    /// `valid` the *whole-column* bitmap probed at `base + j`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_i64(
+        self,
+        cells: &mut [KernelCell],
+        stride: usize,
+        lane: usize,
+        slots: &[u32],
+        vals: &[i64],
+        valid: &Bitmap,
+        base: usize,
+    ) {
+        match self {
+            Kernel::Count => {
+                for (j, &s) in slots.iter().enumerate() {
+                    if valid.get(base + j) {
+                        cells[s as usize * stride + lane].n += 1;
+                    }
+                }
+            }
+            Kernel::CountStar => Kernel::update_star(cells, stride, lane, slots),
+            Kernel::Sum => {
+                for (j, (&s, &v)) in slots.iter().zip(vals).enumerate() {
+                    if valid.get(base + j) {
+                        let c = &mut cells[s as usize * stride + lane];
+                        c.acc_i += v;
+                        c.n += 1;
+                    }
+                }
+            }
+            Kernel::Min => {
+                for (j, (&s, &v)) in slots.iter().zip(vals).enumerate() {
+                    if valid.get(base + j) {
+                        let c = &mut cells[s as usize * stride + lane];
+                        if c.n == 0 || v < c.acc_i {
+                            c.acc_i = v;
+                        }
+                        c.n += 1;
+                    }
+                }
+            }
+            Kernel::Max => {
+                for (j, (&s, &v)) in slots.iter().zip(vals).enumerate() {
+                    if valid.get(base + j) {
+                        let c = &mut cells[s as usize * stride + lane];
+                        if c.n == 0 || v > c.acc_i {
+                            c.acc_i = v;
+                        }
+                        c.n += 1;
+                    }
+                }
+            }
+            Kernel::Avg => {
+                for (j, (&s, &v)) in slots.iter().zip(vals).enumerate() {
+                    if valid.get(base + j) {
+                        let c = &mut cells[s as usize * stride + lane];
+                        c.acc_f += v as f64;
+                        c.n += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold one morsel of an `f64` column; extrema use `total_cmp` to match
+    /// the row path's `Value` ordering exactly.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_f64(
+        self,
+        cells: &mut [KernelCell],
+        stride: usize,
+        lane: usize,
+        slots: &[u32],
+        vals: &[f64],
+        valid: &Bitmap,
+        base: usize,
+    ) {
+        use std::cmp::Ordering;
+        match self {
+            Kernel::Count => {
+                for (j, &s) in slots.iter().enumerate() {
+                    if valid.get(base + j) {
+                        cells[s as usize * stride + lane].n += 1;
+                    }
+                }
+            }
+            Kernel::CountStar => Kernel::update_star(cells, stride, lane, slots),
+            Kernel::Sum | Kernel::Avg => {
+                for (j, (&s, &v)) in slots.iter().zip(vals).enumerate() {
+                    if valid.get(base + j) {
+                        let c = &mut cells[s as usize * stride + lane];
+                        c.acc_f += v;
+                        c.n += 1;
+                    }
+                }
+            }
+            Kernel::Min => {
+                for (j, (&s, &v)) in slots.iter().zip(vals).enumerate() {
+                    if valid.get(base + j) {
+                        let c = &mut cells[s as usize * stride + lane];
+                        if c.n == 0 || v.total_cmp(&c.acc_f) == Ordering::Less {
+                            c.acc_f = v;
+                        }
+                        c.n += 1;
+                    }
+                }
+            }
+            Kernel::Max => {
+                for (j, (&s, &v)) in slots.iter().zip(vals).enumerate() {
+                    if valid.get(base + j) {
+                        let c = &mut cells[s as usize * stride + lane];
+                        if c.n == 0 || v.total_cmp(&c.acc_f) == Ordering::Greater {
+                            c.acc_f = v;
+                        }
+                        c.n += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The paper's Iter_super: fold `src` into `dst`. `float_input` says
+    /// which accumulator lane the extremum kernels live in.
+    #[inline]
+    pub fn merge(self, dst: &mut KernelCell, src: &KernelCell, float_input: bool) {
+        use std::cmp::Ordering;
+        match self {
+            Kernel::Count | Kernel::CountStar => dst.n += src.n,
+            Kernel::Sum => {
+                dst.acc_i += src.acc_i;
+                dst.acc_f += src.acc_f;
+                dst.n += src.n;
+            }
+            Kernel::Avg => {
+                dst.acc_f += src.acc_f;
+                dst.n += src.n;
+            }
+            Kernel::Min | Kernel::Max => {
+                if src.n == 0 {
+                    return;
+                }
+                if dst.n == 0 {
+                    *dst = *src;
+                    return;
+                }
+                let want = if self == Kernel::Min {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                };
+                let replace = if float_input {
+                    src.acc_f.total_cmp(&dst.acc_f) == want
+                } else {
+                    src.acc_i.cmp(&dst.acc_i) == want
+                };
+                if replace {
+                    let n = dst.n + src.n;
+                    *dst = *src;
+                    dst.n = n;
+                } else {
+                    dst.n += src.n;
+                }
+            }
+        }
+    }
+
+    /// Render a cell as the state tuple of the corresponding row-path
+    /// accumulator, so `init(); acc.merge(&state)` rehydrates it exactly.
+    pub fn state(self, cell: &KernelCell, float_input: bool) -> Vec<Value> {
+        match self {
+            Kernel::Count | Kernel::CountStar => vec![Value::Int(cell.n)],
+            Kernel::Sum => vec![
+                Value::Int(if float_input { 0 } else { cell.acc_i }),
+                Value::Float(if float_input { cell.acc_f } else { 0.0 }),
+                Value::Bool(float_input && cell.n > 0),
+                Value::Int(cell.n),
+            ],
+            Kernel::Min | Kernel::Max => {
+                if cell.n == 0 {
+                    vec![Value::Null]
+                } else if float_input {
+                    vec![Value::Float(cell.acc_f)]
+                } else {
+                    vec![Value::Int(cell.acc_i)]
+                }
+            }
+            Kernel::Avg => vec![Value::Float(cell.acc_f), Value::Int(cell.n)],
+        }
+    }
+
+    /// Rehydrate a cell into a freshly Init()ed row-path accumulator.
+    pub fn rehydrate(self, acc: &mut dyn Accumulator, cell: &KernelCell, float_input: bool) {
+        acc.merge(&self.state(cell, float_input));
+    }
+
+    /// Final() straight from the cell — byte-for-byte what the row-path
+    /// accumulator's `final_value` would return after the same inputs, so
+    /// materialization can skip rehydration entirely. (SUM over a pure
+    /// `Float` column matches `SumAcc`: its `int_sum` stays 0, so the
+    /// float total alone is the answer.)
+    pub fn final_value(self, cell: &KernelCell, float_input: bool) -> Value {
+        match self {
+            Kernel::Count | Kernel::CountStar => Value::Int(cell.n),
+            Kernel::Sum | Kernel::Min | Kernel::Max => {
+                if cell.n == 0 {
+                    Value::Null // SQL: the empty set folds to NULL
+                } else if float_input {
+                    Value::Float(cell.acc_f)
+                } else {
+                    Value::Int(cell.acc_i)
+                }
+            }
+            Kernel::Avg => {
+                if cell.n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(cell.acc_f / cell.n as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    fn bitmap(bits: &[bool]) -> Bitmap {
+        let mut b = Bitmap::new();
+        for &x in bits {
+            b.push(x);
+        }
+        b
+    }
+
+    /// Drive a kernel over one group and compare Final() against the row
+    /// path fed the same values.
+    fn check_i64(name: &str, kernel: Kernel, vals: &[i64], valid: &[bool]) {
+        let mut cells = vec![KernelCell::default()];
+        let slots = vec![0u32; vals.len()];
+        kernel.update_i64(&mut cells, 1, 0, &slots, vals, &bitmap(valid), 0);
+        let f = builtin(name).unwrap();
+        let mut want = f.init();
+        for (v, ok) in vals.iter().zip(valid) {
+            want.iter(&if *ok { Value::Int(*v) } else { Value::Null });
+        }
+        let mut got = f.init();
+        kernel.rehydrate(got.as_mut(), &cells[0], false);
+        assert_eq!(
+            got.final_value(),
+            want.final_value(),
+            "{name} over {vals:?}"
+        );
+        // The direct final matches the rehydrated accumulator's.
+        assert_eq!(
+            kernel.final_value(&cells[0], false),
+            want.final_value(),
+            "{name} direct final over {vals:?}"
+        );
+    }
+
+    /// Same, over an `f64` column.
+    fn check_f64(name: &str, kernel: Kernel, vals: &[f64], valid: &[bool]) {
+        let mut cells = vec![KernelCell::default()];
+        let slots = vec![0u32; vals.len()];
+        kernel.update_f64(&mut cells, 1, 0, &slots, vals, &bitmap(valid), 0);
+        let f = builtin(name).unwrap();
+        let mut want = f.init();
+        for (v, ok) in vals.iter().zip(valid) {
+            want.iter(&if *ok { Value::Float(*v) } else { Value::Null });
+        }
+        assert_eq!(
+            kernel.final_value(&cells[0], true),
+            want.final_value(),
+            "{name} direct final over {vals:?}"
+        );
+    }
+
+    #[test]
+    fn kernels_match_row_accumulators_over_f64() {
+        let vals = [1.25, -3.5, 100.0, 0.75, -3.5];
+        let valid = [true, false, true, true, true];
+        for (name, k) in [
+            ("COUNT", Kernel::Count),
+            ("SUM", Kernel::Sum),
+            ("MIN", Kernel::Min),
+            ("MAX", Kernel::Max),
+            ("AVG", Kernel::Avg),
+        ] {
+            check_f64(name, k, &vals, &valid);
+            check_f64(name, k, &[], &[]);
+            check_f64(name, k, &[0.0, 0.0], &[false, false]);
+        }
+    }
+
+    #[test]
+    fn kernels_match_row_accumulators_over_i64() {
+        let vals = [5, -3, 12, 7, -3];
+        let valid = [true, true, false, true, true];
+        for (name, k) in [
+            ("COUNT", Kernel::Count),
+            ("SUM", Kernel::Sum),
+            ("MIN", Kernel::Min),
+            ("MAX", Kernel::Max),
+            ("AVG", Kernel::Avg),
+        ] {
+            check_i64(name, k, &vals, &valid);
+            check_i64(name, k, &[], &[]);
+            check_i64(name, k, &[0, 0], &[false, false]);
+        }
+    }
+
+    #[test]
+    fn count_star_counts_nulls_too() {
+        let mut cells = vec![KernelCell::default()];
+        Kernel::update_star(&mut cells, 1, 0, &[0, 0, 0]);
+        assert_eq!(
+            Kernel::CountStar.state(&cells[0], false),
+            vec![Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn float_extrema_use_total_cmp() {
+        let mut cells = vec![KernelCell::default()];
+        let vals = [0.0, -0.0];
+        let slots = [0u32, 0];
+        Kernel::Min.update_f64(&mut cells, 1, 0, &slots, &vals, &bitmap(&[true, true]), 0);
+        // total_cmp puts -0.0 below 0.0, matching Value's ordering.
+        assert_eq!(cells[0].acc_f.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn merge_is_iter_super() {
+        let mut a = KernelCell {
+            acc_i: 10,
+            acc_f: 0.0,
+            n: 2,
+        };
+        let b = KernelCell {
+            acc_i: 4,
+            acc_f: 0.0,
+            n: 1,
+        };
+        Kernel::Sum.merge(&mut a, &b, false);
+        assert_eq!((a.acc_i, a.n), (14, 3));
+
+        let mut lo = KernelCell {
+            acc_i: 3,
+            acc_f: 0.0,
+            n: 1,
+        };
+        let hi = KernelCell {
+            acc_i: 9,
+            acc_f: 0.0,
+            n: 1,
+        };
+        Kernel::Min.merge(&mut lo, &hi, false);
+        assert_eq!(lo.acc_i, 3);
+        let empty = KernelCell::default();
+        Kernel::Min.merge(&mut lo, &empty, false);
+        assert_eq!((lo.acc_i, lo.n), (3, 2));
+    }
+
+    #[test]
+    fn sum_state_rehydrates_float_path() {
+        let mut cells = vec![KernelCell::default()];
+        let vals = [1.25, 2.5];
+        Kernel::Sum.update_f64(&mut cells, 1, 0, &[0, 0], &vals, &bitmap(&[true, true]), 0);
+        let f = builtin("SUM").unwrap();
+        let mut got = f.init();
+        Kernel::Sum.rehydrate(got.as_mut(), &cells[0], true);
+        assert_eq!(got.final_value(), Value::Float(3.75));
+    }
+}

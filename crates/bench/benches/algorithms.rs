@@ -52,7 +52,10 @@ fn bench_algebraic(c: &mut Criterion) {
     let mut group = c.benchmark_group("F8_algebraic_avg");
     group.sample_size(10);
     let table = sales_table(10_000, 8);
-    for (name, alg) in [("2^N", Algorithm::TwoToTheN), ("from_core", Algorithm::FromCore)] {
+    for (name, alg) in [
+        ("2^N", Algorithm::TwoToTheN),
+        ("from_core", Algorithm::FromCore),
+    ] {
         group.bench_with_input(BenchmarkId::new(name, 10_000), &table, |b, t| {
             let q = datacube::CubeQuery::new()
                 .dimensions(dc_bench::sales_dims())

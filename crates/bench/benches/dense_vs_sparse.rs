@@ -22,17 +22,14 @@ fn bench_dense_vs_sparse(c: &mut Criterion) {
     for cardinality in [4usize, 8, 16, 32, 64] {
         let table = sales_table(rows, cardinality);
         let cells: usize = (cardinality + 1).pow(3);
-        for (name, alg) in
-            [("dense_array", Algorithm::Array), ("hash_from_core", Algorithm::FromCore)]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(name, cardinality),
-                &table,
-                |b, t| {
-                    let q = sales_query(3).algorithm(alg);
-                    b.iter(|| q.cube(t).unwrap());
-                },
-            );
+        for (name, alg) in [
+            ("dense_array", Algorithm::Array),
+            ("hash_from_core", Algorithm::FromCore),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, cardinality), &table, |b, t| {
+                let q = sales_query(3).algorithm(alg);
+                b.iter(|| q.cube(t).unwrap());
+            });
         }
         println!(
             "C7 C={cardinality}: array cells={cells}, base rows={rows}, density={:.2}",

@@ -14,7 +14,7 @@
 //! Acceptance target (EXPERIMENTS.md E-keys): ≥ 2× end-to-end on
 //! string-dimension workloads.
 
-use criterion::{criterion_group, criterion_main, black_box, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use datacube::{AggSpec, Algorithm, CubeQuery, Dimension};
 use dc_bench::{sales_query, sales_table};
 use dc_relation::{FxHashMap, Row, Value};
@@ -40,9 +40,10 @@ fn bench_encoded_vs_row(c: &mut Criterion) {
 
     for rows in [10_000usize, 50_000] {
         let sales = sales_table(rows, 8);
-        for (alg_name, alg) in
-            [("from_core", Algorithm::FromCore), ("2^N", Algorithm::TwoToTheN)]
-        {
+        for (alg_name, alg) in [
+            ("from_core", Algorithm::FromCore),
+            ("2^N", Algorithm::TwoToTheN),
+        ] {
             for (name, encoded) in [("encoded", true), ("row_keys", false)] {
                 group.bench_with_input(
                     BenchmarkId::new(format!("sales_{alg_name}_{name}"), rows),
@@ -56,7 +57,10 @@ fn bench_encoded_vs_row(c: &mut Criterion) {
         }
     }
 
-    let weather = weather_table(WeatherParams { rows: 20_000, ..Default::default() });
+    let weather = weather_table(WeatherParams {
+        rows: 20_000,
+        ..Default::default()
+    });
     for (name, encoded) in [("encoded", true), ("row_keys", false)] {
         group.bench_with_input(
             BenchmarkId::new(format!("weather_{name}"), 20_000),
@@ -79,7 +83,9 @@ fn bench_fx_vs_siphash(c: &mut Criterion) {
     // The key streams a cube group-by actually produces: packed u64
     // coordinates, and the Row keys the fallback path clones.
     let n = 100_000usize;
-    let u64_keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37) % 4096).collect();
+    let u64_keys: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e37) % 4096)
+        .collect();
     let row_keys: Vec<Row> = (0..n)
         .map(|i| {
             Row::new(vec![

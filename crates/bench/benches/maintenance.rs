@@ -8,9 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datacube::maintain::MaterializedCube;
-use dc_bench::{sales_dims, sales_table, sum_units};
 use datacube::AggSpec;
 use dc_aggregate::builtin;
+use dc_bench::{sales_dims, sales_table, sum_units};
 
 fn max_units() -> AggSpec {
     AggSpec::new(builtin("MAX").unwrap(), "units").with_name("max_units")
@@ -43,8 +43,7 @@ fn bench_maintenance(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("delete_sum", rows), |b| {
         b.iter_batched(
             || {
-                let cube =
-                    MaterializedCube::cube(&table, sales_dims(), vec![sum_units()]).unwrap();
+                let cube = MaterializedCube::cube(&table, sales_dims(), vec![sum_units()]).unwrap();
                 let victim = table.rows()[0].clone();
                 (cube, victim)
             },
@@ -57,8 +56,7 @@ fn bench_maintenance(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("delete_max_champion", rows), |b| {
         b.iter_batched(
             || {
-                let cube =
-                    MaterializedCube::cube(&table, sales_dims(), vec![max_units()]).unwrap();
+                let cube = MaterializedCube::cube(&table, sales_dims(), vec![max_units()]).unwrap();
                 // Pick a row holding the global maximum so every enclosing
                 // cell must recompute.
                 let victim = table

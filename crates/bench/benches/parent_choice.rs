@@ -16,9 +16,9 @@ use rand::{Rng, SeedableRng};
 
 fn skewed_cardinality_table(rows: usize) -> Table {
     let schema = Schema::from_pairs(&[
-        ("tiny", DataType::Int),   // C = 2
-        ("mid", DataType::Int),    // C = 16
-        ("huge", DataType::Int),   // C = 512
+        ("tiny", DataType::Int), // C = 2
+        ("mid", DataType::Int),  // C = 16
+        ("huge", DataType::Int), // C = 512
         ("units", DataType::Int),
     ]);
     let mut rng = StdRng::seed_from_u64(13);

@@ -21,13 +21,8 @@ fn bench_subcube(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("answer_all_sets", k), &table, |b, t| {
             b.iter_batched(
                 || {
-                    PartialCube::materialize(
-                        t,
-                        sales_dims(),
-                        vec![sum_units()],
-                        &selection,
-                    )
-                    .unwrap()
+                    PartialCube::materialize(t, sales_dims(), vec![sum_units()], &selection)
+                        .unwrap()
                 },
                 |mut pc| {
                     for set in cube_sets(3).unwrap() {
@@ -39,8 +34,7 @@ fn bench_subcube(c: &mut Criterion) {
             );
         });
         let mut pc =
-            PartialCube::materialize(&table, sales_dims(), vec![sum_units()], &selection)
-                .unwrap();
+            PartialCube::materialize(&table, sales_dims(), vec![sum_units()], &selection).unwrap();
         for set in cube_sets(3).unwrap() {
             pc.query(set).unwrap();
         }

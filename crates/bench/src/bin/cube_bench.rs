@@ -1,0 +1,123 @@
+//! `cube_bench`: the PR-level acceptance harness, writing `BENCH_pr3.json`.
+//!
+//! Two workloads, timed with `std::time::Instant` (criterion's report
+//! machinery is deliberately avoided so the binary can run in CI and
+//! emit one machine-readable file):
+//!
+//! * **ekeys_sales** — the E-keys workload: the 3-dimension sales cube
+//!   with packed-`u64` keys on vs the `Row`-key fallback;
+//! * **columnar_wide** — the columnar workload: a 100k-row, 4-dimension
+//!   numeric cube with every built-in kernel in the select list, run
+//!   through the vectorized kernel engine, the encoded row-at-a-time
+//!   arena path (`vectorized(false)`), and the plain `Row`-key path.
+//!
+//! Output: a JSON array of `{workload, rows, dims, algorithm, ns_per_op}`
+//! records at the repository root (see EXPERIMENTS.md "BENCH files").
+//! `--smoke` shrinks every workload to a few thousand rows and a single
+//! iteration — a seconds-long sanity pass for verify.sh, not a
+//! measurement — and prints to stderr without touching the checked-in
+//! `BENCH_pr3.json`.
+
+use datacube::CubeQuery;
+use dc_bench::{kernel_query, sales_query, sales_table, wide_table};
+use dc_relation::Table;
+use std::time::Instant;
+
+struct Record {
+    workload: &'static str,
+    rows: usize,
+    dims: usize,
+    algorithm: &'static str,
+    ns_per_op: u128,
+}
+
+/// Median-of-`iters` wall time for one full cube computation.
+fn time_cube(query: &CubeQuery, table: &Table, iters: usize) -> u128 {
+    // One warmup pass touches every page the timed passes will.
+    let warm = query.cube(table).expect("bench query");
+    assert!(!warm.is_empty());
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let out = query.cube(table).expect("bench query");
+            let ns = start.elapsed().as_nanos();
+            std::hint::black_box(out);
+            ns
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sales_rows, wide_rows, iters) = if smoke {
+        (2_000, 5_000, 1)
+    } else {
+        (50_000, 100_000, 5)
+    };
+    let mut records: Vec<Record> = Vec::new();
+
+    // ---- E-keys: encoded vs Row keys over string dimensions ----------
+    let sales = sales_table(sales_rows, 8);
+    for (algorithm, encoded) in [("encoded", true), ("row_keys", false)] {
+        let q = sales_query(3).encoded_keys(encoded);
+        records.push(Record {
+            workload: "ekeys_sales",
+            rows: sales_rows,
+            dims: 3,
+            algorithm,
+            ns_per_op: time_cube(&q, &sales, iters),
+        });
+        eprintln!(
+            "ekeys_sales/{algorithm}: {} ns/op",
+            records.last().unwrap().ns_per_op
+        );
+    }
+
+    // ---- Columnar: vectorized kernels vs the row-at-a-time paths -----
+    let wide = wide_table(wide_rows, 4, 10);
+    #[allow(clippy::type_complexity)]
+    let variants: [(&str, fn(CubeQuery) -> CubeQuery); 3] = [
+        ("vectorized", |q| q),
+        ("row_path", |q| q.vectorized(false)),
+        ("row_keys", |q| q.vectorized(false).encoded_keys(false)),
+    ];
+    for (algorithm, configure) in variants {
+        let q = configure(kernel_query(4));
+        records.push(Record {
+            workload: "columnar_wide",
+            rows: wide_rows,
+            dims: 4,
+            algorithm,
+            ns_per_op: time_cube(&q, &wide, iters),
+        });
+        eprintln!(
+            "columnar_wide/{algorithm}: {} ns/op",
+            records.last().unwrap().ns_per_op
+        );
+    }
+
+    // The deliverable: BENCH_pr3.json at the repository root. Smoke runs
+    // are sanity passes, not measurements — they must not overwrite it.
+    if smoke {
+        println!(
+            "smoke pass ok ({} records, BENCH_pr3.json untouched)",
+            records.len()
+        );
+        return;
+    }
+    let json: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"rows\": {}, \"dims\": {}, \
+                 \"algorithm\": \"{}\", \"ns_per_op\": {}}}",
+                r.workload, r.rows, r.dims, r.algorithm, r.ns_per_op
+            )
+        })
+        .collect();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
+    std::fs::write(path, format!("[\n{}\n]\n", json.join(",\n"))).expect("write BENCH_pr3.json");
+    println!("wrote {} records to {path}", records.len());
+}

@@ -7,17 +7,15 @@
 use datacube::addressing::CubeView;
 use datacube::pivot::{cross_tab, pivot_table};
 use datacube::{
-    cube_sets, dense_cube_cardinality, rows_in_set, AggSpec, CompoundSpec, CubeQuery,
-    Dimension, GroupingSet,
+    cube_sets, dense_cube_cardinality, rows_in_set, AggSpec, CompoundSpec, CubeQuery, Dimension,
+    GroupingSet,
 };
 use dc_aggregate::builtin;
 use dc_relation::{display::render_table, ColumnDef, DataType, Row, Schema, Table, Value};
 use dc_sql::Engine;
 use dc_warehouse::retail::{RetailParams, RetailWarehouse};
 use dc_warehouse::sales::{figure4_sales, table4_sales};
-use dc_warehouse::weather::{
-    continent_of, nation_of, weather_table, WeatherParams, STATIONS,
-};
+use dc_warehouse::weather::{continent_of, nation_of, weather_table, WeatherParams, STATIONS};
 use dc_warehouse::workloads;
 
 fn section(id: &str, title: &str) {
@@ -43,7 +41,10 @@ fn main() {
 /// Table 1: a sample of the Weather relation.
 fn table1_weather() {
     section("T1", "Weather relation (sample)");
-    let t = weather_table(WeatherParams { rows: 8, ..Default::default() });
+    let t = weather_table(WeatherParams {
+        rows: 8,
+        ..Default::default()
+    });
     print!("{}", render_table(&t));
     println!("(synthetic observations from {} stations)", STATIONS.len());
 }
@@ -75,7 +76,10 @@ fn table2_benchmarks() {
 /// Tables 3.a and 3.b: the roll-up report, in the indented report-writer
 /// form and in Chris Date's 2^N-column form the paper rejects.
 fn table3_rollup_reports() {
-    section("T3a", "Sales roll-up by Model by Year by Color (report form)");
+    section(
+        "T3a",
+        "Sales roll-up by Model by Year by Color (report form)",
+    );
     let sales = table4_sales();
     let chevy = sales.filter(|r| r[0] == Value::str("Chevy"));
     let rollup = CubeQuery::new()
@@ -105,7 +109,13 @@ fn table3_rollup_reports() {
             1 => (String::new(), r[3].to_string(), String::new()),
             _ => (String::new(), String::new(), r[3].to_string()),
         };
-        let blank_if_all = |v: &Value| if v.is_all() { String::new() } else { v.to_string() };
+        let blank_if_all = |v: &Value| {
+            if v.is_all() {
+                String::new()
+            } else {
+                v.to_string()
+            }
+        };
         println!(
             "{:<8} {:<6} {:<7} {:>10} {:>9} {:>9}",
             blank_if_all(&r[0]),
@@ -193,7 +203,11 @@ fn table7_decorations() {
     let mut engine = Engine::new();
     // Build a nation/continent-annotated observation table from the
     // synthetic weather data (the §3.5 dimension join, pre-applied).
-    let weather = weather_table(WeatherParams { rows: 500, days: 30, ..Default::default() });
+    let weather = weather_table(WeatherParams {
+        rows: 500,
+        days: 30,
+        ..Default::default()
+    });
     let schema = Schema::from_pairs(&[
         ("day", DataType::Date),
         ("nation", DataType::Str),
@@ -204,10 +218,16 @@ fn table7_decorations() {
     for r in weather.rows() {
         let lat = r[1].as_f64().unwrap();
         let lon = r[2].as_f64().unwrap();
-        let Some(nation) = nation_of(lat, lon) else { continue };
+        let Some(nation) = nation_of(lat, lon) else {
+            continue;
+        };
         let date = r[0].as_date().unwrap();
         obs.push_unchecked(Row::new(vec![
-            Value::Date(dc_relation::Date::ymd(date.year(), date.month(), date.day())),
+            Value::Date(dc_relation::Date::ymd(
+                date.year(),
+                date.month(),
+                date.day(),
+            )),
             Value::str(nation),
             Value::str(continent_of(nation).unwrap()),
             r[4].clone(),
@@ -259,29 +279,52 @@ fn figure4_cardinality() {
         "paper formula:     Pi(Ci+1) = 3 x 4 x 4 = {}",
         dense_cube_cardinality(&[2, 3, 3])
     );
-    println!("core rows:         {}", rows_in_set(&cube, 3, GroupingSet::full(3)));
+    println!(
+        "core rows:         {}",
+        rows_in_set(&cube, 3, GroupingSet::full(3))
+    );
     println!("super-aggregates:  {}", cube.len() - 18);
-    print!("{}", render_table(&cube.filter(|r| (0..3).all(|d| r[d].is_all()))));
+    print!(
+        "{}",
+        render_table(&cube.filter(|r| (0..3).all(|d| r[d].is_all())))
+    );
 }
 
 /// Figure 5: the GROUP BY ⊗ ROLLUP ⊗ CUBE compound shape.
 fn figure5_compound() {
-    section("F5", "compound GROUP BY Manufacturer ROLLUP Year CUBE Category, Product");
-    let w = RetailWarehouse::generate(RetailParams { sales: 2_000, ..Default::default() });
+    section(
+        "F5",
+        "compound GROUP BY Manufacturer ROLLUP Year CUBE Category, Product",
+    );
+    let w = RetailWarehouse::generate(RetailParams {
+        sales: 2_000,
+        ..Default::default()
+    });
     let wide = w.denormalize();
     // Derive year from date for the rollup block.
     let spec = CompoundSpec::new()
         .group_by(vec![Dimension::column("manufacturer")])
-        .rollup(vec![Dimension::computed("year", DataType::Int, |r: &Row| {
-            r[8].as_date().map_or(Value::Null, |d| Value::Int(i64::from(d.year())))
-        })])
-        .cube(vec![Dimension::column("category"), Dimension::column("product")]);
+        .rollup(vec![Dimension::computed(
+            "year",
+            DataType::Int,
+            |r: &Row| {
+                r[8].as_date()
+                    .map_or(Value::Null, |d| Value::Int(i64::from(d.year())))
+            },
+        )])
+        .cube(vec![
+            Dimension::column("category"),
+            Dimension::column("product"),
+        ]);
     let out = CubeQuery::new()
         .aggregate(AggSpec::new(builtin("SUM").unwrap(), "price").with_name("revenue"))
         .compound(&wide, &spec)
         .unwrap();
     let sets = spec.grouping_sets().unwrap();
-    println!("grouping sets: {} (1 GROUP BY x 2 ROLLUP prefixes x 4 CUBE subsets)", sets.len());
+    println!(
+        "grouping sets: {} (1 GROUP BY x 2 ROLLUP prefixes x 4 CUBE subsets)",
+        sets.len()
+    );
     println!("result rows:   {}", out.len());
     println!(
         "manufacturer is never ALL: {}",
@@ -292,7 +335,10 @@ fn figure5_compound() {
 /// Figure 6: the snowflake schema and a granularity roll-up.
 fn figure6_snowflake() {
     section("F6", "snowflake schema (retail warehouse)");
-    let w = RetailWarehouse::generate(RetailParams { sales: 5_000, ..Default::default() });
+    let w = RetailWarehouse::generate(RetailParams {
+        sales: 5_000,
+        ..Default::default()
+    });
     println!(
         "fact sales_item: {} rows; office dim: {}; product dim: {}; customer dim: {}",
         w.fact.len(),
@@ -315,7 +361,10 @@ fn figure6_snowflake() {
 /// §5's claim: with Ci = 4, a 4D cube is ~2.4× the base GROUP BY.
 fn claim_c2_cube_vs_groupby_size() {
     section("C2", "cube size vs GROUP BY core: ((Ci+1)/Ci)^N");
-    println!("{:<4} {:>14} {:>14} {:>8}", "N", "GROUP BY cells", "cube cells", "ratio");
+    println!(
+        "{:<4} {:>14} {:>14} {:>8}",
+        "N", "GROUP BY cells", "cube cells", "ratio"
+    );
     for n in 1..=6u32 {
         let group_by: u64 = 4u64.pow(n);
         let cube: u64 = 5u64.pow(n);
@@ -345,8 +394,9 @@ fn claim_c2_cube_vs_groupby_size() {
 
 /// A fully dense 4D table with Ci = 4: one row per cell.
 fn dense_4d_table() -> Table {
-    let mut cols: Vec<ColumnDef> =
-        (0..4).map(|d| ColumnDef::new(format!("d{d}"), DataType::Int)).collect();
+    let mut cols: Vec<ColumnDef> = (0..4)
+        .map(|d| ColumnDef::new(format!("d{d}"), DataType::Int))
+        .collect();
     cols.push(ColumnDef::new("units", DataType::Int));
     let mut t = Table::empty(Schema::new(cols).unwrap());
     for a in 0..4i64 {

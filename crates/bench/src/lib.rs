@@ -78,8 +78,32 @@ pub fn wide_table(rows: usize, n_dims: usize, cardinality: usize) -> Table {
 /// Query over all dimensions of a [`wide_table`].
 pub fn wide_query(n_dims: usize) -> CubeQuery {
     CubeQuery::new()
-        .dimensions((0..n_dims).map(|d| Dimension::column(format!("d{d}"))).collect())
+        .dimensions(
+            (0..n_dims)
+                .map(|d| Dimension::column(format!("d{d}")))
+                .collect(),
+        )
         .aggregate(sum_units())
+}
+
+/// The columnar workload's select list: every built-in kernel over the
+/// `units` measure of a [`wide_table`], so the whole query vectorizes.
+pub fn kernel_query(n_dims: usize) -> CubeQuery {
+    let agg = |name: &str| {
+        AggSpec::new(dc_aggregate::builtin(name).unwrap(), "units").with_name(name.to_lowercase())
+    };
+    CubeQuery::new()
+        .dimensions(
+            (0..n_dims)
+                .map(|d| Dimension::column(format!("d{d}")))
+                .collect(),
+        )
+        .aggregate(agg("SUM"))
+        .aggregate(agg("AVG"))
+        .aggregate(agg("MIN"))
+        .aggregate(agg("MAX"))
+        .aggregate(agg("COUNT"))
+        .aggregate(AggSpec::star(dc_aggregate::builtin("COUNT(*)").unwrap()).with_name("rows"))
 }
 
 #[cfg(test)]

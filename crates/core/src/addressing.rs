@@ -41,7 +41,12 @@ impl CubeView {
             let key = Row::new(row.values()[..n_dims].to_vec());
             index.insert(key, row[measure_idx].clone());
         }
-        Ok(CubeView { table, n_dims, measure_idx, index })
+        Ok(CubeView {
+            table,
+            n_dims,
+            measure_idx,
+            index,
+        })
     }
 
     /// The underlying relation.
@@ -121,10 +126,7 @@ impl CubeView {
     /// child rows that break that dimension out — same values elsewhere,
     /// concrete values at `dim`. Empty when `dim` is already concrete.
     pub fn drill_down(&self, coordinate: &[Value], dim: usize) -> Vec<(Value, Value)> {
-        if dim >= self.n_dims
-            || coordinate.len() != self.n_dims
-            || !coordinate[dim].is_all()
-        {
+        if dim >= self.n_dims || coordinate.len() != self.n_dims || !coordinate[dim].is_all() {
             return Vec::new();
         }
         let mut out: Vec<(Value, Value)> = self
@@ -132,8 +134,7 @@ impl CubeView {
             .rows()
             .iter()
             .filter(|r| {
-                !r[dim].is_all()
-                    && (0..self.n_dims).all(|d| d == dim || r[d] == coordinate[d])
+                !r[dim].is_all() && (0..self.n_dims).all(|d| d == dim || r[d] == coordinate[d])
             })
             .map(|r| (r[dim].clone(), r[self.measure_idx].clone()))
             .collect();
@@ -146,10 +147,7 @@ impl CubeView {
     /// `ALL`. `NULL` if the coordinate already has `ALL` there or the
     /// cell is unmaterialized.
     pub fn roll_up(&self, coordinate: &[Value], dim: usize) -> Value {
-        if dim >= self.n_dims
-            || coordinate.len() != self.n_dims
-            || coordinate[dim].is_all()
-        {
+        if dim >= self.n_dims || coordinate.len() != self.n_dims || coordinate[dim].is_all() {
             return Value::Null;
         }
         let mut parent = coordinate.to_vec();
@@ -192,7 +190,10 @@ mod tests {
     #[test]
     fn point_access_like_the_paper() {
         let view = chevy_ford_view();
-        assert_eq!(view.v(&[Value::str("Chevy"), Value::Int(1994)]), Value::Int(90));
+        assert_eq!(
+            view.v(&[Value::str("Chevy"), Value::Int(1994)]),
+            Value::Int(90)
+        );
         assert_eq!(view.v(&[Value::str("Chevy"), Value::All]), Value::Int(290));
         assert_eq!(view.v(&[Value::All, Value::Int(1995)]), Value::Int(360));
         assert_eq!(view.total(), Value::Int(510));
@@ -230,7 +231,10 @@ mod tests {
             view.all_set(0).unwrap(),
             vec![Value::str("Chevy"), Value::str("Ford")]
         );
-        assert_eq!(view.all_set(1).unwrap(), vec![Value::Int(1994), Value::Int(1995)]);
+        assert_eq!(
+            view.all_set(1).unwrap(),
+            vec![Value::Int(1994), Value::Int(1995)]
+        );
         assert!(view.all_set(5).is_err());
     }
 
@@ -258,7 +262,9 @@ mod tests {
         let total: i64 = children.iter().map(|(_, v)| v.as_i64().unwrap()).sum();
         assert_eq!(total, 290);
         // Drilling a concrete dimension yields nothing.
-        assert!(view.drill_down(&[Value::str("Chevy"), Value::Int(1994)], 1).is_empty());
+        assert!(view
+            .drill_down(&[Value::str("Chevy"), Value::Int(1994)], 1)
+            .is_empty());
     }
 
     #[test]

@@ -130,8 +130,11 @@ pub(crate) fn run(
     }
 
     // Decode the array into per-set hash maps.
-    let mut maps: SetMaps =
-        lattice.sets().iter().map(|&s| (s, GroupMap::default())).collect();
+    let mut maps: SetMaps = lattice
+        .sets()
+        .iter()
+        .map(|&s| (s, GroupMap::default()))
+        .collect();
     for (idx, slot) in array.into_iter().enumerate() {
         let Some(accs) = slot else { continue };
         let mut key_vals = Vec::with_capacity(n);
@@ -142,7 +145,10 @@ pub(crate) fn run(
                 key_vals.push(Value::All);
             } else {
                 key_vals.push(
-                    symbols[d].decode(digit as u32).expect("digit interned").clone(),
+                    symbols[d]
+                        .decode(digit as u32)
+                        .expect("digit interned")
+                        .clone(),
                 );
                 mask = mask.with(d);
             }
@@ -184,8 +190,9 @@ mod tests {
             .iter()
             .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
             .collect();
-        let aggs =
-            vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin("SUM").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
         (t, dims, aggs)
     }
 
@@ -194,9 +201,25 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::cube(2).unwrap();
         let ctx = ExecContext::unlimited();
-        let a = run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), &ctx).unwrap();
-        let b = naive::run(t.rows(), &dims, &aggs, &lattice, &mut ExecStats::default(), true, &ctx)
-            .unwrap();
+        let a = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            &ctx,
+        )
+        .unwrap();
+        let b = naive::run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut ExecStats::default(),
+            true,
+            &ctx,
+        )
+        .unwrap();
         for (set, map) in &b {
             let (_, amap) = a.iter().find(|(s, _)| s == set).unwrap();
             assert_eq!(amap.len(), map.len(), "cells of {set}");
@@ -251,17 +274,14 @@ mod tests {
             ("year", DataType::Int),
             ("units", DataType::Int),
         ]);
-        let t = Table::new(
-            schema,
-            vec![row!["Chevy", 1994, 1], row!["Ford", 1995, 2]],
-        )
-        .unwrap();
+        let t = Table::new(schema, vec![row!["Chevy", 1994, 1], row!["Ford", 1995, 2]]).unwrap();
         let dims: Vec<BoundDimension> = ["model", "year"]
             .iter()
             .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
             .collect();
-        let aggs =
-            vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin("SUM").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
         let lattice = Lattice::cube(2).unwrap();
         let maps = run(
             t.rows(),

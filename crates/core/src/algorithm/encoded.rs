@@ -36,10 +36,12 @@ use dc_aggregate::Accumulator;
 use dc_relation::{FxHashMap, Row};
 
 use super::from_core::ParentChoice;
+use super::vectorized::MORSEL_ROWS;
 
 /// Below this many core cells the cascade runs serially — thread spawn
-/// costs more than the merges it would spread.
-const PARALLEL_CASCADE_MIN_CELLS: usize = 1 << 10;
+/// costs more than the merges it would spread. Shared with the vectorized
+/// kernel cascade, which inherits the same schedule.
+pub(crate) const PARALLEL_CASCADE_MIN_CELLS: usize = 1 << 10;
 
 /// Flat accumulator storage for one grouping set: the map resolves a
 /// packed key to a cell slot; slot `i`'s accumulators occupy the
@@ -52,7 +54,11 @@ pub(crate) struct Arena {
 
 impl Arena {
     fn new(n_aggs: usize) -> Self {
-        Arena { slots: FxHashMap::default(), accs: Vec::new(), n_aggs }
+        Arena {
+            slots: FxHashMap::default(),
+            accs: Vec::new(),
+            n_aggs,
+        }
     }
 
     fn with_capacity(n_aggs: usize, cells: usize) -> Self {
@@ -79,7 +85,8 @@ impl Arena {
                 let s = self.accs.len() / self.n_aggs;
                 e.insert(s as u32);
                 for a in aggs {
-                    self.accs.push(exec::guard(a.func.name(), || a.func.init())?);
+                    self.accs
+                        .push(exec::guard(a.func.name(), || a.func.init())?);
                 }
                 Ok(s)
             }
@@ -127,8 +134,7 @@ impl Arena {
                 per_slot.push(std::mem::replace(&mut cell, Vec::with_capacity(n)));
             }
         }
-        let mut map =
-            GroupMap::with_capacity_and_hasher(self.slots.len(), Default::default());
+        let mut map = GroupMap::with_capacity_and_hasher(self.slots.len(), Default::default());
         for (key, slot) in self.slots {
             map.insert(
                 encoder.decode_key(key),
@@ -139,8 +145,9 @@ impl Arena {
     }
 }
 
-/// The core GROUP BY over packed keys — one scan, mirroring
-/// `groupby::compute_core`.
+/// The core GROUP BY over packed keys — one scan in morsel-sized strides,
+/// mirroring `groupby::compute_core`'s accounting; the cancellation /
+/// deadline poll happens once per morsel instead of per `tick` interval.
 pub(crate) fn compute_core(
     enc: &EncodedInput,
     rows: &[Row],
@@ -150,10 +157,16 @@ pub(crate) fn compute_core(
 ) -> CubeResult<Arena> {
     exec::failpoint("core::scan")?;
     let mut arena = Arena::new(aggs.len());
-    for (i, (row, &key)) in rows.iter().zip(&enc.keys).enumerate() {
-        ctx.tick(i)?;
-        stats.rows_scanned += 1;
-        arena.update(key, row, aggs, stats, ctx)?;
+    let mut base = 0;
+    while base < rows.len() {
+        ctx.checkpoint()?;
+        let end = (base + MORSEL_ROWS).min(rows.len());
+        for (row, &key) in rows[base..end].iter().zip(&enc.keys[base..end]) {
+            stats.rows_scanned += 1;
+            arena.update(key, row, aggs, stats, ctx)?;
+        }
+        stats.morsels_processed += 1;
+        base = end;
     }
     Ok(arena)
 }
@@ -241,8 +254,11 @@ fn merged_child(
         ctx.tick(i)?;
         let cslot = child.slot(pkey & mask, aggs, ctx)?;
         let paccs = parent.accs_at(pslot as usize);
-        for ((acc, pacc), agg) in
-            child.accs_mut(cslot).iter_mut().zip(paccs.iter()).zip(aggs.iter())
+        for ((acc, pacc), agg) in child
+            .accs_mut(cslot)
+            .iter_mut()
+            .zip(paccs.iter())
+            .zip(aggs.iter())
         {
             exec::guard(agg.func.name(), || acc.merge(&pacc.state()))?;
             merges += 1;
@@ -274,7 +290,9 @@ pub(crate) fn cascade(
     // symbol tables — no per-key HashSet scan over the core.
     let cardinalities = encoder.cardinalities();
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let go_parallel = threads > 1 && core.n_cells() >= PARALLEL_CASCADE_MIN_CELLS;
 
     let mut done: FxHashMap<GroupingSet, Arena> = FxHashMap::default();
@@ -284,8 +302,12 @@ pub(crate) fn cascade(
 
     // Walk the lattice in runs of equal arity (it is ordered core-first,
     // decreasing arity).
-    let sets: Vec<GroupingSet> =
-        lattice.sets().iter().copied().filter(|&s| s != core_set).collect();
+    let sets: Vec<GroupingSet> = lattice
+        .sets()
+        .iter()
+        .copied()
+        .filter(|&s| s != core_set)
+        .collect();
     let mut i = 0;
     while i < sets.len() {
         let arity = sets[i].len();
@@ -307,30 +329,41 @@ pub(crate) fn cascade(
 
         let built: Vec<(GroupingSet, Arena, u64)> = if go_parallel && level.len() > 1 {
             let workers = threads.min(level.len());
-            let chunk = level.len().div_ceil(workers);
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
             let done_ref = &done;
+            let level_ref = &level;
+            let cursor_ref = &cursor;
             // Every handle is joined before any error propagates: an `?`
             // inside the join loop would drop the remaining handles and
             // let a second panicking worker unwind through the scope.
+            // Workers pull (set, parent) tasks from a shared cursor — a
+            // set with a huge parent arena occupies one worker while the
+            // rest drain the level, instead of stalling its whole
+            // pre-split chunk.
             let joined: Vec<CubeResult<Vec<(GroupingSet, Arena, u64)>>> =
                 crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = level
-                        .chunks(chunk)
-                        .map(|part| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
                             scope.spawn(move |_| -> CubeResult<Vec<_>> {
                                 exec::failpoint("cascade::level")?;
-                                part.iter()
-                                    .map(|&(set, parent)| {
-                                        ctx.checkpoint()?;
-                                        let (arena, merges) = merged_child(
-                                            &done_ref[&parent],
-                                            encoder.set_mask(set),
-                                            aggs,
-                                            ctx,
-                                        )?;
-                                        Ok((set, arena, merges))
-                                    })
-                                    .collect()
+                                let mut built = Vec::new();
+                                loop {
+                                    let t = cursor_ref
+                                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    if t >= level_ref.len() {
+                                        break;
+                                    }
+                                    let (set, parent) = level_ref[t];
+                                    ctx.checkpoint()?;
+                                    let (arena, merges) = merged_child(
+                                        &done_ref[&parent],
+                                        encoder.set_mask(set),
+                                        aggs,
+                                        ctx,
+                                    )?;
+                                    built.push((set, arena, merges));
+                                }
+                                Ok(built)
                             })
                         })
                         .collect();
@@ -343,9 +376,7 @@ pub(crate) fn cascade(
                         })
                         .collect()
                 })
-                .unwrap_or_else(|p| {
-                    vec![Err(exec::panic_error("cascade::level", p.as_ref()))]
-                });
+                .unwrap_or_else(|p| vec![Err(exec::panic_error("cascade::level", p.as_ref()))]);
             let mut built = Vec::new();
             for part in joined {
                 built.extend(part?);
@@ -374,15 +405,21 @@ pub(crate) fn cascade(
         .sets()
         .iter()
         .map(|s| {
-            (*s, done.remove(s).expect("every set materialized").into_group_map(encoder))
+            (
+                *s,
+                done.remove(s)
+                    .expect("every set materialized")
+                    .into_group_map(encoder),
+            )
         })
         .collect())
 }
 
-/// Partition-parallel aggregation on packed keys: each worker computes
-/// its partition's core arena; partitions coalesce by *adopting* a
-/// first-seen cell's accumulators outright and merging on collisions;
-/// the (parallel) cascade finishes the job.
+/// Morsel-driven parallel aggregation on packed keys: `threads` workers
+/// pull fixed-size row ranges from a shared atomic cursor (no pre-split
+/// partitions, so adversarial skews self-balance); partitions coalesce by
+/// *adopting* a first-seen cell's accumulators outright and merging on
+/// collisions; the (parallel) cascade finishes the job.
 pub(crate) fn parallel(
     enc: &EncodedInput,
     rows: &[Row],
@@ -394,40 +431,44 @@ pub(crate) fn parallel(
 ) -> CubeResult<SetMaps> {
     let threads = threads.max(1).min(rows.len().max(1));
     stats.threads_used = stats.threads_used.max(threads as u64);
-    let chunk = rows.len().div_ceil(threads).max(1);
 
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
     // Join every handle before surfacing any error — see `cascade`.
-    let partials: Vec<CubeResult<(Arena, ExecStats)>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = rows
-                .chunks(chunk)
-                .zip(enc.keys.chunks(chunk))
-                .map(|(part_rows, part_keys)| {
-                    scope.spawn(move |_| -> CubeResult<(Arena, ExecStats)> {
-                        exec::failpoint("parallel::worker")?;
-                        let mut local = ExecStats::default();
-                        let mut arena = Arena::new(aggs.len());
-                        for (i, (row, &key)) in
-                            part_rows.iter().zip(part_keys).enumerate()
-                        {
-                            ctx.tick(i)?;
+    let partials: Vec<CubeResult<(Arena, ExecStats)>> = crossbeam::thread::scope(|scope| {
+        let cursor_ref = &cursor;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move |_| -> CubeResult<(Arena, ExecStats)> {
+                    exec::failpoint("parallel::worker")?;
+                    let mut local = ExecStats::default();
+                    let mut arena = Arena::new(aggs.len());
+                    loop {
+                        let base =
+                            cursor_ref.fetch_add(MORSEL_ROWS, std::sync::atomic::Ordering::Relaxed);
+                        if base >= rows.len() {
+                            break;
+                        }
+                        ctx.checkpoint()?;
+                        let end = (base + MORSEL_ROWS).min(rows.len());
+                        for (row, &key) in rows[base..end].iter().zip(&enc.keys[base..end]) {
                             local.rows_scanned += 1;
                             arena.update(key, row, aggs, &mut local, ctx)?;
                         }
-                        Ok((arena, local))
-                    })
+                        local.morsels_processed += 1;
+                    }
+                    Ok((arena, local))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|p| {
-                        Err(exec::panic_error("parallel::worker", p.as_ref()))
-                    })
-                })
-                .collect()
-        })
-        .unwrap_or_else(|p| vec![Err(exec::panic_error("parallel::worker", p.as_ref()))]);
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(exec::panic_error("parallel::worker", p.as_ref())))
+            })
+            .collect()
+    })
+    .unwrap_or_else(|p| vec![Err(exec::panic_error("parallel::worker", p.as_ref()))]);
 
     let mut core = Arena::new(aggs.len());
     let n = aggs.len();
@@ -508,23 +549,28 @@ mod tests {
             .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
             .collect();
         let aggs = vec![
-            AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap(),
-            AggSpec::new(builtin("COUNT").unwrap(), "units").bind(t.schema()).unwrap(),
+            AggSpec::new(builtin("SUM").unwrap(), "units")
+                .bind(t.schema())
+                .unwrap(),
+            AggSpec::new(builtin("COUNT").unwrap(), "units")
+                .bind(t.schema())
+                .unwrap(),
         ];
         (t, dims, aggs)
     }
 
     type FinalCells = Vec<(GroupingSet, Vec<(Row, Vec<Value>)>)>;
 
-    fn finals(maps: &SetMaps) -> FinalCells {
-        maps.iter()
+    // Consumes the maps so keys move instead of cloning per final value.
+    fn finals(maps: SetMaps) -> FinalCells {
+        maps.into_iter()
             .map(|(s, m)| {
                 let mut cells: Vec<(Row, Vec<Value>)> = m
-                    .iter()
-                    .map(|(k, a)| (k.clone(), a.iter().map(|x| x.final_value()).collect()))
+                    .into_iter()
+                    .map(|(k, a)| (k, a.iter().map(|x| x.final_value()).collect()))
                     .collect();
                 cells.sort();
-                (*s, cells)
+                (s, cells)
             })
             .collect()
     }
@@ -549,10 +595,13 @@ mod tests {
         .unwrap();
 
         let mut sr = ExecStats::default();
-        let r = from_core::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr, &ctx)
-            .unwrap();
+        let r = from_core::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr, &ctx).unwrap();
 
-        assert_eq!(finals(&e), finals(&r));
+        assert_eq!(finals(e), finals(r));
+        // The morselized scan reports its stride count; the row path has
+        // no morsels. Every shared counter must still be identical.
+        assert_eq!(se.morsels_processed, 1);
+        se.morsels_processed = 0;
         assert_eq!(se, sr, "work counters must be identical across key engines");
     }
 
@@ -565,9 +614,8 @@ mod tests {
         let mut se = ExecStats::default();
         let e = naive(&enc, t.rows(), &aggs, &lattice, &mut se, &ctx).unwrap();
         let mut sr = ExecStats::default();
-        let r = row_naive::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr, &ctx)
-            .unwrap();
-        assert_eq!(finals(&e), finals(&r));
+        let r = row_naive::run_row_path(t.rows(), &dims, &aggs, &lattice, &mut sr, &ctx).unwrap();
+        assert_eq!(finals(e), finals(r));
         assert_eq!(se, sr);
     }
 
@@ -593,13 +641,14 @@ mod tests {
             &ctx,
         )
         .unwrap();
-        assert_eq!(finals(&one), finals(&serial));
+        let expected = finals(serial);
+        assert_eq!(finals(one), expected);
         assert_eq!(s1.merge_calls, sc.merge_calls);
 
         // Multi-thread still agrees on cells.
         let mut s4 = ExecStats::default();
         let four = parallel(&enc, t.rows(), &aggs, &lattice, 4, &mut s4, &ctx).unwrap();
-        assert_eq!(finals(&four), finals(&serial));
+        assert_eq!(finals(four), expected);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::error::CubeResult;
 use crate::exec::{self, ExecContext};
 use crate::groupby::{
-    compute_core, core_cardinalities, project_key, ExecStats, GroupMap, SetMaps,
+    compute_core, core_cardinalities, project_key, ExecStats, GroupMap, Grouped, SetMaps,
 };
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::{BoundAgg, BoundDimension};
@@ -36,6 +36,7 @@ pub enum ParentChoice {
     AlwaysCore,
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     rows: &[Row],
     dims: &[BoundDimension],
@@ -43,8 +44,9 @@ pub(crate) fn run(
     lattice: &Lattice,
     stats: &mut ExecStats,
     encoded: bool,
+    vectorize: bool,
     ctx: &ExecContext,
-) -> CubeResult<SetMaps> {
+) -> CubeResult<Grouped> {
     run_with_choice(
         rows,
         dims,
@@ -53,6 +55,7 @@ pub(crate) fn run(
         ParentChoice::SmallestCardinality,
         stats,
         encoded,
+        vectorize,
         ctx,
     )
 }
@@ -66,14 +69,14 @@ pub(crate) fn run_with_choice(
     choice: ParentChoice,
     stats: &mut ExecStats,
     encoded: bool,
+    vectorize: bool,
     ctx: &ExecContext,
-) -> CubeResult<SetMaps> {
+) -> CubeResult<Grouped> {
     if encoded {
         if let Some(enc) = crate::encode::encode(rows, dims) {
             stats.encoded_keys = true;
             if let Some(budget) = ctx.cell_budget() {
-                let projected =
-                    projected_lattice_cells(&enc.encoder.cardinalities(), lattice);
+                let projected = projected_lattice_cells(&enc.encoder.cardinalities(), lattice);
                 if projected > budget {
                     // Degradation rung 2: the cascade would hold the whole
                     // lattice's cells live at once. Stream one grouping
@@ -82,15 +85,29 @@ pub(crate) fn run_with_choice(
                     // estimate is pessimistic still completes; a genuinely
                     // dense one trips the budget mid-scan.
                     stats.degraded_to_streaming = true;
-                    return super::encoded::unions(&enc, rows, aggs, lattice, stats, ctx);
+                    return super::encoded::unions(&enc, rows, aggs, lattice, stats, ctx)
+                        .map(Grouped::Rows);
                 }
             }
-            return super::encoded::from_core(
-                &enc, rows, aggs, lattice, choice, stats, ctx,
-            );
+            if vectorize {
+                if let Some(plan) = super::vectorized::plan(rows, aggs) {
+                    return super::vectorized::from_core(
+                        &enc,
+                        plan,
+                        rows.len(),
+                        lattice,
+                        choice,
+                        stats,
+                        ctx,
+                    )
+                    .map(Grouped::Kernels);
+                }
+            }
+            return super::encoded::from_core(&enc, rows, aggs, lattice, choice, stats, ctx)
+                .map(Grouped::Rows);
         }
     }
-    run_with_choice_row_path(rows, dims, aggs, lattice, choice, stats, ctx)
+    run_with_choice_row_path(rows, dims, aggs, lattice, choice, stats, ctx).map(Grouped::Rows)
 }
 
 /// §3's size estimate summed over the lattice: each grouping set projects
@@ -173,9 +190,7 @@ pub(crate) fn cascade(
         }
         let parent = match choice {
             ParentChoice::AlwaysCore => core_set,
-            ParentChoice::SmallestCardinality => {
-                lattice.choose_parent(set, &cardinalities, &order)
-            }
+            ParentChoice::SmallestCardinality => lattice.choose_parent(set, &cardinalities, &order),
             ParentChoice::LargestCardinality => {
                 choose_largest(lattice, set, &cardinalities, &order)
             }
@@ -259,18 +274,22 @@ mod tests {
             .iter()
             .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
             .collect();
-        let aggs =
-            vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin("SUM").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
         (t, dims, aggs)
     }
 
-    fn finals(maps: &SetMaps) -> Vec<(GroupingSet, Vec<(Row, Value)>)> {
-        maps.iter()
+    // Consumes the maps so keys move instead of cloning per final value.
+    fn finals(maps: SetMaps) -> Vec<(GroupingSet, Vec<(Row, Value)>)> {
+        maps.into_iter()
             .map(|(s, m)| {
-                let mut cells: Vec<(Row, Value)> =
-                    m.iter().map(|(k, a)| (k.clone(), a[0].final_value())).collect();
+                let mut cells: Vec<(Row, Value)> = m
+                    .into_iter()
+                    .map(|(k, a)| (k, a[0].final_value()))
+                    .collect();
                 cells.sort();
-                (*s, cells)
+                (s, cells)
             })
             .collect()
     }
@@ -281,13 +300,21 @@ mod tests {
         let lattice = Lattice::cube(3).unwrap();
         let ctx = ExecContext::unlimited();
         let mut s1 = ExecStats::default();
-        let a = run(t.rows(), &dims, &aggs, &lattice, &mut s1, true, &ctx).unwrap();
+        let a = run(t.rows(), &dims, &aggs, &lattice, &mut s1, true, true, &ctx)
+            .unwrap()
+            .into_set_maps(&aggs)
+            .unwrap();
         let mut s2 = ExecStats::default();
         let b = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2, true, &ctx).unwrap();
-        assert_eq!(finals(&a), finals(&b));
-        // And it does it in ONE scan with T iters, vs T × 2^N.
+        assert_eq!(finals(a), finals(b));
+        // And it does it in ONE scan with T iters, vs T × 2^N — the
+        // vectorized kernel path keeps the row path's work accounting.
         assert_eq!(s1.rows_scanned, 8);
         assert_eq!(s1.iter_calls, 8);
+        assert!(
+            s1.vectorized_kernels_used > 0,
+            "SUM over Int units kernelizes"
+        );
         assert_eq!(s2.iter_calls, 8 * 8);
     }
 
@@ -298,7 +325,7 @@ mod tests {
         let ctx = ExecContext::unlimited();
         let mut base = ExecStats::default();
         let expected = finals(
-            &run_with_choice(
+            run_with_choice(
                 t.rows(),
                 &dims,
                 &aggs,
@@ -306,14 +333,17 @@ mod tests {
                 ParentChoice::SmallestCardinality,
                 &mut base,
                 true,
+                true,
                 &ctx,
             )
+            .unwrap()
+            .into_set_maps(&aggs)
             .unwrap(),
         );
         for choice in [ParentChoice::LargestCardinality, ParentChoice::AlwaysCore] {
             let mut stats = ExecStats::default();
             let got = finals(
-                &run_with_choice(
+                run_with_choice(
                     t.rows(),
                     &dims,
                     &aggs,
@@ -321,8 +351,11 @@ mod tests {
                     choice,
                     &mut stats,
                     true,
+                    true,
                     &ctx,
                 )
+                .unwrap()
+                .into_set_maps(&aggs)
                 .unwrap(),
             );
             assert_eq!(got, expected, "{choice:?} must produce identical cells");
@@ -335,8 +368,9 @@ mod tests {
         // scratchpads, not the averaged results.
         let (t, dims, aggs_sum) = setup();
         let _ = aggs_sum;
-        let aggs =
-            vec![AggSpec::new(builtin("AVG").unwrap(), "units").bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin("AVG").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
         let lattice = Lattice::cube(3).unwrap();
         let maps = run(
             t.rows(),
@@ -345,8 +379,11 @@ mod tests {
             &lattice,
             &mut ExecStats::default(),
             true,
+            true,
             &ExecContext::unlimited(),
         )
+        .unwrap()
+        .into_set_maps(&aggs)
         .unwrap();
         let (_, grand) = maps.iter().find(|(s, _)| s.is_empty()).unwrap();
         let key = Row::new(vec![Value::All, Value::All, Value::All]);
@@ -365,8 +402,11 @@ mod tests {
             &lattice,
             &mut ExecStats::default(),
             true,
+            true,
             &ExecContext::unlimited(),
         )
+        .unwrap()
+        .into_set_maps(&aggs)
         .unwrap();
         assert_eq!(maps.len(), 4);
         // Each rollup level's sub-totals sum to the grand total.

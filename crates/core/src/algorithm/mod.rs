@@ -24,6 +24,7 @@ pub(crate) mod parallel;
 pub(crate) mod pipesort;
 pub(crate) mod sort;
 pub(crate) mod unions;
+pub(crate) mod vectorized;
 
 pub use array::MAX_CELLS;
 pub use from_core::ParentChoice;
@@ -31,15 +32,14 @@ pub use pipesort::symmetric_chains;
 
 use crate::error::{CubeError, CubeResult, Resource};
 use crate::exec::ExecContext;
-use crate::groupby::{ExecStats, SetMaps};
+use crate::groupby::{ExecStats, Grouped};
 use crate::lattice::Lattice;
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_aggregate::AggKind;
 use dc_relation::Row;
 
 /// Selects how a cube / rollup / grouping-sets query is executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Algorithm {
     /// Pick automatically: holistic aggregates force the 2^N algorithm
     /// (§5: "We know of no more efficient way of computing
@@ -72,15 +72,16 @@ pub enum Algorithm {
     Parallel { threads: usize },
 }
 
-
 /// Execute the lattice with the chosen algorithm.
 ///
 /// `encoded` enables the packed-`u64`-key engine for the hash-based
 /// algorithms (2^N, unions, from-core, parallel); each falls back to
 /// `Row` keys automatically when the coordinate does not pack (see
-/// [`crate::encode`]). The sort- and array-based algorithms have their
-/// own key machinery and ignore the flag. Results and [`ExecStats`] are
-/// identical either way.
+/// [`crate::encode`]). `vectorized` additionally lets the from-core and
+/// parallel paths run the columnar kernel engine (see [`vectorized`])
+/// when every aggregate kernelizes; it is ignored wherever the kernels
+/// cannot apply. The sort- and array-based algorithms have their own key
+/// machinery and ignore both flags. Results are identical either way.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     algorithm: Algorithm,
@@ -90,22 +91,27 @@ pub(crate) fn run(
     lattice: &Lattice,
     stats: &mut ExecStats,
     encoded: bool,
+    vectorize: bool,
     ctx: &ExecContext,
-) -> CubeResult<SetMaps> {
+) -> CubeResult<Grouped> {
     match algorithm {
         Algorithm::Auto => {
             if aggs.iter().any(|a| a.func.kind() == AggKind::Holistic) {
-                naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+                naive::run(rows, dims, aggs, lattice, stats, encoded, ctx).map(Grouped::Rows)
             } else {
-                from_core::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+                from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
             }
         }
-        Algorithm::TwoToTheN => naive::run(rows, dims, aggs, lattice, stats, encoded, ctx),
-        Algorithm::UnionGroupBys => {
-            unions::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+        Algorithm::TwoToTheN => {
+            naive::run(rows, dims, aggs, lattice, stats, encoded, ctx).map(Grouped::Rows)
         }
-        Algorithm::FromCore => from_core::run(rows, dims, aggs, lattice, stats, encoded, ctx),
-        Algorithm::Sort => sort::run(rows, dims, aggs, lattice, stats, ctx),
+        Algorithm::UnionGroupBys => {
+            unions::run(rows, dims, aggs, lattice, stats, encoded, ctx).map(Grouped::Rows)
+        }
+        Algorithm::FromCore => {
+            from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
+        }
+        Algorithm::Sort => sort::run(rows, dims, aggs, lattice, stats, ctx).map(Grouped::Rows),
         Algorithm::Array => match array::run(rows, dims, aggs, lattice, stats, ctx) {
             // Degradation rung 1: the dense array's *projected* size is
             // checked before anything is materialized, so a cell/memory
@@ -116,16 +122,20 @@ pub(crate) fn run(
                 ..
             }) => {
                 stats.degraded_dense_to_sparse = true;
-                from_core::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+                from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
             }
-            other => other,
+            other => other.map(Grouped::Rows),
         },
-        Algorithm::PipeSort => pipesort::run(rows, dims, aggs, lattice, stats, ctx),
+        Algorithm::PipeSort => {
+            pipesort::run(rows, dims, aggs, lattice, stats, ctx).map(Grouped::Rows)
+        }
         Algorithm::Parallel { threads } => {
             if threads == 0 {
                 return Err(CubeError::BadSpec("Parallel requires threads >= 1".into()));
             }
-            parallel::run(rows, dims, aggs, lattice, threads, stats, encoded, ctx)
+            parallel::run(
+                rows, dims, aggs, lattice, threads, stats, encoded, vectorize, ctx,
+            )
         }
     }
 }

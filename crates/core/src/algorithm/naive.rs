@@ -44,8 +44,11 @@ pub(crate) fn run_row_path(
     ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     exec::failpoint("naive::scan")?;
-    let mut maps: SetMaps =
-        lattice.sets().iter().map(|&s| (s, GroupMap::default())).collect();
+    let mut maps: SetMaps = lattice
+        .sets()
+        .iter()
+        .map(|&s| (s, GroupMap::default()))
+        .collect();
     for (i, row) in rows.iter().enumerate() {
         ctx.tick(i)?;
         stats.rows_scanned += 1;
@@ -85,8 +88,9 @@ mod tests {
             Dimension::column("model").bind(t.schema()).unwrap(),
             Dimension::column("year").bind(t.schema()).unwrap(),
         ];
-        let aggs =
-            vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin("SUM").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
         (t, dims, aggs)
     }
 
@@ -101,8 +105,7 @@ mod tests {
         assert_eq!(stats.iter_calls, 12);
         assert_eq!(stats.rows_scanned, 3);
         // Grand total cell.
-        let (_, empty_map) =
-            maps.iter().find(|(s, _)| *s == GroupingSet::EMPTY).unwrap();
+        let (_, empty_map) = maps.iter().find(|(s, _)| *s == GroupingSet::EMPTY).unwrap();
         let key = Row::new(vec![Value::All, Value::All]);
         assert_eq!(empty_map[&key][0].final_value(), Value::Int(195));
     }

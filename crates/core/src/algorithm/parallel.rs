@@ -13,7 +13,7 @@
 use crate::algorithm::from_core::{cascade, ParentChoice};
 use crate::error::CubeResult;
 use crate::exec::{self, ExecContext};
-use crate::groupby::{compute_core, ExecStats, GroupMap, SetMaps};
+use crate::groupby::{compute_core, ExecStats, GroupMap, Grouped, SetMaps};
 use crate::lattice::Lattice;
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_relation::Row;
@@ -27,15 +27,31 @@ pub(crate) fn run(
     threads: usize,
     stats: &mut ExecStats,
     encoded: bool,
+    vectorize: bool,
     ctx: &ExecContext,
-) -> CubeResult<SetMaps> {
+) -> CubeResult<Grouped> {
     if encoded {
         if let Some(enc) = crate::encode::encode(rows, dims) {
             stats.encoded_keys = true;
-            return super::encoded::parallel(&enc, rows, aggs, lattice, threads, stats, ctx);
+            if vectorize {
+                if let Some(plan) = super::vectorized::plan(rows, aggs) {
+                    return super::vectorized::parallel(
+                        &enc,
+                        plan,
+                        rows.len(),
+                        lattice,
+                        threads,
+                        stats,
+                        ctx,
+                    )
+                    .map(Grouped::Kernels);
+                }
+            }
+            return super::encoded::parallel(&enc, rows, aggs, lattice, threads, stats, ctx)
+                .map(Grouped::Rows);
         }
     }
-    run_row_path(rows, dims, aggs, lattice, threads, stats, ctx)
+    run_row_path(rows, dims, aggs, lattice, threads, stats, ctx).map(Grouped::Rows)
 }
 
 /// The `Row`-keyed path: fallback when keys don't pack, and the reference
@@ -56,29 +72,27 @@ pub(crate) fn run_row_path(
     // Aggregate each partition's core in parallel. Every handle is joined
     // before any error propagates: an early `?` would drop the remaining
     // handles and let a second panicking worker unwind through the scope.
-    let partials: Vec<CubeResult<(GroupMap, ExecStats)>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = rows
-                .chunks(chunk.max(1))
-                .map(|part| {
-                    scope.spawn(move |_| -> CubeResult<(GroupMap, ExecStats)> {
-                        exec::failpoint("parallel::worker")?;
-                        let mut local = ExecStats::default();
-                        let core = compute_core(part, dims, aggs, &mut local, ctx)?;
-                        Ok((core, local))
-                    })
+    let partials: Vec<CubeResult<(GroupMap, ExecStats)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks(chunk.max(1))
+            .map(|part| {
+                scope.spawn(move |_| -> CubeResult<(GroupMap, ExecStats)> {
+                    exec::failpoint("parallel::worker")?;
+                    let mut local = ExecStats::default();
+                    let core = compute_core(part, dims, aggs, &mut local, ctx)?;
+                    Ok((core, local))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|p| {
-                        Err(exec::panic_error("parallel::worker", p.as_ref()))
-                    })
-                })
-                .collect()
-        })
-        .unwrap_or_else(|p| vec![Err(exec::panic_error("parallel::worker", p.as_ref()))]);
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(exec::panic_error("parallel::worker", p.as_ref())))
+            })
+            .collect()
+    })
+    .unwrap_or_else(|p| vec![Err(exec::panic_error("parallel::worker", p.as_ref()))]);
 
     // Coalesce: merge every partition's cells into one core.
     let mut core = GroupMap::default();
@@ -88,9 +102,7 @@ pub(crate) fn run_row_path(
         for (key, accs) in partial {
             match core.entry(key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for ((t, s), agg) in
-                        e.get_mut().iter_mut().zip(accs.iter()).zip(aggs.iter())
-                    {
+                    for ((t, s), agg) in e.get_mut().iter_mut().zip(accs.iter()).zip(aggs.iter()) {
                         exec::guard(agg.func.name(), || t.merge(&s.state()))?;
                         stats.merge_calls += 1;
                     }
@@ -107,7 +119,14 @@ pub(crate) fn run_row_path(
         }
     }
 
-    cascade(core, aggs, lattice, ParentChoice::SmallestCardinality, stats, ctx)
+    cascade(
+        core,
+        aggs,
+        lattice,
+        ParentChoice::SmallestCardinality,
+        stats,
+        ctx,
+    )
 }
 
 #[cfg(test)]
@@ -127,16 +146,24 @@ mod tests {
         let mut t = Table::empty(schema);
         let models = ["Chevy", "Ford", "Dodge"];
         for i in 0..n_rows {
-            t.push(row![models[i % 3], 1990 + (i % 5) as i64, (i * 7 % 100) as i64])
-                .unwrap();
+            t.push(row![
+                models[i % 3],
+                1990 + (i % 5) as i64,
+                (i * 7 % 100) as i64
+            ])
+            .unwrap();
         }
         let dims = ["model", "year"]
             .iter()
             .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
             .collect();
         let aggs = vec![
-            AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap(),
-            AggSpec::new(builtin("AVG").unwrap(), "units").bind(t.schema()).unwrap(),
+            AggSpec::new(builtin("SUM").unwrap(), "units")
+                .bind(t.schema())
+                .unwrap(),
+            AggSpec::new(builtin("AVG").unwrap(), "units")
+                .bind(t.schema())
+                .unwrap(),
         ];
         (t, dims, aggs)
     }
@@ -165,8 +192,11 @@ mod tests {
                 threads,
                 &mut ExecStats::default(),
                 true,
+                true,
                 &ctx,
             )
+            .unwrap()
+            .into_set_maps(&aggs)
             .unwrap();
             for (set, map) in &expected {
                 let (_, gmap) = got.iter().find(|(s, _)| s == set).unwrap();
@@ -196,8 +226,11 @@ mod tests {
             16,
             &mut ExecStats::default(),
             true,
+            true,
             &ExecContext::unlimited(),
         )
+        .unwrap()
+        .into_set_maps(&aggs)
         .unwrap();
         let (_, grand) = maps.iter().find(|(s, _)| s.is_empty()).unwrap();
         let key = Row::new(vec![Value::All, Value::All]);
@@ -216,8 +249,11 @@ mod tests {
             4,
             &mut ExecStats::default(),
             true,
+            true,
             &ExecContext::unlimited(),
         )
+        .unwrap()
+        .into_set_maps(&aggs)
         .unwrap();
         assert!(maps.iter().all(|(_, m)| m.is_empty()));
     }

@@ -95,8 +95,11 @@ pub(crate) fn run(
         })
         .collect();
 
-    let mut maps: SetMaps =
-        lattice.sets().iter().map(|&s| (s, GroupMap::default())).collect();
+    let mut maps: SetMaps = lattice
+        .sets()
+        .iter()
+        .map(|&s| (s, GroupMap::default()))
+        .collect();
 
     for chain in symmetric_chains(n) {
         exec::failpoint("pipesort::pipeline")?;
@@ -136,8 +139,7 @@ fn pipeline(
 
     // Which prefix lengths (in permutation order) must be emitted, and
     // into which grouping set.
-    let emit_levels: Vec<(usize, GroupingSet)> =
-        chain.iter().map(|&s| (s.len(), s)).collect();
+    let emit_levels: Vec<(usize, GroupingSet)> = chain.iter().map(|&s| (s.len(), s)).collect();
     let min_level = emit_levels.iter().map(|(l, _)| *l).min().unwrap_or(0);
     let max_level = emit_levels.iter().map(|(l, _)| *l).max().unwrap_or(0);
 
@@ -145,23 +147,21 @@ fn pipeline(
     // deepest, parents are fed by scratchpad merges on close.
     let mut frames: Vec<PipeFrame> = (0..=max_level).map(|_| None).collect();
 
-    let emit = |prefix: &[Value],
-                accs: Vec<Box<dyn Accumulator>>,
-                level: usize,
-                maps: &mut SetMaps| {
-        if let Some((_, set)) = emit_levels.iter().find(|(l, _)| *l == level) {
-            // Reassemble the key in ORIGINAL dimension order.
-            let mut key_vals = vec![Value::All; n];
-            for (pos, &d) in order.iter().enumerate().take(level) {
-                key_vals[d] = prefix[pos].clone();
+    let emit =
+        |prefix: &[Value], accs: Vec<Box<dyn Accumulator>>, level: usize, maps: &mut SetMaps| {
+            if let Some((_, set)) = emit_levels.iter().find(|(l, _)| *l == level) {
+                // Reassemble the key in ORIGINAL dimension order.
+                let mut key_vals = vec![Value::All; n];
+                for (pos, &d) in order.iter().enumerate().take(level) {
+                    key_vals[d] = prefix[pos].clone();
+                }
+                let (_, map) = maps
+                    .iter_mut()
+                    .find(|(s, _)| s == set)
+                    .expect("chain set is in the lattice");
+                map.insert(Row::new(key_vals), accs);
             }
-            let (_, map) = maps
-                .iter_mut()
-                .find(|(s, _)| s == set)
-                .expect("chain set is in the lattice");
-            map.insert(Row::new(key_vals), accs);
-        }
-    };
+        };
 
     let close = |frames: &mut Vec<PipeFrame>,
                  maps: &mut SetMaps,
@@ -189,8 +189,7 @@ fn pipeline(
     for (t, &i) in idx.iter().enumerate() {
         ctx.tick(t)?;
         let (key, row) = &keyed[i];
-        let perm_key: Vec<Value> =
-            order[..max_level].iter().map(|&d| key[d].clone()).collect();
+        let perm_key: Vec<Value> = order[..max_level].iter().map(|&d| key[d].clone()).collect();
         let open = frames[max_level].as_ref().map(|(p, _)| p.clone());
         let diverge = match &open {
             None => 0,
@@ -295,14 +294,16 @@ mod tests {
         ]);
         let mut t = Table::empty(schema);
         for i in 0..200i64 {
-            t.push(row![i % 3, (i * 7) % 4, (i * 13) % 2, (i * 5) % 5, i % 50]).unwrap();
+            t.push(row![i % 3, (i * 7) % 4, (i * 13) % 2, (i * 5) % 5, i % 50])
+                .unwrap();
         }
         let dims = ["a", "b", "c", "d"]
             .iter()
             .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
             .collect();
-        let aggs =
-            vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin("SUM").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
         (t, dims, aggs)
     }
 

@@ -39,8 +39,7 @@ pub(crate) fn run(
     }
 
     // Evaluate keys once, then sort — the pass the user "wants anyway".
-    let mut keyed: Vec<(Row, &Row)> =
-        rows.iter().map(|r| (full_key(dims, r), r)).collect();
+    let mut keyed: Vec<(Row, &Row)> = rows.iter().map(|r| (full_key(dims, r), r)).collect();
     keyed.sort_by(|a, b| a.0.cmp(&b.0));
     stats.sorts += 1;
 
@@ -54,9 +53,9 @@ pub(crate) fn run(
     let mut frames: Vec<Frame> = (0..=n).map(|_| None).collect();
 
     let close_frame = |frames: &mut Vec<Frame>,
-                           maps: &mut SetMaps,
-                           level: usize,
-                           stats: &mut ExecStats|
+                       maps: &mut SetMaps,
+                       level: usize,
+                       stats: &mut ExecStats|
      -> CubeResult<()> {
         if let Some((prefix, accs)) = frames[level].take() {
             // Fold this frame's scratchpads into the parent level first —
@@ -67,11 +66,8 @@ pub(crate) fn run(
                     let parent_prefix = Row::new(prefix.values()[..level - 1].to_vec());
                     frames[level - 1] = Some((parent_prefix, exec::guarded_init(aggs)?));
                 }
-                let (_, parent_accs) =
-                    frames[level - 1].as_mut().expect("parent frame open");
-                for ((p, c), agg) in
-                    parent_accs.iter_mut().zip(accs.iter()).zip(aggs.iter())
-                {
+                let (_, parent_accs) = frames[level - 1].as_mut().expect("parent frame open");
+                for ((p, c), agg) in parent_accs.iter_mut().zip(accs.iter()).zip(aggs.iter()) {
                     exec::guard(agg.func.name(), || p.merge(&c.state()))?;
                     stats.merge_calls += 1;
                 }
@@ -107,8 +103,10 @@ pub(crate) fn run(
         for (level, frame) in frames.iter_mut().enumerate().skip(1) {
             if frame.is_none() {
                 ctx.charge_cells(1)?;
-                *frame =
-                    Some((Row::new(key.values()[..level].to_vec()), exec::guarded_init(aggs)?));
+                *frame = Some((
+                    Row::new(key.values()[..level].to_vec()),
+                    exec::guarded_init(aggs)?,
+                ));
             }
         }
         if frames[0].is_none() {
@@ -168,8 +166,9 @@ mod tests {
             .iter()
             .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
             .collect();
-        let aggs =
-            vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin("SUM").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
         (t, dims, aggs)
     }
 
@@ -183,9 +182,15 @@ mod tests {
         let (t, dims, aggs) = setup();
         let lattice = Lattice::rollup(3).unwrap();
         let mut s1 = ExecStats::default();
-        let sorted =
-            run(t.rows(), &dims, &aggs, &lattice, &mut s1, &ExecContext::unlimited())
-                .unwrap();
+        let sorted = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut s1,
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         let mut s2 = ExecStats::default();
         let naive = naive::run(
             t.rows(),
@@ -228,11 +233,19 @@ mod tests {
         .unwrap();
         // Table 5.a values.
         assert_eq!(
-            cell(&maps, 2, Row::new(vec![Value::str("Chevy"), Value::Int(1994), Value::All])),
+            cell(
+                &maps,
+                2,
+                Row::new(vec![Value::str("Chevy"), Value::Int(1994), Value::All])
+            ),
             Value::Int(90)
         );
         assert_eq!(
-            cell(&maps, 1, Row::new(vec![Value::str("Chevy"), Value::All, Value::All])),
+            cell(
+                &maps,
+                1,
+                Row::new(vec![Value::str("Chevy"), Value::All, Value::All])
+            ),
             Value::Int(290)
         );
         assert_eq!(

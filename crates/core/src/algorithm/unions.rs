@@ -67,16 +67,24 @@ mod tests {
 
     #[test]
     fn one_scan_per_grouping_set() {
-        let schema =
-            Schema::from_pairs(&[("model", DataType::Str), ("units", DataType::Int)]);
+        let schema = Schema::from_pairs(&[("model", DataType::Str), ("units", DataType::Int)]);
         let t = Table::new(schema, vec![row!["Chevy", 50], row!["Ford", 60]]).unwrap();
         let dims = vec![Dimension::column("model").bind(t.schema()).unwrap()];
-        let aggs =
-            vec![AggSpec::new(builtin("SUM").unwrap(), "units").bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin("SUM").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
         let lattice = Lattice::cube(1).unwrap();
         let mut stats = ExecStats::default();
-        run(t.rows(), &dims, &aggs, &lattice, &mut stats, true, &ExecContext::unlimited())
-            .unwrap();
+        run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut stats,
+            true,
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         // 2 sets × 2 rows: each set re-scans the base table.
         assert_eq!(stats.rows_scanned, 4);
     }

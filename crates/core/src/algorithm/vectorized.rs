@@ -1,0 +1,941 @@
+//! Vectorized columnar execution over packed keys: morsel-driven scans
+//! feeding the POD kernels of [`dc_aggregate::vectorized`].
+//!
+//! This is the fast lane beside [`super::encoded`]: the same packed-`u64`
+//! group keys and the same cascade schedule, but the accumulators are
+//! 24-byte [`KernelCell`]s in one flat `Vec` and the inner loop is a
+//! monomorphized kernel over a primitive column slice instead of a virtual
+//! `Accumulator::iter` per (row, aggregate). It engages only when
+//! [`plan`] succeeds — every aggregate exposes a [`Kernel`] *and* every
+//! measure column extracts as `i64`/`f64` + validity bitmap — so holistic
+//! and user-defined aggregates (and exotic column contents) transparently
+//! keep the Init/Iter/Final row path, with identical results.
+//!
+//! Scans are *morsel-driven* (Leis et al.'s term): workers pull fixed-size
+//! row ranges from a shared atomic cursor rather than receiving pre-split
+//! partitions, so a worker stuck on a skewed, collision-heavy range does
+//! not leave the others idle. The serial scan walks the same morsels, and
+//! every morsel boundary polls [`ExecContext::checkpoint`], bounding the
+//! latency of cancellation and deadline trips.
+//!
+//! [`ExecStats`] accounting matches the row path exactly where the work is
+//! equivalent (`rows_scanned` per row, `iter_calls` per (row, aggregate),
+//! `merge_calls` per (parent cell, aggregate) in the cascade and per
+//! collision in the parallel coalesce); rehydrating a cell into a boxed
+//! accumulator at materialization time is *not* a merge — it is the same
+//! bookkeeping the arena's `into_group_map` does for free.
+
+use crate::encode::{EncodedInput, KeyEncoder};
+use crate::error::CubeResult;
+use crate::exec::{self, ExecContext};
+use crate::groupby::ExecStats;
+#[cfg(test)]
+use crate::groupby::{GroupMap, SetMaps};
+use crate::lattice::{GroupingSet, Lattice};
+use crate::spec::BoundAgg;
+use dc_aggregate::{Kernel, KernelCell};
+use dc_relation::{Bitmap, Column, ColumnData, FxHashMap, Row};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use super::encoded::PARALLEL_CASCADE_MIN_CELLS;
+use super::from_core::ParentChoice;
+
+/// Rows per morsel: two checkpoint intervals, so morsel-grained polling
+/// is at worst 2x coarser than the row paths' `tick`, while the slot
+/// buffer (4 bytes/row) stays comfortably in L1.
+pub(crate) const MORSEL_ROWS: usize = 2 * exec::CHECKPOINT_INTERVAL;
+
+/// One aggregate's vectorized input. Lanes over the same measure column
+/// share one extracted vector (`SUM(units)` and `AVG(units)` in one
+/// select list extract `units` once, not twice).
+pub(crate) enum LaneInput {
+    /// No column to read — COUNT(*) and COUNT over the unit input count
+    /// rows, not values.
+    Star,
+    /// An `i64` measure column with its validity bitmap.
+    Ints(Arc<(Vec<i64>, Bitmap)>),
+    /// An `f64` measure column with its validity bitmap.
+    Floats(Arc<(Vec<f64>, Bitmap)>),
+}
+
+/// One aggregate compiled to a kernel over a typed column.
+pub(crate) struct Lane {
+    kernel: Kernel,
+    input: LaneInput,
+}
+
+impl Lane {
+    fn float_input(&self) -> bool {
+        matches!(self.input, LaneInput::Floats(..))
+    }
+}
+
+/// The compiled plan: one [`Lane`] per aggregate, in aggregate order.
+pub(crate) struct KernelPlan {
+    lanes: Vec<Lane>,
+}
+
+/// Try to compile every aggregate to a kernel lane. `None` — an aggregate
+/// without a kernel (holistic, user-defined, PRODUCT, ...) or a measure
+/// column that is not purely `Int`/`NULL` or `Float`/`NULL` — sends the
+/// whole query down the row path.
+pub(crate) fn plan(rows: &[Row], aggs: &[BoundAgg]) -> Option<KernelPlan> {
+    if aggs.is_empty() {
+        return None;
+    }
+    // One extraction per distinct measure column, shared across lanes.
+    enum Extracted {
+        Ints(Arc<(Vec<i64>, Bitmap)>),
+        Floats(Arc<(Vec<f64>, Bitmap)>),
+    }
+    let mut columns: FxHashMap<usize, Option<Extracted>> = FxHashMap::default();
+    let mut lanes = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        let kernel = a.func.kernel()?;
+        let input = match a.input {
+            // The unit input is a constant non-NULL value: only the
+            // counting kernels read nothing and stay correct.
+            None => match kernel {
+                Kernel::Count | Kernel::CountStar => LaneInput::Star,
+                _ => return None,
+            },
+            Some(idx) => match kernel {
+                Kernel::CountStar => LaneInput::Star,
+                _ => {
+                    let extracted = columns.entry(idx).or_insert_with(|| {
+                        if let Some(col) = Column::try_ints(rows, idx) {
+                            let ColumnData::Int(vals) = col.data else {
+                                unreachable!()
+                            };
+                            Some(Extracted::Ints(Arc::new((vals, col.validity))))
+                        } else if let Some(col) = Column::try_floats(rows, idx) {
+                            let ColumnData::Float(vals) = col.data else {
+                                unreachable!()
+                            };
+                            Some(Extracted::Floats(Arc::new((vals, col.validity))))
+                        } else {
+                            None
+                        }
+                    });
+                    match extracted {
+                        Some(Extracted::Ints(c)) => LaneInput::Ints(Arc::clone(c)),
+                        Some(Extracted::Floats(c)) => LaneInput::Floats(Arc::clone(c)),
+                        None => return None,
+                    }
+                }
+            },
+        };
+        lanes.push(Lane { kernel, input });
+    }
+    Some(KernelPlan { lanes })
+}
+
+/// Flat kernel-cell storage for one grouping set, mirroring
+/// [`super::encoded::Arena`]: `slots` resolves a packed key to a cell,
+/// cell `i`'s lanes occupy `cells[i*n_lanes..(i+1)*n_lanes]`.
+pub(crate) struct KernelArena {
+    slots: FxHashMap<u64, u32>,
+    cells: Vec<KernelCell>,
+    n_lanes: usize,
+}
+
+impl KernelArena {
+    fn new(n_lanes: usize) -> Self {
+        KernelArena {
+            slots: FxHashMap::default(),
+            cells: Vec::new(),
+            n_lanes,
+        }
+    }
+
+    fn with_capacity(n_lanes: usize, cells: usize) -> Self {
+        KernelArena {
+            slots: FxHashMap::with_capacity_and_hasher(cells, Default::default()),
+            cells: Vec::with_capacity(cells * n_lanes),
+            n_lanes,
+        }
+    }
+
+    fn n_cells(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The cell slot for `key`; a fresh cell charges the budget and
+    /// zero-initializes its lanes (the kernels' Init is `default()` — no
+    /// user code, so no panic guard needed).
+    #[inline]
+    fn slot(&mut self, key: u64, ctx: &ExecContext) -> CubeResult<u32> {
+        match self.slots.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(*e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                ctx.charge_cells(1)?;
+                let s = (self.cells.len() / self.n_lanes) as u32;
+                e.insert(s);
+                self.cells
+                    .resize(self.cells.len() + self.n_lanes, KernelCell::default());
+                Ok(s)
+            }
+        }
+    }
+
+    /// Rehydrate every cell into boxed row-path accumulators keyed by
+    /// decoded `Row`s. Production code materializes straight from cells
+    /// via [`KernelSets::materialize`]; this hydration exists so tests
+    /// can compare kernel results against row-path `GroupMap`s cell by
+    /// cell.
+    #[cfg(test)]
+    fn into_group_map(
+        self,
+        encoder: &KeyEncoder,
+        plan: &KernelPlan,
+        aggs: &[BoundAgg],
+    ) -> CubeResult<GroupMap> {
+        let n = self.n_lanes;
+        let mut map = GroupMap::with_capacity_and_hasher(self.slots.len(), Default::default());
+        for (key, slot) in self.slots {
+            let base = slot as usize * n;
+            let mut accs = Vec::with_capacity(n);
+            for (lane, (cell, agg)) in plan
+                .lanes
+                .iter()
+                .zip(self.cells[base..base + n].iter().zip(aggs))
+            {
+                let mut acc = exec::guard(agg.func.name(), || agg.func.init())?;
+                lane.kernel
+                    .rehydrate(acc.as_mut(), cell, lane.float_input());
+                accs.push(acc);
+            }
+            map.insert(encoder.decode_key(key), accs);
+        }
+        Ok(map)
+    }
+}
+
+/// The vectorized query result: one kernel arena per grouping set (in
+/// lattice order) plus what is needed to decode keys and finalize cells.
+/// The counterpart of [`SetMaps`] that never boxes an accumulator —
+/// finals come straight from the POD cells at materialization time.
+pub(crate) struct KernelSets {
+    pub(crate) sets: Vec<(GroupingSet, KernelArena)>,
+    plan: KernelPlan,
+    encoder: KeyEncoder,
+}
+
+impl KernelSets {
+    /// The direct materializer: the exact output contract of
+    /// [`crate::groupby::materialize`] (sets in lattice order, each set's
+    /// rows sorted by key with `ALL` collating last, one `final_calls`
+    /// per (cell, aggregate)) without the `GroupMap` detour.
+    pub(crate) fn materialize(
+        self,
+        schema: dc_relation::Schema,
+        stats: &mut ExecStats,
+        ctx: &ExecContext,
+    ) -> CubeResult<dc_relation::Table> {
+        exec::failpoint("materialize")?;
+        let KernelSets {
+            sets,
+            plan,
+            encoder,
+        } = self;
+        let n = plan.lanes.len();
+        let mut out = dc_relation::Table::empty(schema);
+        for (_set, arena) in sets {
+            ctx.checkpoint()?;
+            let mut cells: Vec<(Row, u32)> = arena
+                .slots
+                .iter()
+                .map(|(&key, &slot)| (encoder.decode_key(key), slot))
+                .collect();
+            cells.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, slot) in cells {
+                let mut vals = key.0;
+                let base = slot as usize * n;
+                for (lane, cell) in plan.lanes.iter().zip(&arena.cells[base..base + n]) {
+                    vals.push(lane.kernel.final_value(cell, lane.float_input()));
+                    stats.final_calls += 1;
+                }
+                out.push_unchecked(Row::new(vals));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Hydrate into the row-path representation — test-only, for
+    /// comparing against row-engine `SetMaps` cell by cell.
+    #[cfg(test)]
+    pub(crate) fn into_set_maps(self, aggs: &[BoundAgg]) -> CubeResult<SetMaps> {
+        let KernelSets {
+            sets,
+            plan,
+            encoder,
+        } = self;
+        sets.into_iter()
+            .map(|(s, arena)| Ok((s, arena.into_group_map(&encoder, &plan, aggs)?)))
+            .collect()
+    }
+}
+
+/// Run every lane's kernel over one morsel. `slots[j]` is the group slot
+/// of row `base + j`; `iter_calls` counts one fold per (row, lane), the
+/// row path's accounting.
+fn update_morsel(
+    arena: &mut KernelArena,
+    plan: &KernelPlan,
+    slots: &[u32],
+    base: usize,
+    stats: &mut ExecStats,
+) {
+    let stride = plan.lanes.len();
+    for (l, lane) in plan.lanes.iter().enumerate() {
+        match &lane.input {
+            LaneInput::Star => Kernel::update_star(&mut arena.cells, stride, l, slots),
+            LaneInput::Ints(col) => lane.kernel.update_i64(
+                &mut arena.cells,
+                stride,
+                l,
+                slots,
+                &col.0[base..base + slots.len()],
+                &col.1,
+                base,
+            ),
+            LaneInput::Floats(col) => lane.kernel.update_f64(
+                &mut arena.cells,
+                stride,
+                l,
+                slots,
+                &col.0[base..base + slots.len()],
+                &col.1,
+                base,
+            ),
+        }
+        stats.iter_calls += slots.len() as u64;
+    }
+}
+
+/// Scan one morsel `[base, end)` into `arena`: resolve every row's slot
+/// (charging fresh cells), then one kernel pass per lane.
+#[allow(clippy::too_many_arguments)]
+fn scan_morsel(
+    arena: &mut KernelArena,
+    enc: &EncodedInput,
+    plan: &KernelPlan,
+    slot_buf: &mut Vec<u32>,
+    base: usize,
+    end: usize,
+    stats: &mut ExecStats,
+    ctx: &ExecContext,
+) -> CubeResult<()> {
+    exec::failpoint("vectorized::morsel")?;
+    ctx.checkpoint()?;
+    slot_buf.clear();
+    for &key in &enc.keys[base..end] {
+        stats.rows_scanned += 1;
+        slot_buf.push(arena.slot(key, ctx)?);
+    }
+    update_morsel(arena, plan, slot_buf, base, stats);
+    stats.morsels_processed += 1;
+    Ok(())
+}
+
+/// The core GROUP BY: a serial morsel walk (row order preserved, so float
+/// accumulation is bit-identical to the row path).
+fn compute_core(
+    enc: &EncodedInput,
+    plan: &KernelPlan,
+    n_rows: usize,
+    stats: &mut ExecStats,
+    ctx: &ExecContext,
+) -> CubeResult<KernelArena> {
+    exec::failpoint("core::scan")?;
+    let mut arena = KernelArena::new(plan.lanes.len());
+    let mut slot_buf = Vec::with_capacity(MORSEL_ROWS.min(n_rows));
+    let mut base = 0;
+    while base < n_rows {
+        let end = (base + MORSEL_ROWS).min(n_rows);
+        scan_morsel(&mut arena, enc, plan, &mut slot_buf, base, end, stats, ctx)?;
+        base = end;
+    }
+    Ok(arena)
+}
+
+/// From-core on kernels: core scan + [`cascade`]. Takes the plan by value
+/// — the returned [`KernelSets`] owns it through materialization.
+pub(crate) fn from_core(
+    enc: &EncodedInput,
+    plan: KernelPlan,
+    n_rows: usize,
+    lattice: &Lattice,
+    choice: ParentChoice,
+    stats: &mut ExecStats,
+    ctx: &ExecContext,
+) -> CubeResult<KernelSets> {
+    // Recorded before the scan so partial stats on a budget trip already
+    // say which engine was running.
+    stats.vectorized_kernels_used = stats.vectorized_kernels_used.max(plan.lanes.len() as u64);
+    let core = compute_core(enc, &plan, n_rows, stats, ctx)?;
+    let sets = cascade(core, &enc.encoder, &plan, lattice, choice, stats, ctx)?;
+    Ok(KernelSets {
+        sets,
+        plan,
+        encoder: enc.encoder.clone(),
+    })
+}
+
+/// Build one child set by folding a parent arena through the set's mask —
+/// the paper's Iter_super, one `merge` per (parent cell, lane), the same
+/// count as the accumulator cascades.
+fn merged_child(
+    parent: &KernelArena,
+    mask: u64,
+    plan: &KernelPlan,
+    ctx: &ExecContext,
+) -> CubeResult<(KernelArena, u64)> {
+    let n = plan.lanes.len();
+    let mut child = KernelArena::with_capacity(n, parent.n_cells() / 2 + 1);
+    let mut merges = 0u64;
+    for (i, (&pkey, &pslot)) in parent.slots.iter().enumerate() {
+        ctx.tick(i)?;
+        let cslot = child.slot(pkey & mask, ctx)? as usize;
+        let pbase = pslot as usize * n;
+        for (l, lane) in plan.lanes.iter().enumerate() {
+            let src = parent.cells[pbase + l];
+            lane.kernel
+                .merge(&mut child.cells[cslot * n + l], &src, lane.float_input());
+            merges += 1;
+        }
+    }
+    Ok((child, merges))
+}
+
+/// The cascade over kernel arenas, parallel by lattice level with
+/// task-pulling workers.
+///
+/// The level-at-a-time schedule is inherited from the accumulator cascade
+/// (parents always live in earlier levels); within a level, workers pull
+/// `(set, parent)` tasks from an atomic cursor instead of receiving
+/// pre-chunked slices, so one slow set (a huge parent arena) does not
+/// serialize the rest of its chunk behind it.
+fn cascade(
+    core: KernelArena,
+    encoder: &KeyEncoder,
+    plan: &KernelPlan,
+    lattice: &Lattice,
+    choice: ParentChoice,
+    stats: &mut ExecStats,
+    ctx: &ExecContext,
+) -> CubeResult<Vec<(GroupingSet, KernelArena)>> {
+    let core_set = lattice.core();
+    let cardinalities = encoder.cardinalities();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let go_parallel = threads > 1 && core.n_cells() >= PARALLEL_CASCADE_MIN_CELLS;
+
+    let mut done: FxHashMap<GroupingSet, KernelArena> = FxHashMap::default();
+    let mut order: Vec<GroupingSet> = Vec::with_capacity(lattice.sets().len());
+    done.insert(core_set, core);
+    order.push(core_set);
+
+    let sets: Vec<GroupingSet> = lattice
+        .sets()
+        .iter()
+        .copied()
+        .filter(|&s| s != core_set)
+        .collect();
+    let mut i = 0;
+    while i < sets.len() {
+        let arity = sets[i].len();
+        let mut level: Vec<(GroupingSet, GroupingSet)> = Vec::new();
+        while i < sets.len() && sets[i].len() == arity {
+            let set = sets[i];
+            let parent = match choice {
+                ParentChoice::AlwaysCore => core_set,
+                ParentChoice::SmallestCardinality => {
+                    lattice.choose_parent(set, &cardinalities, &order)
+                }
+                ParentChoice::LargestCardinality => {
+                    super::from_core::choose_largest(lattice, set, &cardinalities, &order)
+                }
+            };
+            level.push((set, parent));
+            i += 1;
+        }
+
+        let built: Vec<(GroupingSet, KernelArena, u64)> = if go_parallel && level.len() > 1 {
+            let workers = threads.min(level.len());
+            let cursor = AtomicUsize::new(0);
+            let done_ref = &done;
+            let level_ref = &level;
+            let cursor_ref = &cursor;
+            // Join every handle before surfacing any error — see the
+            // accumulator cascade.
+            let joined: Vec<CubeResult<Vec<(GroupingSet, KernelArena, u64)>>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            scope.spawn(move |_| -> CubeResult<Vec<_>> {
+                                exec::failpoint("cascade::level")?;
+                                let mut built = Vec::new();
+                                loop {
+                                    let t = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                                    if t >= level_ref.len() {
+                                        break;
+                                    }
+                                    let (set, parent) = level_ref[t];
+                                    ctx.checkpoint()?;
+                                    let (arena, merges) = merged_child(
+                                        &done_ref[&parent],
+                                        encoder.set_mask(set),
+                                        plan,
+                                        ctx,
+                                    )?;
+                                    built.push((set, arena, merges));
+                                }
+                                Ok(built)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|p| {
+                                Err(exec::panic_error("cascade::level", p.as_ref()))
+                            })
+                        })
+                        .collect()
+                })
+                .unwrap_or_else(|p| vec![Err(exec::panic_error("cascade::level", p.as_ref()))]);
+            let mut built = Vec::new();
+            for part in joined {
+                built.extend(part?);
+            }
+            built
+        } else {
+            exec::failpoint("cascade::level")?;
+            let mut built = Vec::with_capacity(level.len());
+            for &(set, parent) in &level {
+                ctx.checkpoint()?;
+                let (arena, merges) =
+                    merged_child(&done[&parent], encoder.set_mask(set), plan, ctx)?;
+                built.push((set, arena, merges));
+            }
+            built
+        };
+
+        for (set, arena, merges) in built {
+            stats.merge_calls += merges;
+            done.insert(set, arena);
+            order.push(set);
+        }
+    }
+
+    Ok(lattice
+        .sets()
+        .iter()
+        .map(|s| (*s, done.remove(s).expect("every set materialized")))
+        .collect())
+}
+
+/// Morsel-driven parallel aggregation: `threads` workers pull morsels from
+/// one atomic row cursor — load balance is automatic at adversarial skews
+/// (a worker bogged down in a collision-heavy range simply pulls fewer
+/// morsels). Partition arenas coalesce by adopting first-seen cells (POD
+/// copy, no merge counted) and merging collisions, then the cascade runs.
+pub(crate) fn parallel(
+    enc: &EncodedInput,
+    plan: KernelPlan,
+    n_rows: usize,
+    lattice: &Lattice,
+    threads: usize,
+    stats: &mut ExecStats,
+    ctx: &ExecContext,
+) -> CubeResult<KernelSets> {
+    stats.vectorized_kernels_used = stats.vectorized_kernels_used.max(plan.lanes.len() as u64);
+    let threads = threads.max(1).min(n_rows.max(1));
+    stats.threads_used = stats.threads_used.max(threads as u64);
+
+    let cursor = AtomicUsize::new(0);
+    // Each worker reports its local stats alongside the result so that a
+    // budget trip mid-morsel still surfaces the scan progress made before
+    // the trip in the error's partial [`ExecStats`].
+    type WorkerOutcome = (CubeResult<KernelArena>, ExecStats);
+    let partials: Vec<WorkerOutcome> = {
+        let plan = &plan;
+        crossbeam::thread::scope(|scope| {
+            let cursor_ref = &cursor;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move |_| -> WorkerOutcome {
+                        let mut local = ExecStats::default();
+                        if let Err(e) = exec::failpoint("parallel::worker") {
+                            return (Err(e), local);
+                        }
+                        let mut arena = KernelArena::new(plan.lanes.len());
+                        let mut slot_buf = Vec::with_capacity(MORSEL_ROWS);
+                        loop {
+                            let base = cursor_ref.fetch_add(MORSEL_ROWS, Ordering::Relaxed);
+                            if base >= n_rows {
+                                break;
+                            }
+                            let end = (base + MORSEL_ROWS).min(n_rows);
+                            if let Err(e) = scan_morsel(
+                                &mut arena,
+                                enc,
+                                plan,
+                                &mut slot_buf,
+                                base,
+                                end,
+                                &mut local,
+                                ctx,
+                            ) {
+                                return (Err(e), local);
+                            }
+                        }
+                        (Ok(arena), local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        (
+                            Err(exec::panic_error("parallel::worker", p.as_ref())),
+                            ExecStats::default(),
+                        )
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|p| {
+            vec![(
+                Err(exec::panic_error("parallel::worker", p.as_ref())),
+                ExecStats::default(),
+            )]
+        })
+    };
+
+    let n = plan.lanes.len();
+    let mut core = KernelArena::new(n);
+    // Fold every worker's stats in before propagating the first error —
+    // the whole point of reporting them separately.
+    let mut failed = None;
+    let mut arenas = Vec::with_capacity(partials.len());
+    for (result, local) in partials {
+        stats.add(&local);
+        match result {
+            Ok(arena) => arenas.push(arena),
+            Err(e) => failed = failed.or(Some(e)),
+        }
+    }
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    for partial in arenas {
+        for (key, pslot) in partial.slots {
+            let pbase = pslot as usize * n;
+            match core.slots.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let cbase = *e.get() as usize * n;
+                    for (l, lane) in plan.lanes.iter().enumerate() {
+                        let src = partial.cells[pbase + l];
+                        lane.kernel
+                            .merge(&mut core.cells[cbase + l], &src, lane.float_input());
+                        stats.merge_calls += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    // First worker to produce this cell: adopt the POD
+                    // lanes outright — no Init, no merge.
+                    let s = (core.cells.len() / n) as u32;
+                    e.insert(s);
+                    core.cells
+                        .extend_from_slice(&partial.cells[pbase..pbase + n]);
+                }
+            }
+        }
+    }
+
+    let sets = cascade(
+        core,
+        &enc.encoder,
+        &plan,
+        lattice,
+        ParentChoice::SmallestCardinality,
+        stats,
+        ctx,
+    )?;
+    Ok(KernelSets {
+        sets,
+        plan,
+        encoder: enc.encoder.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::spec::{AggSpec, BoundDimension, Dimension};
+    use dc_aggregate::builtin;
+    use dc_relation::{row, DataType, Schema, Table, Value};
+
+    fn setup() -> (Table, Vec<BoundDimension>, Vec<BoundAgg>) {
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+            ("price", DataType::Float),
+        ]);
+        let mut t = Table::empty(schema);
+        for (m, y, u, p) in [
+            ("Chevy", 1994, 50, 1.5),
+            ("Chevy", 1995, 85, 2.25),
+            ("Ford", 1994, 50, 0.5),
+            ("Ford", 1995, 75, 4.0),
+        ] {
+            t.push(row![m, y, u, p]).unwrap();
+        }
+        t.push(Row::new(vec![
+            Value::str("Ford"),
+            Value::Int(1994),
+            Value::Null,
+            Value::Null,
+        ]))
+        .unwrap();
+        let dims = ["model", "year"]
+            .iter()
+            .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
+            .collect();
+        let aggs = vec![
+            AggSpec::new(builtin("SUM").unwrap(), "units")
+                .bind(t.schema())
+                .unwrap(),
+            AggSpec::new(builtin("AVG").unwrap(), "price")
+                .bind(t.schema())
+                .unwrap(),
+            AggSpec::new(builtin("COUNT").unwrap(), "units")
+                .bind(t.schema())
+                .unwrap(),
+            AggSpec::star(builtin("COUNT(*)").unwrap())
+                .bind(t.schema())
+                .unwrap(),
+            AggSpec::new(builtin("MIN").unwrap(), "price")
+                .bind(t.schema())
+                .unwrap(),
+            AggSpec::new(builtin("MAX").unwrap(), "units")
+                .bind(t.schema())
+                .unwrap(),
+        ];
+        (t, dims, aggs)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn finals(maps: SetMaps) -> Vec<(GroupingSet, Vec<(Row, Vec<Value>)>)> {
+        maps.into_iter()
+            .map(|(s, m)| {
+                let mut cells: Vec<(Row, Vec<Value>)> = m
+                    .into_iter()
+                    .map(|(k, a)| (k, a.iter().map(|x| x.final_value()).collect()))
+                    .collect();
+                cells.sort();
+                (s, cells)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_compiles_builtins_and_rejects_the_rest() {
+        let (t, _, aggs) = setup();
+        let plan = plan(t.rows(), &aggs).expect("all six built-ins kernelize");
+        assert_eq!(plan.lanes.len(), 6);
+
+        // A holistic aggregate anywhere sends the whole query to the row
+        // path.
+        let with_median = vec![AggSpec::new(builtin("MEDIAN").unwrap(), "units")
+            .bind(t.schema())
+            .unwrap()];
+        assert!(super::plan(t.rows(), &with_median).is_none());
+
+        // A string measure cannot extract as a primitive column.
+        let on_str = vec![AggSpec::new(builtin("MIN").unwrap(), "model")
+            .bind(t.schema())
+            .unwrap()];
+        assert!(super::plan(t.rows(), &on_str).is_none());
+    }
+
+    #[test]
+    fn vectorized_from_core_matches_arena_path() {
+        let (t, dims, aggs) = setup();
+        let lattice = Lattice::cube(2).unwrap();
+        let enc = encode(t.rows(), &dims).unwrap();
+        let ctx = ExecContext::unlimited();
+
+        let mut sv = ExecStats::default();
+        let v = from_core(
+            &enc,
+            plan(t.rows(), &aggs).unwrap(),
+            t.rows().len(),
+            &lattice,
+            ParentChoice::SmallestCardinality,
+            &mut sv,
+            &ctx,
+        )
+        .unwrap()
+        .into_set_maps(&aggs)
+        .unwrap();
+
+        let mut sa = ExecStats::default();
+        let a = super::super::encoded::from_core(
+            &enc,
+            t.rows(),
+            &aggs,
+            &lattice,
+            ParentChoice::SmallestCardinality,
+            &mut sa,
+            &ctx,
+        )
+        .unwrap();
+
+        assert_eq!(finals(v), finals(a));
+        // Work counters agree wherever the work is the same.
+        assert_eq!(sv.rows_scanned, sa.rows_scanned);
+        assert_eq!(sv.iter_calls, sa.iter_calls);
+        assert_eq!(sv.merge_calls, sa.merge_calls);
+        assert_eq!(sv.vectorized_kernels_used, 6);
+        assert!(sv.morsels_processed > 0);
+    }
+
+    #[test]
+    fn vectorized_parallel_matches_serial() {
+        let (t, dims, aggs) = setup();
+        let lattice = Lattice::cube(2).unwrap();
+        let enc = encode(t.rows(), &dims).unwrap();
+        let ctx = ExecContext::unlimited();
+
+        let expected = finals(
+            from_core(
+                &enc,
+                plan(t.rows(), &aggs).unwrap(),
+                t.rows().len(),
+                &lattice,
+                ParentChoice::SmallestCardinality,
+                &mut ExecStats::default(),
+                &ctx,
+            )
+            .unwrap()
+            .into_set_maps(&aggs)
+            .unwrap(),
+        );
+        for threads in [1, 4] {
+            let mut sp = ExecStats::default();
+            let par = parallel(
+                &enc,
+                plan(t.rows(), &aggs).unwrap(),
+                t.rows().len(),
+                &lattice,
+                threads,
+                &mut sp,
+                &ctx,
+            )
+            .unwrap()
+            .into_set_maps(&aggs)
+            .unwrap();
+            assert_eq!(sp.threads_used, threads as u64);
+            assert_eq!(finals(par), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    #[ignore = "stage profiler, run by hand with --release --nocapture"]
+    fn profile_stages() {
+        use std::time::Instant;
+        let n_rows = 100_000usize;
+        let n_dims = 4usize;
+        let card = 10i64;
+        let mut cols: Vec<(String, DataType)> = (0..n_dims)
+            .map(|d| (format!("d{d}"), DataType::Int))
+            .collect();
+        cols.push(("units".into(), DataType::Int));
+        let pairs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let schema = Schema::from_pairs(&pairs);
+        let mut t = Table::empty(schema);
+        let mut state = 88172645463325252u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n_rows {
+            let mut vals: Vec<Value> = (0..n_dims)
+                .map(|_| Value::Int((rng() % card as u64) as i64))
+                .collect();
+            vals.push(Value::Int((rng() % 100) as i64));
+            t.push_unchecked(dc_relation::Row::new(vals));
+        }
+        let dims: Vec<BoundDimension> = (0..n_dims)
+            .map(|d| Dimension::column(format!("d{d}")).bind(t.schema()).unwrap())
+            .collect();
+        let aggs: Vec<BoundAgg> = ["SUM", "AVG", "MIN", "MAX", "COUNT"]
+            .iter()
+            .map(|n| {
+                AggSpec::new(builtin(n).unwrap(), "units")
+                    .bind(t.schema())
+                    .unwrap()
+            })
+            .chain([AggSpec::star(builtin("COUNT(*)").unwrap())
+                .bind(t.schema())
+                .unwrap()])
+            .collect();
+        let lattice = Lattice::cube(n_dims).unwrap();
+        let ctx = ExecContext::unlimited();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let enc = encode(t.rows(), &dims).unwrap();
+            let t1 = Instant::now();
+            let p = plan(t.rows(), &aggs).unwrap();
+            let t2 = Instant::now();
+            let mut stats = ExecStats::default();
+            let core = compute_core(&enc, &p, n_rows, &mut stats, &ctx).unwrap();
+            let t3 = Instant::now();
+            let n_core = core.n_cells();
+            let sets = cascade(
+                core,
+                &enc.encoder,
+                &p,
+                &lattice,
+                ParentChoice::SmallestCardinality,
+                &mut stats,
+                &ctx,
+            )
+            .unwrap();
+            let t4 = Instant::now();
+            let mut rstats = ExecStats::default();
+            let rmaps = super::super::encoded::from_core(
+                &enc,
+                t.rows(),
+                &aggs,
+                &lattice,
+                ParentChoice::SmallestCardinality,
+                &mut rstats,
+                &ctx,
+            )
+            .unwrap();
+            let t5 = Instant::now();
+            eprintln!(
+                "encode {:?} | plan {:?} | core({n_core}) {:?} | cascade({}) {:?} | row_all({}) {:?}",
+                t1 - t0,
+                t2 - t1,
+                t3 - t2,
+                sets.len(),
+                t4 - t3,
+                rmaps.len(),
+                t5 - t4,
+            );
+        }
+    }
+}

@@ -39,7 +39,11 @@ pub fn decorate(
             f(&det_vals).unwrap_or(Value::Null)
         };
         out.push_unchecked(Row::new(
-            row.values().iter().cloned().chain(std::iter::once(decoration)).collect(),
+            row.values()
+                .iter()
+                .cloned()
+                .chain(std::iter::once(decoration))
+                .collect(),
         ));
     }
     Ok(out)
@@ -159,13 +163,14 @@ mod tests {
 
     #[test]
     fn fd_checker() {
-        let schema = Schema::from_pairs(&[
-            ("nation", DataType::Str),
-            ("continent", DataType::Str),
-        ]);
+        let schema = Schema::from_pairs(&[("nation", DataType::Str), ("continent", DataType::Str)]);
         let good = Table::new(
             schema.clone(),
-            vec![row!["USA", "North America"], row!["USA", "North America"], row!["Japan", "Asia"]],
+            vec![
+                row!["USA", "North America"],
+                row!["USA", "North America"],
+                row!["Japan", "Asia"],
+            ],
         )
         .unwrap();
         assert!(functionally_determines(&good, &["nation"], "continent").unwrap());

@@ -36,6 +36,7 @@ use dc_relation::{Row, SymbolTable, Value};
 pub(crate) const MAX_PACKED_DIMS: usize = 16;
 
 /// Per-dimension symbol tables plus the bit layout of the packed key.
+#[derive(Clone)]
 pub(crate) struct KeyEncoder {
     symbols: Vec<SymbolTable>,
     shifts: Vec<u32>,
@@ -89,7 +90,11 @@ pub(crate) fn encode(rows: &[Row], dims: &[BoundDimension]) -> Option<EncodedInp
         shift += w;
     }
 
-    let encoder = KeyEncoder { symbols, shifts, widths };
+    let encoder = KeyEncoder {
+        symbols,
+        shifts,
+        widths,
+    };
     // A zero-dimension coordinate packs to the empty key 0 — one per row,
     // so the grand-total cell still sees every row.
     let keys = if n == 0 {

@@ -77,9 +77,17 @@ impl CubeError {
     #[must_use]
     pub fn with_partial_stats(self, partial: ExecStats) -> Self {
         match self {
-            CubeError::ResourceExhausted { resource, limit, observed, .. } => {
-                CubeError::ResourceExhausted { resource, limit, observed, stats: partial }
-            }
+            CubeError::ResourceExhausted {
+                resource,
+                limit,
+                observed,
+                ..
+            } => CubeError::ResourceExhausted {
+                resource,
+                limit,
+                observed,
+                stats: partial,
+            },
             CubeError::Cancelled { .. } => CubeError::Cancelled { stats: partial },
             other => other,
         }
@@ -93,7 +101,12 @@ impl fmt::Display for CubeError {
             CubeError::Agg(e) => write!(f, "aggregate error: {e}"),
             CubeError::BadSpec(msg) => write!(f, "bad cube specification: {msg}"),
             CubeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
-            CubeError::ResourceExhausted { resource, limit, observed, .. } => write!(
+            CubeError::ResourceExhausted {
+                resource,
+                limit,
+                observed,
+                ..
+            } => write!(
                 f,
                 "resource budget exhausted: {observed} {resource} observed, limit {limit}"
             ),

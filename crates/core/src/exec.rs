@@ -242,7 +242,9 @@ impl ExecContext {
         }
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
-                return Err(CubeError::Cancelled { stats: ExecStats::default() });
+                return Err(CubeError::Cancelled {
+                    stats: ExecStats::default(),
+                });
             }
         }
         if let Some(deadline) = self.deadline {
@@ -288,7 +290,10 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Convert a caught panic payload into the typed error.
 pub(crate) fn panic_error(site: &str, payload: &(dyn std::any::Any + Send)) -> CubeError {
-    CubeError::AggPanicked { agg: site.to_string(), message: panic_message(payload) }
+    CubeError::AggPanicked {
+        agg: site.to_string(),
+        message: panic_message(payload),
+    }
 }
 
 /// Run one user-aggregate callback under `catch_unwind`, converting a
@@ -305,7 +310,9 @@ pub(crate) fn guard<T>(name: &str, f: impl FnOnce() -> T) -> CubeResult<T> {
 pub(crate) fn guarded_init(
     aggs: &[BoundAgg],
 ) -> CubeResult<Vec<Box<dyn dc_aggregate::Accumulator>>> {
-    aggs.iter().map(|a| guard(a.func.name(), || a.func.init())).collect()
+    aggs.iter()
+        .map(|a| guard(a.func.name(), || a.func.init()))
+        .collect()
 }
 
 /// Test-support failpoint (see `dc_aggregate::faults`). With the `faults`
@@ -353,7 +360,12 @@ mod tests {
         ctx.charge_cells(10).unwrap();
         let err = ctx.charge_cells(1).unwrap_err();
         match err {
-            CubeError::ResourceExhausted { resource, limit, observed, .. } => {
+            CubeError::ResourceExhausted {
+                resource,
+                limit,
+                observed,
+                ..
+            } => {
                 assert_eq!(resource, Resource::Cells);
                 assert_eq!(limit, 10);
                 assert_eq!(observed, 11);
@@ -369,7 +381,10 @@ mod tests {
         ctx.charge_cells(10).unwrap();
         assert!(matches!(
             ctx.charge_cells(1),
-            Err(CubeError::ResourceExhausted { resource: Resource::MemoryBytes, .. })
+            Err(CubeError::ResourceExhausted {
+                resource: Resource::MemoryBytes,
+                ..
+            })
         ));
     }
 
@@ -388,7 +403,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         assert!(matches!(
             ctx.checkpoint(),
-            Err(CubeError::ResourceExhausted { resource: Resource::TimeMs, .. })
+            Err(CubeError::ResourceExhausted {
+                resource: Resource::TimeMs,
+                ..
+            })
         ));
     }
 

@@ -41,6 +41,13 @@ pub struct ExecStats {
     /// The cascade's projected lattice size exceeded the cell budget and
     /// the query fell back to per-grouping-set streaming scans.
     pub degraded_to_streaming: bool,
+    /// Number of aggregate lanes the vectorized columnar kernels carried
+    /// (0 when the query ran the Init/Iter/Final row path — holistic or
+    /// user-defined aggregates, or non-primitive measure columns).
+    pub vectorized_kernels_used: u64,
+    /// Fixed-size row-range morsels pulled by scan workers (0 for the
+    /// pre-split `Row`-keyed paths).
+    pub morsels_processed: u64,
 }
 
 impl ExecStats {
@@ -54,6 +61,10 @@ impl ExecStats {
         self.encoded_keys |= other.encoded_keys;
         self.degraded_dense_to_sparse |= other.degraded_dense_to_sparse;
         self.degraded_to_streaming |= other.degraded_to_streaming;
+        self.vectorized_kernels_used = self
+            .vectorized_kernels_used
+            .max(other.vectorized_kernels_used);
+        self.morsels_processed += other.morsels_processed;
     }
 }
 
@@ -65,6 +76,30 @@ pub(crate) type GroupMap = FxHashMap<Row, Vec<Box<dyn Accumulator>>>;
 
 /// Cells for a whole family of grouping sets.
 pub(crate) type SetMaps = Vec<(GroupingSet, GroupMap)>;
+
+/// The grouped (pre-materialization) result of a cube run, in whichever
+/// representation the engine that produced it uses. The operator layer
+/// filters sets and materializes through this enum so the vectorized
+/// engine never has to hydrate its POD cells into boxed accumulators.
+pub(crate) enum Grouped {
+    /// Row-path cells: boxed accumulators keyed by decoded `Row`s.
+    Rows(SetMaps),
+    /// Kernel-path cells: flat arenas of POD cells plus the plan and key
+    /// encoder needed to finalize them directly.
+    Kernels(crate::algorithm::vectorized::KernelSets),
+}
+
+#[cfg(test)]
+impl Grouped {
+    /// Collapse to the row-path representation so tests can compare
+    /// engines cell by cell regardless of which one ran.
+    pub(crate) fn into_set_maps(self, aggs: &[BoundAgg]) -> CubeResult<SetMaps> {
+        match self {
+            Grouped::Rows(maps) => Ok(maps),
+            Grouped::Kernels(k) => k.into_set_maps(aggs),
+        }
+    }
+}
 
 /// Fresh accumulators for every aggregate — the paper's Init() burst for a
 /// new cell.
@@ -86,7 +121,13 @@ pub(crate) fn project_key(full: &Row, set: GroupingSet) -> Row {
     Row::new(
         full.iter()
             .enumerate()
-            .map(|(d, v)| if set.contains(d) { v.clone() } else { Value::All })
+            .map(|(d, v)| {
+                if set.contains(d) {
+                    v.clone()
+                } else {
+                    Value::All
+                }
+            })
             .collect(),
     )
 }
@@ -144,8 +185,9 @@ pub(crate) fn compute_core(
 /// engine reads the same counts off the symbol tables built during
 /// encoding ([`crate::encode::KeyEncoder::cardinalities`]).
 pub(crate) fn core_cardinalities(core: &GroupMap, n_dims: usize) -> Vec<usize> {
-    let mut seen: Vec<dc_relation::FxHashSet<&Value>> =
-        (0..n_dims).map(|_| dc_relation::FxHashSet::default()).collect();
+    let mut seen: Vec<dc_relation::FxHashSet<&Value>> = (0..n_dims)
+        .map(|_| dc_relation::FxHashSet::default())
+        .collect();
     for key in core.keys() {
         for (d, v) in key.iter().enumerate() {
             seen[d].insert(v);
@@ -161,8 +203,10 @@ pub(crate) fn result_schema(
     aggs: &[BoundAgg],
     agg_types: &[dc_relation::DataType],
 ) -> CubeResult<Schema> {
-    let mut cols: Vec<ColumnDef> =
-        dims.iter().map(|d| ColumnDef::with_all(&*d.name, d.dtype)).collect();
+    let mut cols: Vec<ColumnDef> = dims
+        .iter()
+        .map(|d| ColumnDef::with_all(&*d.name, d.dtype))
+        .collect();
     for (a, ty) in aggs.iter().zip(agg_types.iter()) {
         cols.push(ColumnDef::new(&*a.output, *ty));
     }
@@ -232,8 +276,9 @@ mod tests {
             .iter()
             .map(|d| Dimension::column(d).bind(t.schema()).unwrap())
             .collect();
-        let aggs =
-            vec![AggSpec::new(builtin(agg).unwrap(), col).bind(t.schema()).unwrap()];
+        let aggs = vec![AggSpec::new(builtin(agg).unwrap(), col)
+            .bind(t.schema())
+            .unwrap()];
         (dims, aggs)
     }
 
@@ -242,9 +287,14 @@ mod tests {
         let t = sales();
         let (dims, aggs) = bind(&t, &["model", "year"], "SUM", "units");
         let mut stats = ExecStats::default();
-        let core =
-            compute_core(t.rows(), &dims, &aggs, &mut stats, &ExecContext::unlimited())
-                .unwrap();
+        let core = compute_core(
+            t.rows(),
+            &dims,
+            &aggs,
+            &mut stats,
+            &ExecContext::unlimited(),
+        )
+        .unwrap();
         assert_eq!(core.len(), 3); // (Chevy,94) (Chevy,95) (Ford,94)
         assert_eq!(stats.rows_scanned, 4);
         assert_eq!(stats.iter_calls, 4); // one agg × four rows
@@ -284,9 +334,14 @@ mod tests {
         let ctx = ExecContext::unlimited();
         let core = compute_core(t.rows(), &dims, &aggs, &mut stats, &ctx).unwrap();
         let schema = result_schema(&dims, &aggs, &[DataType::Int]).unwrap();
-        let table =
-            materialize(schema, vec![(GroupingSet::full(1), core)], &aggs, &mut stats, &ctx)
-                .unwrap();
+        let table = materialize(
+            schema,
+            vec![(GroupingSet::full(1), core)],
+            &aggs,
+            &mut stats,
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(table.len(), 2);
         assert_eq!(table.rows()[0], row!["Chevy", 175]);
         assert_eq!(table.rows()[1], row!["Ford", 60]);

@@ -36,7 +36,11 @@ impl Level {
         dtype: DataType,
         map: impl Fn(&Value) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Level { name: Arc::from(name.as_ref()), dtype, map: Arc::new(map) }
+        Level {
+            name: Arc::from(name.as_ref()),
+            dtype,
+            map: Arc::new(map),
+        }
     }
 
     /// The category of a base value. Token inputs map to themselves so
@@ -66,7 +70,10 @@ pub struct Hierarchy {
 
 impl Hierarchy {
     pub fn new(name: impl AsRef<str>, levels: Vec<Level>) -> Self {
-        Hierarchy { name: Arc::from(name.as_ref()), levels }
+        Hierarchy {
+            name: Arc::from(name.as_ref()),
+            levels,
+        }
     }
 
     pub fn levels(&self) -> &[Level] {
@@ -153,9 +160,11 @@ impl Hierarchy {
             .iter()
             .map(|name| {
                 let level = self.level(name)?.clone();
-                Ok(Dimension::computed(&*level.name.clone(), level.dtype, move |row: &Row| {
-                    level.apply(&row[src])
-                }))
+                Ok(Dimension::computed(
+                    &*level.name.clone(),
+                    level.dtype,
+                    move |row: &Row| level.apply(&row[src]),
+                ))
             })
             .collect()
     }
@@ -209,7 +218,10 @@ pub fn from_mapping(
         .map(|(i, ln)| {
             let mapping = Arc::clone(&mapping);
             Level::new(*ln, DataType::Str, move |v: &Value| {
-                mapping.get(v).and_then(|ls| ls.get(i).cloned()).unwrap_or(Value::Null)
+                mapping
+                    .get(v)
+                    .and_then(|ls| ls.get(i).cloned())
+                    .unwrap_or(Value::Null)
             })
         })
         .collect();
@@ -228,7 +240,8 @@ mod tests {
         // Thursday) so physical weeks straddle years.
         let mut d = Date::ymd(1997, 12, 1);
         for i in 0..120 {
-            t.push(Row::new(vec![Value::Date(d), Value::Int(i)])).unwrap();
+            t.push(Row::new(vec![Value::Date(d), Value::Int(i)]))
+                .unwrap();
             d = d.plus_days(1);
         }
         t
@@ -295,7 +308,9 @@ mod tests {
         );
         assert!(!physical.nests_in(&t, "t", "week_start", "year").unwrap());
         // Days, of course, do nest in physical weeks.
-        assert!(physical.nests_in(&t, "t", "week_start", "week_start").unwrap());
+        assert!(physical
+            .nests_in(&t, "t", "week_start", "week_start")
+            .unwrap());
     }
 
     #[test]
@@ -303,15 +318,26 @@ mod tests {
         let mut m = HashMap::new();
         m.insert(
             Value::str("San Francisco"),
-            vec![Value::str("N. California"), Value::str("Western"), Value::str("US")],
+            vec![
+                Value::str("N. California"),
+                Value::str("Western"),
+                Value::str("US"),
+            ],
         );
         m.insert(
             Value::str("Seattle"),
-            vec![Value::str("Washington"), Value::str("Western"), Value::str("US")],
+            vec![
+                Value::str("Washington"),
+                Value::str("Western"),
+                Value::str("US"),
+            ],
         );
         let h = from_mapping("office", &["district", "region", "geography"], m);
         let sf = Value::str("San Francisco");
-        assert_eq!(h.level("district").unwrap().apply(&sf), Value::str("N. California"));
+        assert_eq!(
+            h.level("district").unwrap().apply(&sf),
+            Value::str("N. California")
+        );
         assert_eq!(h.level("region").unwrap().apply(&sf), Value::str("Western"));
         // Unknown member → NULL, like a failed dimension-table join.
         assert_eq!(
@@ -329,9 +355,7 @@ mod tests {
         let dims = cal.rollup_dimensions(&t, "t", &["year", "month"]).unwrap();
         let out = CubeQuery::new()
             .dimensions(dims)
-            .aggregate(
-                AggSpec::new(dc_aggregate::builtin("COUNT").unwrap(), "x").with_name("days"),
-            )
+            .aggregate(AggSpec::new(dc_aggregate::builtin("COUNT").unwrap(), "x").with_name("days"))
             .rollup(&t)
             .unwrap();
         // 120 days from 1995-12-01 span 4 months across 2 years:

@@ -33,7 +33,9 @@ impl GroupingSet {
         let mut bits = 0u32;
         for &d in dims {
             if d >= Self::MAX_DIMS {
-                return Err(CubeError::BadSpec(format!("dimension index {d} out of range")));
+                return Err(CubeError::BadSpec(format!(
+                    "dimension index {d} out of range"
+                )));
             }
             bits |= 1 << d;
         }
@@ -102,7 +104,10 @@ impl GroupingSet {
     /// Immediate supersets within an n-dimensional cube: the sets one level
     /// up, i.e. the candidate *parents* for the cascade.
     pub fn parents(self, n: usize) -> Vec<GroupingSet> {
-        (0..n).filter(|&d| !self.contains(d)).map(|d| self.with(d)).collect()
+        (0..n)
+            .filter(|&d| !self.contains(d))
+            .map(|d| self.with(d))
+            .collect()
     }
 }
 
@@ -181,12 +186,18 @@ impl Lattice {
 
     /// The full cube lattice.
     pub fn cube(n_dims: usize) -> CubeResult<Self> {
-        Ok(Lattice { n_dims, sets: cube_sets(n_dims)? })
+        Ok(Lattice {
+            n_dims,
+            sets: cube_sets(n_dims)?,
+        })
     }
 
     /// The rollup chain.
     pub fn rollup(n_dims: usize) -> CubeResult<Self> {
-        Ok(Lattice { n_dims, sets: rollup_sets(n_dims)? })
+        Ok(Lattice {
+            n_dims,
+            sets: rollup_sets(n_dims)?,
+        })
     }
 
     pub fn n_dims(&self) -> usize {
@@ -353,8 +364,7 @@ mod tests {
     #[test]
     fn choose_parent_falls_back_to_core() {
         let l = Lattice::new(3, vec![GroupingSet::EMPTY]).unwrap();
-        let parent =
-            l.choose_parent(GroupingSet::EMPTY, &[5, 5, 5], &[GroupingSet::full(3)]);
+        let parent = l.choose_parent(GroupingSet::EMPTY, &[5, 5, 5], &[GroupingSet::full(3)]);
         assert_eq!(parent, GroupingSet::full(3));
     }
 }

@@ -88,24 +88,40 @@ impl MaterializedCube {
         lattice: Lattice,
     ) -> CubeResult<Self> {
         if aggs.is_empty() {
-            return Err(CubeError::BadSpec("at least one aggregate is required".into()));
+            return Err(CubeError::BadSpec(
+                "at least one aggregate is required".into(),
+            ));
         }
         let schema = table.schema();
-        let bdims: Vec<BoundDimension> =
-            dims.iter().map(|d| d.bind(schema)).collect::<CubeResult<_>>()?;
-        let baggs: Vec<BoundAgg> =
-            aggs.iter().map(|a| a.bind(schema)).collect::<CubeResult<_>>()?;
-        let agg_types: Vec<_> =
-            aggs.iter().map(|a| a.output_type(schema)).collect::<CubeResult<_>>()?;
+        let bdims: Vec<BoundDimension> = dims
+            .iter()
+            .map(|d| d.bind(schema))
+            .collect::<CubeResult<_>>()?;
+        let baggs: Vec<BoundAgg> = aggs
+            .iter()
+            .map(|a| a.bind(schema))
+            .collect::<CubeResult<_>>()?;
+        let agg_types: Vec<_> = aggs
+            .iter()
+            .map(|a| a.output_type(schema))
+            .collect::<CubeResult<_>>()?;
         let result_schema = result_schema(&bdims, &baggs, &agg_types)?;
 
-        let cells = lattice.sets().iter().map(|&s| (s, HashMap::new())).collect();
+        let cells = lattice
+            .sets()
+            .iter()
+            .map(|&s| (s, HashMap::new()))
+            .collect();
         let cube = MaterializedCube {
             base_schema: schema.clone(),
             result_schema,
             dims: bdims,
             aggs: baggs,
-            inner: RwLock::new(Inner { base: Vec::new(), cells, stats: MaintainStats::default() }),
+            inner: RwLock::new(Inner {
+                base: Vec::new(),
+                cells,
+                stats: MaintainStats::default(),
+            }),
         };
         for row in table.rows() {
             cube.insert(row.clone())?;
@@ -131,9 +147,10 @@ impl MaterializedCube {
         let full = full_key(&self.dims, &row);
         for (set, map) in inner.cells.iter_mut() {
             let key = project_key(&full, *set);
-            let cell = map
-                .entry(key)
-                .or_insert_with(|| Cell { accs: init_accs(&self.aggs), support: 0 });
+            let cell = map.entry(key).or_insert_with(|| Cell {
+                accs: init_accs(&self.aggs),
+                support: 0,
+            });
             for (acc, agg) in cell.accs.iter_mut().zip(self.aggs.iter()) {
                 acc.iter(agg.input_value(&row));
             }
@@ -214,7 +231,10 @@ impl MaterializedCube {
         let mask = coordinate
             .iter()
             .enumerate()
-            .fold(GroupingSet::EMPTY, |m, (d, v)| if v.is_all() { m } else { m.with(d) });
+            .fold(
+                GroupingSet::EMPTY,
+                |m, (d, v)| if v.is_all() { m } else { m.with(d) },
+            );
         let (_, map) = inner.cells.iter().find(|(s, _)| *s == mask)?;
         let cell = map.get(&Row::new(coordinate.to_vec()))?;
         Some(cell.accs.iter().map(|a| a.final_value()).collect())
@@ -307,7 +327,10 @@ mod tests {
         let t = base();
         let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
         mat.insert(row!["Ford", 1995, 160]).unwrap();
-        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(355)]));
+        assert_eq!(
+            mat.cell(&[Value::All, Value::All]),
+            Some(vec![Value::Int(355)])
+        );
         assert_eq!(
             mat.cell(&[Value::str("Ford"), Value::All]),
             Some(vec![Value::Int(220)])
@@ -331,7 +354,10 @@ mod tests {
         let t = base();
         let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
         mat.delete(&row!["Chevy", 1994, 50]).unwrap();
-        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(145)]));
+        assert_eq!(
+            mat.cell(&[Value::All, Value::All]),
+            Some(vec![Value::Int(145)])
+        );
         assert_eq!(mat.stats().cells_recomputed, 0);
         assert_eq!(mat.stats().rows_rescanned, 0);
     }
@@ -346,7 +372,10 @@ mod tests {
         let s = mat.stats();
         assert!(s.cells_recomputed > 0, "delete of champion must recompute");
         assert!(s.rows_rescanned > 0);
-        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(60)]));
+        assert_eq!(
+            mat.cell(&[Value::All, Value::All]),
+            Some(vec![Value::Int(60)])
+        );
         assert_eq!(
             mat.cell(&[Value::str("Chevy"), Value::All]),
             Some(vec![Value::Int(50)])
@@ -363,7 +392,10 @@ mod tests {
         // (Chevy,1994) cell dies with its only supporter; the surviving
         // Chevy and global cells just drop a loser: no recompute.
         assert_eq!(mat.stats().cells_recomputed, 0);
-        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(85)]));
+        assert_eq!(
+            mat.cell(&[Value::All, Value::All]),
+            Some(vec![Value::Int(85)])
+        );
     }
 
     #[test]
@@ -383,12 +415,16 @@ mod tests {
     fn update_is_delete_plus_insert() {
         let t = base();
         let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
-        mat.update(&row!["Chevy", 1994, 50], row!["Chevy", 1994, 75]).unwrap();
+        mat.update(&row!["Chevy", 1994, 50], row!["Chevy", 1994, 75])
+            .unwrap();
         assert_eq!(
             mat.cell(&[Value::str("Chevy"), Value::Int(1994)]),
             Some(vec![Value::Int(75)])
         );
-        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(220)]));
+        assert_eq!(
+            mat.cell(&[Value::All, Value::All]),
+            Some(vec![Value::Int(220)])
+        );
         let s = mat.stats();
         assert_eq!((s.inserts, s.deletes), (1, 1));
     }
@@ -399,7 +435,10 @@ mod tests {
         let mat = MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap();
         assert!(mat.delete(&row!["Dodge", 2000, 1]).is_err());
         // Nothing changed.
-        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(195)]));
+        assert_eq!(
+            mat.cell(&[Value::All, Value::All]),
+            Some(vec![Value::Int(195)])
+        );
     }
 
     #[test]
@@ -426,8 +465,7 @@ mod tests {
     fn concurrent_reads_during_maintenance() {
         use std::sync::Arc;
         let t = base();
-        let mat =
-            Arc::new(MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap());
+        let mat = Arc::new(MaterializedCube::cube(&t, dims(), vec![sum_spec()]).unwrap());
         let readers: Vec<_> = (0..4)
             .map(|_| {
                 let m = Arc::clone(&mat);
@@ -485,22 +523,18 @@ mod more_tests {
             mat.cell(&[Value::str("Chevy"), Value::Int(1994)]),
             Some(vec![Value::Int(10)])
         );
-        assert_eq!(mat.cell(&[Value::All, Value::All]), Some(vec![Value::Int(60)]));
+        assert_eq!(
+            mat.cell(&[Value::All, Value::All]),
+            Some(vec![Value::Int(60)])
+        );
     }
 
     #[test]
     fn mixed_aggregates_recompute_together() {
         // One cell holds SUM and MAX; deleting the max forces the whole
         // cell to rebuild, and the rebuilt SUM is still right.
-        let schema = Schema::from_pairs(&[
-            ("k", DataType::Str),
-            ("units", DataType::Int),
-        ]);
-        let t = Table::new(
-            schema,
-            vec![row!["a", 5], row!["a", 100], row!["a", 7]],
-        )
-        .unwrap();
+        let schema = Schema::from_pairs(&[("k", DataType::Str), ("units", DataType::Int)]);
+        let t = Table::new(schema, vec![row!["a", 5], row!["a", 100], row!["a", 7]]).unwrap();
         let mat = MaterializedCube::cube(
             &t,
             vec![Dimension::column("k")],
@@ -519,10 +553,7 @@ mod more_tests {
 
     #[test]
     fn reinserting_a_deleted_champion_restores_state() {
-        let schema = Schema::from_pairs(&[
-            ("k", DataType::Str),
-            ("units", DataType::Int),
-        ]);
+        let schema = Schema::from_pairs(&[("k", DataType::Str), ("units", DataType::Int)]);
         let t = Table::new(schema, vec![row!["a", 5], row!["a", 100]]).unwrap();
         let mat = MaterializedCube::cube(
             &t,

@@ -15,7 +15,7 @@
 use crate::algorithm::{self, Algorithm};
 use crate::error::{CubeError, CubeResult};
 use crate::exec::{self, ExecContext, ExecLimits};
-use crate::groupby::{materialize, result_schema, ExecStats};
+use crate::groupby::{materialize, result_schema, ExecStats, Grouped};
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::{AggSpec, CompoundSpec, Dimension};
 use dc_relation::{Table, Value};
@@ -51,6 +51,7 @@ pub struct CubeQuery {
     aggs: Vec<AggSpec>,
     algorithm: Algorithm,
     encoded: bool,
+    vectorized: bool,
     limits: ExecLimits,
 }
 
@@ -67,6 +68,7 @@ impl CubeQuery {
             aggs: Vec::new(),
             algorithm: Algorithm::Auto,
             encoded: true,
+            vectorized: true,
             limits: ExecLimits::none(),
         }
     }
@@ -106,6 +108,21 @@ impl CubeQuery {
         self
     }
 
+    /// Enable or disable the vectorized kernel engine (default **on**):
+    /// when every aggregate in the select list maps to a built-in kernel
+    /// (COUNT, COUNT(*), SUM, MIN, MAX, AVG) and every measure column
+    /// extracts as a typed vector, the from-core and parallel paths scan
+    /// columnar batches in morsels instead of driving the Init/Iter/Final
+    /// protocol row by row. Holistic and user-defined aggregates — or any
+    /// measure that fails typed extraction — transparently fall back to
+    /// the row path; results and [`ExecStats`] work counters are
+    /// identical, and `ExecStats::vectorized_kernels_used` reports
+    /// whether the kernels actually ran.
+    pub fn vectorized(mut self, vectorized: bool) -> Self {
+        self.vectorized = vectorized;
+        self
+    }
+
     /// Attach execution limits: cell/memory budgets, a wall-clock timeout,
     /// and/or a [`crate::exec::CancelToken`]. Default is unlimited.
     /// Exceeding a budget returns `CubeError::ResourceExhausted` (or
@@ -139,16 +156,27 @@ impl CubeQuery {
         choice: crate::algorithm::ParentChoice,
     ) -> CubeResult<(Table, ExecStats)> {
         if self.aggs.is_empty() {
-            return Err(CubeError::BadSpec("at least one aggregate is required".into()));
+            return Err(CubeError::BadSpec(
+                "at least one aggregate is required".into(),
+            ));
         }
         let lattice = Lattice::cube(self.dims.len())?;
         let schema = table.schema();
-        let dims: Vec<_> =
-            self.dims.iter().map(|d| d.bind(schema)).collect::<CubeResult<_>>()?;
-        let aggs: Vec<_> =
-            self.aggs.iter().map(|a| a.bind(schema)).collect::<CubeResult<_>>()?;
-        let agg_types: Vec<_> =
-            self.aggs.iter().map(|a| a.output_type(schema)).collect::<CubeResult<_>>()?;
+        let dims: Vec<_> = self
+            .dims
+            .iter()
+            .map(|d| d.bind(schema))
+            .collect::<CubeResult<_>>()?;
+        let aggs: Vec<_> = self
+            .aggs
+            .iter()
+            .map(|a| a.bind(schema))
+            .collect::<CubeResult<_>>()?;
+        let agg_types: Vec<_> = self
+            .aggs
+            .iter()
+            .map(|a| a.output_type(schema))
+            .collect::<CubeResult<_>>()?;
         let ctx = ExecContext::new(
             &self.limits,
             exec::estimate_bytes_per_cell(dims.len(), aggs.len()),
@@ -163,17 +191,23 @@ impl CubeQuery {
                 choice,
                 &mut stats,
                 self.encoded,
+                self.vectorized,
                 &ctx,
             )
         });
-        let maps = match run {
-            Ok(Ok(maps)) => maps,
+        let grouped = match run {
+            Ok(Ok(grouped)) => grouped,
             Ok(Err(e)) | Err(e) => return Err(e.with_partial_stats(stats)),
         };
         let out_schema = crate::groupby::result_schema(&dims, &aggs, &agg_types)?;
-        let out = exec::guard("query", || {
-            crate::groupby::materialize(out_schema, maps, &aggs, &mut stats, &ctx)
-        });
+        let out = match grouped {
+            Grouped::Rows(maps) => exec::guard("query", || {
+                crate::groupby::materialize(out_schema, maps, &aggs, &mut stats, &ctx)
+            }),
+            Grouped::Kernels(k) => {
+                exec::guard("query", || k.materialize(out_schema, &mut stats, &ctx))
+            }
+        };
         match out {
             Ok(Ok(out)) => Ok((out, stats)),
             Ok(Err(e)) | Err(e) => Err(e.with_partial_stats(stats)),
@@ -193,8 +227,7 @@ impl CubeQuery {
 
     /// Plain `GROUP BY`: the single full grouping set (Figure 2).
     pub fn group_by(&self, table: &Table) -> CubeResult<Table> {
-        let lattice =
-            Lattice::new(self.dims.len(), vec![GroupingSet::full(self.dims.len())])?;
+        let lattice = Lattice::new(self.dims.len(), vec![GroupingSet::full(self.dims.len())])?;
         Ok(self.execute(table, &lattice)?.0)
     }
 
@@ -237,6 +270,7 @@ impl CubeQuery {
             aggs: self.aggs.clone(),
             algorithm: self.algorithm,
             encoded: self.encoded,
+            vectorized: self.vectorized,
             limits: self.limits.clone(),
         };
         let sets = spec.grouping_sets()?;
@@ -255,15 +289,26 @@ impl CubeQuery {
         keep: Option<&[GroupingSet]>,
     ) -> CubeResult<(Table, ExecStats)> {
         if self.aggs.is_empty() {
-            return Err(CubeError::BadSpec("at least one aggregate is required".into()));
+            return Err(CubeError::BadSpec(
+                "at least one aggregate is required".into(),
+            ));
         }
         let schema = table.schema();
-        let dims: Vec<_> =
-            self.dims.iter().map(|d| d.bind(schema)).collect::<CubeResult<_>>()?;
-        let aggs: Vec<_> =
-            self.aggs.iter().map(|a| a.bind(schema)).collect::<CubeResult<_>>()?;
-        let agg_types: Vec<_> =
-            self.aggs.iter().map(|a| a.output_type(schema)).collect::<CubeResult<_>>()?;
+        let dims: Vec<_> = self
+            .dims
+            .iter()
+            .map(|d| d.bind(schema))
+            .collect::<CubeResult<_>>()?;
+        let aggs: Vec<_> = self
+            .aggs
+            .iter()
+            .map(|a| a.bind(schema))
+            .collect::<CubeResult<_>>()?;
+        let agg_types: Vec<_> = self
+            .aggs
+            .iter()
+            .map(|a| a.output_type(schema))
+            .collect::<CubeResult<_>>()?;
 
         let ctx = ExecContext::new(
             &self.limits,
@@ -282,19 +327,29 @@ impl CubeQuery {
                 lattice,
                 &mut stats,
                 self.encoded,
+                self.vectorized,
                 &ctx,
             )
         });
-        let mut maps = match run {
-            Ok(Ok(maps)) => maps,
+        let mut grouped = match run {
+            Ok(Ok(grouped)) => grouped,
             Ok(Err(e)) | Err(e) => return Err(e.with_partial_stats(stats)),
         };
         if let Some(keep) = keep {
-            maps.retain(|(s, _)| keep.contains(s));
+            match &mut grouped {
+                Grouped::Rows(maps) => maps.retain(|(s, _)| keep.contains(s)),
+                Grouped::Kernels(k) => k.sets.retain(|(s, _)| keep.contains(s)),
+            }
         }
         let out_schema = result_schema(&dims, &aggs, &agg_types)?;
-        let out =
-            exec::guard("query", || materialize(out_schema, maps, &aggs, &mut stats, &ctx));
+        let out = match grouped {
+            Grouped::Rows(maps) => exec::guard("query", || {
+                materialize(out_schema, maps, &aggs, &mut stats, &ctx)
+            }),
+            Grouped::Kernels(k) => {
+                exec::guard("query", || k.materialize(out_schema, &mut stats, &ctx))
+            }
+        };
         match out {
             Ok(Ok(out)) => Ok((out, stats)),
             Ok(Err(e)) | Err(e) => Err(e.with_partial_stats(stats)),
@@ -315,9 +370,7 @@ pub fn dense_cube_cardinality(cardinalities: &[usize]) -> usize {
 pub fn rows_in_set(cube: &Table, n_dims: usize, set: GroupingSet) -> usize {
     cube.rows()
         .iter()
-        .filter(|r| {
-            (0..n_dims).all(|d| (r[d] != Value::All) == set.contains(d))
-        })
+        .filter(|r| (0..n_dims).all(|d| (r[d] != Value::All) == set.contains(d)))
         .count()
 }
 
@@ -511,10 +564,7 @@ mod tests {
             .aggregate(sum_units())
             .cube(&sales)
             .is_err());
-        assert!(CubeQuery::new()
-            .dimensions(dims3())
-            .cube(&sales)
-            .is_err()); // no aggregates
+        assert!(CubeQuery::new().dimensions(dims3()).cube(&sales).is_err()); // no aggregates
         assert!(CubeQuery::new()
             .dimensions(dims3())
             .aggregate(sum_units())

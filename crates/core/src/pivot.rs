@@ -58,12 +58,7 @@ fn slab(table: &Table, kept: &[usize]) -> Table {
 /// The input must be a cube relation containing both dimensions (other
 /// grouping columns are automatically fixed at `ALL`). Missing cells —
 /// combinations with no base data — render as `NULL`.
-pub fn cross_tab(
-    cube: &Table,
-    row_dim: &str,
-    col_dim: &str,
-    measure: &str,
-) -> CubeResult<Table> {
+pub fn cross_tab(cube: &Table, row_dim: &str, col_dim: &str, measure: &str) -> CubeResult<Table> {
     let r = cube.schema().index_of(row_dim)?;
     let c = cube.schema().index_of(col_dim)?;
     let m = cube.schema().index_of(measure)?;
@@ -95,7 +90,12 @@ pub fn cross_tab(
     for rh in &row_headers {
         let mut vals = vec![Value::str(display_label(rh))];
         for ch in &col_headers {
-            vals.push(cells.get(&(rh.clone(), ch.clone())).cloned().unwrap_or(Value::Null));
+            vals.push(
+                cells
+                    .get(&(rh.clone(), ch.clone()))
+                    .cloned()
+                    .unwrap_or(Value::Null),
+            );
         }
         out.push_unchecked(Row::new(vals));
     }
@@ -293,7 +293,11 @@ mod tests {
         ]);
         let t = Table::new(
             schema,
-            vec![row!["Chevy", 1994, 1], row!["Chevy", 1995, 2], row!["Ford", 1994, 3]],
+            vec![
+                row!["Chevy", 1994, 1],
+                row!["Chevy", 1995, 2],
+                row!["Ford", 1994, 3],
+            ],
         )
         .unwrap();
         let cube = CubeQuery::new()

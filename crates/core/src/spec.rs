@@ -32,7 +32,11 @@ impl Dimension {
     pub fn column(name: impl AsRef<str>) -> Self {
         let name: Arc<str> = Arc::from(name.as_ref());
         // dtype resolved at bind time against the schema; placeholder here.
-        Dimension { name: name.clone(), dtype: DataType::Str, kind: DimKind::Column(name) }
+        Dimension {
+            name: name.clone(),
+            dtype: DataType::Str,
+            kind: DimKind::Column(name),
+        }
     }
 
     /// A computed dimension: `Day(Time) AS day`.
@@ -41,7 +45,11 @@ impl Dimension {
         dtype: DataType,
         f: impl Fn(&Row) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Dimension { name: Arc::from(name.as_ref()), dtype, kind: DimKind::Computed(Arc::new(f)) }
+        Dimension {
+            name: Arc::from(name.as_ref()),
+            dtype,
+            kind: DimKind::Computed(Arc::new(f)),
+        }
     }
 
     /// Resolve against an input schema, producing an evaluator.
@@ -50,7 +58,11 @@ impl Dimension {
             DimKind::Column(col) => {
                 let idx = schema.index_of(col)?;
                 let dtype = schema.column_at(idx).dtype;
-                Ok(BoundDimension { name: self.name.clone(), dtype, eval: BoundEval::Column(idx) })
+                Ok(BoundDimension {
+                    name: self.name.clone(),
+                    dtype,
+                    eval: BoundEval::Column(idx),
+                })
             }
             DimKind::Computed(f) => Ok(BoundDimension {
                 name: self.name.clone(),
@@ -121,13 +133,21 @@ impl AggSpec {
     pub fn new(func: AggRef, input: impl AsRef<str>) -> Self {
         let input: Arc<str> = Arc::from(input.as_ref());
         let output = Arc::from(format!("{}({})", func.name(), input));
-        AggSpec { func, input: Some(input), output }
+        AggSpec {
+            func,
+            input: Some(input),
+            output,
+        }
     }
 
     /// Aggregate over whole rows: `COUNT(*)`.
     pub fn star(func: AggRef) -> Self {
         let output = Arc::from(func.name().to_string());
-        AggSpec { func, input: None, output }
+        AggSpec {
+            func,
+            input: None,
+            output,
+        }
     }
 
     /// Rename the output column (`AS`).
@@ -142,7 +162,11 @@ impl AggSpec {
             Some(col) => Some(schema.index_of(col)?),
             None => None,
         };
-        Ok(BoundAgg { func: Arc::clone(&self.func), input, output: self.output.clone() })
+        Ok(BoundAgg {
+            func: Arc::clone(&self.func),
+            input,
+            output: self.output.clone(),
+        })
     }
 
     /// The output column's declared type, given the input schema.
@@ -329,14 +353,23 @@ mod tests {
     fn algebra_cube_of_rollup_is_cube() {
         // §3.1: CUBE(ROLLUP) = CUBE. Putting the same dimensions in the
         // CUBE block subsumes every set a ROLLUP of them would produce.
-        let cube = CompoundSpec::new().cube(dims(&["a", "b"])).grouping_sets().unwrap();
-        let rollup = CompoundSpec::new().rollup(dims(&["a", "b"])).grouping_sets().unwrap();
+        let cube = CompoundSpec::new()
+            .cube(dims(&["a", "b"]))
+            .grouping_sets()
+            .unwrap();
+        let rollup = CompoundSpec::new()
+            .rollup(dims(&["a", "b"]))
+            .grouping_sets()
+            .unwrap();
         for s in &rollup {
             assert!(cube.contains(s), "cube must subsume rollup set {s:?}");
         }
         // And ROLLUP(GROUP BY) = ROLLUP: the group-by's single set is the
         // rollup's finest set.
-        let gb = CompoundSpec::new().group_by(dims(&["a", "b"])).grouping_sets().unwrap();
+        let gb = CompoundSpec::new()
+            .group_by(dims(&["a", "b"]))
+            .grouping_sets()
+            .unwrap();
         assert!(rollup.contains(&gb[0]));
     }
 

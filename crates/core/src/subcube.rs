@@ -73,11 +73,7 @@ impl SizeModel {
 /// Cost of answering every grouping set given `materialized` views: each
 /// set reads the smallest materialized superset (HRU's linear cost
 /// model). The core must be in `materialized`.
-pub fn total_cost(
-    sets: &[GroupingSet],
-    materialized: &[GroupingSet],
-    model: &SizeModel,
-) -> u64 {
+pub fn total_cost(sets: &[GroupingSet], materialized: &[GroupingSet], model: &SizeModel) -> u64 {
     sets.iter()
         .map(|&s| {
             materialized
@@ -185,8 +181,10 @@ impl PartialCube {
         let all = query.grouping_sets(table, &sets)?;
 
         // Split the one relation into per-set views.
-        let mut views: HashMap<GroupingSet, Table> =
-            selection.iter().map(|&s| (s, Table::empty(all.schema().clone()))).collect();
+        let mut views: HashMap<GroupingSet, Table> = selection
+            .iter()
+            .map(|&s| (s, Table::empty(all.schema().clone())))
+            .collect();
         for row in all.rows() {
             let mut mask = GroupingSet::EMPTY;
             for d in 0..n_dims {
@@ -200,7 +198,14 @@ impl PartialCube {
                 .push_unchecked(row.clone());
         }
         let model = SizeModel::measured(&all, n_dims)?;
-        Ok(PartialCube { dims, aggs, n_dims, model, views, stats: ExecStats::default() })
+        Ok(PartialCube {
+            dims,
+            aggs,
+            n_dims,
+            model,
+            views,
+            stats: ExecStats::default(),
+        })
     }
 
     /// Answer one grouping set: directly if materialized, otherwise by
@@ -215,9 +220,7 @@ impl PartialCube {
             .copied()
             .filter(|m| set.subset_of(*m))
             .min_by_key(|&m| self.model.size(m))
-            .ok_or_else(|| {
-                CubeError::BadSpec(format!("no materialized ancestor covers {set}"))
-            })?;
+            .ok_or_else(|| CubeError::BadSpec(format!("no materialized ancestor covers {set}")))?;
         let source = &self.views[&ancestor];
         self.stats.rows_scanned += source.len() as u64;
 
@@ -230,9 +233,7 @@ impl PartialCube {
         // NOT sound for AVG — so we restrict to distributive aggregates
         // here and document it.
         for a in &self.aggs {
-            if !a.func.kind().bounded_state()
-                || a.func.kind() == dc_aggregate::AggKind::Algebraic
-            {
+            if !a.func.kind().bounded_state() || a.func.kind() == dc_aggregate::AggKind::Algebraic {
                 return Err(CubeError::Unsupported(format!(
                     "answering unmaterialized sets from final values requires \
                      distributive aggregates; {} is {:?} (materialize it, or \
@@ -242,8 +243,7 @@ impl PartialCube {
                 )));
             }
         }
-        let dim_names: Vec<String> =
-            self.dims.iter().map(|d| d.name.to_string()).collect();
+        let dim_names: Vec<String> = self.dims.iter().map(|d| d.name.to_string()).collect();
         let surviving: Vec<Dimension> = set
             .dims()
             .iter()
@@ -354,7 +354,10 @@ mod tests {
         // The pick must be a 2-dim view (answers four sets), and the
         // cheapest such view includes the tiny dimension: {0,2} or {1,2}.
         assert_eq!(pick.len(), 2);
-        assert!(pick.contains(2), "greedy should pick a view shrunk by the C=2 dim");
+        assert!(
+            pick.contains(2),
+            "greedy should pick a view shrunk by the C=2 dim"
+        );
     }
 
     #[test]
@@ -436,28 +439,26 @@ mod tests {
             .cube(&t)
             .unwrap();
         // Materialize only the core and {model}.
-        let selection =
-            vec![GroupingSet::full(3), GroupingSet::from_dims(&[0]).unwrap()];
-        let mut pc =
-            PartialCube::materialize(&t, dims(), vec![sum_units()], &selection).unwrap();
+        let selection = vec![GroupingSet::full(3), GroupingSet::from_dims(&[0]).unwrap()];
+        let mut pc = PartialCube::materialize(&t, dims(), vec![sum_units()], &selection).unwrap();
 
         for set in cube_sets(3).unwrap() {
             let mut got = pc.query(set).unwrap();
             got.sort_by_indices(&[0, 1, 2]);
-            let want = full.filter(|r| {
-                (0..3).all(|d| (r[d] != Value::All) == set.contains(d))
-            });
+            let want = full.filter(|r| (0..3).all(|d| (r[d] != Value::All) == set.contains(d)));
             assert_eq!(got.rows(), want.rows(), "grouping set {set}");
         }
-        assert!(pc.stats().rows_scanned > 0, "on-demand sets re-scan ancestors");
+        assert!(
+            pc.stats().rows_scanned > 0,
+            "on-demand sets re-scan ancestors"
+        );
     }
 
     #[test]
     fn materialized_sets_answer_without_scanning() {
         let t = base();
         let selection = vec![GroupingSet::full(3)];
-        let mut pc =
-            PartialCube::materialize(&t, dims(), vec![sum_units()], &selection).unwrap();
+        let mut pc = PartialCube::materialize(&t, dims(), vec![sum_units()], &selection).unwrap();
         pc.query(GroupingSet::full(3)).unwrap();
         assert_eq!(pc.stats().rows_scanned, 0);
     }
@@ -468,8 +469,7 @@ mod tests {
         let t = base();
         let count = AggSpec::new(builtin("COUNT").unwrap(), "units").with_name("n");
         let selection = vec![GroupingSet::full(3)];
-        let mut pc =
-            PartialCube::materialize(&t, dims(), vec![count.clone()], &selection).unwrap();
+        let mut pc = PartialCube::materialize(&t, dims(), vec![count.clone()], &selection).unwrap();
         let grand = pc.query(GroupingSet::EMPTY).unwrap();
         assert_eq!(grand.rows()[0][3], Value::Int(5));
     }
@@ -479,8 +479,7 @@ mod tests {
         let t = base();
         let avg = AggSpec::new(builtin("AVG").unwrap(), "units").with_name("avg");
         let selection = vec![GroupingSet::full(3)];
-        let mut pc =
-            PartialCube::materialize(&t, dims(), vec![avg], &selection).unwrap();
+        let mut pc = PartialCube::materialize(&t, dims(), vec![avg], &selection).unwrap();
         // AVG of AVGs is wrong; the module must refuse rather than lie.
         let err = pc.query(GroupingSet::EMPTY);
         assert!(matches!(err, Err(CubeError::Unsupported(_))));
@@ -489,12 +488,7 @@ mod tests {
     #[test]
     fn requires_the_core() {
         let t = base();
-        let err = PartialCube::materialize(
-            &t,
-            dims(),
-            vec![sum_units()],
-            &[GroupingSet::EMPTY],
-        );
+        let err = PartialCube::materialize(&t, dims(), vec![sum_units()], &[GroupingSet::EMPTY]);
         assert!(matches!(err, Err(CubeError::BadSpec(_))));
     }
 }

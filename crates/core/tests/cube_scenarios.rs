@@ -5,9 +5,7 @@ use datacube::addressing::CubeView;
 use datacube::decoration::decorate;
 use datacube::hierarchy::calendar;
 use datacube::maintain::MaterializedCube;
-use datacube::{
-    AggSpec, Algorithm, CubeQuery, Dimension, GroupingSet, Lattice,
-};
+use datacube::{AggSpec, Algorithm, CubeQuery, Dimension, GroupingSet, Lattice};
 use dc_aggregate::{builtin, AggKind, UdaBuilder};
 use dc_relation::{csv, row, DataType, Date, Row, Schema, Table, Value};
 
@@ -74,8 +72,7 @@ fn maintained_grouping_sets() {
         ],
     )
     .unwrap();
-    let mat =
-        MaterializedCube::with_lattice(&t, dims3(), vec![sum_units()], lattice).unwrap();
+    let mat = MaterializedCube::with_lattice(&t, dims3(), vec![sum_units()], lattice).unwrap();
     // Only the requested sets are materialized: no (model, year) cells.
     assert_eq!(
         mat.cell(&[Value::str("Chevy"), Value::Int(1994), Value::All]),
@@ -141,7 +138,8 @@ fn hierarchy_decoration_view_pipeline() {
     let mut t = Table::empty(schema);
     let mut d = Date::ymd(1995, 1, 1);
     for i in 0..365 {
-        t.push(Row::new(vec![Value::Date(d), Value::Int(i % 10)])).unwrap();
+        t.push(Row::new(vec![Value::Date(d), Value::Int(i % 10)]))
+            .unwrap();
         d = d.plus_days(1);
     }
     let cal = calendar();
@@ -208,9 +206,7 @@ fn histogram_buckets_as_dimension() {
         .unwrap();
     // Buckets: 10→0, 40→0, 50,50→1, 75,85,85→1, 115→2... compute: 50/50=1,
     // 40/50=0, 85/50=1, 115/50=2, 10/50=0, 75/50=1.
-    let find = |b: Value| {
-        cube.rows().iter().find(|r| r[0] == b).map(|r| r[1].clone())
-    };
+    let find = |b: Value| cube.rows().iter().find(|r| r[0] == b).map(|r| r[1].clone());
     assert_eq!(find(Value::Int(0)), Some(Value::Int(2)));
     assert_eq!(find(Value::Int(1)), Some(Value::Int(5)));
     assert_eq!(find(Value::Int(2)), Some(Value::Int(1)));
@@ -226,14 +222,19 @@ fn row_level_algebra_inclusions() {
     let q = CubeQuery::new().dimensions(dims3()).aggregate(sum_units());
     let cube = q.cube(&t).unwrap();
     let rollup = q.rollup(&t).unwrap();
-    let gs = q.grouping_sets(&t, &[vec![0, 1, 2], vec![0, 1], vec![0]]).unwrap();
+    let gs = q
+        .grouping_sets(&t, &[vec![0, 1, 2], vec![0, 1], vec![0]])
+        .unwrap();
     let cube_set: std::collections::HashSet<&Row> = cube.rows().iter().collect();
     for r in rollup.rows() {
         assert!(cube_set.contains(r));
     }
     let rollup_set: std::collections::HashSet<&Row> = rollup.rows().iter().collect();
     for r in gs.rows() {
-        assert!(rollup_set.contains(r), "{r} (rollup prefixes subsume this family)");
+        assert!(
+            rollup_set.contains(r),
+            "{r} (rollup prefixes subsume this family)"
+        );
         assert!(cube_set.contains(r));
     }
 }

@@ -17,8 +17,7 @@ use crate::value::Value;
 /// Render a table as CSV with a header row.
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let names: Vec<String> =
-        table.schema().names().iter().map(|n| escape(n)).collect();
+    let names: Vec<String> = table.schema().names().iter().map(|n| escape(n)).collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in table.rows() {
@@ -53,9 +52,7 @@ pub fn from_csv(text: &str, schema: Schema) -> RelResult<Table> {
     }
     let header = records.remove(0);
     let expected = schema.names();
-    if header.len() != expected.len()
-        || header.iter().zip(expected.iter()).any(|(h, e)| h != e)
-    {
+    if header.len() != expected.len() || header.iter().zip(expected.iter()).any(|(h, e)| h != e) {
         return Err(RelError::SchemaMismatch(format!(
             "CSV header {header:?} does not match schema {expected:?}"
         )));
@@ -70,9 +67,11 @@ pub fn from_csv(text: &str, schema: Schema) -> RelResult<Table> {
         }
         let mut values = Vec::with_capacity(record.len());
         for (field, col) in record.into_iter().zip(table.schema().columns().to_vec()) {
-            values.push(parse_field(&field, col.dtype, col.all_allowed).map_err(|e| {
-                RelError::Invalid(format!("row {}: column '{}': {e}", line_no + 1, col.name))
-            })?);
+            values.push(
+                parse_field(&field, col.dtype, col.all_allowed).map_err(|e| {
+                    RelError::Invalid(format!("row {}: column '{}': {e}", line_no + 1, col.name))
+                })?,
+            );
         }
         table.push(Row::new(values))?;
     }
@@ -247,7 +246,9 @@ mod tests {
             s.clone(),
             vec![
                 Row::new(vec![Value::Date(Date::ymd(1995, 6, 1))]),
-                Row::new(vec![Value::Date(Date::new_at(1996, 2, 29, 15, 30).unwrap())]),
+                Row::new(vec![Value::Date(
+                    Date::new_at(1996, 2, 29, 15, 30).unwrap(),
+                )]),
             ],
         )
         .unwrap();
@@ -266,8 +267,7 @@ mod tests {
 
     #[test]
     fn crlf_and_trailing_newline_tolerated() {
-        let t =
-            from_csv("model,year,units\r\nChevy,1994,90\r\n", schema()).unwrap();
+        let t = from_csv("model,year,units\r\nChevy,1994,90\r\n", schema()).unwrap();
         assert_eq!(t.len(), 1);
         let t2 = from_csv("model,year,units\nChevy,1994,90", schema()).unwrap();
         assert_eq!(t2.len(), 1);

@@ -53,7 +53,13 @@ impl Date {
         {
             return None;
         }
-        Some(Date { year, month, day, hour, minute })
+        Some(Date {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+        })
     }
 
     /// Build a date without hour/minute, panicking on invalid input.
@@ -61,8 +67,7 @@ impl Date {
     /// Intended for literals in tests and examples where the date is known
     /// valid at the call site.
     pub fn ymd(year: i32, month: u8, day: u8) -> Self {
-        Self::new(year, month, day)
-            .unwrap_or_else(|| panic!("invalid date {year}-{month}-{day}"))
+        Self::new(year, month, day).unwrap_or_else(|| panic!("invalid date {year}-{month}-{day}"))
     }
 
     pub fn year(&self) -> i32 {
@@ -153,7 +158,13 @@ impl Date {
             days -= in_month;
             month += 1;
         }
-        Date { year, month, day: (days + 1) as u8, hour: self.hour, minute: self.minute }
+        Date {
+            year,
+            month,
+            day: (days + 1) as u8,
+            hour: self.hour,
+            minute: self.minute,
+        }
     }
 }
 

@@ -62,10 +62,7 @@ impl SymbolTable {
 /// Dictionary-encode several columns of rows at once: returns one
 /// [`SymbolTable`] per column and the coded rows. The coded form is what the
 /// dense-array cube indexes with.
-pub fn encode_columns(
-    rows: &[crate::Row],
-    indices: &[usize],
-) -> (Vec<SymbolTable>, Vec<Vec<u32>>) {
+pub fn encode_columns(rows: &[crate::Row], indices: &[usize]) -> (Vec<SymbolTable>, Vec<Vec<u32>>) {
     let mut tables: Vec<SymbolTable> = indices.iter().map(|_| SymbolTable::new()).collect();
     let coded = rows
         .iter()

@@ -52,7 +52,10 @@ pub fn render_table(t: &Table) -> String {
     };
 
     rule(&mut out);
-    line(&mut out, &names.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     rule(&mut out);
     for row in &cells {
         line(&mut out, row);

@@ -28,7 +28,10 @@ impl fmt::Display for RelError {
         match self {
             RelError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
             RelError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             RelError::TypeMismatch { expected, got } => {
                 write!(f, "type mismatch: expected {expected}, got {got}")

@@ -119,7 +119,11 @@ mod tests {
             low_bits.insert(h.finish() & 0x3ff);
         }
         // With 1024 keys into 1024 buckets, a decent hash fills most.
-        assert!(low_bits.len() > 512, "only {} distinct low-bit patterns", low_bits.len());
+        assert!(
+            low_bits.len() > 512,
+            "only {} distinct low-bit patterns",
+            low_bits.len()
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! [Gray et al. 1996 data cube paper]:
 //!     https://doi.org/10.1109/ICDE.1996.492099
 
+pub mod columnar;
 pub mod csv;
 pub mod date;
 pub mod dictionary;
@@ -35,10 +36,11 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use columnar::{Bitmap, Column, ColumnData, ColumnarBatch};
 pub use date::Date;
 pub use dictionary::SymbolTable;
-pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use error::{RelError, RelResult};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema};
 pub use table::Table;

@@ -57,12 +57,20 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A normal data column: `ALL NOT ALLOWED`.
     pub fn new(name: impl AsRef<str>, dtype: DataType) -> Self {
-        ColumnDef { name: Arc::from(name.as_ref()), dtype, all_allowed: false }
+        ColumnDef {
+            name: Arc::from(name.as_ref()),
+            dtype,
+            all_allowed: false,
+        }
     }
 
     /// A grouping column of an aggregate result: `ALL ALLOWED`.
     pub fn with_all(name: impl AsRef<str>, dtype: DataType) -> Self {
-        ColumnDef { name: Arc::from(name.as_ref()), dtype, all_allowed: true }
+        ColumnDef {
+            name: Arc::from(name.as_ref()),
+            dtype,
+            all_allowed: true,
+        }
     }
 
     /// Check a single value against this column's declaration.
@@ -209,7 +217,10 @@ mod tests {
     fn lookup_by_name() {
         let s = sample();
         assert_eq!(s.index_of("year").unwrap(), 1);
-        assert!(matches!(s.index_of("nope"), Err(RelError::UnknownColumn(_))));
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(RelError::UnknownColumn(_))
+        ));
         assert_eq!(s.indices_of(&["color", "model"]).unwrap(), vec![2, 0]);
     }
 

@@ -23,7 +23,10 @@ pub struct Table {
 impl Table {
     /// An empty table under `schema`.
     pub fn empty(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build a table, validating every row against the schema.
@@ -64,7 +67,10 @@ impl Table {
     /// Append one row, validating arity and column types.
     pub fn push(&mut self, row: Row) -> RelResult<()> {
         if row.len() != self.schema.len() {
-            return Err(RelError::ArityMismatch { expected: self.schema.len(), got: row.len() });
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
         }
         for (col, v) in self.schema.columns().iter().zip(row.iter()) {
             col.check(v)?;
@@ -110,7 +116,10 @@ impl Table {
         let indices = self.schema.indices_of(names)?;
         let mut rows = self.rows.clone();
         rows.sort_by(|a, b| Self::cmp_on(a, b, &indices));
-        Ok(Table { schema: self.schema.clone(), rows })
+        Ok(Table {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Sort in place by precomputed column indices (hot path for the
@@ -135,7 +144,10 @@ impl Table {
         self.schema.union_compatible(&other.schema)?;
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Ok(Table { schema: self.schema.clone(), rows })
+        Ok(Table {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Set union (SQL `UNION`): union-all then duplicate elimination.
@@ -153,7 +165,10 @@ impl Table {
             .filter(|r| seen.insert((*r).clone()))
             .cloned()
             .collect();
-        Table { schema: self.schema.clone(), rows }
+        Table {
+            schema: self.schema.clone(),
+            rows,
+        }
     }
 
     /// Rows in `self` that do not appear in `other` (bag difference by
@@ -164,7 +179,12 @@ impl Table {
         let there: HashSet<&Row> = other.rows.iter().collect();
         Ok(Table {
             schema: self.schema.clone(),
-            rows: self.rows.iter().filter(|r| !there.contains(*r)).cloned().collect(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| !there.contains(*r))
+                .cloned()
+                .collect(),
         })
     }
 
@@ -219,12 +239,15 @@ impl Table {
     /// `grouping(...)` columns and restore `ALL` tokens.
     pub fn from_null_grouping_encoding(&self, grouping_cols: &[&str]) -> RelResult<Table> {
         let data_indices = self.schema.indices_of(grouping_cols)?;
-        let bit_names: Vec<String> =
-            grouping_cols.iter().map(|n| format!("grouping({n})")).collect();
+        let bit_names: Vec<String> = grouping_cols
+            .iter()
+            .map(|n| format!("grouping({n})"))
+            .collect();
         let bit_refs: Vec<&str> = bit_names.iter().map(String::as_str).collect();
         let bit_indices = self.schema.indices_of(&bit_refs)?;
-        let keep: Vec<usize> =
-            (0..self.schema.len()).filter(|i| !bit_indices.contains(i)).collect();
+        let keep: Vec<usize> = (0..self.schema.len())
+            .filter(|i| !bit_indices.contains(i))
+            .collect();
         let schema = Schema::new(
             keep.iter()
                 .map(|&i| {
@@ -290,7 +313,10 @@ mod tests {
         let mut t = sales();
         assert!(matches!(
             t.push(row!["Ford", 1994]),
-            Err(RelError::ArityMismatch { expected: 4, got: 2 })
+            Err(RelError::ArityMismatch {
+                expected: 4,
+                got: 2
+            })
         ));
         assert!(t.push(row!["Ford", "1994", "black", 1]).is_err());
         assert!(t.push(row!["Ford", 1994, "black", 50]).is_ok());
@@ -382,7 +408,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(t.domain("model").unwrap(), vec![Value::str("Chevy"), Value::str("Ford")]);
+        assert_eq!(
+            t.domain("model").unwrap(),
+            vec![Value::str("Chevy"), Value::str("Ford")]
+        );
     }
 
     #[test]

@@ -320,18 +320,23 @@ mod tests {
         assert_eq!(Value::All.sql_eq(&Value::Int(3)), None);
         assert_eq!(Value::Int(3).sql_eq(&Value::Int(3)), Some(true));
         assert_eq!(Value::Int(3).sql_eq(&Value::Float(3.0)), Some(true));
-        assert_eq!(Value::str("a").sql_cmp(&Value::str("b")), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("a").sql_cmp(&Value::str("b")),
+            Some(Ordering::Less)
+        );
         // Cross-type comparisons are unknown (caught at plan time upstream).
         assert_eq!(Value::Int(1).sql_eq(&Value::str("1")), None);
     }
 
     #[test]
     fn all_sorts_last_null_first() {
-        let mut vs = [Value::All,
+        let mut vs = [
+            Value::All,
             Value::str("white"),
             Value::Null,
             Value::Int(2),
-            Value::str("black")];
+            Value::str("black"),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(*vs.last().unwrap(), Value::All);

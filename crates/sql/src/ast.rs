@@ -12,7 +12,10 @@ pub enum Statement {
     Explain(SelectStmt),
     /// `SET <option> = <integer>`: session execution options (resource
     /// budgets, thread count). `0` resets an option to its default.
-    Set { name: String, value: i64 },
+    Set {
+        name: String,
+        value: i64,
+    },
 }
 
 /// One `SELECT` block, possibly chained with `UNION [ALL]`.
@@ -35,7 +38,11 @@ pub enum TableRef {
     Named(String),
     /// `a JOIN b USING (c1, c2, ...)` — inner equi-join, the form §3.5's
     /// decoration example uses.
-    JoinUsing { left: Box<TableRef>, right: Box<TableRef>, using: Vec<String> },
+    JoinUsing {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        using: Vec<String>,
+    },
 }
 
 /// One select-list item: an expression with an optional alias.
@@ -80,7 +87,11 @@ impl GroupByClause {
             }
             out
         } else {
-            self.plain.iter().chain(self.rollup.iter()).chain(self.cube.iter()).collect()
+            self.plain
+                .iter()
+                .chain(self.rollup.iter())
+                .chain(self.cube.iter())
+                .collect()
         }
     }
 }
@@ -149,21 +160,44 @@ impl BinOp {
 pub enum Expr {
     /// Column reference; the optional qualifier (`sales.model`) is kept
     /// for display but resolution is by bare name after joins.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     Literal(Value),
     /// `*` — only legal as the argument of COUNT.
     Star,
     /// Function call: aggregate or scalar, resolved at plan time.
     /// `distinct` is only legal on aggregates (`COUNT(DISTINCT x)`).
-    Func { name: String, distinct: bool, args: Vec<Expr> },
+    Func {
+        name: String,
+        distinct: bool,
+        args: Vec<Expr>,
+    },
     /// The §3.4 `GROUPING(column)` discriminator.
     Grouping(Box<Expr>),
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     Not(Box<Expr>),
     Neg(Box<Expr>),
-    IsNull { expr: Box<Expr>, negated: bool },
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
     /// Uncorrelated scalar subquery, e.g. §4's
     /// `SUM(Sales) / (SELECT SUM(Sales) FROM Sales WHERE ...)`.
     ScalarSubquery(Box<SelectStmt>),
@@ -171,21 +205,34 @@ pub enum Expr {
 
 impl Expr {
     pub fn col(name: &str) -> Expr {
-        Expr::Column { qualifier: None, name: name.to_string() }
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
     }
 
     /// Canonical text used for output naming and matching select items to
     /// grouping expressions.
     pub fn canonical(&self) -> String {
         match self {
-            Expr::Column { qualifier: Some(q), name } => format!("{q}.{name}"),
-            Expr::Column { qualifier: None, name } => name.clone(),
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => format!("{q}.{name}"),
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => name.clone(),
             Expr::Literal(v) => match v {
                 Value::Str(s) => format!("'{s}'"),
                 other => other.to_string(),
             },
             Expr::Star => "*".into(),
-            Expr::Func { name, distinct, args } => {
+            Expr::Func {
+                name,
+                distinct,
+                args,
+            } => {
                 let args: Vec<String> = args.iter().map(Expr::canonical).collect();
                 if *distinct {
                     format!("{}(DISTINCT {})", name.to_uppercase(), args.join(", "))
@@ -200,16 +247,29 @@ impl Expr {
             Expr::Not(e) => format!("(NOT {})", e.canonical()),
             Expr::Neg(e) => format!("(-{})", e.canonical()),
             Expr::IsNull { expr, negated } => {
-                format!("({} IS {}NULL)", expr.canonical(), if *negated { "NOT " } else { "" })
+                format!(
+                    "({} IS {}NULL)",
+                    expr.canonical(),
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::Between { expr, low, high, negated } => format!(
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => format!(
                 "({} {}BETWEEN {} AND {})",
                 expr.canonical(),
                 if *negated { "NOT " } else { "" },
                 low.canonical(),
                 high.canonical()
             ),
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let items: Vec<String> = list.iter().map(Expr::canonical).collect();
                 format!(
                     "({} {}IN ({}))",
@@ -227,8 +287,7 @@ impl Expr {
     pub fn contains_aggregate(&self, is_aggregate: &dyn Fn(&str) -> bool) -> bool {
         match self {
             Expr::Func { name, args, .. } => {
-                is_aggregate(name)
-                    || args.iter().any(|a| a.contains_aggregate(is_aggregate))
+                is_aggregate(name) || args.iter().any(|a| a.contains_aggregate(is_aggregate))
             }
             Expr::Grouping(_) => true,
             Expr::Binary { lhs, rhs, .. } => {
@@ -236,7 +295,9 @@ impl Expr {
             }
             Expr::Not(e) | Expr::Neg(e) => e.contains_aggregate(is_aggregate),
             Expr::IsNull { expr, .. } => expr.contains_aggregate(is_aggregate),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.contains_aggregate(is_aggregate)
                     || low.contains_aggregate(is_aggregate)
                     || high.contains_aggregate(is_aggregate)
@@ -299,17 +360,15 @@ mod tests {
 
     #[test]
     fn grouping_sets_dedup_in_order() {
-        let g = |n: &str| GroupExpr { expr: Expr::col(n), alias: None };
+        let g = |n: &str| GroupExpr {
+            expr: Expr::col(n),
+            alias: None,
+        };
         let clause = GroupByClause {
-            grouping_sets: Some(vec![
-                vec![g("a"), g("b")],
-                vec![g("b"), g("c")],
-                vec![],
-            ]),
+            grouping_sets: Some(vec![vec![g("a"), g("b")], vec![g("b"), g("c")], vec![]]),
             ..Default::default()
         };
-        let names: Vec<String> =
-            clause.all_exprs().iter().map(|e| e.output_name()).collect();
+        let names: Vec<String> = clause.all_exprs().iter().map(|e| e.output_name()).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
 }

@@ -12,9 +12,7 @@ use crate::error::{SqlError, SqlResult};
 use crate::eval::{eval, infer_type, EvalContext};
 use crate::parser::parse;
 use crate::scalar::{self, ScalarFn, ScalarRegistry};
-use datacube::{
-    AggSpec, Algorithm, CancelToken, CompoundSpec, CubeQuery, Dimension, ExecLimits,
-};
+use datacube::{AggSpec, Algorithm, CancelToken, CompoundSpec, CubeQuery, Dimension, ExecLimits};
 use dc_aggregate::{AggRef, Registry};
 use dc_relation::{ColumnDef, DataType, Row, Schema, Table, Value};
 use std::collections::HashMap;
@@ -53,14 +51,29 @@ pub struct Engine {
 }
 
 /// Session-level execution governance, applied to every aggregation
-/// query. `0` means "no limit" / "default" throughout.
-#[derive(Debug, Clone, Default)]
+/// query. `0` means "no limit" / "default" throughout (`vectorized`
+/// defaults to on; `SET VECTORIZED = 0` turns it off).
+#[derive(Debug, Clone)]
 struct EngineOptions {
     max_cells: u64,
     max_memory_bytes: u64,
     timeout_ms: u64,
     threads: u64,
+    vectorized: bool,
     cancel: Option<CancelToken>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            max_cells: 0,
+            max_memory_bytes: 0,
+            timeout_ms: 0,
+            threads: 0,
+            vectorized: true,
+            cancel: None,
+        }
+    }
 }
 
 impl EngineOptions {
@@ -120,10 +133,7 @@ impl Engine {
     /// or the parameterized MAXN/MINN/PERCENTILE family)?
     fn is_aggregate_name(&self, name: &str) -> bool {
         self.aggs.get(name).is_ok()
-            || matches!(
-                name.to_uppercase().as_str(),
-                "MAXN" | "MINN" | "PERCENTILE"
-            )
+            || matches!(name.to_uppercase().as_str(), "MAXN" | "MINN" | "PERCENTILE")
     }
 
     /// A registered table, by name.
@@ -144,8 +154,10 @@ impl Engine {
 
     /// Set one session execution option. Recognized names
     /// (case-insensitive): `MAX_CELLS`, `MAX_MEMORY_BYTES`, `TIMEOUT_MS`,
-    /// `THREADS`. `0` resets the option to unlimited/default. Also the
-    /// programmatic form of the `SET` statement.
+    /// `THREADS`, `VECTORIZED`. `0` resets the option to
+    /// unlimited/default — except `VECTORIZED`, where `0` disables the
+    /// columnar kernel engine and any non-zero value re-enables it
+    /// (default on). Also the programmatic form of the `SET` statement.
     pub fn set_option(&self, name: &str, value: i64) -> SqlResult<()> {
         if value < 0 {
             return Err(SqlError::Plan(format!(
@@ -159,10 +171,11 @@ impl Engine {
             "MAX_MEMORY_BYTES" => opts.max_memory_bytes = value,
             "TIMEOUT_MS" => opts.timeout_ms = value,
             "THREADS" => opts.threads = value,
+            "VECTORIZED" => opts.vectorized = value != 0,
             other => {
                 return Err(SqlError::Plan(format!(
                     "unknown option: {other} (expected MAX_CELLS, MAX_MEMORY_BYTES, \
-                     TIMEOUT_MS, or THREADS)"
+                     TIMEOUT_MS, THREADS, or VECTORIZED)"
                 )))
             }
         }
@@ -235,7 +248,12 @@ impl Engine {
             }
             let mut any_holistic = false;
             for call in &calls {
-                if let Expr::Func { name, distinct, args } = call {
+                if let Expr::Func {
+                    name,
+                    distinct,
+                    args,
+                } = call
+                {
                     let kind = if *distinct {
                         self.aggs.get("COUNT DISTINCT")?.kind()
                     } else if matches!(args.first(), Some(Expr::Star)) {
@@ -286,7 +304,11 @@ impl Engine {
         let mut cursor = &stmt.union;
         while let Some((all, rhs)) = cursor {
             let r = self.exec_single(rhs)?;
-            result = if *all { result.union_all(&r)? } else { result.union(&r)? };
+            result = if *all {
+                result.union_all(&r)?
+            } else {
+                result.union(&r)?
+            };
             cursor = &rhs.union;
         }
         self.apply_order_limit(result, stmt)
@@ -311,8 +333,11 @@ impl Engine {
             .as_ref()
             .map(|e| self.resolve_subqueries(e))
             .transpose()?;
-        let having =
-            stmt.having.as_ref().map(|e| self.resolve_subqueries(e)).transpose()?;
+        let having = stmt
+            .having
+            .as_ref()
+            .map(|e| self.resolve_subqueries(e))
+            .transpose()?;
 
         // WHERE.
         let filtered = match &where_clause {
@@ -338,13 +363,17 @@ impl Engine {
 
         let is_agg = |n: &str| self.is_aggregate_name(n);
         let has_aggregates = items.iter().any(|it| it.expr.contains_aggregate(&is_agg))
-            || having.as_ref().is_some_and(|h| h.contains_aggregate(&is_agg));
+            || having
+                .as_ref()
+                .is_some_and(|h| h.contains_aggregate(&is_agg));
 
         if stmt.group_by.is_some() || has_aggregates {
             self.exec_aggregate(stmt, &items, having.as_ref(), filtered)
         } else {
             if having.is_some() {
-                return Err(SqlError::Plan("HAVING requires GROUP BY or aggregates".into()));
+                return Err(SqlError::Plan(
+                    "HAVING requires GROUP BY or aggregates".into(),
+                ));
             }
             self.exec_projection(&items, filtered)
         }
@@ -390,8 +419,10 @@ impl Engine {
             .collect();
         let schema = Schema::new(cols)?;
 
-        let mut columns: Vec<Vec<Value>> =
-            exprs.iter().map(|_| Vec::with_capacity(input.len())).collect();
+        let mut columns: Vec<Vec<Value>> = exprs
+            .iter()
+            .map(|_| Vec::with_capacity(input.len()))
+            .collect();
         for row in input.rows() {
             for (e, col) in exprs.iter().zip(columns.iter_mut()) {
                 col.push(eval(e, row, &ctx)?);
@@ -453,7 +484,9 @@ impl Engine {
         let mut working = input.clone();
         let mut arg_columns: HashMap<String, String> = HashMap::new(); // canonical → col
         for (k, call) in agg_calls.iter().enumerate() {
-            let Expr::Func { args, .. } = call else { unreachable!() };
+            let Expr::Func { args, .. } = call else {
+                unreachable!()
+            };
             let arg = args.first();
             match arg {
                 None => {
@@ -467,12 +500,7 @@ impl Engine {
                     let canon = expr.canonical();
                     if let std::collections::hash_map::Entry::Vacant(e) = arg_columns.entry(canon) {
                         let col_name = format!("__arg{k}");
-                        let ty = infer_type(
-                            expr,
-                            input.schema(),
-                            &self.scalars,
-                            &HashMap::new(),
-                        )?;
+                        let ty = infer_type(expr, input.schema(), &self.scalars, &HashMap::new())?;
                         let ctx = EvalContext::base(input.schema(), &self.scalars);
                         let mut schema = working.schema().clone();
                         schema.push(ColumnDef::new(&col_name, ty))?;
@@ -492,7 +520,14 @@ impl Engine {
 
         let mut agg_specs: Vec<AggSpec> = Vec::new();
         for (k, call) in agg_calls.iter().enumerate() {
-            let Expr::Func { name, distinct, args } = call else { unreachable!() };
+            let Expr::Func {
+                name,
+                distinct,
+                args,
+            } = call
+            else {
+                unreachable!()
+            };
             let out_name = format!("__agg{k}");
             let spec = match (args.first(), *distinct) {
                 (Some(Expr::Star), false) if name.eq_ignore_ascii_case("count") => {
@@ -552,9 +587,10 @@ impl Engine {
         // ---- run the cube operator ---------------------------------------
         let make_dim = |g: &GroupExpr, name: &str, ty: DataType| -> Dimension {
             match &g.expr {
-                Expr::Column { name: col, qualifier: None } if col == name => {
-                    Dimension::column(col)
-                }
+                Expr::Column {
+                    name: col,
+                    qualifier: None,
+                } if col == name => Dimension::column(col),
                 expr => {
                     let expr = expr.clone();
                     let schema = working.schema().clone();
@@ -569,16 +605,19 @@ impl Engine {
 
         // Session governance: resource budgets and the thread count from
         // `SET ...` / the programmatic setters apply to every cube run.
-        let (limits, threads) = {
+        let (limits, threads, vectorized) = {
             let opts = self.options.lock().expect("options mutex");
-            (opts.limits(), opts.threads)
+            (opts.limits(), opts.threads, opts.vectorized)
         };
         let mut query = agg_specs
             .iter()
             .fold(CubeQuery::new(), |q, spec| q.aggregate(spec.clone()))
-            .limits(limits);
+            .limits(limits)
+            .vectorized(vectorized);
         if threads > 0 {
-            query = query.algorithm(Algorithm::Parallel { threads: threads as usize });
+            query = query.algorithm(Algorithm::Parallel {
+                threads: threads as usize,
+            });
         }
 
         let mut cube = if let Some(sets) = &clause.grouping_sets {
@@ -593,9 +632,13 @@ impl Engine {
                     .position(|n| *n == g.output_name())
                     .expect("dim registered")
             };
-            let set_indices: Vec<Vec<usize>> =
-                sets.iter().map(|s| s.iter().map(index_of).collect()).collect();
-            query.dimensions(dims).grouping_sets(&working, &set_indices)?
+            let set_indices: Vec<Vec<usize>> = sets
+                .iter()
+                .map(|s| s.iter().map(index_of).collect())
+                .collect();
+            query
+                .dimensions(dims)
+                .grouping_sets(&working, &set_indices)?
         } else {
             let mut name_iter = dim_names.iter().zip(dim_types.iter());
             let mut block = |exprs: &[GroupExpr]| -> Vec<Dimension> {
@@ -639,10 +682,7 @@ impl Engine {
         for (k, call) in agg_calls.iter().enumerate() {
             let idx = n_dims + k;
             subs.insert(call.canonical(), idx);
-            sub_types.insert(
-                call.canonical(),
-                cube.schema().column_at(idx).dtype,
-            );
+            sub_types.insert(call.canonical(), cube.schema().column_at(idx).dtype);
         }
         let cube_schema = cube.schema().clone();
         let result_ctx = EvalContext {
@@ -669,18 +709,27 @@ impl Engine {
         enum ItemPlan {
             Eval(Expr, DataType),
             /// §3.5 decoration: determinant dim indices + value lookup.
-            Decoration { dims: Vec<usize>, map: HashMap<Row, Value>, ty: DataType },
+            Decoration {
+                dims: Vec<usize>,
+                map: HashMap<Row, Value>,
+                ty: DataType,
+            },
             /// Red Brick ordered aggregate over the result column of `arg`
             /// (§1.2), applied in the relation's canonical order — which
             /// for ROLLUP is exactly the sequential order the paper says
             /// cumulative operators need.
-            Ordered { arg: Expr, kind: OrderedKind },
+            Ordered {
+                arg: Expr,
+                kind: OrderedKind,
+            },
         }
 
         let mut plans: Vec<(String, ItemPlan)> = Vec::new();
         for it in items {
             if it.expr == Expr::Star {
-                return Err(SqlError::Plan("SELECT * cannot be combined with GROUP BY".into()));
+                return Err(SqlError::Plan(
+                    "SELECT * cannot be combined with GROUP BY".into(),
+                ));
             }
             let name = it.output_name();
             if let Some((kind, arg)) = ordered_aggregate(&it.expr)? {
@@ -691,12 +740,7 @@ impl Engine {
             }
             // Resolvable in the result context (dimension, aggregate, or an
             // expression over them)?
-            let resolvable = infer_type(
-                &it.expr,
-                cube.schema(),
-                &self.scalars,
-                &sub_types,
-            );
+            let resolvable = infer_type(&it.expr, cube.schema(), &self.scalars, &sub_types);
             match resolvable {
                 Ok(ty) => plans.push((name, ItemPlan::Eval(it.expr.clone(), ty))),
                 Err(_) => {
@@ -709,16 +753,15 @@ impl Engine {
                             it.expr.canonical()
                         )));
                     };
-                    let plan = self.plan_decoration(
-                        col,
-                        &group_exprs,
-                        &dim_names,
-                        &working,
-                    )?;
+                    let plan = self.plan_decoration(col, &group_exprs, &dim_names, &working)?;
                     let ty = working.schema().column(col)?.dtype;
                     plans.push((
                         name,
-                        ItemPlan::Decoration { dims: plan.0, map: plan.1, ty },
+                        ItemPlan::Decoration {
+                            dims: plan.0,
+                            map: plan.1,
+                            ty,
+                        },
                     ));
                 }
             }
@@ -736,15 +779,21 @@ impl Engine {
                         ItemPlan::Ordered { kind, .. } => kind.output_type(),
                     };
                     // Output grouping columns keep ALL-permission.
-                    ColumnDef { name: n.as_str().into(), dtype: ty, all_allowed: true }
+                    ColumnDef {
+                        name: n.as_str().into(),
+                        dtype: ty,
+                        all_allowed: true,
+                    }
                 })
                 .collect(),
         )?;
 
         // Pass 1: per-row values (ordered aggregates collect their input
         // column here).
-        let mut columns: Vec<Vec<Value>> =
-            plans.iter().map(|_| Vec::with_capacity(cube.len())).collect();
+        let mut columns: Vec<Vec<Value>> = plans
+            .iter()
+            .map(|_| Vec::with_capacity(cube.len()))
+            .collect();
         for row in cube.rows() {
             for ((_, p), col) in plans.iter().zip(columns.iter_mut()) {
                 col.push(match p {
@@ -804,8 +853,7 @@ impl Engine {
             dim_vals.push(col_vals);
         }
         // Candidate determinant sets: each single dim, then all dims.
-        let mut candidates: Vec<Vec<usize>> =
-            (0..group_exprs.len()).map(|i| vec![i]).collect();
+        let mut candidates: Vec<Vec<usize>> = (0..group_exprs.len()).map(|i| vec![i]).collect();
         candidates.push((0..group_exprs.len()).collect());
         'cand: for dims in candidates {
             if dims.is_empty() {
@@ -862,11 +910,7 @@ impl Engine {
                 let v = match result.len() {
                     0 => Value::Null,
                     1 => result.rows()[0][0].clone(),
-                    n => {
-                        return Err(SqlError::Plan(format!(
-                            "scalar subquery returned {n} rows"
-                        )))
-                    }
+                    n => return Err(SqlError::Plan(format!("scalar subquery returned {n} rows"))),
                 };
                 Expr::Literal(v)
             }
@@ -881,13 +925,22 @@ impl Engine {
                 expr: Box::new(self.resolve_subqueries(expr)?),
                 negated: *negated,
             },
-            Expr::Between { expr, low, high, negated } => Expr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
                 expr: Box::new(self.resolve_subqueries(expr)?),
                 low: Box::new(self.resolve_subqueries(low)?),
                 high: Box::new(self.resolve_subqueries(high)?),
                 negated: *negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(self.resolve_subqueries(expr)?),
                 list: list
                     .iter()
@@ -895,7 +948,11 @@ impl Engine {
                     .collect::<SqlResult<_>>()?,
                 negated: *negated,
             },
-            Expr::Func { name, distinct, args } => Expr::Func {
+            Expr::Func {
+                name,
+                distinct,
+                args,
+            } => Expr::Func {
                 name: name.clone(),
                 distinct: *distinct,
                 args: args
@@ -926,9 +983,7 @@ impl Engine {
                     other => {
                         let name = other.canonical();
                         table.schema().index_of(&name).map_err(|_| {
-                            SqlError::Plan(format!(
-                                "ORDER BY key '{name}' is not an output column"
-                            ))
+                            SqlError::Plan(format!("ORDER BY key '{name}' is not an output column"))
                         })?
                     }
                 };
@@ -1038,7 +1093,12 @@ impl OrderedKind {
 /// Recognize an ordered-aggregate call; returns its kind and argument
 /// expression.
 fn ordered_aggregate(expr: &Expr) -> SqlResult<Option<(OrderedKind, Expr)>> {
-    let Expr::Func { name, distinct, args } = expr else {
+    let Expr::Func {
+        name,
+        distinct,
+        args,
+    } = expr
+    else {
         return Ok(None);
     };
     let upper = name.to_uppercase();
@@ -1097,8 +1157,9 @@ fn join_using(left: &Table, right: &Table, using: &[String]) -> SqlResult<Table>
     let using_refs: Vec<&str> = using.iter().map(String::as_str).collect();
     let l_keys = left.schema().indices_of(&using_refs)?;
     let r_keys = right.schema().indices_of(&using_refs)?;
-    let r_keep: Vec<usize> =
-        (0..right.schema().len()).filter(|i| !r_keys.contains(i)).collect();
+    let r_keep: Vec<usize> = (0..right.schema().len())
+        .filter(|i| !r_keys.contains(i))
+        .collect();
 
     let mut cols = left.schema().columns().to_vec();
     for &i in &r_keep {
@@ -1157,9 +1218,10 @@ fn collect_aggregates(expr: &Expr, is_agg: &dyn Fn(&str) -> bool, out: &mut Vec<
     match expr {
         Expr::Func { name, distinct, .. }
             if (is_agg(name) || (*distinct && name.eq_ignore_ascii_case("count")))
-            && !out.iter().any(|e| e.canonical() == expr.canonical()) => {
-                out.push(expr.clone());
-            }
+                && !out.iter().any(|e| e.canonical() == expr.canonical()) =>
+        {
+            out.push(expr.clone());
+        }
         Expr::Func { args, .. } => {
             for a in args {
                 collect_aggregates(a, is_agg, out);
@@ -1171,7 +1233,9 @@ fn collect_aggregates(expr: &Expr, is_agg: &dyn Fn(&str) -> bool, out: &mut Vec<
         }
         Expr::Not(e) | Expr::Neg(e) => collect_aggregates(e, is_agg, out),
         Expr::IsNull { expr, .. } => collect_aggregates(expr, is_agg, out),
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_aggregates(expr, is_agg, out);
             collect_aggregates(low, is_agg, out);
             collect_aggregates(high, is_agg, out);
@@ -1201,7 +1265,11 @@ mod tests {
     fn join_using_drops_right_keys_and_nulls() {
         let left = Table::new(
             Schema::from_pairs(&[("k", DataType::Int), ("l", DataType::Str)]),
-            vec![row![1, "x"], row![2, "y"], Row::new(vec![Value::Null, Value::str("z")])],
+            vec![
+                row![1, "x"],
+                row![2, "y"],
+                Row::new(vec![Value::Null, Value::str("z")]),
+            ],
         )
         .unwrap();
         let right = Table::new(

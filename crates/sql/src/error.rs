@@ -1,8 +1,8 @@
 //! Errors for the SQL layer.
 
+use datacube::CubeError;
 use dc_aggregate::AggError;
 use dc_relation::RelError;
-use datacube::CubeError;
 use std::fmt;
 
 /// Errors raised while lexing, parsing, planning, or executing SQL.

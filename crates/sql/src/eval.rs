@@ -35,7 +35,11 @@ pub struct EvalContext<'a> {
 
 impl<'a> EvalContext<'a> {
     pub fn base(schema: &'a Schema, scalars: &'a ScalarRegistry) -> Self {
-        EvalContext { schema, scalars, substitutions: HashMap::new() }
+        EvalContext {
+            schema,
+            scalars,
+            substitutions: HashMap::new(),
+        }
     }
 
     fn resolve_column(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
@@ -79,8 +83,10 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext) -> SqlResult<Value> {
                     args.len()
                 )));
             }
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval(a, row, ctx)).collect::<SqlResult<_>>()?;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, row, ctx))
+                .collect::<SqlResult<_>>()?;
             Ok(f.call(&vals))
         }
         Expr::Grouping(inner) => {
@@ -108,7 +114,12 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext) -> SqlResult<Value> {
             let is_null = v.is_null();
             Ok(Value::Bool(is_null != *negated))
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(expr, row, ctx)?;
             let lo = eval(low, row, ctx)?;
             let hi = eval(high, row, ctx)?;
@@ -119,7 +130,11 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext) -> SqlResult<Value> {
                 _ => Value::Null,
             })
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row, ctx)?;
             let mut saw_unknown = false;
             for item in list {
@@ -130,7 +145,11 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext) -> SqlResult<Value> {
                     None => saw_unknown = true,
                 }
             }
-            Ok(if saw_unknown { Value::Null } else { Value::Bool(*negated) })
+            Ok(if saw_unknown {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            })
         }
         Expr::ScalarSubquery(_) => Err(SqlError::Plan(
             "internal: scalar subquery not resolved before evaluation".into(),
@@ -227,12 +246,21 @@ pub fn infer_type(
             .get(name)
             .map(|f| f.ret)
             .ok_or_else(|| SqlError::Plan(format!("unknown function: {name}"))),
-        Expr::Grouping(_) | Expr::Not(_) | Expr::IsNull { .. } | Expr::Between { .. }
+        Expr::Grouping(_)
+        | Expr::Not(_)
+        | Expr::IsNull { .. }
+        | Expr::Between { .. }
         | Expr::InList { .. } => Ok(DataType::Bool),
         Expr::Neg(e) => infer_type(e, schema, scalars, substitution_types),
         Expr::Binary { op, lhs, rhs } => match op {
-            BinOp::And | BinOp::Or | BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Lte
-            | BinOp::Gt | BinOp::Gte => Ok(DataType::Bool),
+            BinOp::And
+            | BinOp::Or
+            | BinOp::Eq
+            | BinOp::Neq
+            | BinOp::Lt
+            | BinOp::Lte
+            | BinOp::Gt
+            | BinOp::Gte => Ok(DataType::Bool),
             BinOp::Div => Ok(DataType::Float),
             _ => {
                 let l = infer_type(lhs, schema, scalars, substitution_types)?;

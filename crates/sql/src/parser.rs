@@ -61,7 +61,10 @@ impl Parser {
             .peek()
             .map(ToString::to_string)
             .unwrap_or_else(|| "<end of input>".into());
-        SqlError::Parse { near, message: message.into() }
+        SqlError::Parse {
+            near,
+            message: message.into(),
+        }
     }
 
     fn eat_keyword(&mut self, k: Keyword) -> bool {
@@ -167,7 +170,11 @@ impl Parser {
                 _ => return Err(self.error("expected a non-negative LIMIT count")),
             }
         }
-        Ok(if explain { Statement::Explain(stmt) } else { Statement::Select(stmt) })
+        Ok(if explain {
+            Statement::Explain(stmt)
+        } else {
+            Statement::Select(stmt)
+        })
     }
 
     fn parse_select_core(&mut self) -> SqlResult<SelectStmt> {
@@ -267,7 +274,10 @@ impl Parser {
                 }
             }
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(GroupByClause { grouping_sets: Some(sets), ..Default::default() });
+            return Ok(GroupByClause {
+                grouping_sets: Some(sets),
+                ..Default::default()
+            });
         }
 
         // The §3.2 compound form.
@@ -318,7 +328,11 @@ impl Parser {
         let mut lhs = self.parse_and()?;
         while self.eat_keyword(Keyword::Or) {
             let rhs = self.parse_and()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -327,7 +341,11 @@ impl Parser {
         let mut lhs = self.parse_not()?;
         while self.eat_keyword(Keyword::And) {
             let rhs = self.parse_not()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -346,7 +364,10 @@ impl Parser {
         if self.eat_keyword(Keyword::Is) {
             let negated = self.eat_keyword(Keyword::Not);
             self.expect_keyword(Keyword::Null)?;
-            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
         }
         // [NOT] BETWEEN / IN
         let negated = if self.peek() == Some(&Token::Keyword(Keyword::Not))
@@ -377,7 +398,11 @@ impl Parser {
                 list.push(self.parse_addsub()?);
             }
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(lhs), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
         }
         if negated {
             return Err(self.error("expected BETWEEN or IN after NOT"));
@@ -395,7 +420,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let rhs = self.parse_addsub()?;
-            return Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            return Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
         }
         Ok(lhs)
     }
@@ -410,7 +439,11 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.parse_muldiv()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -426,7 +459,11 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.parse_unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -501,14 +538,24 @@ impl Parser {
                         }
                     }
                     self.expect_symbol(Symbol::RParen)?;
-                    return Ok(Expr::Func { name, distinct, args });
+                    return Ok(Expr::Func {
+                        name,
+                        distinct,
+                        args,
+                    });
                 }
                 // Qualified column?
                 if self.eat_symbol(Symbol::Dot) {
                     let col = self.expect_ident()?;
-                    return Ok(Expr::Column { qualifier: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
                 }
-                Ok(Expr::Column { qualifier: None, name })
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
             }
             _ => Err(self.error("expected an expression")),
         }
@@ -567,9 +614,7 @@ mod tests {
 
     #[test]
     fn parses_grouping_sets() {
-        let s = select(
-            "SELECT a, b, SUM(x) FROM t GROUP BY GROUPING SETS ((a, b), (a), ())",
-        );
+        let s = select("SELECT a, b, SUM(x) FROM t GROUP BY GROUPING SETS ((a, b), (a), ())");
         let g = s.group_by.unwrap();
         let sets = g.grouping_sets.unwrap();
         assert_eq!(sets.len(), 3);
@@ -610,7 +655,11 @@ mod tests {
             "SELECT Model, SUM(Sales) / (SELECT SUM(Sales) FROM Sales) FROM Sales GROUP BY Model",
         );
         match &s.items[1].expr {
-            Expr::Binary { op: BinOp::Div, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Div,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::ScalarSubquery(_)));
             }
             other => panic!("unexpected {other:?}"),
@@ -624,7 +673,10 @@ mod tests {
              FROM Sales GROUP BY CUBE Model",
         );
         assert!(matches!(&s.items[1].expr, Expr::Func { args, .. } if args == &[Expr::Star]));
-        assert!(matches!(&s.items[2].expr, Expr::Func { distinct: true, .. }));
+        assert!(matches!(
+            &s.items[2].expr,
+            Expr::Func { distinct: true, .. }
+        ));
         assert!(matches!(&s.items[3].expr, Expr::Grouping(_)));
     }
 
@@ -636,7 +688,10 @@ mod tests {
         );
         assert!(matches!(s.from, TableRef::JoinUsing { .. }));
         match &s.items[0].expr {
-            Expr::Column { qualifier: Some(q), name } => {
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => {
                 assert_eq!(q, "department");
                 assert_eq!(name, "name");
             }
@@ -660,14 +715,20 @@ mod tests {
         let s = select("SELECT a + b * c FROM t");
         // a + (b * c)
         match &s.items[0].expr {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
         }
         let s = select("SELECT a OR b AND c FROM t");
         match &s.items[0].expr {
-            Expr::Binary { op: BinOp::Or, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Or, rhs, ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {other:?}"),

@@ -33,7 +33,12 @@ impl ScalarFn {
         ret: DataType,
         f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
     ) -> Self {
-        ScalarFn { name: Arc::from(name.as_ref().to_uppercase().as_str()), ret, arity, f: Arc::new(f) }
+        ScalarFn {
+            name: Arc::from(name.as_ref().to_uppercase().as_str()),
+            ret,
+            arity,
+            f: Arc::new(f),
+        }
     }
 
     /// Apply with token propagation: any NULL/ALL argument short-circuits
@@ -60,7 +65,9 @@ impl ScalarRegistry {
     pub fn register(&mut self, f: ScalarFn) -> SqlResult<()> {
         let key = f.name.to_uppercase();
         if self.map.contains_key(&key) {
-            return Err(SqlError::Plan(format!("scalar function already registered: {key}")));
+            return Err(SqlError::Plan(format!(
+                "scalar function already registered: {key}"
+            )));
         }
         self.map.insert(key, f);
         Ok(())
@@ -93,17 +100,21 @@ pub fn builtins() -> ScalarRegistry {
             Some(d) => Value::Int(i64::from(d.year())),
             None => Value::Null,
         }),
-        ScalarFn::new("QUARTER", 1, DataType::Int, |args| match args[0].as_date() {
-            Some(d) => Value::Int(i64::from(d.quarter())),
-            None => Value::Null,
+        ScalarFn::new("QUARTER", 1, DataType::Int, |args| {
+            match args[0].as_date() {
+                Some(d) => Value::Int(i64::from(d.quarter())),
+                None => Value::Null,
+            }
         }),
         ScalarFn::new("WEEK", 1, DataType::Int, |args| match args[0].as_date() {
             Some(d) => Value::Int(i64::from(d.week())),
             None => Value::Null,
         }),
-        ScalarFn::new("WEEKDAY", 1, DataType::Int, |args| match args[0].as_date() {
-            Some(d) => Value::Int(i64::from(d.weekday())),
-            None => Value::Null,
+        ScalarFn::new("WEEKDAY", 1, DataType::Int, |args| {
+            match args[0].as_date() {
+                Some(d) => Value::Int(i64::from(d.weekday())),
+                None => Value::Null,
+            }
         }),
         ScalarFn::new("ABS", 1, DataType::Float, |args| match &args[0] {
             Value::Int(i) => Value::Int(i.abs()),
@@ -121,7 +132,9 @@ pub fn builtins() -> ScalarRegistry {
         // STR(x): render any value as a string — the explicit form of the
         // implicit cast SQL applies in the paper's §2 union query, where
         // integer Year columns union with 'ALL' string literals.
-        ScalarFn::new("STR", 1, DataType::Str, |args| Value::str(args[0].to_string())),
+        ScalarFn::new("STR", 1, DataType::Str, |args| {
+            Value::str(args[0].to_string())
+        }),
         // FLOOR_DIV(x, n): integer bucketing for numeric histograms.
         ScalarFn::new("FLOOR_DIV", 2, DataType::Int, |args| {
             match (args[0].as_f64(), args[1].as_f64()) {
@@ -149,8 +162,14 @@ mod tests {
             r.get("day").unwrap().call(std::slice::from_ref(&ts)),
             Value::Date(Date::ymd(1995, 6, 1))
         );
-        assert_eq!(r.get("MONTH").unwrap().call(std::slice::from_ref(&ts)), Value::Int(6));
-        assert_eq!(r.get("Year").unwrap().call(std::slice::from_ref(&ts)), Value::Int(1995));
+        assert_eq!(
+            r.get("MONTH").unwrap().call(std::slice::from_ref(&ts)),
+            Value::Int(6)
+        );
+        assert_eq!(
+            r.get("Year").unwrap().call(std::slice::from_ref(&ts)),
+            Value::Int(1995)
+        );
         assert_eq!(r.get("QUARTER").unwrap().call(&[ts]), Value::Int(2));
     }
 
@@ -160,7 +179,9 @@ mod tests {
         assert_eq!(r.get("YEAR").unwrap().call(&[Value::Null]), Value::Null);
         assert_eq!(r.get("YEAR").unwrap().call(&[Value::All]), Value::Null);
         assert_eq!(
-            r.get("FLOOR_DIV").unwrap().call(&[Value::Int(7), Value::Null]),
+            r.get("FLOOR_DIV")
+                .unwrap()
+                .call(&[Value::Int(7), Value::Null]),
             Value::Null
         );
     }

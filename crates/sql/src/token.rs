@@ -200,7 +200,9 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                 let mut is_float = false;
                 if i < bytes.len()
                     && bytes[i] == b'.'
-                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
                 {
                     is_float = true;
                     i += 1;
@@ -223,8 +225,7 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
@@ -274,10 +275,8 @@ mod tests {
 
     #[test]
     fn lexes_the_cube_query() {
-        let toks = tokenize(
-            "SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model, Year;",
-        )
-        .unwrap();
+        let toks =
+            tokenize("SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model, Year;").unwrap();
         assert!(toks.contains(&Token::Keyword(Keyword::Cube)));
         assert!(toks.contains(&Token::Ident("Model".into())));
         assert_eq!(*toks.last().unwrap(), Token::Symbol(Symbol::Semicolon));
@@ -321,7 +320,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(syms, vec![Symbol::Lte, Symbol::Neq, Symbol::Gte, Symbol::Neq]);
+        assert_eq!(
+            syms,
+            vec![Symbol::Lte, Symbol::Neq, Symbol::Gte, Symbol::Neq]
+        );
     }
 
     #[test]
@@ -336,6 +338,9 @@ mod tests {
             Err(SqlError::Lex { pos, .. }) => assert_eq!(pos, 7),
             other => panic!("expected lex error, got {other:?}"),
         }
-        assert!(matches!(tokenize("'unterminated"), Err(SqlError::Lex { .. })));
+        assert!(matches!(
+            tokenize("'unterminated"),
+            Err(SqlError::Lex { .. })
+        ));
     }
 }

@@ -10,7 +10,10 @@ use proptest::prelude::*;
 /// Random well-formed expressions over a small vocabulary.
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        "[a-c]".prop_map(|s| Expr::Column { qualifier: None, name: s }),
+        "[a-c]".prop_map(|s| Expr::Column {
+            qualifier: None,
+            name: s
+        }),
         (0i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
         (1i64..100).prop_map(|i| Expr::Literal(Value::Float(i as f64 + 0.5))),
         "[a-z]{0,5}".prop_map(|s| Expr::Literal(Value::str(s))),
@@ -20,7 +23,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| {
-                Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                }
             }),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
@@ -36,19 +43,25 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     negated: n,
                 }
             ),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4), any::<bool>())
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, n)| Expr::InList {
                     expr: Box::new(e),
                     list,
                     negated: n,
                 }),
-            (prop_oneof![Just("SUM"), Just("AVG"), Just("MYFN")], inner.clone()).prop_map(
-                |(name, arg)| Expr::Func {
+            (
+                prop_oneof![Just("SUM"), Just("AVG"), Just("MYFN")],
+                inner.clone()
+            )
+                .prop_map(|(name, arg)| Expr::Func {
                     name: name.to_string(),
                     distinct: false,
                     args: vec![arg],
-                }
-            ),
+                }),
             inner.prop_map(|e| Expr::Grouping(Box::new(e))),
         ]
     })

@@ -38,10 +38,34 @@ fn weather() -> Table {
     ]);
     let mut t = Table::empty(schema);
     for (time, lat, lon, alt, temp) in [
-        (Date::new_at(1995, 1, 25, 15, 0).unwrap(), 37.97, -122.75, 102, 28),
-        (Date::new_at(1995, 1, 25, 18, 0).unwrap(), 19.43, -99.13, 2240, 41),
-        (Date::new_at(1995, 1, 26, 15, 0).unwrap(), 37.97, -122.75, 102, 37),
-        (Date::new_at(1995, 1, 26, 18, 0).unwrap(), 35.68, 139.69, 40, 48),
+        (
+            Date::new_at(1995, 1, 25, 15, 0).unwrap(),
+            37.97,
+            -122.75,
+            102,
+            28,
+        ),
+        (
+            Date::new_at(1995, 1, 25, 18, 0).unwrap(),
+            19.43,
+            -99.13,
+            2240,
+            41,
+        ),
+        (
+            Date::new_at(1995, 1, 26, 15, 0).unwrap(),
+            37.97,
+            -122.75,
+            102,
+            37,
+        ),
+        (
+            Date::new_at(1995, 1, 26, 18, 0).unwrap(),
+            35.68,
+            139.69,
+            40,
+            48,
+        ),
     ] {
         t.push(Row::new(vec![
             Value::Date(time),
@@ -115,9 +139,7 @@ fn histogram_group_by_computed_day_and_nation() {
     let usa_25 = out
         .rows()
         .iter()
-        .find(|r| {
-            r[0] == Value::Date(Date::ymd(1995, 1, 25)) && r[1] == Value::str("USA")
-        })
+        .find(|r| r[0] == Value::Date(Date::ymd(1995, 1, 25)) && r[1] == Value::str("USA"))
         .unwrap();
     assert_eq!(usa_25[2], Value::Int(28));
 }
@@ -169,7 +191,10 @@ fn rollup_produces_table_5a() {
         find(Value::str("Chevy"), Value::Int(1995), Value::All),
         Some(Value::Int(200))
     );
-    assert_eq!(find(Value::str("Chevy"), Value::All, Value::All), Some(Value::Int(290)));
+    assert_eq!(
+        find(Value::str("Chevy"), Value::All, Value::All),
+        Some(Value::Int(290))
+    );
 }
 
 #[test]
@@ -191,8 +216,8 @@ fn union_of_group_bys_equals_rollup() {
         )
         .unwrap();
     assert_eq!(union.len(), 8); // same 8 logical rows as Table 5.a
-    // Sub-total values agree with the rollup (the 'ALL' strings here are
-    // the paper's *display* convention; the rollup uses the ALL token).
+                                // Sub-total values agree with the rollup (the 'ALL' strings here are
+                                // the paper's *display* convention; the rollup uses the ALL token).
     let total: Vec<&Row> = union
         .rows()
         .iter()
@@ -299,7 +324,7 @@ fn order_by_ordinal() {
 }
 
 #[test]
-fn decoration_functionally_dependent(){
+fn decoration_functionally_dependent() {
     // §3.5: decorate with a column not in the GROUP BY. Build a table
     // where nation → continent.
     let mut e = Engine::new();
@@ -320,9 +345,7 @@ fn decoration_functionally_dependent(){
     .unwrap();
     e.register_table("obs", t).unwrap();
     let out = e
-        .execute(
-            "SELECT nation, continent, MAX(temp) FROM obs GROUP BY CUBE nation",
-        )
+        .execute("SELECT nation, continent, MAX(temp) FROM obs GROUP BY CUBE nation")
         .unwrap();
     let n = col(&out, "nation");
     let c = col(&out, "continent");
@@ -344,13 +367,11 @@ fn decoration_requires_fd() {
         ("b", DataType::Str),
         ("x", DataType::Int),
     ]);
-    let t = Table::new(
-        schema,
-        vec![row!["k", "one", 1], row!["k", "two", 2]],
-    )
-    .unwrap();
+    let t = Table::new(schema, vec![row!["k", "one", 1], row!["k", "two", 2]]).unwrap();
     e.register_table("t", t).unwrap();
-    let err = e.execute("SELECT a, b, SUM(x) FROM t GROUP BY a").unwrap_err();
+    let err = e
+        .execute("SELECT a, b, SUM(x) FROM t GROUP BY a")
+        .unwrap_err();
     assert!(matches!(err, SqlError::Plan(_)), "{err}");
 }
 
@@ -387,7 +408,11 @@ fn aggregate_over_computed_expression() {
     let out = engine()
         .execute("SELECT Model, SUM(Sales * 2) AS dbl FROM Sales GROUP BY Model")
         .unwrap();
-    let chevy = out.rows().iter().find(|r| r[0] == Value::str("Chevy")).unwrap();
+    let chevy = out
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("Chevy"))
+        .unwrap();
     assert_eq!(chevy[1], Value::Int(580));
 }
 
@@ -439,7 +464,10 @@ fn global_aggregate_over_empty_input() {
 #[test]
 fn error_unknown_table_column_function() {
     let e = engine();
-    assert!(matches!(e.execute("SELECT x FROM nope"), Err(SqlError::Plan(_))));
+    assert!(matches!(
+        e.execute("SELECT x FROM nope"),
+        Err(SqlError::Plan(_))
+    ));
     assert!(e.execute("SELECT nope FROM Sales").is_err());
     assert!(e.execute("SELECT NOPE(Sales) FROM Sales").is_err());
     assert!(e.execute("SELECT SUM(Sales) FROM Sales GROUP BY").is_err());
@@ -455,7 +483,9 @@ fn error_distinct_on_non_count() {
 
 #[test]
 fn select_star_passthrough() {
-    let out = engine().execute("SELECT * FROM Sales WHERE Year = 1995").unwrap();
+    let out = engine()
+        .execute("SELECT * FROM Sales WHERE Year = 1995")
+        .unwrap();
     assert_eq!(out.len(), 4);
     assert_eq!(out.schema().len(), 4);
 }
@@ -530,7 +560,10 @@ fn explain_describes_the_plan() {
     let text: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
     let plan = text.join("\n");
     assert!(plan.contains("scan: Sales"), "{plan}");
-    assert!(plan.contains("GROUP BY 1 dim(s), ROLLUP 1, CUBE 1"), "{plan}");
+    assert!(
+        plan.contains("GROUP BY 1 dim(s), ROLLUP 1, CUBE 1"),
+        "{plan}"
+    );
     assert!(plan.contains("grouping sets: 4"), "{plan}");
     assert!(plan.contains("MEDIAN(Sales) [Holistic]"), "{plan}");
     assert!(plan.contains("SUM(Sales) [Distributive]"), "{plan}");
@@ -542,7 +575,10 @@ fn explain_describes_the_plan() {
     // Nothing was executed: EXPLAIN of a query on a bad column still
     // parses but fails at describe time only if the aggregate is unknown.
     let err = engine().execute("EXPLAIN SELECT NOPEFN(Sales) FROM Sales GROUP BY Model");
-    assert!(err.is_ok(), "scalar calls are not described, only aggregates");
+    assert!(
+        err.is_ok(),
+        "scalar calls are not described, only aggregates"
+    );
 }
 
 #[test]
@@ -550,8 +586,7 @@ fn explain_without_holistic_uses_cascade() {
     let out = engine()
         .execute("EXPLAIN SELECT Model, SUM(Sales) FROM Sales GROUP BY CUBE Model, Year")
         .unwrap();
-    let plan: String =
-        out.rows().iter().map(|r| r[0].to_string() + "\n").collect();
+    let plan: String = out.rows().iter().map(|r| r[0].to_string() + "\n").collect();
     assert!(plan.contains("from-core cascade"), "{plan}");
     assert!(plan.contains("grouping sets: 4"), "{plan}");
 }
@@ -635,13 +670,17 @@ fn parameterized_aggregates_maxn_percentile() {
              FROM Sales GROUP BY CUBE Model",
         )
         .unwrap();
-    let chevy = out.rows().iter().find(|r| r[0] == Value::str("Chevy")).unwrap();
+    let chevy = out
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("Chevy"))
+        .unwrap();
     // Chevy sales 50,40,85,115: 2nd largest 85, smallest 40.
     assert_eq!(chevy[1], Value::Int(85));
     assert_eq!(chevy[2], Value::Int(40));
     let grand = out.rows().iter().find(|r| r[0].is_all()).unwrap();
     assert_eq!(grand[1], Value::Int(85)); // 2nd largest overall
-    // Nearest-rank median of 8 values.
+                                          // Nearest-rank median of 8 values.
     assert_eq!(grand[3], Value::Int(50));
     // Parameter must be a literal.
     assert!(engine()
@@ -714,7 +753,10 @@ fn set_rejects_unknown_or_negative_options() {
         Err(SqlError::Plan(_))
     ));
     // Malformed SET: missing value.
-    assert!(matches!(e.execute("SET MAX_CELLS ="), Err(SqlError::Parse { .. })));
+    assert!(matches!(
+        e.execute("SET MAX_CELLS ="),
+        Err(SqlError::Parse { .. })
+    ));
 }
 
 #[test]
@@ -727,7 +769,9 @@ fn cube_over_empty_table_is_empty() {
         .unwrap();
     assert!(out.is_empty());
     // The global aggregate still returns the SQL empty-set row.
-    let g = e.execute("SELECT COUNT(Sales), SUM(Sales) FROM NoSales").unwrap();
+    let g = e
+        .execute("SELECT COUNT(Sales), SUM(Sales) FROM NoSales")
+        .unwrap();
     assert_eq!(g.rows()[0][0], Value::Int(0));
     assert_eq!(g.rows()[0][1], Value::Null);
 }
@@ -735,10 +779,7 @@ fn cube_over_empty_table_is_empty() {
 #[test]
 fn all_null_dimension_groups_as_one_value() {
     let mut e = engine();
-    let schema = Schema::from_pairs(&[
-        ("Region", DataType::Str),
-        ("Units", DataType::Int),
-    ]);
+    let schema = Schema::from_pairs(&[("Region", DataType::Str), ("Units", DataType::Int)]);
     let mut t = Table::empty(schema);
     for u in [10, 20, 30] {
         t.push(Row::new(vec![Value::Null, Value::Int(u)])).unwrap();

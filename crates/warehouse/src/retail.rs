@@ -90,7 +90,9 @@ impl RetailWarehouse {
             ("geography", DataType::Str),
         ]));
         for (i, (o, d, r, g)) in OFFICES.iter().enumerate() {
-            office.push(row![i as i64, *o, *d, *r, *g]).expect("literal rows");
+            office
+                .push(row![i as i64, *o, *d, *r, *g])
+                .expect("literal rows");
         }
 
         let mut product = Table::empty(Schema::from_pairs(&[
@@ -100,7 +102,9 @@ impl RetailWarehouse {
             ("manufacturer", DataType::Str),
         ]));
         for (i, (name, cat, man)) in PRODUCTS.iter().enumerate() {
-            product.push(row![i as i64, *name, *cat, *man]).expect("literal rows");
+            product
+                .push(row![i as i64, *name, *cat, *man])
+                .expect("literal rows");
         }
 
         let mut customer = Table::empty(Schema::from_pairs(&[
@@ -142,7 +146,12 @@ impl RetailWarehouse {
             ]));
         }
 
-        RetailWarehouse { fact, office, product, customer }
+        RetailWarehouse {
+            fact,
+            office,
+            product,
+            customer,
+        }
     }
 
     /// The star join: fact ⋈ office ⋈ product ⋈ customer, dropping the id
@@ -224,17 +233,8 @@ mod tests {
         let w = small();
         let wide = w.denormalize();
         assert_eq!(wide.len(), w.fact.len());
-        let fact_units: i64 = w
-            .fact
-            .rows()
-            .iter()
-            .map(|r| r[5].as_i64().unwrap())
-            .sum();
-        let wide_units: i64 = wide
-            .rows()
-            .iter()
-            .map(|r| r[9].as_i64().unwrap())
-            .sum();
+        let fact_units: i64 = w.fact.rows().iter().map(|r| r[5].as_i64().unwrap()).sum();
+        let wide_units: i64 = wide.rows().iter().map(|r| r[9].as_i64().unwrap()).sum();
         assert_eq!(fact_units, wide_units);
     }
 

@@ -25,7 +25,8 @@ pub fn figure4_sales() -> Table {
     for model in ["Chevy", "Ford"] {
         for year in [1990i64, 1991, 1992] {
             for color in ["red", "white", "blue"] {
-                t.push(row![model, year, color, unit]).expect("literal rows are valid");
+                t.push(row![model, year, color, unit])
+                    .expect("literal rows are valid");
                 unit += 1;
             }
         }
@@ -67,7 +68,13 @@ pub struct SalesParams {
 
 impl Default for SalesParams {
     fn default() -> Self {
-        SalesParams { rows: 10_000, models: 10, years: 5, colors: 8, seed: 42 }
+        SalesParams {
+            rows: 10_000,
+            models: 10,
+            years: 5,
+            colors: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -81,7 +88,8 @@ pub fn synthetic_sales(p: SalesParams) -> Table {
         let year = 1990 + rng.gen_range(0..p.years.max(1)) as i64;
         let color = format!("color-{:03}", rng.gen_range(0..p.colors.max(1)));
         let units = rng.gen_range(1..=100i64);
-        t.push(row![model, year, color, units]).expect("generated rows are valid");
+        t.push(row![model, year, color, units])
+            .expect("generated rows are valid");
     }
     t
 }
@@ -110,7 +118,8 @@ pub fn skewed_sales(p: SalesParams) -> Table {
         let year = 1990 + zipf(&mut rng, p.years.max(1)) as i64;
         let color = format!("color-{:03}", zipf(&mut rng, p.colors.max(1)));
         let units = rng.gen_range(1..=100i64);
-        t.push(row![model, year, color, units]).expect("generated rows are valid");
+        t.push(row![model, year, color, units])
+            .expect("generated rows are valid");
     }
     t
 }
@@ -150,7 +159,13 @@ mod tests {
 
     #[test]
     fn synthetic_is_deterministic_and_bounded() {
-        let p = SalesParams { rows: 500, models: 3, years: 2, colors: 4, seed: 7 };
+        let p = SalesParams {
+            rows: 500,
+            models: 3,
+            years: 2,
+            colors: 4,
+            seed: 7,
+        };
         let a = synthetic_sales(p);
         let b = synthetic_sales(p);
         assert_eq!(a.rows(), b.rows());
@@ -161,7 +176,13 @@ mod tests {
 
     #[test]
     fn skew_concentrates_mass() {
-        let p = SalesParams { rows: 2_000, models: 20, years: 5, colors: 20, seed: 9 };
+        let p = SalesParams {
+            rows: 2_000,
+            models: 20,
+            years: 5,
+            colors: 20,
+            seed: 9,
+        };
         let t = skewed_sales(p);
         // The most frequent model should dominate a uniform share.
         let models = t.column_values("model").unwrap();
@@ -170,6 +191,9 @@ mod tests {
             *counts.entry(m.clone()).or_insert(0usize) += 1;
         }
         let max = counts.values().max().copied().unwrap();
-        assert!(max > 2_000 / 20 * 2, "zipf head should be > 2× uniform share");
+        assert!(
+            max > 2_000 / 20 * 2,
+            "zipf head should be > 2× uniform share"
+        );
     }
 }

@@ -27,14 +27,78 @@ pub struct Station {
 /// sense). Nation → continent is a functional dependency, which Table 7's
 /// decoration example needs.
 pub const STATIONS: &[Station] = &[
-    Station { name: "San Francisco", nation: "USA", continent: "North America", latitude: 37.77, longitude: -122.42, altitude_m: 16, base_temp: 14.0 },
-    Station { name: "Denver", nation: "USA", continent: "North America", latitude: 39.74, longitude: -104.99, altitude_m: 1609, base_temp: 10.0 },
-    Station { name: "Mexico City", nation: "Mexico", continent: "North America", latitude: 19.43, longitude: -99.13, altitude_m: 2240, base_temp: 17.0 },
-    Station { name: "Toronto", nation: "Canada", continent: "North America", latitude: 43.65, longitude: -79.38, altitude_m: 76, base_temp: 9.0 },
-    Station { name: "Tokyo", nation: "Japan", continent: "Asia", latitude: 35.68, longitude: 139.69, altitude_m: 40, base_temp: 16.0 },
-    Station { name: "Mumbai", nation: "India", continent: "Asia", latitude: 19.08, longitude: 72.88, altitude_m: 14, base_temp: 27.0 },
-    Station { name: "Paris", nation: "France", continent: "Europe", latitude: 48.86, longitude: 2.35, altitude_m: 35, base_temp: 12.0 },
-    Station { name: "Zurich", nation: "Switzerland", continent: "Europe", latitude: 47.37, longitude: 8.54, altitude_m: 408, base_temp: 9.5 },
+    Station {
+        name: "San Francisco",
+        nation: "USA",
+        continent: "North America",
+        latitude: 37.77,
+        longitude: -122.42,
+        altitude_m: 16,
+        base_temp: 14.0,
+    },
+    Station {
+        name: "Denver",
+        nation: "USA",
+        continent: "North America",
+        latitude: 39.74,
+        longitude: -104.99,
+        altitude_m: 1609,
+        base_temp: 10.0,
+    },
+    Station {
+        name: "Mexico City",
+        nation: "Mexico",
+        continent: "North America",
+        latitude: 19.43,
+        longitude: -99.13,
+        altitude_m: 2240,
+        base_temp: 17.0,
+    },
+    Station {
+        name: "Toronto",
+        nation: "Canada",
+        continent: "North America",
+        latitude: 43.65,
+        longitude: -79.38,
+        altitude_m: 76,
+        base_temp: 9.0,
+    },
+    Station {
+        name: "Tokyo",
+        nation: "Japan",
+        continent: "Asia",
+        latitude: 35.68,
+        longitude: 139.69,
+        altitude_m: 40,
+        base_temp: 16.0,
+    },
+    Station {
+        name: "Mumbai",
+        nation: "India",
+        continent: "Asia",
+        latitude: 19.08,
+        longitude: 72.88,
+        altitude_m: 14,
+        base_temp: 27.0,
+    },
+    Station {
+        name: "Paris",
+        nation: "France",
+        continent: "Europe",
+        latitude: 48.86,
+        longitude: 2.35,
+        altitude_m: 35,
+        base_temp: 12.0,
+    },
+    Station {
+        name: "Zurich",
+        nation: "Switzerland",
+        continent: "Europe",
+        latitude: 47.37,
+        longitude: 8.54,
+        altitude_m: 408,
+        base_temp: 9.5,
+    },
 ];
 
 /// The Table 1 schema: time, latitude, longitude, altitude, temperature,
@@ -64,7 +128,12 @@ pub struct WeatherParams {
 
 impl Default for WeatherParams {
     fn default() -> Self {
-        WeatherParams { rows: 5_000, start: Date::ymd(1995, 1, 1), days: 365, seed: 1996 }
+        WeatherParams {
+            rows: 5_000,
+            start: Date::ymd(1995, 1, 1),
+            days: 365,
+            seed: 1996,
+        }
     }
 }
 
@@ -113,7 +182,10 @@ pub fn nation_of(latitude: f64, longitude: f64) -> Option<&'static str> {
 
 /// Continent lookup for Table 7's decoration (nation → continent FD).
 pub fn continent_of(nation: &str) -> Option<&'static str> {
-    STATIONS.iter().find(|s| s.nation == nation).map(|s| s.continent)
+    STATIONS
+        .iter()
+        .find(|s| s.nation == nation)
+        .map(|s| s.continent)
 }
 
 fn station_at(latitude: f64, longitude: f64) -> Option<&'static Station> {
@@ -134,13 +206,19 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let p = WeatherParams { rows: 100, ..Default::default() };
+        let p = WeatherParams {
+            rows: 100,
+            ..Default::default()
+        };
         assert_eq!(weather_table(p).rows(), weather_table(p).rows());
     }
 
     #[test]
     fn rows_are_physically_plausible() {
-        let t = weather_table(WeatherParams { rows: 1_000, ..Default::default() });
+        let t = weather_table(WeatherParams {
+            rows: 1_000,
+            ..Default::default()
+        });
         for r in t.rows() {
             let temp = r[4].as_f64().unwrap();
             assert!((-30.0..50.0).contains(&temp), "temp {temp}");
@@ -196,7 +274,10 @@ mod more_tests {
 
     #[test]
     fn zero_rows_and_single_day_params() {
-        let empty = weather_table(WeatherParams { rows: 0, ..Default::default() });
+        let empty = weather_table(WeatherParams {
+            rows: 0,
+            ..Default::default()
+        });
         assert!(empty.is_empty());
         let one_day = weather_table(WeatherParams {
             rows: 50,
@@ -214,7 +295,10 @@ mod more_tests {
     #[test]
     fn seasonality_is_visible() {
         // Northern summer should be warmer than winter at the same station.
-        let t = weather_table(WeatherParams { rows: 8_000, ..Default::default() });
+        let t = weather_table(WeatherParams {
+            rows: 8_000,
+            ..Default::default()
+        });
         let sf_avg = |lo: u8, hi: u8| -> f64 {
             let temps: Vec<f64> = t
                 .rows()
@@ -228,6 +312,9 @@ mod more_tests {
                 .collect();
             temps.iter().sum::<f64>() / temps.len().max(1) as f64
         };
-        assert!(sf_avg(6, 8) > sf_avg(12, 12) + 5.0, "summer must beat winter");
+        assert!(
+            sf_avg(6, 8) > sf_avg(12, 12) + 5.0,
+            "summer must beat winter"
+        );
     }
 }

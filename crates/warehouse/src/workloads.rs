@@ -41,9 +41,9 @@ fn count_aggs_expr(e: &Expr) -> usize {
         Expr::Binary { lhs, rhs, .. } => count_aggs_expr(lhs) + count_aggs_expr(rhs),
         Expr::Not(e) | Expr::Neg(e) => count_aggs_expr(e),
         Expr::IsNull { expr, .. } => count_aggs_expr(expr),
-        Expr::Between { expr, low, high, .. } => {
-            count_aggs_expr(expr) + count_aggs_expr(low) + count_aggs_expr(high)
-        }
+        Expr::Between {
+            expr, low, high, ..
+        } => count_aggs_expr(expr) + count_aggs_expr(low) + count_aggs_expr(high),
         Expr::InList { expr, list, .. } => {
             count_aggs_expr(expr) + list.iter().map(count_aggs_expr).sum::<usize>()
         }
@@ -105,7 +105,12 @@ pub fn analyze(name: &'static str, queries: &[&str]) -> SqlResult<WorkloadProfil
         aggregates += a;
         group_bys += g;
     }
-    Ok(WorkloadProfile { name, queries: queries.len(), aggregates, group_bys })
+    Ok(WorkloadProfile {
+        name,
+        queries: queries.len(),
+        aggregates,
+        group_bys,
+    })
 }
 
 /// The TPC-A/B debit-credit read query: no aggregation at all.

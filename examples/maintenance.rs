@@ -35,7 +35,11 @@ fn main() {
         ],
     )
     .unwrap();
-    println!("materialized cube ({} cells):\n{}", cube.cell_count(), cube.to_table());
+    println!(
+        "materialized cube ({} cells):\n{}",
+        cube.cell_count(),
+        cube.to_table()
+    );
 
     // INSERT: visit the record's 2^N cells.
     println!("-- INSERT (Dodge, 1995, 30)");
@@ -68,6 +72,7 @@ fn main() {
 
     // UPDATE = delete + insert.
     println!("-- UPDATE (Dodge, 1995, 30) -> (Dodge, 1995, 45)");
-    cube.update(&row!["Dodge", 1995, 30], row!["Dodge", 1995, 45]).unwrap();
+    cube.update(&row!["Dodge", 1995, 30], row!["Dodge", 1995, 45])
+        .unwrap();
     println!("final cube:\n{}", cube.to_table());
 }

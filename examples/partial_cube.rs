@@ -5,8 +5,8 @@
 //! Run with `cargo run --example partial_cube`.
 
 use datacube::{cube_sets, greedy_select, GroupingSet, PartialCube, SizeModel};
-use dc_aggregate::builtin;
 use datacube::{AggSpec, Dimension};
+use dc_aggregate::builtin;
 use dc_warehouse::sales::{synthetic_sales, SalesParams};
 
 fn main() {
@@ -35,15 +35,23 @@ fn main() {
     println!("\nHRU greedy selection (cost = rows read to answer all 8 sets):");
     for k in 0..=7 {
         let (selection, cost) = greedy_select(3, k, &model).unwrap();
-        let picks: Vec<String> =
-            selection.iter().skip(1).map(|s| s.to_string()).collect();
-        println!("  k={k}: cost {cost:>8}   picks beyond core: [{}]", picks.join(", "));
+        let picks: Vec<String> = selection.iter().skip(1).map(|s| s.to_string()).collect();
+        println!(
+            "  k={k}: cost {cost:>8}   picks beyond core: [{}]",
+            picks.join(", ")
+        );
     }
 
     // Materialize the k=2 selection and answer every grouping set.
     let (selection, _) = greedy_select(3, 2, &model).unwrap();
     let mut pc = PartialCube::materialize(&table, dims, vec![sum], &selection).unwrap();
-    println!("\nmaterialized sets: {:?}", pc.materialized().iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "\nmaterialized sets: {:?}",
+        pc.materialized()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
     for set in cube_sets(3).unwrap() {
         let answer = pc.query(set).unwrap();
         println!("  answered {set:<10} -> {} rows", answer.len());

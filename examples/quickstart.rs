@@ -56,7 +56,11 @@ fn main() {
     );
     println!(
         "ALL(model) stands for the set  = {:?}",
-        view.all_set(0).unwrap().iter().map(ToString::to_string).collect::<Vec<_>>()
+        view.all_set(0)
+            .unwrap()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 
     // 4. A user-defined aggregate with the Init/Iter/Final/Iter_super
@@ -79,7 +83,11 @@ fn main() {
         .unwrap();
     let mut acc = white_share.init();
     for r in sales.rows() {
-        let white = if r[2] == Value::str("white") { r[3].as_i64().unwrap() } else { 0 };
+        let white = if r[2] == Value::str("white") {
+            r[3].as_i64().unwrap()
+        } else {
+            0
+        };
         acc.merge(&[Value::Int(white), Value::Int(r[3].as_i64().unwrap())]);
     }
     println!(

@@ -41,10 +41,18 @@ fn main() {
     let wide = warehouse.denormalize();
     let spec = CompoundSpec::new()
         .group_by(vec![Dimension::column("manufacturer")])
-        .rollup(vec![Dimension::computed("year", DataType::Int, |r: &Row| {
-            r[8].as_date().map_or(Value::Null, |d| Value::Int(i64::from(d.year())))
-        })])
-        .cube(vec![Dimension::column("category"), Dimension::column("segment")]);
+        .rollup(vec![Dimension::computed(
+            "year",
+            DataType::Int,
+            |r: &Row| {
+                r[8].as_date()
+                    .map_or(Value::Null, |d| Value::Int(i64::from(d.year())))
+            },
+        )])
+        .cube(vec![
+            Dimension::column("category"),
+            Dimension::column("segment"),
+        ]);
     let revenue = CubeQuery::new()
         .aggregate(AggSpec::new(builtin("SUM").unwrap(), "price").with_name("revenue"))
         .compound(&wide, &spec)

@@ -27,18 +27,21 @@ fn build_engine() -> Engine {
     engine
         .register_table(
             "weather",
-            weather_table(WeatherParams { rows: 2_000, ..Default::default() }),
+            weather_table(WeatherParams {
+                rows: 2_000,
+                ..Default::default()
+            }),
         )
         .unwrap();
-    let warehouse =
-        RetailWarehouse::generate(RetailParams { sales: 5_000, ..Default::default() });
+    let warehouse = RetailWarehouse::generate(RetailParams {
+        sales: 5_000,
+        ..Default::default()
+    });
     warehouse.register(&mut engine).unwrap();
     engine
         .register_scalar(ScalarFn::new("NATION", 2, DataType::Str, |args| {
             match (args[0].as_f64(), args[1].as_f64()) {
-                (Some(lat), Some(lon)) => {
-                    nation_of(lat, lon).map_or(Value::Null, Value::str)
-                }
+                (Some(lat), Some(lon)) => nation_of(lat, lon).map_or(Value::Null, Value::str),
                 _ => Value::Null,
             }
         }))
@@ -46,8 +49,15 @@ fn build_engine() -> Engine {
     engine
 }
 
-const TABLES: &[&str] =
-    &["sales", "weather", "sales_fact", "office", "product", "customer", "sales_wide"];
+const TABLES: &[&str] = &[
+    "sales",
+    "weather",
+    "sales_fact",
+    "office",
+    "product",
+    "customer",
+    "sales_wide",
+];
 
 fn main() {
     let engine = build_engine();
@@ -60,7 +70,9 @@ fn main() {
     }
 
     println!("data cube SQL shell — tables: {}", TABLES.join(", "));
-    println!("\\tables lists tables, \\q quits, end queries with ; — EXPLAIN SELECT ... shows the plan");
+    println!(
+        "\\tables lists tables, \\q quits, end queries with ; — EXPLAIN SELECT ... shows the plan"
+    );
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {

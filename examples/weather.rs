@@ -13,7 +13,11 @@ use dc_sql::Engine;
 use dc_warehouse::weather::{nation_of, weather_table, WeatherParams};
 
 fn main() {
-    let weather = weather_table(WeatherParams { rows: 4_000, days: 365, ..Default::default() });
+    let weather = weather_table(WeatherParams {
+        rows: 4_000,
+        days: 365,
+        ..Default::default()
+    });
     println!("generated {} weather observations", weather.len());
 
     let mut engine = Engine::new();
@@ -21,9 +25,7 @@ fn main() {
     engine
         .register_scalar(ScalarFn::new("NATION", 2, DataType::Str, |args| {
             match (args[0].as_f64(), args[1].as_f64()) {
-                (Some(lat), Some(lon)) => {
-                    nation_of(lat, lon).map_or(Value::Null, Value::str)
-                }
+                (Some(lat), Some(lon)) => nation_of(lat, lon).map_or(Value::Null, Value::str),
                 _ => Value::Null,
             }
         }))
@@ -65,13 +67,18 @@ fn main() {
     let (lo, hi) = mid
         .iter()
         .fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
-    println!("middle 10% of temperatures spans {lo:.1}..{hi:.1} °C ({} readings)", mid.len());
+    println!(
+        "middle 10% of temperatures spans {lo:.1}..{hi:.1} °C ({} readings)",
+        mid.len()
+    );
 
     // Calendar-hierarchy rollup (§3.6): year → quarter → month, computed
     // straight from the timestamp — a cube on these would be meaningless,
     // the ROLLUP is what the paper prescribes.
     let cal = calendar();
-    let dims = cal.rollup_dimensions(&weather, "time", &["year", "quarter", "month"]).unwrap();
+    let dims = cal
+        .rollup_dimensions(&weather, "time", &["year", "quarter", "month"])
+        .unwrap();
     let rollup = CubeQuery::new()
         .dimensions(dims)
         .aggregate(AggSpec::new(builtin("AVG").unwrap(), "temp").with_name("avg_temp"))

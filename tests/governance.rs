@@ -8,8 +8,7 @@
 //! and cancellation errors.
 
 use datacube::{
-    AggSpec, Algorithm, CancelToken, CubeError, CubeQuery, Dimension, ExecLimits,
-    Resource,
+    AggSpec, Algorithm, CancelToken, CubeError, CubeQuery, Dimension, ExecLimits, Resource,
 };
 use dc_aggregate::{builtin, AggKind, UdaBuilder};
 use dc_relation::{DataType, Row, Schema, Table, Value};
@@ -127,7 +126,12 @@ fn cell_budget_trips_fast_with_partial_stats() {
     let err = query.cube_with_stats(&t).unwrap_err();
     let elapsed = start.elapsed();
     match err {
-        CubeError::ResourceExhausted { resource, limit, observed, stats } => {
+        CubeError::ResourceExhausted {
+            resource,
+            limit,
+            observed,
+            stats,
+        } => {
             assert_eq!(resource, Resource::Cells);
             assert_eq!(limit, 1 << 10);
             assert!(observed > limit);
@@ -146,7 +150,11 @@ fn memory_budget_trips_via_cell_model() {
         .aggregate(sum_units())
         .limits(ExecLimits::none().max_memory_bytes(1024));
     match query.cube_with_stats(&t).unwrap_err() {
-        CubeError::ResourceExhausted { resource: Resource::MemoryBytes, observed, .. } => {
+        CubeError::ResourceExhausted {
+            resource: Resource::MemoryBytes,
+            observed,
+            ..
+        } => {
             assert!(observed > 1024);
         }
         other => panic!("expected memory exhaustion, got {other:?}"),
@@ -176,7 +184,10 @@ fn expired_deadline_stops_the_query() {
         .aggregate(sum_units())
         .limits(ExecLimits::none().timeout(Duration::from_nanos(1)));
     match query.cube_with_stats(&t).unwrap_err() {
-        CubeError::ResourceExhausted { resource: Resource::TimeMs, .. } => {}
+        CubeError::ResourceExhausted {
+            resource: Resource::TimeMs,
+            ..
+        } => {}
         other => panic!("expected time exhaustion, got {other:?}"),
     }
 }
@@ -211,7 +222,10 @@ fn budgets_apply_across_every_algorithm() {
         .limits(ExecLimits::none().max_cells(16))
         .rollup(&t)
         .unwrap_err();
-    assert!(matches!(err, CubeError::ResourceExhausted { .. }), "sort: {err:?}");
+    assert!(
+        matches!(err, CubeError::ResourceExhausted { .. }),
+        "sort: {err:?}"
+    );
 }
 
 // ------------------------------------------------------- degradation --
@@ -236,9 +250,19 @@ fn dense_array_degrades_to_sparse_then_streaming() {
         .limits(ExecLimits::none().max_cells(200))
         .cube_with_stats(&t)
         .unwrap();
-    assert!(stats.degraded_dense_to_sparse, "array → sparse flag missing: {stats:?}");
-    assert!(stats.degraded_to_streaming, "cascade → streaming flag missing: {stats:?}");
-    assert_eq!(cube.rows(), unlimited.rows(), "degraded plan changed the answer");
+    assert!(
+        stats.degraded_dense_to_sparse,
+        "array → sparse flag missing: {stats:?}"
+    );
+    assert!(
+        stats.degraded_to_streaming,
+        "cascade → streaming flag missing: {stats:?}"
+    );
+    assert_eq!(
+        cube.rows(),
+        unlimited.rows(),
+        "degraded plan changed the answer"
+    );
     assert_eq!(cube.len(), 50 + 50 + 50 + 1);
 }
 
@@ -364,7 +388,11 @@ fn holistic_median_survives_adversarial_thread_counts() {
                 .algorithm(Algorithm::Parallel { threads })
                 .cube(&t)
                 .unwrap();
-            assert_eq!(got.rows(), reference.rows(), "{holistic}, {threads} threads");
+            assert_eq!(
+                got.rows(),
+                reference.rows(),
+                "{holistic}, {threads} threads"
+            );
         }
     }
 }
@@ -407,7 +435,11 @@ fn stats_record_encoded_key_fallback() {
         vals.push(Value::Int(1));
         t.push_unchecked(Row::new(vals));
     }
-    let dims: Vec<Dimension> = names.iter().map(String::as_str).map(Dimension::column).collect();
+    let dims: Vec<Dimension> = names
+        .iter()
+        .map(String::as_str)
+        .map(Dimension::column)
+        .collect();
     let (_, stats) = CubeQuery::new()
         .dimensions(dims)
         .aggregate(sum_units())
@@ -424,6 +456,69 @@ fn stats_record_encoded_key_fallback() {
     assert!(stats.encoded_keys);
 }
 
+// ------------------------------------- governance in the morsel loop --
+
+#[test]
+fn cell_budget_trips_inside_the_vectorized_morsel_loop() {
+    // 64 × 64 = 4096 rows (two full morsels) over an all-numeric,
+    // all-kernel query: the vectorized engine is on the path, and the
+    // 256-cell budget must trip mid-scan with the partial stats showing
+    // both that kernels ran and how far the scan got. The parallel
+    // algorithm is the one plan without the projected-size pre-check
+    // (degradation rung 2), so the trip genuinely happens inside a
+    // worker's morsel loop.
+    let t = grid(64, 64);
+    let err = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .aggregate(AggSpec::star(builtin("COUNT(*)").unwrap()).with_name("n"))
+        .algorithm(Algorithm::Parallel { threads: 2 })
+        .limits(ExecLimits::none().max_cells(256))
+        .cube_with_stats(&t)
+        .unwrap_err();
+    match err {
+        CubeError::ResourceExhausted {
+            resource,
+            limit,
+            observed,
+            stats,
+        } => {
+            assert_eq!(resource, Resource::Cells);
+            assert_eq!(limit, 256);
+            assert!(observed > limit);
+            assert_eq!(stats.vectorized_kernels_used, 2, "kernels were running");
+            assert!(stats.rows_scanned > 0, "partial stats missing: {stats:?}");
+            assert!(
+                stats.rows_scanned < t.len() as u64,
+                "budget should trip mid-scan"
+            );
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancellation_is_observed_between_morsels() {
+    let token = CancelToken::new();
+    token.cancel();
+    let t = grid(64, 64);
+    let err = CubeQuery::new()
+        .dimensions(xy_dims())
+        .aggregate(sum_units())
+        .limits(ExecLimits::none().cancel_token(token))
+        .cube_with_stats(&t)
+        .unwrap_err();
+    match err {
+        CubeError::Cancelled { stats } => {
+            // The per-morsel checkpoint fires before any row of the first
+            // morsel, but the kernel plan was already compiled.
+            assert_eq!(stats.vectorized_kernels_used, 1);
+            assert!(stats.morsels_processed < (t.len() as u64).div_ceil(2048));
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
 // ------------------------------------------------- fault injection ----
 
 #[cfg(feature = "faults")]
@@ -432,7 +527,7 @@ mod faults_suite {
     use dc_aggregate::faults::{arm, disarm_all, Fault};
 
     /// Every named failpoint site across the engine.
-    const SITES: [&str; 13] = [
+    const SITES: [&str; 14] = [
         "uda::init",
         "uda::iter",
         "uda::merge",
@@ -445,6 +540,7 @@ mod faults_suite {
         "sort::scan",
         "pipesort::pipeline",
         "array::sweep",
+        "vectorized::morsel",
         "materialize",
     ];
 
@@ -523,8 +619,7 @@ mod faults_suite {
                             }
                             Ok(_)
                             | Err(
-                                CubeError::AggPanicked { .. }
-                                | CubeError::ResourceExhausted { .. },
+                                CubeError::AggPanicked { .. } | CubeError::ResourceExhausted { .. },
                             ) => {}
                             Err(other) => failures.push(format!(
                                 "site {site}, fault {fault:?}, {alg:?}: \
@@ -543,12 +638,11 @@ mod faults_suite {
                     if !matches!(
                         result,
                         Ok(_)
-                            | Err(CubeError::AggPanicked { .. }
-                                | CubeError::ResourceExhausted { .. })
+                            | Err(
+                                CubeError::AggPanicked { .. } | CubeError::ResourceExhausted { .. }
+                            )
                     ) {
-                        failures.push(format!(
-                            "sort at {site} with {fault:?}: {result:?}"
-                        ));
+                        failures.push(format!("sort at {site} with {fault:?}: {result:?}"));
                     }
                 }
             }
@@ -580,8 +674,7 @@ mod faults_suite {
             let _cleanup = Disarm;
             for threads in [1, 4, 16] {
                 arm("parallel::worker", Fault::Panic("worker down".into()));
-                let err =
-                    cube_under_fault(&t, Algorithm::Parallel { threads }).unwrap_err();
+                let err = cube_under_fault(&t, Algorithm::Parallel { threads }).unwrap_err();
                 disarm_all();
                 match err {
                     CubeError::AggPanicked { agg, message } => {
@@ -614,5 +707,48 @@ mod faults_suite {
                 "{site} under {alg:?}: {result:?}"
             );
         }
+    }
+
+    /// `cube_under_fault` aggregates through a UDA, which never
+    /// kernelizes — so the vectorized morsel site needs its own probe
+    /// with a built-in aggregate. Both fault flavors must surface as
+    /// typed errors carrying the partial stats, serial and parallel.
+    #[test]
+    fn vectorized_morsel_site_fires_with_builtin_aggregates() {
+        let t = grid(16, 8);
+        let run = |alg: Algorithm| {
+            CubeQuery::new()
+                .dimensions(xy_dims())
+                .aggregate(sum_units())
+                .algorithm(alg)
+                .cube_with_stats(&t)
+        };
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            for alg in [Algorithm::FromCore, Algorithm::Parallel { threads: 4 }] {
+                arm("vectorized::morsel", Fault::TripBudget);
+                let result = run(alg);
+                disarm_all();
+                match result {
+                    Err(CubeError::ResourceExhausted { stats, .. }) => {
+                        assert_eq!(
+                            stats.vectorized_kernels_used, 1,
+                            "{alg:?}: fault must have fired inside the kernel scan"
+                        );
+                    }
+                    other => panic!("{alg:?} TripBudget: {other:?}"),
+                }
+
+                arm("vectorized::morsel", Fault::Panic("morsel down".into()));
+                let result = run(alg);
+                disarm_all();
+                match result {
+                    Err(CubeError::AggPanicked { message, .. }) => {
+                        assert!(message.contains("morsel down"), "{alg:?}: {message}");
+                    }
+                    other => panic!("{alg:?} Panic: {other:?}"),
+                }
+            }
+        });
     }
 }

@@ -48,7 +48,10 @@ fn sql_and_api_agree_on_the_cube() {
     // too, but don't depend on it).
     let api_rows: std::collections::HashSet<&Row> = api.rows().iter().collect();
     for row in sql.rows() {
-        assert!(api_rows.contains(row), "SQL row {row} missing from API cube");
+        assert!(
+            api_rows.contains(row),
+            "SQL row {row} missing from API cube"
+        );
     }
 }
 
@@ -89,7 +92,11 @@ fn algorithms_agree_on_synthetic_data() {
 /// The weather pipeline: generator → SQL histogram → decoration → view.
 #[test]
 fn weather_histogram_end_to_end() {
-    let weather = weather_table(WeatherParams { rows: 2_000, days: 60, ..Default::default() });
+    let weather = weather_table(WeatherParams {
+        rows: 2_000,
+        days: 60,
+        ..Default::default()
+    });
     let mut engine = Engine::new();
     engine.register_table("weather", weather).unwrap();
     engine
@@ -127,7 +134,10 @@ fn weather_histogram_end_to_end() {
 /// rollup (Figure 6's granularities).
 #[test]
 fn retail_star_vs_wide_rollup() {
-    let w = RetailWarehouse::generate(RetailParams { sales: 3_000, ..Default::default() });
+    let w = RetailWarehouse::generate(RetailParams {
+        sales: 3_000,
+        ..Default::default()
+    });
     let mut engine = Engine::new();
     w.register(&mut engine).unwrap();
     let star = engine
@@ -145,7 +155,11 @@ fn retail_star_vs_wide_rollup() {
         .unwrap();
     assert_eq!(star.rows(), wide.rows());
     // Grand total equals the fact-table sum.
-    let grand = star.rows().iter().find(|r| (0..3).all(|d| r[d].is_all())).unwrap();
+    let grand = star
+        .rows()
+        .iter()
+        .find(|r| (0..3).all(|d| r[d].is_all()))
+        .unwrap();
     let fact_units: i64 = w.fact.rows().iter().map(|r| r[5].as_i64().unwrap()).sum();
     assert_eq!(grand[3].as_i64().unwrap(), fact_units);
 }
@@ -190,7 +204,8 @@ fn maintained_cube_matches_batch_after_mutation_stream() {
         } else {
             let idx = rng.gen_range(0..live.len());
             let row = live.swap_remove(idx);
-            mat.delete(&row).unwrap_or_else(|e| panic!("step {step}: {e}"));
+            mat.delete(&row)
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
         }
     }
     base = Table::from_validated_rows(base.schema().clone(), live);
@@ -241,11 +256,15 @@ fn null_grouping_encoding_on_a_real_cube() {
         .aggregate(sum_units())
         .cube(&sales)
         .unwrap();
-    let enc = cube.to_null_grouping_encoding(&["model", "year", "color"]).unwrap();
+    let enc = cube
+        .to_null_grouping_encoding(&["model", "year", "color"])
+        .unwrap();
     // No ALL left anywhere.
     assert!(enc.rows().iter().all(|r| r.iter().all(|v| !v.is_all())));
     // grouping(...) columns mark exactly the former ALLs.
-    let back = enc.from_null_grouping_encoding(&["model", "year", "color"]).unwrap();
+    let back = enc
+        .from_null_grouping_encoding(&["model", "year", "color"])
+        .unwrap();
     assert_eq!(back.rows(), cube.rows());
 }
 
@@ -261,8 +280,10 @@ fn rows_per_grouping_set_match_cardinalities() {
         .unwrap();
     let card = [2usize, 3, 3];
     for set in datacube::cube_sets(3).unwrap() {
-        let expected: usize =
-            (0..3).filter(|d| set.contains(*d)).map(|d| card[d]).product();
+        let expected: usize = (0..3)
+            .filter(|d| set.contains(*d))
+            .map(|d| card[d])
+            .product();
         assert_eq!(
             datacube::rows_in_set(&cube, 3, set),
             expected,

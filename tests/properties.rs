@@ -20,26 +20,28 @@ fn schema3() -> Schema {
 
 /// Rows over a 3-dimensional space with small per-dimension domains.
 fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
-    proptest::collection::vec(
-        (0i64..4, 0i64..3, 0i64..3, 1i64..100),
-        0..max_rows,
+    proptest::collection::vec((0i64..4, 0i64..3, 0i64..3, 1i64..100), 0..max_rows).prop_map(
+        |rows| {
+            let mut t = Table::empty(schema3());
+            for (a, b, c, u) in rows {
+                t.push_unchecked(Row::new(vec![
+                    Value::Int(a),
+                    Value::Int(b),
+                    Value::Int(c),
+                    Value::Int(u),
+                ]));
+            }
+            t
+        },
     )
-    .prop_map(|rows| {
-        let mut t = Table::empty(schema3());
-        for (a, b, c, u) in rows {
-            t.push_unchecked(Row::new(vec![
-                Value::Int(a),
-                Value::Int(b),
-                Value::Int(c),
-                Value::Int(u),
-            ]));
-        }
-        t
-    })
 }
 
 fn dims() -> Vec<Dimension> {
-    vec![Dimension::column("a"), Dimension::column("b"), Dimension::column("c")]
+    vec![
+        Dimension::column("a"),
+        Dimension::column("b"),
+        Dimension::column("c"),
+    ]
 }
 
 fn sum_units() -> AggSpec {
@@ -73,12 +75,16 @@ fn mixed_dims(n_dims: usize) -> Vec<Dimension> {
 /// Random tables over 1..=`max_dims` mixed-type dimensions. Domain index 0
 /// maps to NULL in every dimension, so NULL appears as an ordinary
 /// groupable value (distinct from ALL) throughout.
-fn arb_mixed_table(
-    max_dims: usize,
-    max_rows: usize,
-) -> impl Strategy<Value = (usize, Table)> {
+fn arb_mixed_table(max_dims: usize, max_rows: usize) -> impl Strategy<Value = (usize, Table)> {
     let rows = proptest::collection::vec(
-        (0usize..5, 0usize..4, 0usize..4, 0usize..3, 0usize..3, 1i64..100),
+        (
+            0usize..5,
+            0usize..4,
+            0usize..4,
+            0usize..3,
+            0usize..3,
+            1i64..100,
+        ),
         0..max_rows,
     );
     (1..=max_dims, rows).prop_map(|(n_dims, raw)| {
@@ -306,5 +312,117 @@ proptest! {
         }
         let back = enc.from_null_grouping_encoding(&["a", "b", "c"]).unwrap();
         prop_assert_eq!(back.rows(), cube.rows());
+    }
+}
+
+/// Random tables where both dimensions and both measures admit NULL. The
+/// float measure is restricted to multiples of 0.25 — exactly
+/// representable, so a parallel merge order cannot perturb sums and the
+/// kernel/row comparison stays bit-for-bit.
+fn arb_nullable_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    let schema = Schema::from_pairs(&[
+        ("d0", DataType::Str),
+        ("d1", DataType::Int),
+        ("units", DataType::Int),
+        ("price", DataType::Float),
+    ]);
+    // Index 0 maps to NULL in every column.
+    proptest::collection::vec((0usize..4, 0usize..4, 0i64..101, 0i64..401), 0..max_rows).prop_map(
+        move |raw| {
+            let mut t = Table::empty(schema.clone());
+            for (a, b, units, price) in raw {
+                t.push_unchecked(Row::new(vec![
+                    if a == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("s{a}"))
+                    },
+                    if b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(b as i64)
+                    },
+                    if units == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(units - 51)
+                    },
+                    if price == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float((price - 201) as f64 * 0.25)
+                    },
+                ]));
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The vectorized kernels compute exactly what the row-path
+    /// Init/Iter/Final protocol computes — every built-in
+    /// distributive/algebraic aggregate, NULLs in dimensions and
+    /// measures, serial and parallel — with identical work counters.
+    #[test]
+    fn vectorized_kernels_match_row_path(t in arb_nullable_table(120)) {
+        let kernel_aggs = [
+            AggSpec::new(builtin("COUNT").unwrap(), "units").with_name("n"),
+            AggSpec::star(builtin("COUNT(*)").unwrap()).with_name("rows"),
+            AggSpec::new(builtin("SUM").unwrap(), "units").with_name("su"),
+            AggSpec::new(builtin("SUM").unwrap(), "price").with_name("sp"),
+            AggSpec::new(builtin("MIN").unwrap(), "price").with_name("lo"),
+            AggSpec::new(builtin("MAX").unwrap(), "units").with_name("hi"),
+            AggSpec::new(builtin("AVG").unwrap(), "price").with_name("avg"),
+        ];
+        for alg in [Algorithm::FromCore, Algorithm::Parallel { threads: 2 }] {
+            let query = |vectorized: bool| {
+                kernel_aggs
+                    .iter()
+                    .fold(CubeQuery::new(), |q, a| q.aggregate(a.clone()))
+                    .dimensions(vec![Dimension::column("d0"), Dimension::column("d1")])
+                    .algorithm(alg)
+                    .vectorized(vectorized)
+                    .cube_with_stats(&t)
+                    .unwrap()
+            };
+            let (vec_table, vec_stats) = query(true);
+            let (row_table, row_stats) = query(false);
+            prop_assert_eq!(
+                vec_table.rows(), row_table.rows(),
+                "tables diverge under {:?}", alg
+            );
+            prop_assert_eq!(vec_stats.vectorized_kernels_used, 7);
+            prop_assert_eq!(row_stats.vectorized_kernels_used, 0);
+            prop_assert_eq!(
+                vec_stats.iter_calls, row_stats.iter_calls,
+                "iter_calls diverge under {:?}", alg
+            );
+            prop_assert_eq!(
+                vec_stats.rows_scanned, row_stats.rows_scanned,
+                "rows_scanned diverge under {:?}", alg
+            );
+        }
+    }
+
+    /// One non-kernel aggregate in the select list sends the whole query
+    /// down the row path — transparently: results match the vectorized
+    /// form of the kernel-only part and `vectorized_kernels_used` stays 0.
+    #[test]
+    fn non_kernel_aggregate_falls_back_to_row_path(t in arb_nullable_table(80)) {
+        let query = CubeQuery::new()
+            .dimensions(vec![Dimension::column("d0"), Dimension::column("d1")])
+            .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s"))
+            .aggregate(AggSpec::new(builtin("PRODUCT").unwrap(), "d1").with_name("p"))
+            .algorithm(Algorithm::FromCore);
+        let (on, on_stats) = query.clone().vectorized(true).cube_with_stats(&t).unwrap();
+        let (off, off_stats) = query.vectorized(false).cube_with_stats(&t).unwrap();
+        // PRODUCT has no kernel, so `vectorized(true)` is a no-op here.
+        prop_assert_eq!(on_stats.vectorized_kernels_used, 0);
+        prop_assert_eq!(off_stats.vectorized_kernels_used, 0);
+        prop_assert_eq!(on.rows(), off.rows());
+        prop_assert_eq!(on_stats.iter_calls, off_stats.iter_calls);
     }
 }

@@ -5,6 +5,9 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -16,6 +19,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== fault-injection suite (--features faults) =="
 cargo test -q --features faults --test governance
+
+echo "== cube_bench smoke (vectorized + encoded workloads wire up) =="
+cargo run -q --release -p dc-bench --bin cube_bench -- --smoke
 
 echo "== paper_tables vs golden =="
 cargo run -q --release -p dc-bench --bin paper_tables > /tmp/paper_tables_actual.txt
