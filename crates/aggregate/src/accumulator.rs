@@ -130,6 +130,17 @@ pub trait AggregateFunction: Send + Sync {
     fn kernel(&self) -> Option<crate::vectorized::Kernel> {
         None
     }
+
+    /// True when [`Accumulator::merge`] genuinely folds sub-aggregate
+    /// state — i.e. the paper's Iter_super is available. Every built-in
+    /// merges (holistic ones carry the whole multiset as their state); a
+    /// user-defined holistic aggregate built without `state()`/`merge()`
+    /// does not, and its no-op `merge` would silently drop data in any
+    /// merge-based plan. Algorithm selection must route such functions to
+    /// a direct scan (see the cube engine's non-mergeable fallback).
+    fn mergeable(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

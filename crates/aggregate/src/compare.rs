@@ -1,0 +1,120 @@
+//! Canonical comparison of aggregate results.
+//!
+//! Cube algorithms are interchangeable *as relations*, but float
+//! aggregates reach their result through different association trees: a
+//! partition-parallel SUM adds partials in a different order than a serial
+//! scan, and transcendental folds (GEOMEAN's Σln x) reassociate under the
+//! from-core cascade. IEEE addition is not associative, so bitwise
+//! equality is the wrong spec — results are "the same" when they are
+//! within a few ULPs (or a small relative band for transcendental noise).
+//! Everything else — NULL, ALL, ints, strings, NaN-ness, zero signs on
+//! *group keys* — must match exactly; this module only relaxes float
+//! *aggregate* cells, and deliberately treats NaN == NaN and -0.0 == +0.0
+//! (one value, two encodings, per IEEE `==`).
+
+use dc_relation::Value;
+
+/// True when two aggregate floats denote the same result.
+///
+/// * NaN equals NaN (any payload), and nothing else.
+/// * `a == b` covers exact matches, ±0.0, and equal infinities.
+/// * Otherwise both must be finite and within `max_ulps` units in the
+///   last place, or within a `1e-9` relative band — merge-order noise on
+///   an n-element transcendental fold scales like `n·ε·|Σ|`, which can
+///   exceed any small fixed ULP count while real divergences are
+///   wholesale different values.
+pub fn floats_close(a: f64, b: f64, max_ulps: u64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return a.is_nan() && b.is_nan();
+    }
+    if a == b {
+        return true;
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return false;
+    }
+    if ulps_apart(a, b) <= max_ulps {
+        return true;
+    }
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Distance in representable values between two finite floats, sign
+/// included (so `-x` and `+x` are far apart, and values straddling zero
+/// are measured through it).
+fn ulps_apart(a: f64, b: f64) -> u64 {
+    // Map the float line onto a monotone integer line: non-negative
+    // floats keep their bit pattern, negative floats are mirrored below
+    // zero. Adjacent representable values then differ by exactly 1.
+    fn monotone(x: f64) -> i128 {
+        let bits = x.to_bits() as i64;
+        let key = if bits < 0 { i64::MIN - bits } else { bits };
+        key as i128
+    }
+    monotone(a).abs_diff(monotone(b)).min(u64::MAX as u128) as u64
+}
+
+/// Cell-level comparison: float cells get [`floats_close`], everything
+/// else compares by the relation's own equality (which already treats
+/// numerically equal Int/Float as equal).
+pub fn value_close(a: &Value, b: &Value, max_ulps: u64) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => floats_close(*x, *y, max_ulps),
+        (Value::Float(x), Value::Int(y)) | (Value::Int(y), Value::Float(x)) => {
+            floats_close(*x, *y as f64, max_ulps)
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_equals_nan_only() {
+        assert!(floats_close(f64::NAN, f64::NAN, 0));
+        assert!(floats_close(f64::NAN, -f64::NAN, 0));
+        assert!(!floats_close(f64::NAN, 1.0, u64::MAX));
+        assert!(!floats_close(0.0, f64::NAN, u64::MAX));
+    }
+
+    #[test]
+    fn zero_signs_and_infinities() {
+        assert!(floats_close(0.0, -0.0, 0));
+        assert!(floats_close(f64::INFINITY, f64::INFINITY, 0));
+        assert!(!floats_close(f64::INFINITY, f64::NEG_INFINITY, u64::MAX));
+        assert!(!floats_close(f64::INFINITY, 1e308, 64));
+    }
+
+    #[test]
+    fn ulp_distance_is_tight() {
+        let x = 1.0f64;
+        let next = f64::from_bits(x.to_bits() + 1);
+        assert!(floats_close(x, next, 1));
+        assert!(!floats_close(x, 2.0, 64));
+        // Across zero: -ε to +ε is two steps away from either sign.
+        let eps = f64::from_bits(1);
+        assert!(floats_close(eps, -eps, 2));
+        assert!(!floats_close(1.0, -1.0, 1000));
+    }
+
+    #[test]
+    fn relative_band_absorbs_merge_order_noise() {
+        // A reassociated 200-term sum can drift ~n·ε relative.
+        let a = 1234.5678;
+        let b = a * (1.0 + 3e-13);
+        assert!(floats_close(a, b, 32));
+        // But a real divergence (1%) never passes.
+        assert!(!floats_close(100.0, 101.0, 32));
+    }
+
+    #[test]
+    fn value_close_mixes_numeric_types_but_not_others() {
+        assert!(value_close(&Value::Int(3), &Value::Float(3.0), 0));
+        assert!(value_close(&Value::Null, &Value::Null, 0));
+        assert!(value_close(&Value::All, &Value::All, 0));
+        assert!(!value_close(&Value::Null, &Value::All, u64::MAX));
+        assert!(!value_close(&Value::str("a"), &Value::str("b"), u64::MAX));
+    }
+}

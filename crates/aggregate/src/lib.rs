@@ -29,6 +29,7 @@
 
 pub mod accumulator;
 pub mod algebraic;
+pub mod compare;
 pub mod distributive;
 pub mod error;
 #[cfg(feature = "faults")]

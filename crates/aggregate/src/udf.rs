@@ -247,6 +247,12 @@ impl<S: Send + Sync + 'static> AggregateFunction for Uda<S> {
     fn cost(&self) -> u32 {
         self.cost
     }
+
+    fn mergeable(&self) -> bool {
+        // Without both pieces of the Iter_super protocol the accumulator's
+        // merge is a no-op — merge-based algorithms must not rely on it.
+        self.state.is_some() && self.merge.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +356,14 @@ mod tests {
         acc.iter(&Value::Int(9));
         assert_eq!(acc.final_value(), Value::Int(7));
         assert_eq!(acc.retract(&Value::Int(7)), Retract::Unsupported);
+        // ... but it must advertise that Iter_super is unavailable, so the
+        // engine keeps it off merge-based plans.
+        assert!(!f.mergeable());
+    }
+
+    #[test]
+    fn uda_with_state_and_merge_is_mergeable() {
+        assert!(geo_mean().mergeable());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use pipesort::symmetric_chains;
 use crate::error::{CubeError, CubeResult, Resource};
 use crate::exec::ExecContext;
 use crate::groupby::{ExecStats, Grouped};
-use crate::lattice::Lattice;
+use crate::lattice::{rollup_sets, Lattice};
 use crate::spec::{BoundAgg, BoundDimension};
 use dc_aggregate::AggKind;
 use dc_relation::Row;
@@ -94,9 +94,16 @@ pub(crate) fn run(
     vectorize: bool,
     ctx: &ExecContext,
 ) -> CubeResult<Grouped> {
+    // A UDA built without state()/merge() has a no-op Iter_super: any plan
+    // that folds sub-aggregate scratchpads (from-core cascade, sort frame
+    // closes, array slab sweeps, PipeSort chain hand-offs, parallel
+    // coalescing) would silently drop its data. Such functions are still
+    // legal — they just pin execution to the scan-per-cell 2^N path, after
+    // each algorithm's own shape checks so error behavior is unchanged.
+    let mergeable = aggs.iter().all(|a| a.func.mergeable());
     match algorithm {
         Algorithm::Auto => {
-            if aggs.iter().any(|a| a.func.kind() == AggKind::Holistic) {
+            if !mergeable || aggs.iter().any(|a| a.func.kind() == AggKind::Holistic) {
                 naive::run(rows, dims, aggs, lattice, stats, encoded, ctx).map(Grouped::Rows)
             } else {
                 from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
@@ -109,29 +116,68 @@ pub(crate) fn run(
             unions::run(rows, dims, aggs, lattice, stats, encoded, ctx).map(Grouped::Rows)
         }
         Algorithm::FromCore => {
+            if !mergeable {
+                return naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+                    .map(Grouped::Rows);
+            }
             from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
         }
-        Algorithm::Sort => sort::run(rows, dims, aggs, lattice, stats, ctx).map(Grouped::Rows),
-        Algorithm::Array => match array::run(rows, dims, aggs, lattice, stats, ctx) {
-            // Degradation rung 1: the dense array's *projected* size is
-            // checked before anything is materialized, so a cell/memory
-            // trip here is free to retry on the sparse hash-based path
-            // (which only pays for cells that actually exist).
-            Err(CubeError::ResourceExhausted {
-                resource: Resource::Cells | Resource::MemoryBytes,
-                ..
-            }) => {
-                stats.degraded_dense_to_sparse = true;
-                from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
+        Algorithm::Sort => {
+            if lattice.sets() != rollup_sets(lattice.n_dims())?.as_slice() {
+                return Err(CubeError::Unsupported(
+                    "the sort algorithm applies only to ROLLUP lattices".into(),
+                ));
             }
-            other => other.map(Grouped::Rows),
-        },
+            if !mergeable {
+                return naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+                    .map(Grouped::Rows);
+            }
+            sort::run(rows, dims, aggs, lattice, stats, ctx).map(Grouped::Rows)
+        }
+        Algorithm::Array => {
+            if !lattice.is_full_cube() {
+                return Err(CubeError::Unsupported(
+                    "the dense array algorithm computes full cubes only".into(),
+                ));
+            }
+            if !mergeable {
+                return naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+                    .map(Grouped::Rows);
+            }
+            match array::run(rows, dims, aggs, lattice, stats, ctx) {
+                // Degradation rung 1: the dense array's *projected* size is
+                // checked before anything is materialized, so a cell/memory
+                // trip here is free to retry on the sparse hash-based path
+                // (which only pays for cells that actually exist).
+                Err(CubeError::ResourceExhausted {
+                    resource: Resource::Cells | Resource::MemoryBytes,
+                    ..
+                }) => {
+                    stats.degraded_dense_to_sparse = true;
+                    from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
+                }
+                other => other.map(Grouped::Rows),
+            }
+        }
         Algorithm::PipeSort => {
+            if !lattice.is_full_cube() {
+                return Err(CubeError::Unsupported(
+                    "PipeSort computes full cubes only".into(),
+                ));
+            }
+            if !mergeable {
+                return naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+                    .map(Grouped::Rows);
+            }
             pipesort::run(rows, dims, aggs, lattice, stats, ctx).map(Grouped::Rows)
         }
         Algorithm::Parallel { threads } => {
             if threads == 0 {
                 return Err(CubeError::BadSpec("Parallel requires threads >= 1".into()));
+            }
+            if !mergeable {
+                return naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
+                    .map(Grouped::Rows);
             }
             parallel::run(
                 rows, dims, aggs, lattice, threads, stats, encoded, vectorize, ctx,

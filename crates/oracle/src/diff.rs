@@ -1,0 +1,173 @@
+//! Canonicalized result comparison.
+//!
+//! A cube result is a *relation*: row order is meaningless, and float
+//! aggregates computed through different merge trees may differ in final
+//! ULPs (GEOMEAN's Σln x, for instance, is reassociated by partitioning).
+//! Both sides are therefore sorted by their dimension-key columns — the
+//! key tuple, ALL pattern included, is unique across the whole result, so
+//! the order is total — and aggregate cells are compared with
+//! [`dc_aggregate::compare::value_close`] (NaN equals NaN, ±0.0 equal,
+//! bounded ULP/relative tolerance). Dimension keys are compared exactly.
+
+use dc_aggregate::compare::value_close;
+use dc_relation::table::canonical_sort;
+use dc_relation::{Row, Table};
+
+/// ULP budget for float aggregate cells. Merge-order noise on transcendental
+/// folds (ln/exp in GEOMEAN) exceeds a few ULPs, so `value_close` also
+/// allows a 1e-9 relative band; genuinely wrong results are wholesale
+/// different.
+pub const MAX_ULPS: u64 = 32;
+
+/// Compare an engine result `got` against the model's expectation.
+/// `key_cols` is the number of leading dimension columns.
+pub fn diff_tables(
+    expected_names: &[String],
+    expected_rows: &[Row],
+    got: &Table,
+    key_cols: usize,
+) -> Result<(), String> {
+    let got_names: Vec<&str> = got
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_ref())
+        .collect();
+    if got_names.len() != expected_names.len()
+        || got_names
+            .iter()
+            .zip(expected_names)
+            .any(|(g, e)| *g != e.as_str())
+    {
+        return Err(format!(
+            "schema mismatch: engine {got_names:?} vs model {expected_names:?}"
+        ));
+    }
+
+    let mut want: Vec<Row> = expected_rows.to_vec();
+    canonical_sort(&mut want, key_cols);
+    let have = got.canonical_rows(key_cols);
+
+    if want.len() != have.len() {
+        return Err(format!(
+            "row count mismatch: engine {} vs model {}\n{}",
+            have.len(),
+            want.len(),
+            first_key_difference(&want, &have, key_cols)
+        ));
+    }
+    for (i, (w, h)) in want.iter().zip(&have).enumerate() {
+        for c in 0..expected_names.len() {
+            let ok = if c < key_cols {
+                // Group keys must match exactly — NaN keys group by
+                // identity, and -0.0/+0.0 are distinct groups.
+                w[c] == h[c]
+            } else {
+                value_close(&h[c], &w[c], MAX_ULPS)
+            };
+            if !ok {
+                return Err(format!(
+                    "cell mismatch at canonical row {i}, column {} ({}): engine {} vs model {}\n\
+                     engine row: {h}\n model row: {w}",
+                    c, expected_names[c], h[c], w[c]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// On a count mismatch, report the first key present on one side only —
+/// far more useful than two row dumps.
+fn first_key_difference(want: &[Row], have: &[Row], key_cols: usize) -> String {
+    let key =
+        |r: &Row| -> Vec<dc_relation::Value> { (0..key_cols).map(|c| r[c].clone()).collect() };
+    let want_keys: Vec<_> = want.iter().map(&key).collect();
+    let have_keys: Vec<_> = have.iter().map(&key).collect();
+    for (r, k) in want.iter().zip(&want_keys) {
+        if !have_keys.contains(k) {
+            return format!("model-only group: {r}");
+        }
+    }
+    for (r, k) in have.iter().zip(&have_keys) {
+        if !want_keys.contains(k) {
+            return format!("engine-only group: {r}");
+        }
+    }
+    "same group keys, different multiplicities".into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relation::{DataType, Schema, Value};
+
+    fn table(rows: Vec<Row>) -> Table {
+        let schema = Schema::from_pairs(&[("d0", DataType::Str), ("a0", DataType::Float)]);
+        Table::from_validated_rows(schema, rows)
+    }
+
+    fn names() -> Vec<String> {
+        vec!["d0".into(), "a0".into()]
+    }
+
+    #[test]
+    fn order_is_irrelevant() {
+        let a = Row::new(vec![Value::str("x"), Value::Float(1.0)]);
+        let b = Row::new(vec![Value::All, Value::Float(3.0)]);
+        let got = table(vec![a.clone(), b.clone()]);
+        diff_tables(&names(), &[b, a], &got, 1).unwrap();
+    }
+
+    #[test]
+    fn nan_aggregates_compare_equal_but_wrong_values_fail() {
+        let got = table(vec![Row::new(vec![
+            Value::str("x"),
+            Value::Float(f64::NAN),
+        ])]);
+        diff_tables(
+            &names(),
+            &[Row::new(vec![Value::str("x"), Value::Float(f64::NAN)])],
+            &got,
+            1,
+        )
+        .unwrap();
+        let err = diff_tables(
+            &names(),
+            &[Row::new(vec![Value::str("x"), Value::Float(2.0)])],
+            &got,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.contains("cell mismatch"), "{err}");
+    }
+
+    #[test]
+    fn ulp_noise_tolerated_in_aggregates_not_keys() {
+        let noisy = 1.0f64 + f64::EPSILON;
+        let got = table(vec![Row::new(vec![Value::str("x"), Value::Float(noisy)])]);
+        diff_tables(
+            &names(),
+            &[Row::new(vec![Value::str("x"), Value::Float(1.0)])],
+            &got,
+            1,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_group_is_named() {
+        let got = table(vec![Row::new(vec![Value::str("x"), Value::Float(1.0)])]);
+        let err = diff_tables(
+            &names(),
+            &[
+                Row::new(vec![Value::str("x"), Value::Float(1.0)]),
+                Row::new(vec![Value::All, Value::Float(1.0)]),
+            ],
+            &got,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.contains("model-only group"), "{err}");
+    }
+}

@@ -1,0 +1,240 @@
+//! The model oracle: the paper's cube *definition*, executed literally.
+//!
+//! §2/§3 define the cube as a union of GROUP BYs — one per grouping set —
+//! where each set's rows carry the real group values in their grouping
+//! columns and `ALL` everywhere else. This module computes exactly that,
+//! as slowly and obviously as possible: a `BTreeMap` over value tuples per
+//! grouping set, every base row fed to every set, boxed accumulators
+//! driven one `Iter` at a time. No key encoding, no kernels, no cascade,
+//! no parallelism — and its own grouping-set expansion, independent of the
+//! engine's `Lattice`, so expansion bugs cannot cancel out.
+
+use crate::gen::{Case, QueryKind};
+use dc_aggregate::Accumulator;
+use dc_relation::{Row, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Expand a query kind to its family of grouping-set masks
+/// (`mask[d] == true` ⇒ dimension `d` groups; `false` ⇒ `ALL`), straight
+/// from the paper's definitions:
+///
+/// * GROUP BY — the single full set (§2).
+/// * ROLLUP — the prefixes, longest first (§3: "an N-dimensional roll-up
+///   will add only N [aggregate levels] to the answer set").
+/// * CUBE — the power set, 2^N sets (§3).
+/// * GROUPING SETS — exactly the requested sets, deduplicated.
+/// * Compound — the §3.1 cross product: the GROUP BY block in every set,
+///   the ROLLUP block's prefixes, the CUBE block's power set.
+pub fn model_masks(n: usize, query: &QueryKind) -> Vec<Vec<bool>> {
+    let mut masks: Vec<Vec<bool>> = Vec::new();
+    match query {
+        QueryKind::GroupBy => masks.push(vec![true; n]),
+        QueryKind::Rollup => {
+            for k in (0..=n).rev() {
+                masks.push((0..n).map(|d| d < k).collect());
+            }
+        }
+        QueryKind::Cube => {
+            for bits in 0..(1u64 << n) {
+                masks.push((0..n).map(|d| bits >> d & 1 == 1).collect());
+            }
+        }
+        QueryKind::GroupingSets(sets) => {
+            for set in sets {
+                masks.push((0..n).map(|d| set.contains(&d)).collect());
+            }
+        }
+        QueryKind::Compound { g, r } => {
+            let c = n - g - r;
+            for k in (0..=*r).rev() {
+                for bits in 0..(1u64 << c) {
+                    masks.push(
+                        (0..n)
+                            .map(|d| {
+                                if d < *g {
+                                    true
+                                } else if d < g + r {
+                                    d - g < k
+                                } else {
+                                    bits >> (d - g - r) & 1 == 1
+                                }
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+    }
+    let mut seen = BTreeSet::new();
+    masks.retain(|m| seen.insert(m.clone()));
+    masks
+}
+
+/// Compute the expected answer for a case: output column names
+/// (`d0..`, then `a0..`) and the full multiset of result rows (key values
+/// followed by aggregate finals). Row order is unspecified — the differ
+/// canonicalizes both sides.
+pub fn model_result(case: &Case) -> (Vec<String>, Vec<Row>) {
+    let t = &case.table;
+    let n = case.n_dims;
+    let schema = t.schema();
+
+    // Resolve aggregate inputs once. `None` is COUNT(*): per §3.3 /
+    // Figure 7 every row participates, so the model feeds a non-NULL
+    // placeholder exactly like the engine's star binding.
+    let inputs: Vec<Option<usize>> = case
+        .aggs
+        .iter()
+        .map(|a| {
+            a.input()
+                .map(|col| schema.index_of(col).expect("case aggregates bind"))
+        })
+        .collect();
+    let star = Value::Bool(true);
+
+    let mut out_rows: Vec<Row> = Vec::new();
+    for mask in model_masks(n, &case.query) {
+        let mut groups: BTreeMap<Vec<Value>, Vec<Box<dyn Accumulator>>> = BTreeMap::new();
+        for row in t.rows() {
+            let key: Vec<Value> = (0..n)
+                .map(|d| if mask[d] { row[d].clone() } else { Value::All })
+                .collect();
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| case.aggs.iter().map(|a| a.func().init()).collect());
+            for (acc, input) in accs.iter_mut().zip(&inputs) {
+                match input {
+                    Some(i) => acc.iter(&row[*i]),
+                    None => acc.iter(&star),
+                }
+            }
+        }
+        for (key, accs) in groups {
+            let mut vals = key;
+            vals.extend(accs.iter().map(|a| a.final_value()));
+            out_rows.push(Row::new(vals));
+        }
+    }
+
+    let names = (0..n)
+        .map(|d| format!("d{d}"))
+        .chain((0..case.aggs.len()).map(|i| format!("a{i}")))
+        .collect();
+    (names, out_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{AggDesc, Gov};
+    use dc_relation::{DataType, Schema, Table};
+
+    fn case(table: Table, n_dims: usize, query: QueryKind, aggs: Vec<AggDesc>) -> Case {
+        Case {
+            seed: 0,
+            table,
+            n_dims,
+            query,
+            aggs,
+            gov: Gov::None,
+        }
+    }
+
+    fn sales() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("d0", DataType::Str),
+            ("d1", DataType::Int),
+            ("m_int", DataType::Int),
+        ]);
+        let rows = vec![
+            Row::new(vec![Value::str("Chevy"), Value::Int(1994), Value::Int(50)]),
+            Row::new(vec![Value::str("Chevy"), Value::Int(1995), Value::Int(85)]),
+            Row::new(vec![Value::str("Ford"), Value::Int(1994), Value::Int(60)]),
+        ];
+        Table::new(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn mask_families_match_the_paper_counts() {
+        assert_eq!(model_masks(3, &QueryKind::GroupBy).len(), 1);
+        assert_eq!(model_masks(3, &QueryKind::Rollup).len(), 4);
+        assert_eq!(model_masks(3, &QueryKind::Cube).len(), 8);
+        // Figure 5's shape: 1 × (3+1) × 2^2 = 16.
+        assert_eq!(
+            model_masks(6, &QueryKind::Compound { g: 1, r: 3 }).len(),
+            16
+        );
+        // Duplicates collapse.
+        assert_eq!(
+            model_masks(2, &QueryKind::GroupingSets(vec![vec![0], vec![0], vec![]])).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn cube_grand_total_and_group_rows() {
+        let c = case(
+            sales(),
+            2,
+            QueryKind::Cube,
+            vec![AggDesc::Builtin {
+                name: "SUM".into(),
+                input: Some("m_int".into()),
+            }],
+        );
+        let (names, rows) = model_result(&c);
+        assert_eq!(names, vec!["d0", "d1", "a0"]);
+        // 2^2 sets over 3 base rows: 3 core + 2 model + 2 year + 1 grand.
+        assert_eq!(rows.len(), 8);
+        let grand = rows
+            .iter()
+            .find(|r| r[0] == Value::All && r[1] == Value::All)
+            .unwrap();
+        assert_eq!(grand[2], Value::Int(195));
+        let chevy = rows
+            .iter()
+            .find(|r| r[0] == Value::str("Chevy") && r[1] == Value::All)
+            .unwrap();
+        assert_eq!(chevy[2], Value::Int(135));
+    }
+
+    #[test]
+    fn empty_table_yields_no_rows_anywhere() {
+        let schema = Schema::from_pairs(&[("d0", DataType::Str), ("m_int", DataType::Int)]);
+        let c = case(
+            Table::empty(schema),
+            1,
+            QueryKind::Cube,
+            vec![AggDesc::Builtin {
+                name: "COUNT(*)".into(),
+                input: None,
+            }],
+        );
+        let (_, rows) = model_result(&c);
+        assert!(rows.is_empty(), "an empty relation has no groups (§3)");
+    }
+
+    #[test]
+    fn null_groups_stay_distinct_from_all_rows() {
+        let schema = Schema::from_pairs(&[("d0", DataType::Str), ("m_int", DataType::Int)]);
+        let rows = vec![
+            Row::new(vec![Value::Null, Value::Int(1)]),
+            Row::new(vec![Value::str("x"), Value::Int(2)]),
+        ];
+        let c = case(
+            Table::new(schema, rows).unwrap(),
+            1,
+            QueryKind::Cube,
+            vec![AggDesc::Builtin {
+                name: "SUM".into(),
+                input: Some("m_int".into()),
+            }],
+        );
+        let (_, rows) = model_result(&c);
+        // NULL is a real group (§3.4); ALL is the super-aggregate.
+        let null_row = rows.iter().find(|r| r[0] == Value::Null).unwrap();
+        let all_row = rows.iter().find(|r| r[0] == Value::All).unwrap();
+        assert_eq!(null_row[1], Value::Int(1));
+        assert_eq!(all_row[1], Value::Int(3));
+    }
+}

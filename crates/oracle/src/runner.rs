@@ -1,0 +1,145 @@
+//! The equivalence runner: every applicable engine path for a case.
+//!
+//! Hash-based algorithms (Auto, 2^N, union-of-GROUP-BYs, from-core,
+//! parallel at 1/4/16 threads) run under all four {encoded} × {vectorized}
+//! flag combinations; the sort- and array-based algorithms have their own
+//! key machinery (the flags are documented no-ops) and run once each,
+//! gated on the lattice shapes they support — Sort on ROLLUP lattices,
+//! Array and PipeSort on full cubes.
+//!
+//! Ungoverned runs must match the model exactly (up to float tolerance).
+//! Governed runs may instead fail with the matching typed error
+//! (`ResourceExhausted` under budgets, `Cancelled` under a tripped token);
+//! anything else — a wrong error, or a *wrong answer* returned despite the
+//! budget — is a divergence.
+
+use crate::diff::diff_tables;
+use crate::gen::{Case, Gov, QueryKind};
+use crate::model::model_result;
+use datacube::{Algorithm, CompoundSpec, CubeError, CubeQuery, CubeResult, Dimension};
+use dc_relation::Table;
+
+/// One engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Combo {
+    pub algorithm: Algorithm,
+    pub encoded: bool,
+    pub vectorized: bool,
+}
+
+/// All configurations applicable to a query kind.
+pub fn combos(query: &QueryKind) -> Vec<Combo> {
+    let hash_algorithms = [
+        Algorithm::Auto,
+        Algorithm::TwoToTheN,
+        Algorithm::UnionGroupBys,
+        Algorithm::FromCore,
+        Algorithm::Parallel { threads: 1 },
+        Algorithm::Parallel { threads: 4 },
+        Algorithm::Parallel { threads: 16 },
+    ];
+    let mut all = Vec::with_capacity(30);
+    for algorithm in hash_algorithms {
+        for encoded in [true, false] {
+            for vectorized in [true, false] {
+                all.push(Combo {
+                    algorithm,
+                    encoded,
+                    vectorized,
+                });
+            }
+        }
+    }
+    match query {
+        QueryKind::Rollup => all.push(Combo {
+            algorithm: Algorithm::Sort,
+            encoded: true,
+            vectorized: true,
+        }),
+        QueryKind::Cube => {
+            for algorithm in [Algorithm::Array, Algorithm::PipeSort] {
+                all.push(Combo {
+                    algorithm,
+                    encoded: true,
+                    vectorized: true,
+                });
+            }
+        }
+        _ => {}
+    }
+    all
+}
+
+/// Execute the case's query through one engine configuration.
+pub fn run_engine(case: &Case, combo: &Combo) -> CubeResult<Table> {
+    let mut q = CubeQuery::new()
+        .algorithm(combo.algorithm)
+        .encoded_keys(combo.encoded)
+        .vectorized(combo.vectorized)
+        .limits(case.gov.limits());
+    for (i, desc) in case.aggs.iter().enumerate() {
+        q = q.aggregate(desc.spec(i));
+    }
+    let dims: Vec<Dimension> = (0..case.n_dims)
+        .map(|d| Dimension::column(format!("d{d}")))
+        .collect();
+    match &case.query {
+        QueryKind::GroupBy => q.dimensions(dims).group_by(&case.table),
+        QueryKind::Rollup => q.dimensions(dims).rollup(&case.table),
+        QueryKind::Cube => q.dimensions(dims).cube(&case.table),
+        QueryKind::GroupingSets(sets) => q.dimensions(dims).grouping_sets(&case.table, sets),
+        QueryKind::Compound { g, r } => {
+            let spec = CompoundSpec::new()
+                .group_by(dims[..*g].to_vec())
+                .rollup(dims[*g..g + r].to_vec())
+                .cube(dims[g + r..].to_vec());
+            q.compound(&case.table, &spec)
+        }
+    }
+}
+
+/// Run every configuration and diff against the model. `Err` carries a
+/// human-readable divergence report naming the configuration.
+pub fn check_case(case: &Case) -> Result<(), String> {
+    let (names, expected) = model_result(case);
+    for combo in combos(&case.query) {
+        match run_engine(case, &combo) {
+            Ok(table) => diff_tables(&names, &expected, &table, case.n_dims)
+                .map_err(|m| format!("{combo:?}: {m}"))?,
+            Err(err) => {
+                let acceptable = matches!(
+                    (&case.gov, &err),
+                    (
+                        Gov::MaxCells(_) | Gov::MaxMemoryBytes(_),
+                        CubeError::ResourceExhausted { .. }
+                    ) | (Gov::PreCancelled, CubeError::Cancelled { .. })
+                );
+                if !acceptable {
+                    return Err(format!("{combo:?}: unexpected error: {err}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_only_offered_for_rollup_and_dense_only_for_cube() {
+        let rollup = combos(&QueryKind::Rollup);
+        assert!(rollup.iter().any(|c| c.algorithm == Algorithm::Sort));
+        assert!(!rollup.iter().any(|c| c.algorithm == Algorithm::Array));
+        let cube = combos(&QueryKind::Cube);
+        assert!(cube.iter().any(|c| c.algorithm == Algorithm::Array));
+        assert!(cube.iter().any(|c| c.algorithm == Algorithm::PipeSort));
+        assert!(!cube.iter().any(|c| c.algorithm == Algorithm::Sort));
+        // 7 hash algorithms × 4 flag combos, plus the dense pair.
+        assert_eq!(cube.len(), 30);
+        assert!(cube
+            .iter()
+            .any(|c| c.algorithm == Algorithm::Parallel { threads: 16 }));
+    }
+}

@@ -1,0 +1,307 @@
+//! Greedy case minimization.
+//!
+//! Given a failing case and a predicate that re-checks it, repeatedly try
+//! structural reductions that keep the failure alive: delta-debugging
+//! style row-chunk removal, dropping aggregates, dropping whole
+//! dimensions (remapping the spec and renaming columns), and clearing
+//! governance. The result is the smallest case this greedy walk reaches —
+//! typically a handful of rows and a single aggregate — printed by the
+//! fuzz driver next to the replay seed.
+
+use crate::gen::{AggDesc, Case, QueryKind};
+use dc_relation::{Row, Schema, Table};
+
+/// Re-check a candidate; `Some(report)` means "still failing".
+pub type FailCheck<'a> = &'a dyn Fn(&Case) -> Option<String>;
+
+/// Minimize `case` while `fails` keeps reporting a failure on it.
+pub fn shrink(case: &Case, fails: FailCheck) -> Case {
+    let mut cur = case.clone();
+    debug_assert!(fails(&cur).is_some(), "shrink needs a failing case");
+    loop {
+        let mut progressed = false;
+        progressed |= shrink_rows(&mut cur, fails);
+        progressed |= shrink_aggs(&mut cur, fails);
+        progressed |= shrink_dims(&mut cur, fails);
+        if !matches!(cur.gov, crate::gen::Gov::None) {
+            let mut cand = cur.clone();
+            cand.gov = crate::gen::Gov::None;
+            if fails(&cand).is_some() {
+                cur = cand;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+fn with_rows(case: &Case, rows: Vec<Row>) -> Case {
+    let mut cand = case.clone();
+    cand.table = Table::from_validated_rows(case.table.schema().clone(), rows);
+    cand
+}
+
+/// ddmin-lite: remove chunks of halving size while the failure persists.
+fn shrink_rows(cur: &mut Case, fails: FailCheck) -> bool {
+    let mut progressed = false;
+    let mut chunk = (cur.table.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < cur.table.len() {
+            let end = (start + chunk).min(cur.table.len());
+            let kept: Vec<Row> = cur
+                .table
+                .rows()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < start || *i >= end)
+                .map(|(_, r)| r.clone())
+                .collect();
+            let cand = with_rows(cur, kept);
+            if fails(&cand).is_some() {
+                *cur = cand;
+                progressed = true;
+                // Same start now addresses the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            return progressed;
+        }
+        chunk /= 2;
+    }
+}
+
+fn shrink_aggs(cur: &mut Case, fails: FailCheck) -> bool {
+    let mut progressed = false;
+    'outer: while cur.aggs.len() > 1 {
+        for i in 0..cur.aggs.len() {
+            let mut cand = cur.clone();
+            cand.aggs.remove(i);
+            if fails(&cand).is_some() {
+                *cur = cand;
+                progressed = true;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    progressed
+}
+
+fn shrink_dims(cur: &mut Case, fails: FailCheck) -> bool {
+    let mut progressed = false;
+    let mut d = 0;
+    while d < cur.n_dims {
+        match drop_dim(cur, d) {
+            Some(cand) if fails(&cand).is_some() => {
+                *cur = cand;
+                progressed = true;
+                // Same index now addresses the next dimension.
+            }
+            _ => d += 1,
+        }
+    }
+    progressed
+}
+
+/// Remove dimension `d`: drop its column, rename the remaining dims back
+/// to `d0..`, and remap the query spec and aggregate inputs. `None` when
+/// an aggregate consumes the column (drop the aggregate first).
+fn drop_dim(case: &Case, d: usize) -> Option<Case> {
+    let dropped = format!("d{d}");
+    if case
+        .aggs
+        .iter()
+        .any(|a| a.input() == Some(dropped.as_str()))
+    {
+        return None;
+    }
+    let remap_col = |name: &str| -> String {
+        match name.strip_prefix('d').and_then(|s| s.parse::<usize>().ok()) {
+            Some(j) if j < case.n_dims && j > d => format!("d{}", j - 1),
+            _ => name.to_string(),
+        }
+    };
+
+    let old = case.table.schema();
+    let pairs: Vec<(String, dc_relation::DataType)> = old
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != d)
+        .map(|(_, c)| (remap_col(&c.name), c.dtype))
+        .collect();
+    let pair_refs: Vec<(&str, dc_relation::DataType)> =
+        pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let schema = Schema::new(
+        pair_refs
+            .iter()
+            .map(|(n, t)| dc_relation::schema::ColumnDef::new(n, *t))
+            .collect(),
+    )
+    .ok()?;
+    let rows: Vec<Row> = case
+        .table
+        .rows()
+        .iter()
+        .map(|r| {
+            Row::new(
+                (0..old.len())
+                    .filter(|i| *i != d)
+                    .map(|i| r[i].clone())
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let query = match &case.query {
+        QueryKind::GroupBy => QueryKind::GroupBy,
+        QueryKind::Rollup => QueryKind::Rollup,
+        QueryKind::Cube => QueryKind::Cube,
+        QueryKind::GroupingSets(sets) => QueryKind::GroupingSets(
+            sets.iter()
+                .map(|s| {
+                    s.iter()
+                        .filter(|&&j| j != d)
+                        .map(|&j| if j > d { j - 1 } else { j })
+                        .collect()
+                })
+                .collect(),
+        ),
+        QueryKind::Compound { g, r } => {
+            if d < *g {
+                QueryKind::Compound { g: g - 1, r: *r }
+            } else if d < g + r {
+                QueryKind::Compound { g: *g, r: r - 1 }
+            } else {
+                QueryKind::Compound { g: *g, r: *r }
+            }
+        }
+    };
+
+    let aggs: Vec<AggDesc> = case
+        .aggs
+        .iter()
+        .map(|a| match a {
+            AggDesc::Builtin { name, input } => AggDesc::Builtin {
+                name: name.clone(),
+                input: input.as_deref().map(remap_col),
+            },
+            AggDesc::SumSquares { input } => AggDesc::SumSquares {
+                input: remap_col(input),
+            },
+            AggDesc::Range { input } => AggDesc::Range {
+                input: remap_col(input),
+            },
+            AggDesc::AnyMin { input } => AggDesc::AnyMin {
+                input: remap_col(input),
+            },
+        })
+        .collect();
+
+    Some(Case {
+        seed: case.seed,
+        table: Table::from_validated_rows(schema, rows),
+        n_dims: case.n_dims - 1,
+        query,
+        aggs,
+        gov: case.gov.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+    use dc_relation::Value;
+
+    /// Synthetic failure predicate: "some row has m_int == sentinel".
+    /// Shrinking against it must converge to a single-row table while the
+    /// sentinel row survives every reduction.
+    #[test]
+    fn shrinks_rows_aggs_and_dims_to_a_minimal_witness() {
+        // Find a seeded case with a few rows and ≥ 2 dims to make the
+        // reductions meaningful.
+        let mut case = (0..500u64)
+            .map(gen_case)
+            .find(|c| c.table.len() >= 8 && c.n_dims >= 2)
+            .expect("generator produces a rich case in 500 seeds");
+        // Measure-only aggregates, so every dimension is droppable.
+        case.aggs = vec![
+            AggDesc::Builtin {
+                name: "SUM".into(),
+                input: Some("m_int".into()),
+            },
+            AggDesc::Builtin {
+                name: "COUNT(*)".into(),
+                input: None,
+            },
+        ];
+        let m_int = case.table.schema().index_of("m_int").unwrap();
+        // Plant a sentinel on one row.
+        let mut rows: Vec<Row> = case.table.rows().to_vec();
+        let mut vals: Vec<Value> = (0..case.table.schema().len())
+            .map(|i| rows[3][i].clone())
+            .collect();
+        vals[m_int] = Value::Int(777_777);
+        rows[3] = Row::new(vals);
+        case.table = Table::from_validated_rows(case.table.schema().clone(), rows);
+
+        let fails = |c: &Case| -> Option<String> {
+            let idx = c.table.schema().index_of("m_int").ok()?;
+            c.table
+                .rows()
+                .iter()
+                .any(|r| r[idx] == Value::Int(777_777))
+                .then(|| "sentinel present".to_string())
+        };
+        let minimal = shrink(&case, &fails);
+        assert_eq!(minimal.table.len(), 1, "rows minimized");
+        assert_eq!(minimal.aggs.len(), 1, "aggs minimized");
+        assert_eq!(minimal.n_dims, 0, "dims minimized");
+        assert!(fails(&minimal).is_some(), "failure preserved");
+    }
+
+    #[test]
+    fn drop_dim_remaps_specs_and_inputs() {
+        let case = Case {
+            seed: 0,
+            table: Table::from_validated_rows(
+                Schema::from_pairs(&[
+                    ("d0", dc_relation::DataType::Int),
+                    ("d1", dc_relation::DataType::Int),
+                    ("d2", dc_relation::DataType::Int),
+                    ("m_int", dc_relation::DataType::Int),
+                ]),
+                vec![Row::new(vec![
+                    Value::Int(1),
+                    Value::Int(2),
+                    Value::Int(3),
+                    Value::Int(4),
+                ])],
+            ),
+            n_dims: 3,
+            query: QueryKind::GroupingSets(vec![vec![0, 2], vec![1]]),
+            aggs: vec![AggDesc::Builtin {
+                name: "MIN".into(),
+                input: Some("d2".into()),
+            }],
+            gov: crate::gen::Gov::None,
+        };
+        // d2 is consumed by an aggregate: not droppable.
+        assert!(drop_dim(&case, 2).is_none());
+        // Dropping d1 remaps set {0,2} → {0,1} and input d2 → d1.
+        let cand = drop_dim(&case, 1).unwrap();
+        assert_eq!(cand.n_dims, 2);
+        assert_eq!(
+            cand.query,
+            QueryKind::GroupingSets(vec![vec![0, 1], vec![]])
+        );
+        assert_eq!(cand.aggs[0].input(), Some("d1"));
+        assert_eq!(cand.table.rows()[0][1], Value::Int(3));
+    }
+}

@@ -138,6 +138,19 @@ impl Table {
         Ordering::Equal
     }
 
+    /// The rows in canonical relation order: sorted by the first
+    /// `key_cols` columns under the grouping total order (`NULL` first,
+    /// `ALL` last, NaN and ±0.0 each ordered by identity), with the full
+    /// row as tie-break. In a cube result the leading dimension tuple —
+    /// ALL pattern included — is unique, so the order is total on the key
+    /// alone; the tie-break only matters for arbitrary bags. This is the
+    /// canonical form differential tests compare under.
+    pub fn canonical_rows(&self, key_cols: usize) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        canonical_sort(&mut rows, key_cols);
+        rows
+    }
+
     /// Bag union (SQL `UNION ALL`); schemas must be union-compatible, and
     /// the left schema's names win.
     pub fn union_all(&self, other: &Table) -> RelResult<Table> {
@@ -275,6 +288,22 @@ impl Table {
             .collect();
         Ok(Table::from_validated_rows(schema, rows))
     }
+}
+
+/// Sort a bag of rows into canonical relation order: lexicographic on the
+/// first `key_cols` columns (the grouping total order), full row as
+/// tie-break. Shared by [`Table::canonical_rows`] and by oracles that hold
+/// bare row vectors rather than tables.
+pub fn canonical_sort(rows: &mut [Row], key_cols: usize) {
+    rows.sort_by(|a, b| {
+        for i in 0..key_cols {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        a.cmp(b)
+    });
 }
 
 impl fmt::Display for Table {
@@ -444,5 +473,34 @@ mod tests {
         // exactly the §3.4 design. Round-trip restores the original.
         let back = enc.from_null_grouping_encoding(&["model", "year"]).unwrap();
         assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn canonical_rows_sorts_by_key_prefix_with_grouping_order() {
+        let schema = Schema::new(vec![
+            ColumnDef::with_all("model", DataType::Str),
+            ColumnDef::new("units", DataType::Int),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Row::new(vec![Value::All, Value::Int(3)]),
+                row!["Ford", 2],
+                Row::new(vec![Value::Null, Value::Int(0)]),
+                row!["Chevy", 1],
+            ],
+        )
+        .unwrap();
+        let canon = t.canonical_rows(1);
+        // Grouping total order: NULL first, then data values, ALL last.
+        assert_eq!(canon[0][0], Value::Null);
+        assert_eq!(canon[1][0], Value::str("Chevy"));
+        assert_eq!(canon[2][0], Value::str("Ford"));
+        assert_eq!(canon[3][0], Value::All);
+        // Duplicate keys fall back to the full row, so the order is total.
+        let mut dup = vec![row!["x", 2], row!["x", 1]];
+        canonical_sort(&mut dup, 1);
+        assert_eq!(dup[0][1], Value::Int(1));
     }
 }

@@ -4,7 +4,7 @@
 //! cubes stay dense enough to be interesting) and check the paper's
 //! algebraic claims hold for *every* input, not just the examples.
 
-use datacube::{AggSpec, Algorithm, CubeQuery, Dimension};
+use datacube::{AggSpec, Algorithm, CompoundSpec, CubeQuery, Dimension};
 use dc_aggregate::builtin;
 use dc_relation::{DataType, Date, Row, Schema, Table, Value};
 use proptest::prelude::*;
@@ -424,5 +424,48 @@ proptest! {
         prop_assert_eq!(off_stats.vectorized_kernels_used, 0);
         prop_assert_eq!(on.rows(), off.rows());
         prop_assert_eq!(on_stats.iter_calls, off_stats.iter_calls);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The §3.1 compound algebra is a containment chain: every GROUP BY
+    /// row appears in the ROLLUP over the same dimensions, and every
+    /// ROLLUP row appears in the CUBE — CUBE(a,b) ⊇ ROLLUP(a,b) ⊇
+    /// GROUP BY a,b — with each step strictly adding super-aggregate rows
+    /// on non-empty input (the rollup's prefix totals, then the cube's
+    /// remaining slabs).
+    #[test]
+    fn compound_algebra_containment(t in arb_table(100)) {
+        let ab = || vec![Dimension::column("a"), Dimension::column("b")];
+        let run = |spec: &CompoundSpec| {
+            CubeQuery::new()
+                .dimensions(ab())
+                .aggregate(sum_units())
+                .aggregate(count_units())
+                .compound(&t, spec)
+                .unwrap()
+        };
+        let group_by = run(&CompoundSpec::new().group_by(ab()));
+        let rollup = run(&CompoundSpec::new().rollup(ab()));
+        let cube = run(&CompoundSpec::new().cube(ab()));
+
+        let contains = |sup: &Table, sub: &Table| {
+            sub.rows().iter().all(|r| sup.rows().contains(r))
+        };
+        prop_assert!(contains(&rollup, &group_by), "ROLLUP must contain GROUP BY");
+        prop_assert!(contains(&cube, &rollup), "CUBE must contain ROLLUP");
+
+        if !t.rows().is_empty() {
+            // ROLLUP adds the a-prefix totals and the grand total; CUBE
+            // additionally adds the b-slabs.
+            prop_assert!(rollup.rows().len() > group_by.rows().len());
+            prop_assert!(cube.rows().len() > rollup.rows().len());
+        } else {
+            prop_assert_eq!(cube.rows().len(), 0);
+            prop_assert_eq!(rollup.rows().len(), 0);
+            prop_assert_eq!(group_by.rows().len(), 0);
+        }
     }
 }

@@ -14,6 +14,9 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== differential oracle fuzz smoke (200 fixed-seed cases) =="
+cargo test -q -p oracle --release
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
