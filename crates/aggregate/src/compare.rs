@@ -63,6 +63,7 @@ pub fn value_close(a: &Value, b: &Value, max_ulps: u64) -> bool {
         (Value::Float(x), Value::Int(y)) | (Value::Int(y), Value::Float(x)) => {
             floats_close(*x, *y as f64, max_ulps)
         }
+        // cube-lint: allow(wildcard, defers to Value equality which is variant-exhaustive)
         _ => a == b,
     }
 }

@@ -151,7 +151,9 @@ impl SumAcc {
                 self.saw_float = true;
                 self.float_sum += (sign as f64) * f;
             }
-            _ => return,
+            // §3.3: everything non-numeric (NULL and ALL included) is
+            // skipped by SUM, without counting toward n.
+            Value::Null | Value::All | Value::Bool(_) | Value::Str(_) | Value::Date(_) => return,
         }
         self.n += sign;
     }
@@ -438,7 +440,12 @@ impl<const IS_EVERY: bool> Accumulator for BoolAcc<IS_EVERY> {
         match v {
             Value::Bool(true) => self.trues += 1,
             Value::Bool(false) => self.falses += 1,
-            _ => {}
+            Value::Null
+            | Value::All
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Str(_)
+            | Value::Date(_) => {}
         }
     }
 
@@ -465,7 +472,12 @@ impl<const IS_EVERY: bool> Accumulator for BoolAcc<IS_EVERY> {
         match v {
             Value::Bool(true) => self.trues -= 1,
             Value::Bool(false) => self.falses -= 1,
-            _ => {}
+            Value::Null
+            | Value::All
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Str(_)
+            | Value::Date(_) => {}
         }
         Retract::Applied
     }

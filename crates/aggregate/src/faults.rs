@@ -33,6 +33,28 @@ pub enum Fault {
     TripBudget,
 }
 
+/// Every failpoint site in the engine, by name. `cube_lint` (rule R3)
+/// cross-checks this list against the `failpoint("…")` / `faults::hit("…")`
+/// call sites in the workspace: a site referenced but not listed here, a
+/// listed name no longer referenced, or a duplicate entry all fail the
+/// lint — so this registry can never drift from the code.
+pub const SITES: &[&str] = &[
+    "uda::init",
+    "uda::iter",
+    "uda::merge",
+    "uda::final",
+    "core::scan",
+    "materialize",
+    "cascade::level",
+    "array::sweep",
+    "sort::scan",
+    "naive::scan",
+    "unions::scan",
+    "parallel::worker",
+    "vectorized::morsel",
+    "pipesort::pipeline",
+];
+
 /// Count of armed sites — the fast-path guard. Zero means every failpoint
 /// is a single relaxed load.
 static ARMED: AtomicUsize = AtomicUsize::new(0);
@@ -44,7 +66,7 @@ fn registry() -> &'static Mutex<HashMap<String, Fault>> {
 
 /// Arm `fault` at `site`. Replaces any fault already armed there.
 pub fn arm(site: &str, fault: Fault) {
-    let mut map = registry().lock().expect("faults registry poisoned");
+    let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
     if map.insert(site.to_string(), fault).is_none() {
         ARMED.fetch_add(1, Ordering::SeqCst);
     }
@@ -53,7 +75,7 @@ pub fn arm(site: &str, fault: Fault) {
 /// Disarm every failpoint. Tests call this before releasing the suite
 /// mutex so one scenario can never leak into the next.
 pub fn disarm_all() {
-    let mut map = registry().lock().expect("faults registry poisoned");
+    let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
     if !map.is_empty() {
         ARMED.fetch_sub(map.len(), Ordering::SeqCst);
         map.clear();
@@ -69,11 +91,12 @@ pub fn hit(site: &str) -> bool {
         return false;
     }
     let fault = {
-        let map = registry().lock().expect("faults registry poisoned");
+        let map = registry().lock().unwrap_or_else(|p| p.into_inner());
         map.get(site).cloned()
     };
     match fault {
         None => false,
+        // cube-lint: allow(panic, the Panic fault exists to panic; callers guard it)
         Some(Fault::Panic(msg)) => panic!("injected fault at {site}: {msg}"),
         Some(Fault::SleepMs(ms)) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));

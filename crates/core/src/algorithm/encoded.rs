@@ -161,6 +161,7 @@ pub(crate) fn compute_core(
     while base < rows.len() {
         ctx.checkpoint()?;
         let end = (base + MORSEL_ROWS).min(rows.len());
+        // cube-lint: allow(checkpoint, bounded by MORSEL_ROWS; the while above checkpoints per morsel)
         for (row, &key) in rows[base..end].iter().zip(&enc.keys[base..end]) {
             stats.rows_scanned += 1;
             arena.update(key, row, aggs, stats, ctx)?;
@@ -408,6 +409,7 @@ pub(crate) fn cascade(
             (
                 *s,
                 done.remove(s)
+                    // cube-lint: allow(panic, cascade materializes each lattice set exactly once)
                     .expect("every set materialized")
                     .into_group_map(encoder),
             )
@@ -450,6 +452,7 @@ pub(crate) fn parallel(
                         }
                         ctx.checkpoint()?;
                         let end = (base + MORSEL_ROWS).min(rows.len());
+                        // cube-lint: allow(checkpoint, bounded by MORSEL_ROWS; the claim loop checkpoints per morsel)
                         for (row, &key) in rows[base..end].iter().zip(&enc.keys[base..end]) {
                             local.rows_scanned += 1;
                             arena.update(key, row, aggs, &mut local, ctx)?;
@@ -487,6 +490,7 @@ pub(crate) fn parallel(
                         .zip(&boxes[range])
                         .zip(aggs.iter())
                     {
+                        // cube-lint: allow(panic, partition slots are taken at most once per merge pass)
                         let pacc = pacc.as_ref().expect("slot visited once");
                         exec::guard(agg.func.name(), || acc.merge(&pacc.state()))?;
                         stats.merge_calls += 1;
@@ -498,6 +502,7 @@ pub(crate) fn parallel(
                     let s = core.accs.len() / n;
                     e.insert(s as u32);
                     for b in &mut boxes[range] {
+                        // cube-lint: allow(panic, partition slots are taken at most once per merge pass)
                         core.accs.push(b.take().expect("slot visited once"));
                     }
                 }

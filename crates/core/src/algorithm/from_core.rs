@@ -221,6 +221,7 @@ pub(crate) fn cascade(
     Ok(lattice
         .sets()
         .iter()
+        // cube-lint: allow(panic, the cascade above materializes each lattice set exactly once)
         .map(|s| (*s, done.remove(s).expect("every set materialized")))
         .collect())
 }

@@ -158,6 +158,7 @@ fn pipeline(
                 let (_, map) = maps
                     .iter_mut()
                     .find(|(s, _)| s == set)
+                    // cube-lint: allow(panic, pipelines are built from this lattice's own chains)
                     .expect("chain set is in the lattice");
                 map.insert(Row::new(key_vals), accs);
             }
@@ -175,6 +176,7 @@ fn pipeline(
                     let parent_prefix = prefix[..level - 1].to_vec();
                     frames[level - 1] = Some((parent_prefix, exec::guarded_init(aggs)?));
                 }
+                // cube-lint: allow(panic, opened by the is_none branch just above)
                 let (_, paccs) = frames[level - 1].as_mut().expect("parent frame open");
                 for ((p, c), agg) in paccs.iter_mut().zip(accs.iter()).zip(aggs.iter()) {
                     exec::guard(agg.func.name(), || p.merge(&c.state()))?;
@@ -216,6 +218,7 @@ fn pipeline(
             ctx.charge_cells(1)?;
             frames[0] = Some((Vec::new(), exec::guarded_init(aggs)?));
         }
+        // cube-lint: allow(panic, the open loop above re-opens every closed frame)
         let (_, accs) = frames[max_level].as_mut().expect("deepest frame open");
         for (acc, agg) in accs.iter_mut().zip(aggs.iter()) {
             exec::guard(agg.func.name(), || acc.iter(agg.input_value(row)))?;

@@ -106,11 +106,13 @@ pub(crate) fn plan(rows: &[Row], aggs: &[BoundAgg]) -> Option<KernelPlan> {
                     let extracted = columns.entry(idx).or_insert_with(|| {
                         if let Some(col) = Column::try_ints(rows, idx) {
                             let ColumnData::Int(vals) = col.data else {
+                                // cube-lint: allow(panic, try_ints only ever builds Int column data)
                                 unreachable!()
                             };
                             Some(Extracted::Ints(Arc::new((vals, col.validity))))
                         } else if let Some(col) = Column::try_floats(rows, idx) {
                             let ColumnData::Float(vals) = col.data else {
+                                // cube-lint: allow(panic, try_floats only ever builds Float column data)
                                 unreachable!()
                             };
                             Some(Extracted::Floats(Arc::new((vals, col.validity))))
@@ -249,10 +251,13 @@ impl KernelSets {
                 .map(|(&key, &slot)| (encoder.decode_key(key), slot))
                 .collect();
             cells.sort_by(|a, b| a.0.cmp(&b.0));
-            for (key, slot) in cells {
+            for (i, (key, slot)) in cells.into_iter().enumerate() {
+                ctx.tick(i)?;
                 let mut vals = key.0;
                 let base = slot as usize * n;
+                // cube-lint: allow(checkpoint, bounded by the lane count; the cell loop above ticks)
                 for (lane, cell) in plan.lanes.iter().zip(&arena.cells[base..base + n]) {
+                    // cube-lint: allow(guard, engine-owned POD kernel, runs no user code)
                     vals.push(lane.kernel.final_value(cell, lane.float_input()));
                     stats.final_calls += 1;
                 }
@@ -352,6 +357,7 @@ fn compute_core(
     let mut arena = KernelArena::new(plan.lanes.len());
     let mut slot_buf = Vec::with_capacity(MORSEL_ROWS.min(n_rows));
     let mut base = 0;
+    // cube-lint: allow(checkpoint, scan_morsel checkpoints at its own failpoint per morsel)
     while base < n_rows {
         let end = (base + MORSEL_ROWS).min(n_rows);
         scan_morsel(&mut arena, enc, plan, &mut slot_buf, base, end, stats, ctx)?;
@@ -402,6 +408,7 @@ fn merged_child(
         for (l, lane) in plan.lanes.iter().enumerate() {
             let src = parent.cells[pbase + l];
             lane.kernel
+                // cube-lint: allow(guard, engine-owned POD kernel, runs no user code)
                 .merge(&mut child.cells[cslot * n + l], &src, lane.float_input());
             merges += 1;
         }
@@ -535,6 +542,7 @@ fn cascade(
     Ok(lattice
         .sets()
         .iter()
+        // cube-lint: allow(panic, the cascade above materializes each lattice set exactly once)
         .map(|s| (*s, done.remove(s).expect("every set materialized")))
         .collect())
 }
@@ -643,6 +651,7 @@ pub(crate) fn parallel(
                     for (l, lane) in plan.lanes.iter().enumerate() {
                         let src = partial.cells[pbase + l];
                         lane.kernel
+                            // cube-lint: allow(guard, engine-owned POD kernel, runs no user code)
                             .merge(&mut core.cells[cbase + l], &src, lane.float_input());
                         stats.merge_calls += 1;
                     }

@@ -153,6 +153,7 @@ impl KeyEncoder {
                         0 => Value::All,
                         c => self.symbols[d]
                             .decode((c - 1) as u32)
+                            // cube-lint: allow(panic, keys were packed from this very symbol table)
                             .expect("packed field within interned range")
                             .clone(),
                     }

@@ -298,9 +298,11 @@ pub(crate) fn panic_error(site: &str, payload: &(dyn std::any::Any + Send)) -> C
 
 /// Run one user-aggregate callback under `catch_unwind`, converting a
 /// panic into `CubeError::AggPanicked(name, message)`. The happy path is
-/// a plain call — `name` is only materialized on unwind.
+/// a plain call — `name` is only materialized on unwind. Public so that
+/// every layer invoking accumulator or UDF code (the SQL engine included)
+/// can satisfy cube_lint's panic-isolation rule with the same wrapper.
 #[inline]
-pub(crate) fn guard<T>(name: &str, f: impl FnOnce() -> T) -> CubeResult<T> {
+pub fn guard<T>(name: &str, f: impl FnOnce() -> T) -> CubeResult<T> {
     catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_error(name, p.as_ref()))
 }
 

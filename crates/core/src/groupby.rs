@@ -101,13 +101,6 @@ impl Grouped {
     }
 }
 
-/// Fresh accumulators for every aggregate — the paper's Init() burst for a
-/// new cell.
-#[inline]
-pub(crate) fn init_accs(aggs: &[BoundAgg]) -> Vec<Box<dyn Accumulator>> {
-    aggs.iter().map(|a| a.func.init()).collect()
-}
-
 /// Evaluate all dimensions of one row — the full cube coordinate.
 #[inline]
 pub(crate) fn full_key(dims: &[BoundDimension], row: &Row) -> Row {
@@ -229,7 +222,8 @@ pub(crate) fn materialize(
         ctx.checkpoint()?;
         let mut cells: Vec<(Row, Vec<Box<dyn Accumulator>>)> = map.into_iter().collect();
         cells.sort_by(|a, b| a.0.cmp(&b.0));
-        for (key, accs) in cells {
+        for (i, (key, accs)) in cells.into_iter().enumerate() {
+            ctx.tick(i)?;
             let mut vals = key.0;
             for (acc, agg) in accs.iter().zip(aggs.iter()) {
                 vals.push(exec::guard(agg.func.name(), || acc.final_value())?);

@@ -23,7 +23,8 @@
 //! trigger-style.
 
 use crate::error::{CubeError, CubeResult};
-use crate::groupby::{full_key, init_accs, project_key, result_schema};
+use crate::exec;
+use crate::groupby::{full_key, project_key, result_schema};
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::{AggSpec, BoundAgg, BoundDimension, Dimension};
 use dc_aggregate::{Accumulator, Retract};
@@ -147,12 +148,15 @@ impl MaterializedCube {
         let full = full_key(&self.dims, &row);
         for (set, map) in inner.cells.iter_mut() {
             let key = project_key(&full, *set);
-            let cell = map.entry(key).or_insert_with(|| Cell {
-                accs: init_accs(&self.aggs),
-                support: 0,
-            });
+            let cell = match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => e.insert(Cell {
+                    accs: exec::guarded_init(&self.aggs)?,
+                    support: 0,
+                }),
+            };
             for (acc, agg) in cell.accs.iter_mut().zip(self.aggs.iter()) {
-                acc.iter(agg.input_value(&row));
+                exec::guard(agg.func.name(), || acc.iter(agg.input_value(&row)))?;
             }
             cell.support += 1;
         }
@@ -199,12 +203,12 @@ impl MaterializedCube {
             }
             if needs_recompute {
                 // The delete-holistic path: rebuild this cell from base.
-                let mut accs = init_accs(&self.aggs);
+                let mut accs = exec::guarded_init(&self.aggs)?;
                 for brow in base.iter() {
                     stats.rows_rescanned += 1;
                     if project_key(&full_key(&self.dims, brow), *set) == key {
                         for (acc, agg) in accs.iter_mut().zip(self.aggs.iter()) {
-                            acc.iter(agg.input_value(brow));
+                            exec::guard(agg.func.name(), || acc.iter(agg.input_value(brow)))?;
                         }
                     }
                 }
@@ -225,7 +229,8 @@ impl MaterializedCube {
     }
 
     /// Read one cell's aggregate values at a full coordinate (`ALL` where
-    /// aggregated). `None` when the cell is not materialized.
+    /// aggregated). `None` when the cell is not materialized or an
+    /// aggregate's Final() panics (the panic is contained, not propagated).
     pub fn cell(&self, coordinate: &[Value]) -> Option<Vec<Value>> {
         let inner = self.inner.read();
         let mask = coordinate
@@ -237,12 +242,17 @@ impl MaterializedCube {
             );
         let (_, map) = inner.cells.iter().find(|(s, _)| *s == mask)?;
         let cell = map.get(&Row::new(coordinate.to_vec()))?;
-        Some(cell.accs.iter().map(|a| a.final_value()).collect())
+        cell.accs
+            .iter()
+            .zip(self.aggs.iter())
+            .map(|(a, agg)| exec::guard(agg.func.name(), || a.final_value()).ok())
+            .collect()
     }
 
     /// Snapshot the cube as a relation (same canonical order as
-    /// [`crate::CubeQuery::cube`]).
-    pub fn to_table(&self) -> Table {
+    /// [`crate::CubeQuery::cube`]). Errors with `AggPanicked` if a
+    /// user-defined aggregate panics in Final().
+    pub fn to_table(&self) -> CubeResult<Table> {
         let inner = self.inner.read();
         let mut out = Table::empty(self.result_schema.clone());
         for (_, map) in &inner.cells {
@@ -251,11 +261,13 @@ impl MaterializedCube {
             for key in keys {
                 let cell = &map[key];
                 let mut vals = key.values().to_vec();
-                vals.extend(cell.accs.iter().map(|a| a.final_value()));
+                for (a, agg) in cell.accs.iter().zip(self.aggs.iter()) {
+                    vals.push(exec::guard(agg.func.name(), || a.final_value())?);
+                }
                 out.push_unchecked(Row::new(vals));
             }
         }
-        out
+        Ok(out)
     }
 
     /// Current base-table contents.
@@ -319,7 +331,7 @@ mod tests {
             .aggregate(sum_spec())
             .cube(&t)
             .unwrap();
-        assert_eq!(mat.to_table().rows(), batch.rows());
+        assert_eq!(mat.to_table().unwrap().rows(), batch.rows());
     }
 
     #[test]
@@ -346,7 +358,7 @@ mod tests {
             .aggregate(sum_spec())
             .cube(&t2)
             .unwrap();
-        assert_eq!(mat.to_table().rows(), batch.rows());
+        assert_eq!(mat.to_table().unwrap().rows(), batch.rows());
     }
 
     #[test]
@@ -561,9 +573,9 @@ mod more_tests {
             vec![AggSpec::new(builtin("MAX").unwrap(), "units").with_name("m")],
         )
         .unwrap();
-        let before = mat.to_table();
+        let before = mat.to_table().unwrap();
         mat.delete(&row!["a", 100]).unwrap();
         mat.insert(row!["a", 100]).unwrap();
-        assert_eq!(mat.to_table().rows(), before.rows());
+        assert_eq!(mat.to_table().unwrap().rows(), before.rows());
     }
 }

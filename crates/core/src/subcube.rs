@@ -194,6 +194,7 @@ impl PartialCube {
             }
             views
                 .get_mut(&mask)
+                // cube-lint: allow(panic, views holds one table per selected grouping set)
                 .expect("row belongs to a selected set")
                 .push_unchecked(row.clone());
         }
@@ -255,6 +256,7 @@ impl PartialCube {
             .map(|a| {
                 // G = F for SUM/MIN/MAX; G = SUM for COUNT (§5).
                 let func = if a.func.name() == "COUNT" || a.func.name() == "COUNT(*)" {
+                    // cube-lint: allow(panic, SUM is a static built-in; covered by registry tests)
                     dc_aggregate::builtin("SUM").expect("SUM is built in")
                 } else {
                     a.func.clone()
@@ -273,6 +275,7 @@ impl PartialCube {
             let mut it = row.values().iter();
             for d in 0..self.n_dims {
                 if set.contains(d) {
+                    // cube-lint: allow(panic, grouped schema has one column per surviving dim)
                     vals.push(it.next().expect("surviving dim present").clone());
                 } else {
                     vals.push(Value::All);

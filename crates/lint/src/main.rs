@@ -1,0 +1,64 @@
+//! `cube_lint` CLI: lint the workspace, print `file:line: [rule] message`
+//! diagnostics (or `--json`), exit non-zero when any invariant is broken.
+//!
+//! ```text
+//! cube_lint [--root <workspace-root>] [--json]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("cube_lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: cube_lint [--root <workspace-root>] [--json]");
+                println!("rules: checkpoint, guard, faults, panic, wildcard (see DESIGN.md)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cube_lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match cube_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cube_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", cube_lint::render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!(
+                "cube_lint: workspace clean (rules: checkpoint, guard, faults, panic, wildcard)"
+            );
+        } else {
+            eprintln!("cube_lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

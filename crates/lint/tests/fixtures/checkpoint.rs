@@ -1,0 +1,70 @@
+// R1 fixture — checked with FileClass { algorithm: true }. This file is
+// test data for cube_lint, never compiled; names only need to lex.
+
+pub fn fire_for_over_rows(rows: &[u64]) {
+    for row in rows {
+        consume(row); // FIRE: checkpoint (line 5's loop has no poll)
+    }
+}
+
+pub fn fire_while_over_rows(n_rows: usize) {
+    let mut base = 0;
+    while base < n_rows {
+        base += 1; // FIRE: checkpoint
+    }
+}
+
+pub fn fire_inner_nested(morsels: &[Vec<u64>], ctx: &Ctx) {
+    for morsel in morsels {
+        ctx.checkpoint(); // outer loop polls: ok
+        for cell in morsel {
+            consume(cell); // FIRE: inner loop never polls
+        }
+    }
+}
+
+pub fn ok_ticked(rows: &[u64], ctx: &Ctx) {
+    for (i, row) in rows.iter().enumerate() {
+        ctx.tick(i);
+        consume(row);
+    }
+}
+
+pub fn ok_failpoint(cells: &[u64]) {
+    for cell in cells {
+        failpoint("array::sweep");
+        consume(cell);
+    }
+}
+
+pub fn ok_annotated(cells: &[u64]) {
+    // cube-lint: allow(checkpoint, bounded by the lane count; caller ticks per cell)
+    for cell in cells {
+        consume(cell);
+    }
+}
+
+pub fn ok_not_a_data_loop(xs: &[u64]) {
+    for x in xs {
+        consume(x);
+    }
+}
+
+// `for` in a trait position is not a loop, even though "Rows" contains
+// the substring "row".
+impl Iterator for Rows {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn loops_in_tests_are_free() {
+        for row in make_rows() {
+            consume(row);
+        }
+    }
+}

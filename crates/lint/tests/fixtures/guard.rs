@@ -1,0 +1,37 @@
+// R2 fixture — checked with FileClass { aggregate_crate: false }. Raw
+// accumulator lifecycle calls outside crates/aggregate must be guarded.
+
+pub fn fire_raw_calls(acc: &mut dyn Accumulator, f: &dyn AggregateFunction, v: &Value) {
+    acc.iter(v); // FIRE: guard
+    let a = f.init(); // FIRE: guard
+    acc.merge(&[]); // FIRE: guard
+    let x = acc.final_value(); // FIRE: guard
+    acc.iter_super(&[]); // FIRE: guard
+}
+
+pub fn ok_wrapped(acc: &mut dyn Accumulator, f: &dyn AggregateFunction, v: &Value) {
+    exec::guard(name, || acc.iter(v));
+    let accs = exec::guarded_init(aggs);
+    let caught = catch_unwind(AssertUnwindSafe(|| f.init().final_value()));
+}
+
+pub fn ok_slice_iter_is_not_an_accumulator(xs: &[u64]) {
+    for x in xs.iter() {
+        consume(x);
+    }
+}
+
+pub fn ok_annotated(kernel: &Kernel, cell: &mut KernelCell) {
+    // cube-lint: allow(guard, engine-owned POD kernel, runs no user code)
+    kernel.merge(cell, &src, false);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_calls_in_tests_are_free() {
+        let mut acc = SumAcc::default();
+        acc.iter(&Value::Int(1));
+        assert_eq!(acc.final_value(), Value::Int(1));
+    }
+}

@@ -1,0 +1,57 @@
+// R4 fixture — panic surfaces in non-test library code.
+
+pub fn fire_unwrap(x: Option<u64>) -> u64 {
+    x.unwrap() // FIRE: panic
+}
+
+pub fn fire_expect(x: Option<u64>) -> u64 {
+    x.expect("present") // FIRE: panic
+}
+
+pub fn fire_macros(x: u64) {
+    if x > 3 {
+        panic!("boom"); // FIRE: panic
+    }
+    match x {
+        0 => todo!(),        // FIRE: panic
+        1 => unimplemented!(), // FIRE: panic
+        _ => unreachable!(), // FIRE: panic
+    }
+}
+
+pub fn ok_in_strings_and_comments() -> &'static str {
+    // a comment mentioning panic!("nope") and x.unwrap() is not code
+    "panic!(unwrap()) inside a string is data, not code"
+}
+
+pub fn ok_raw_string() -> &'static str {
+    r#"x.expect("still a string")"#
+}
+
+pub fn ok_fallible(x: Option<u64>) -> u64 {
+    x.unwrap_or(0) + Some(1).unwrap_or_else(|| 2)
+}
+
+pub fn ok_annotated(x: Option<u64>) -> u64 {
+    // cube-lint: allow(panic, slot was filled two lines above)
+    x.unwrap()
+}
+
+pub fn ok_annotation_same_line(x: Option<u64>) -> u64 {
+    x.unwrap() // cube-lint: allow(panic, checked by caller)
+}
+
+pub fn fire_malformed_annotation(x: Option<u64>) -> u64 {
+    // cube-lint: allow(panic)
+    x.unwrap() // the annotation above is missing its reason: two findings
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_free() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        Option::<u64>::None.expect("tests may panic");
+    }
+}

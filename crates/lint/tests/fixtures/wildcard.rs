@@ -1,0 +1,74 @@
+// R5 fixture — wildcard arms over Value in semantic code.
+
+pub fn fire_plain(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None, // FIRE: wildcard
+    }
+}
+
+pub fn fire_after_use_glob(v: &Value) -> u8 {
+    use Value::*;
+    match v {
+        All => 5,
+        Null => 0,
+        _ => 1, // FIRE: wildcard (bare `All` marks this as a Value match)
+    }
+}
+
+pub fn fire_alternative_and_guard(v: &Value) -> bool {
+    match v {
+        Value::Bool(b) => *b,
+        Value::Null | _ => false, // FIRE: wildcard in a `|` alternative
+    }
+}
+
+pub fn fire_guarded_wildcard(v: &Value, strict: bool) -> bool {
+    match v {
+        Value::Bool(b) => *b,
+        _ if strict => false, // FIRE: wildcard behind a guard is still a wildcard
+        _ => true,            // FIRE: wildcard
+    }
+}
+
+pub fn ok_exhaustive(v: &Value) -> bool {
+    match v {
+        Value::Null | Value::All => false,
+        Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Str(_) | Value::Date(_) => true,
+    }
+}
+
+pub fn ok_nested_underscore_is_not_top_level(v: &Value) -> bool {
+    match v {
+        Value::Int(_) => true,
+        Value::Null | Value::All | Value::Bool(_) | Value::Float(_) | Value::Str(_)
+        | Value::Date(_) => false,
+    }
+}
+
+pub fn ok_not_a_value_match(x: Option<u64>) -> u64 {
+    match x {
+        Some(n) => n,
+        _ => 0,
+    }
+}
+
+pub fn ok_annotated(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        // cube-lint: allow(wildcard, numeric coercion defers to as_f64 which is exhaustive)
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wildcards_in_tests_are_free() {
+        match Value::Int(1) {
+            Value::Int(_) => {}
+            _ => panic!("not an int"),
+        }
+    }
+}

@@ -1,0 +1,8 @@
+// Mini-workspace fixture registry. "core::scan" is injected in
+// core/src/lib.rs; "ghost::site" is declared but never injected, so R3
+// reports an orphan anchored at its declaration line.
+
+pub const SITES: &[&str] = &[
+    "core::scan",
+    "ghost::site",
+];

@@ -1,0 +1,10 @@
+// Mini-workspace fixture: an algorithm file whose scan loop forgot its
+// checkpoint poll. Exactly one R1 finding, at the loop line.
+
+pub fn scan(rows: &[u64]) -> u64 {
+    let mut total = 0;
+    for row in rows {
+        total += row;
+    }
+    total
+}

@@ -1,0 +1,10 @@
+// Mini-workspace fixture: references the one legitimate fault site and
+// carries exactly one R4 finding (the unwrap).
+
+pub mod algorithm;
+
+pub fn scan_chunk(rows: &[u64], limit: Option<usize>) -> u64 {
+    failpoint("core::scan");
+    let n = limit.unwrap();
+    rows.iter().take(n).sum()
+}

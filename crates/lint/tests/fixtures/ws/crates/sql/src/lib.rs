@@ -1,0 +1,7 @@
+// Mini-workspace fixture: a raw accumulator call outside crates/aggregate.
+// Exactly one R2 finding, at the `.iter(` line.
+
+pub fn finish(acc: &mut dyn Accumulator, v: &Value) -> Value {
+    acc.iter(v);
+    exec::guard("sum", || acc.final_value())
+}

@@ -1,0 +1,6 @@
+// Mini-workspace fixture: injects a site the registry never declared.
+// Exactly one R3 finding, at the failpoint line.
+
+pub fn load() {
+    failpoint("rogue::site");
+}

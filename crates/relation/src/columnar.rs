@@ -119,7 +119,9 @@ impl Column {
                     vals.push(0);
                     validity.push(false);
                 }
-                _ => return None,
+                Value::All | Value::Bool(_) | Value::Float(_) | Value::Str(_) | Value::Date(_) => {
+                    return None
+                }
             }
         }
         Some(Column {
@@ -143,7 +145,9 @@ impl Column {
                     vals.push(0.0);
                     validity.push(false);
                 }
-                _ => return None,
+                Value::All | Value::Bool(_) | Value::Int(_) | Value::Str(_) | Value::Date(_) => {
+                    return None
+                }
             }
         }
         Some(Column {
@@ -209,6 +213,7 @@ impl Column {
             ColumnData::Float(v) => Value::Float(v[i]),
             ColumnData::Dict { codes, dict } => dict
                 .decode(codes[i])
+                // cube-lint: allow(panic, codes were interned by this column's own dictionary)
                 .expect("dictionary code out of range")
                 .clone(),
         }

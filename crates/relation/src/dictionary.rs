@@ -28,6 +28,7 @@ impl SymbolTable {
         if let Some(&c) = self.codes.get(v) {
             return c;
         }
+        // cube-lint: allow(panic, documented capacity limit of 2^32 distinct dimension values)
         let c = u32::try_from(self.values.len()).expect("dimension cardinality exceeds u32");
         self.codes.insert(v.clone(), c);
         self.values.push(v.clone());

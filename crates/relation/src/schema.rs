@@ -83,6 +83,7 @@ impl ColumnDef {
                 self.name
             ))),
             other => {
+                // cube-lint: allow(panic, Null and All were consumed by the arms above)
                 let got = other.dtype().expect("non-token value has a type");
                 if self.dtype.accepts(got) {
                     Ok(())
@@ -117,6 +118,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
         Schema::new(pairs.iter().map(|(n, t)| ColumnDef::new(n, *t)).collect())
+            // cube-lint: allow(panic, documented contract for inline schema literals)
             .expect("schema literals must not repeat column names")
     }
 

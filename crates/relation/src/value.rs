@@ -80,7 +80,7 @@ impl Value {
             Value::Int(i) => Some(*i as f64),
             Value::Float(f) => Some(*f),
             Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
-            _ => None,
+            Value::Null | Value::All | Value::Str(_) | Value::Date(_) => None,
         }
     }
 
@@ -88,7 +88,12 @@ impl Value {
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
-            _ => None,
+            Value::Null
+            | Value::All
+            | Value::Bool(_)
+            | Value::Float(_)
+            | Value::Str(_)
+            | Value::Date(_) => None,
         }
     }
 
@@ -96,7 +101,12 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
-            _ => None,
+            Value::Null
+            | Value::All
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Date(_) => None,
         }
     }
 
@@ -104,7 +114,12 @@ impl Value {
     pub fn as_date(&self) -> Option<Date> {
         match self {
             Value::Date(d) => Some(*d),
-            _ => None,
+            Value::Null
+            | Value::All
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Str(_) => None,
         }
     }
 
@@ -112,7 +127,12 @@ impl Value {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
-            _ => None,
+            Value::Null
+            | Value::All
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Str(_)
+            | Value::Date(_) => None,
         }
     }
 
@@ -136,6 +156,9 @@ impl Value {
             (Float(a), Int(b)) => Some(a.total_cmp(&(*b as f64))),
             (Str(a), Str(b)) => Some(a.cmp(b)),
             (Date(a), Date(b)) => Some(a.cmp(b)),
+            // Remaining cross-type pairs are unknown; new variants are
+            // still caught at compile time by `type_rank`, which matches
+            // exhaustively. cube-lint: allow(wildcard, cross-type pair fallback; type_rank stays exhaustive)
             _ => None,
         }
     }
@@ -190,6 +213,9 @@ impl Ord for Value {
             (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
             (Str(a), Str(b)) => a.cmp(b),
             (Date(a), Date(b)) => a.cmp(b),
+            // Cross-type pairs order by rank; `type_rank` is exhaustive,
+            // so a new variant cannot silently fall through here.
+            // cube-lint: allow(wildcard, cross-type pair fallback; type_rank stays exhaustive)
             _ => self.type_rank().cmp(&other.type_rank()),
         }
     }

@@ -165,7 +165,7 @@ impl Engine {
             )));
         }
         let value = value as u64;
-        let mut opts = self.options.lock().expect("options mutex");
+        let mut opts = self.options.lock().unwrap_or_else(|p| p.into_inner());
         match name.to_uppercase().as_str() {
             "MAX_CELLS" => opts.max_cells = value,
             "MAX_MEMORY_BYTES" => opts.max_memory_bytes = value,
@@ -185,7 +185,10 @@ impl Engine {
     /// Attach (or clear, with `None`) a cancellation token observed by
     /// every subsequent aggregation query on this engine.
     pub fn set_cancel_token(&self, token: Option<CancelToken>) {
-        self.options.lock().expect("options mutex").cancel = token;
+        self.options
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .cancel = token;
     }
 
     /// `SET <option> = <value>`: store the option and return a one-row
@@ -485,6 +488,7 @@ impl Engine {
         let mut arg_columns: HashMap<String, String> = HashMap::new(); // canonical → col
         for (k, call) in agg_calls.iter().enumerate() {
             let Expr::Func { args, .. } = call else {
+                // cube-lint: allow(panic, collect_aggregates only collects Func expressions)
                 unreachable!()
             };
             let arg = args.first();
@@ -526,6 +530,7 @@ impl Engine {
                 args,
             } = call
             else {
+                // cube-lint: allow(panic, collect_aggregates only collects Func expressions)
                 unreachable!()
             };
             let out_name = format!("__agg{k}");
@@ -574,6 +579,7 @@ impl Engine {
                     };
                     AggSpec::new(func, input_col).with_name(&out_name)
                 }
+                // cube-lint: allow(panic, the argument-less case errored in the arg pass above)
                 (None, _) => unreachable!("checked above"),
             };
             agg_specs.push(spec);
@@ -606,7 +612,7 @@ impl Engine {
         // Session governance: resource budgets and the thread count from
         // `SET ...` / the programmatic setters apply to every cube run.
         let (limits, threads, vectorized) = {
-            let opts = self.options.lock().expect("options mutex");
+            let opts = self.options.lock().unwrap_or_else(|p| p.into_inner());
             (opts.limits(), opts.threads, opts.vectorized)
         };
         let mut query = agg_specs
@@ -630,30 +636,42 @@ impl Engine {
                 dim_names
                     .iter()
                     .position(|n| *n == g.output_name())
-                    .expect("dim registered")
+                    .ok_or_else(|| {
+                        SqlError::Plan(format!(
+                            "GROUPING SETS references an expression not in the \
+                             dimension list: {}",
+                            g.output_name()
+                        ))
+                    })
             };
             let set_indices: Vec<Vec<usize>> = sets
                 .iter()
                 .map(|s| s.iter().map(index_of).collect())
-                .collect();
+                .collect::<SqlResult<_>>()?;
             query
                 .dimensions(dims)
                 .grouping_sets(&working, &set_indices)?
         } else {
             let mut name_iter = dim_names.iter().zip(dim_types.iter());
-            let mut block = |exprs: &[GroupExpr]| -> Vec<Dimension> {
+            let mut block = |exprs: &[GroupExpr]| -> SqlResult<Vec<Dimension>> {
                 exprs
                     .iter()
                     .map(|g| {
-                        let (n, t) = name_iter.next().expect("names align with blocks");
-                        make_dim(g, n, *t)
+                        let (n, t) = name_iter.next().ok_or_else(|| {
+                            SqlError::Plan(format!(
+                                "internal: no registered dimension name for group \
+                                 expression {}",
+                                g.expr.canonical()
+                            ))
+                        })?;
+                        Ok(make_dim(g, n, *t))
                     })
                     .collect()
             };
             let spec = CompoundSpec::new()
-                .group_by(block(&clause.plain))
-                .rollup(block(&clause.rollup))
-                .cube(block(&clause.cube));
+                .group_by(block(&clause.plain)?)
+                .rollup(block(&clause.rollup)?)
+                .cube(block(&clause.cube)?);
             query.compound(&working, &spec)?
         };
 
@@ -662,8 +680,8 @@ impl Engine {
         if group_exprs.is_empty() && cube.is_empty() {
             let vals: Vec<Value> = agg_specs
                 .iter()
-                .map(|s| s.func.init().final_value())
-                .collect();
+                .map(|s| datacube::exec::guard(s.func.name(), || s.func.init().final_value()))
+                .collect::<Result<_, _>>()?;
             cube.push_unchecked(Row::new(vals));
         }
 
@@ -1018,6 +1036,7 @@ fn parameterized_aggregate(name: &str, args: &[Expr]) -> SqlResult<Option<AggRef
         "MAXN" | "MINN" => {
             let n = match args.get(1) {
                 Some(Expr::Literal(Value::Int(n))) if *n >= 1 => *n as usize,
+                // cube-lint: allow(wildcard, scrutinee is Option<Expr>; this is the user-error arm)
                 _ => {
                     return Err(SqlError::Plan(format!(
                         "{upper} requires a positive integer literal as its second argument"
@@ -1036,6 +1055,7 @@ fn parameterized_aggregate(name: &str, args: &[Expr]) -> SqlResult<Option<AggRef
         "PERCENTILE" => {
             let p = match args.get(1) {
                 Some(Expr::Literal(Value::Float(p))) if *p > 0.0 && *p <= 1.0 => *p,
+                // cube-lint: allow(wildcard, scrutinee is Option<Expr>; this is the user-error arm)
                 _ => {
                     return Err(SqlError::Plan(
                         "PERCENTILE requires a literal fraction in (0, 1] as its \
@@ -1110,6 +1130,7 @@ fn ordered_aggregate(expr: &Expr) -> SqlResult<Option<(OrderedKind, Expr)>> {
         "N_TILE" | "RUNNING_SUM" | "RUNNING_AVG" => {
             let n = match args.get(1) {
                 Some(Expr::Literal(Value::Int(n))) if *n >= 1 => *n as usize,
+                // cube-lint: allow(wildcard, scrutinee is Option<Expr>; this is the user-error arm)
                 _ => {
                     return Err(SqlError::Plan(format!(
                         "{upper} requires a positive integer literal as its second argument"

@@ -102,12 +102,19 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext) -> SqlResult<Value> {
         }
         Expr::Not(e) => Ok(match eval(e, row, ctx)? {
             Value::Bool(b) => Value::Bool(!b),
-            _ => Value::Null,
+            Value::Null
+            | Value::All
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Str(_)
+            | Value::Date(_) => Value::Null,
         }),
         Expr::Neg(e) => Ok(match eval(e, row, ctx)? {
             Value::Int(i) => Value::Int(-i),
             Value::Float(f) => Value::Float(-f),
-            _ => Value::Null,
+            Value::Null | Value::All | Value::Bool(_) | Value::Str(_) | Value::Date(_) => {
+                Value::Null
+            }
         }),
         Expr::IsNull { expr, negated } => {
             let v = eval(expr, row, ctx)?;
@@ -173,6 +180,7 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
                     Lte => o != std::cmp::Ordering::Greater,
                     Gt => o == std::cmp::Ordering::Greater,
                     Gte => o != std::cmp::Ordering::Less,
+                    // cube-lint: allow(panic, the outer arm admits only the six comparison ops)
                     _ => unreachable!(),
                 }),
             })
@@ -185,6 +193,7 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
                 Mod if *b != 0 => Value::Int(a % b),
                 _ => Value::Null,
             },
+            // cube-lint: allow(wildcard, numeric coercion defers to as_f64, which is exhaustive)
             _ => match (l.as_f64(), r.as_f64()) {
                 (Some(a), Some(b)) => match op {
                     Add => Value::Float(a + b),

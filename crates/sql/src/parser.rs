@@ -143,6 +143,7 @@ impl Parser {
             // Append at the end of the chain.
             let mut cursor = &mut stmt;
             while cursor.union.is_some() {
+                // cube-lint: allow(panic, is_some checked by the loop condition; NLL cannot see it)
                 cursor = &mut cursor.union.as_mut().unwrap().1;
             }
             cursor.union = Some((all, Box::new(rhs)));

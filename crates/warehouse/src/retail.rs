@@ -92,6 +92,7 @@ impl RetailWarehouse {
         for (i, (o, d, r, g)) in OFFICES.iter().enumerate() {
             office
                 .push(row![i as i64, *o, *d, *r, *g])
+                // cube-lint: allow(panic, static literal rows match the schema written above)
                 .expect("literal rows");
         }
 
@@ -104,6 +105,7 @@ impl RetailWarehouse {
         for (i, (name, cat, man)) in PRODUCTS.iter().enumerate() {
             product
                 .push(row![i as i64, *name, *cat, *man])
+                // cube-lint: allow(panic, static literal rows match the schema written above)
                 .expect("literal rows");
         }
 
@@ -119,6 +121,7 @@ impl RetailWarehouse {
                     format!("customer-{i:04}"),
                     SEGMENTS[i % SEGMENTS.len()]
                 ])
+                // cube-lint: allow(panic, generator emits schema-shaped rows by construction)
                 .expect("generated rows");
         }
 
@@ -173,8 +176,11 @@ impl RetailWarehouse {
         ]);
         let mut out = Table::empty(schema);
         for f in self.fact.rows() {
+            // cube-lint: allow(panic, fact foreign keys index the generated dimension tables)
             let o = &self.office.rows()[f[1].as_i64().expect("office fk") as usize];
+            // cube-lint: allow(panic, fact foreign keys index the generated dimension tables)
             let p = &self.product.rows()[f[2].as_i64().expect("product fk") as usize];
+            // cube-lint: allow(panic, fact foreign keys index the generated dimension tables)
             let c = &self.customer.rows()[f[3].as_i64().expect("customer fk") as usize];
             out.push_unchecked(Row::new(vec![
                 o[1].clone(),

@@ -26,6 +26,7 @@ pub fn figure4_sales() -> Table {
         for year in [1990i64, 1991, 1992] {
             for color in ["red", "white", "blue"] {
                 t.push(row![model, year, color, unit])
+                    // cube-lint: allow(panic, static literal rows match the schema written above)
                     .expect("literal rows are valid");
                 unit += 1;
             }
@@ -49,6 +50,7 @@ pub fn table4_sales() -> Table {
         ("Ford", 1995, "black", 85),
         ("Ford", 1995, "white", 75),
     ] {
+        // cube-lint: allow(panic, static literal rows match the schema written above)
         t.push(row![m, y, c, u]).expect("literal rows are valid");
     }
     t
@@ -89,6 +91,7 @@ pub fn synthetic_sales(p: SalesParams) -> Table {
         let color = format!("color-{:03}", rng.gen_range(0..p.colors.max(1)));
         let units = rng.gen_range(1..=100i64);
         t.push(row![model, year, color, units])
+            // cube-lint: allow(panic, generator emits schema-shaped rows by construction)
             .expect("generated rows are valid");
     }
     t
@@ -119,6 +122,7 @@ pub fn skewed_sales(p: SalesParams) -> Table {
         let color = format!("color-{:03}", zipf(&mut rng, p.colors.max(1)));
         let units = rng.gen_range(1..=100i64);
         t.push(row![model, year, color, units])
+            // cube-lint: allow(panic, generator emits schema-shaped rows by construction)
             .expect("generated rows are valid");
     }
     t

@@ -154,6 +154,7 @@ pub fn weather_table(p: WeatherParams) -> Table {
             rng.gen_range(0..24),
             [0u8, 15, 30, 45][rng.gen_range(0..4)],
         )
+        // cube-lint: allow(panic, generator ranges stay within calendar bounds)
         .expect("generated timestamp is valid");
         // Northern-hemisphere season: peak near day ~200.
         let doy = f64::from(u32::from(date.month()) * 30 + u32::from(date.day()));

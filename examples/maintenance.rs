@@ -38,7 +38,7 @@ fn main() {
     println!(
         "materialized cube ({} cells):\n{}",
         cube.cell_count(),
-        cube.to_table()
+        cube.to_table().unwrap()
     );
 
     // INSERT: visit the record's 2^N cells.
@@ -74,5 +74,5 @@ fn main() {
     println!("-- UPDATE (Dodge, 1995, 30) -> (Dodge, 1995, 45)");
     cube.update(&row!["Dodge", 1995, 30], row!["Dodge", 1995, 45])
         .unwrap();
-    println!("final cube:\n{}", cube.to_table());
+    println!("final cube:\n{}", cube.to_table().unwrap());
 }

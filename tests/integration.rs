@@ -216,7 +216,7 @@ fn maintained_cube_matches_batch_after_mutation_stream() {
         .aggregate(AggSpec::new(builtin("AVG").unwrap(), "units").with_name("avg_units"))
         .cube(&base)
         .unwrap();
-    assert_eq!(mat.to_table().rows(), batch.rows());
+    assert_eq!(mat.to_table().unwrap().rows(), batch.rows());
 }
 
 /// Report rendering round trip: cube → cross tab, values verified against

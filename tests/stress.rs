@@ -1,0 +1,209 @@
+//! Concurrency stress: the morsel-claiming atomic cursor, partition
+//! coalescing, and cancellation under parallel execution.
+//!
+//! Loom-free by design — these tests hammer the real engine through its
+//! public API and assert *exact* result counts, so a lost or double-claimed
+//! morsel shows up as a wrong aggregate, not a flaky hang.
+
+use datacube::maintain::MaterializedCube;
+use datacube::{AggSpec, Algorithm, CancelToken, CubeError, CubeQuery, Dimension, ExecLimits};
+use dc_aggregate::{builtin, Accumulator, AggKind, AggregateFunction, Retract};
+use dc_relation::{row, DataType, Schema, Table, Value};
+use std::sync::Arc;
+
+const ROWS: usize = 40_000;
+const MODELS: i64 = 7;
+const YEARS: i64 = 11;
+
+/// A deterministic table large enough to span many morsels (MORSEL_ROWS =
+/// 1024) with a closed-form SUM for every cube cell.
+fn big_table() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("model", DataType::Int),
+        ("year", DataType::Int),
+        ("units", DataType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..ROWS as i64 {
+        t.push(row![i % MODELS, i % YEARS, 1i64]).unwrap();
+    }
+    t
+}
+
+fn sum_query(threads: usize, vectorized: bool) -> CubeQuery {
+    CubeQuery::new()
+        .dimensions(vec![Dimension::column("model"), Dimension::column("year")])
+        .aggregate(AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s"))
+        .algorithm(Algorithm::Parallel { threads })
+        .vectorized(vectorized)
+}
+
+fn grand_total(cube: &Table) -> i64 {
+    let s = cube.schema().index_of("s").unwrap();
+    cube.rows()
+        .iter()
+        .find(|r| r[0].is_all() && r[1].is_all())
+        .and_then(|r| r[s].as_i64())
+        .unwrap()
+}
+
+/// Workers race on one atomic cursor; every repetition must claim each
+/// morsel exactly once, or the grand total (one unit per row) drifts.
+#[test]
+fn parallel_morsel_claims_are_exact_under_contention() {
+    let t = big_table();
+    let serial = sum_query(1, false).cube(&t).unwrap();
+    for round in 0..8 {
+        for &threads in &[2usize, 4, 8] {
+            let cube = sum_query(threads, round % 2 == 0).cube(&t).unwrap();
+            assert_eq!(
+                grand_total(&cube),
+                ROWS as i64,
+                "lost/duplicated morsel at threads={threads} round={round}"
+            );
+            assert_eq!(
+                cube.rows(),
+                serial.rows(),
+                "parallel result diverged at threads={threads} round={round}"
+            );
+        }
+    }
+}
+
+/// Cancellation racing a parallel scan: the query either completes with
+/// the exact answer or unwinds with `Cancelled` — never a torn result.
+#[test]
+fn cancellation_race_is_all_or_nothing() {
+    let t = big_table();
+    for delay_us in [0u64, 20, 50, 100, 400, 2_000] {
+        for vectorized in [false, true] {
+            let token = CancelToken::new();
+            let canceller = {
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    token.cancel();
+                })
+            };
+            let result = sum_query(4, vectorized)
+                .limits(ExecLimits::none().cancel_token(token))
+                .cube(&t);
+            canceller.join().unwrap();
+            match result {
+                Ok(cube) => assert_eq!(
+                    grand_total(&cube),
+                    ROWS as i64,
+                    "completed query returned a torn result (delay={delay_us}us)"
+                ),
+                Err(CubeError::Cancelled { .. }) => {}
+                Err(other) => panic!("unexpected error under cancellation: {other}"),
+            }
+        }
+    }
+}
+
+/// Many queries cancel concurrently on distinct tokens while others run
+/// to completion — no cross-talk between sessions.
+#[test]
+fn concurrent_cancel_and_complete_sessions_do_not_interfere() {
+    let t = Arc::new(big_table());
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                let token = CancelToken::new();
+                if i % 2 == 0 {
+                    // This session cancels itself almost immediately.
+                    let tok = token.clone();
+                    std::thread::spawn(move || tok.cancel());
+                }
+                let result = sum_query(2, i % 3 == 0)
+                    .limits(ExecLimits::none().cancel_token(token))
+                    .cube(&t);
+                match result {
+                    Ok(cube) => assert_eq!(grand_total(&cube), ROWS as i64),
+                    Err(CubeError::Cancelled { .. }) => {}
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// A user-defined aggregate that panics in a chosen lifecycle call.
+struct Bomb {
+    in_iter: bool,
+}
+
+struct BombAcc {
+    in_iter: bool,
+}
+
+impl Accumulator for BombAcc {
+    fn iter(&mut self, _v: &Value) {
+        if self.in_iter {
+            panic!("bomb in Iter");
+        }
+    }
+    fn state(&self) -> Vec<Value> {
+        Vec::new()
+    }
+    fn merge(&mut self, _state: &[Value]) {}
+    fn final_value(&self) -> Value {
+        if !self.in_iter {
+            panic!("bomb in Final");
+        }
+        Value::Null
+    }
+    fn retract(&mut self, _v: &Value) -> Retract {
+        Retract::Applied
+    }
+}
+
+impl AggregateFunction for Bomb {
+    fn name(&self) -> &str {
+        "BOMB"
+    }
+    fn kind(&self) -> AggKind {
+        AggKind::Distributive
+    }
+    fn init(&self) -> Box<dyn Accumulator> {
+        Box::new(BombAcc {
+            in_iter: self.in_iter,
+        })
+    }
+    fn output_type(&self, _input: DataType) -> Option<DataType> {
+        Some(DataType::Int)
+    }
+}
+
+fn small_table() -> Table {
+    let schema = Schema::from_pairs(&[("k", DataType::Str), ("v", DataType::Int)]);
+    Table::new(schema, vec![row!["a", 1], row!["a", 2], row!["b", 3]]).unwrap()
+}
+
+/// Maintenance triggers run UDA code under the panic guard: a bomb in
+/// Iter fails construction with `AggPanicked` instead of tearing down.
+#[test]
+fn materialized_cube_contains_uda_panics() {
+    let t = small_table();
+    let spec = AggSpec::new(Arc::new(Bomb { in_iter: true }), "v").with_name("b");
+    let err = match MaterializedCube::cube(&t, vec![Dimension::column("k")], vec![spec]) {
+        Err(e) => e,
+        Ok(_) => panic!("bomb in Iter must fail construction"),
+    };
+    assert!(matches!(err, CubeError::AggPanicked { .. }), "got: {err}");
+
+    // A bomb in Final builds fine but fails the snapshot, not the process.
+    let spec = AggSpec::new(Arc::new(Bomb { in_iter: false }), "v").with_name("b");
+    let mat = MaterializedCube::cube(&t, vec![Dimension::column("k")], vec![spec]).unwrap();
+    let err = mat.to_table().unwrap_err();
+    assert!(matches!(err, CubeError::AggPanicked { .. }), "got: {err}");
+    // The contained read path degrades to None rather than panicking.
+    assert_eq!(mat.cell(&[Value::All]), None);
+    // The cube object itself is still usable for maintenance.
+    mat.insert(row!["c", 4]).unwrap();
+}

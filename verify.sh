@@ -20,6 +20,9 @@ cargo test -q -p oracle --release
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cube_lint (workspace invariants: checkpoint, guard, faults, panic, wildcard) =="
+cargo run -q --release -p cube-lint --bin cube_lint -- --root .
+
 echo "== fault-injection suite (--features faults) =="
 cargo test -q --features faults --test governance
 
