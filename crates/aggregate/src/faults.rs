@@ -52,6 +52,8 @@ pub const SITES: &[&str] = &[
     "unions::scan",
     "parallel::worker",
     "vectorized::morsel",
+    "vectorized::radix_partition",
+    "vectorized::rle_run",
     "pipesort::pipeline",
 ];
 

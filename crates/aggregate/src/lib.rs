@@ -44,7 +44,9 @@ pub use accumulator::{Accumulator, AggKind, AggregateFunction, Retract};
 pub use error::{AggError, AggResult};
 pub use registry::{builtin, builtins, Registry};
 pub use udf::UdaBuilder;
-pub use vectorized::{Kernel, KernelCell};
+pub use vectorized::{
+    update_i64_fused, update_i64_gather_fused, FusedOp, Kernel, KernelCell, Validity,
+};
 
 use std::sync::Arc;
 

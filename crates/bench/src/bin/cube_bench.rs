@@ -1,6 +1,6 @@
-//! `cube_bench`: the PR-level acceptance harness, writing `BENCH_pr3.json`.
+//! `cube_bench`: the PR-level acceptance harness, writing `BENCH_pr*.json`.
 //!
-//! Two workloads, timed with `std::time::Instant` (criterion's report
+//! Four workloads, timed with `std::time::Instant` (criterion's report
 //! machinery is deliberately avoided so the binary can run in CI and
 //! emit one machine-readable file):
 //!
@@ -9,17 +9,23 @@
 //! * **columnar_wide** — the columnar workload: a 100k-row, 4-dimension
 //!   numeric cube with every built-in kernel in the select list, run
 //!   through the vectorized kernel engine, the encoded row-at-a-time
-//!   arena path (`vectorized(false)`), and the plain `Row`-key path.
+//!   arena path (`vectorized(false)`), and the plain `Row`-key path;
+//! * **radix_wide_key** — a 200k-row, 2-dimension cube whose packed key
+//!   is 20 bits wide: radix-partitioned grouping (`.radix(true)`) vs the
+//!   single shared hash map (`.radix(false)`);
+//! * **rle_sorted** — a 100k-row sorted table with a piecewise-constant
+//!   measure: the run-length-compressed scan (`.rle(true)`) vs the plain
+//!   morsel scan (`.rle(false)`).
 //!
 //! Output: a JSON array of `{workload, rows, dims, algorithm, ns_per_op}`
-//! records at the repository root (see EXPERIMENTS.md "BENCH files").
-//! `--smoke` shrinks every workload to a few thousand rows and a single
-//! iteration — a seconds-long sanity pass for verify.sh, not a
-//! measurement — and prints to stderr without touching the checked-in
-//! `BENCH_pr3.json`.
+//! records, written to `--json <path>` (default: `BENCH_pr6.json` at the
+//! repository root; see EXPERIMENTS.md "BENCH files"). `--smoke` shrinks
+//! every workload to a few thousand rows and a single iteration — a
+//! seconds-long sanity pass for verify.sh, not a measurement — and
+//! prints to stderr without writing any file.
 
 use datacube::CubeQuery;
-use dc_bench::{kernel_query, sales_query, sales_table, wide_table};
+use dc_bench::{kernel_query, radix_table, sales_query, sales_table, sorted_table, wide_table};
 use dc_relation::Table;
 use std::time::Instant;
 
@@ -50,11 +56,19 @@ fn time_cube(query: &CubeQuery, table: &Table, iters: usize) -> u128 {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let (sales_rows, wide_rows, iters) = if smoke {
-        (2_000, 5_000, 1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json").to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next().expect("--json requires a path").clone();
+        }
+    }
+    let (sales_rows, wide_rows, radix_rows, rle_rows, iters) = if smoke {
+        (2_000, 5_000, 5_000, 5_000, 1)
     } else {
-        (50_000, 100_000, 5)
+        (50_000, 100_000, 200_000, 100_000, 5)
     };
     let mut records: Vec<Record> = Vec::new();
 
@@ -98,13 +112,44 @@ fn main() {
         );
     }
 
-    // The deliverable: BENCH_pr3.json at the repository root. Smoke runs
-    // are sanity passes, not measurements — they must not overwrite it.
-    if smoke {
-        println!(
-            "smoke pass ok ({} records, BENCH_pr3.json untouched)",
-            records.len()
+    // ---- Radix: partitioned grouping vs one shared hash map ----------
+    let radix = radix_table(radix_rows, 1_000);
+    for (algorithm, on) in [("radix", true), ("hash", false)] {
+        let q = kernel_query(2).radix(on);
+        records.push(Record {
+            workload: "radix_wide_key",
+            rows: radix_rows,
+            dims: 2,
+            algorithm,
+            ns_per_op: time_cube(&q, &radix, iters),
+        });
+        eprintln!(
+            "radix_wide_key/{algorithm}: {} ns/op",
+            records.last().unwrap().ns_per_op
         );
+    }
+
+    // ---- RLE: run-folding scan vs the plain morsel scan --------------
+    let sorted = sorted_table(rle_rows, 64);
+    for (algorithm, on) in [("rle", true), ("plain", false)] {
+        let q = kernel_query(1).rle(on);
+        records.push(Record {
+            workload: "rle_sorted",
+            rows: rle_rows,
+            dims: 1,
+            algorithm,
+            ns_per_op: time_cube(&q, &sorted, iters),
+        });
+        eprintln!(
+            "rle_sorted/{algorithm}: {} ns/op",
+            records.last().unwrap().ns_per_op
+        );
+    }
+
+    // The deliverable: one BENCH_pr*.json at the repository root. Smoke
+    // runs are sanity passes, not measurements — they write nothing.
+    if smoke {
+        println!("smoke pass ok ({} records, no file written)", records.len());
         return;
     }
     let json: Vec<String> = records
@@ -117,7 +162,6 @@ fn main() {
             )
         })
         .collect();
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
-    std::fs::write(path, format!("[\n{}\n]\n", json.join(",\n"))).expect("write BENCH_pr3.json");
-    println!("wrote {} records to {path}", records.len());
+    std::fs::write(&json_path, format!("[\n{}\n]\n", json.join(",\n"))).expect("write bench json");
+    println!("wrote {} records to {json_path}", records.len());
 }

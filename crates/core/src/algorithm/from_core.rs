@@ -14,6 +14,7 @@
 //! nothing — `Algorithm::Auto` routes them to the 2^N algorithm instead,
 //! and benchmark C10 shows why.
 
+use super::PathOpts;
 use crate::error::CubeResult;
 use crate::exec::{self, ExecContext};
 use crate::groupby::{
@@ -43,8 +44,7 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
-    encoded: bool,
-    vectorize: bool,
+    opts: PathOpts,
     ctx: &ExecContext,
 ) -> CubeResult<Grouped> {
     run_with_choice(
@@ -54,8 +54,7 @@ pub(crate) fn run(
         lattice,
         ParentChoice::SmallestCardinality,
         stats,
-        encoded,
-        vectorize,
+        opts,
         ctx,
     )
 }
@@ -68,11 +67,10 @@ pub(crate) fn run_with_choice(
     lattice: &Lattice,
     choice: ParentChoice,
     stats: &mut ExecStats,
-    encoded: bool,
-    vectorize: bool,
+    opts: PathOpts,
     ctx: &ExecContext,
 ) -> CubeResult<Grouped> {
-    if encoded {
+    if opts.encoded {
         if let Some(enc) = crate::encode::encode(rows, dims) {
             stats.encoded_keys = true;
             if let Some(budget) = ctx.cell_budget() {
@@ -89,7 +87,7 @@ pub(crate) fn run_with_choice(
                         .map(Grouped::Rows);
                 }
             }
-            if vectorize {
+            if opts.vectorize {
                 if let Some(plan) = super::vectorized::plan(rows, aggs) {
                     return super::vectorized::from_core(
                         &enc,
@@ -97,6 +95,7 @@ pub(crate) fn run_with_choice(
                         rows.len(),
                         lattice,
                         choice,
+                        opts,
                         stats,
                         ctx,
                     )
@@ -301,10 +300,18 @@ mod tests {
         let lattice = Lattice::cube(3).unwrap();
         let ctx = ExecContext::unlimited();
         let mut s1 = ExecStats::default();
-        let a = run(t.rows(), &dims, &aggs, &lattice, &mut s1, true, true, &ctx)
-            .unwrap()
-            .into_set_maps(&aggs)
-            .unwrap();
+        let a = run(
+            t.rows(),
+            &dims,
+            &aggs,
+            &lattice,
+            &mut s1,
+            PathOpts::new(true, true),
+            &ctx,
+        )
+        .unwrap()
+        .into_set_maps(&aggs)
+        .unwrap();
         let mut s2 = ExecStats::default();
         let b = naive::run(t.rows(), &dims, &aggs, &lattice, &mut s2, true, &ctx).unwrap();
         assert_eq!(finals(a), finals(b));
@@ -333,8 +340,7 @@ mod tests {
                 &lattice,
                 ParentChoice::SmallestCardinality,
                 &mut base,
-                true,
-                true,
+                PathOpts::new(true, true),
                 &ctx,
             )
             .unwrap()
@@ -351,8 +357,7 @@ mod tests {
                     &lattice,
                     choice,
                     &mut stats,
-                    true,
-                    true,
+                    PathOpts::new(true, true),
                     &ctx,
                 )
                 .unwrap()
@@ -379,8 +384,7 @@ mod tests {
             &aggs,
             &lattice,
             &mut ExecStats::default(),
-            true,
-            true,
+            PathOpts::new(true, true),
             &ExecContext::unlimited(),
         )
         .unwrap()
@@ -402,8 +406,7 @@ mod tests {
             &aggs,
             &lattice,
             &mut ExecStats::default(),
-            true,
-            true,
+            PathOpts::new(true, true),
             &ExecContext::unlimited(),
         )
         .unwrap()

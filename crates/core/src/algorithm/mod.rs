@@ -72,16 +72,49 @@ pub enum Algorithm {
     Parallel { threads: usize },
 }
 
-/// Execute the lattice with the chosen algorithm.
+/// Per-query execution-path switches, threaded from [`crate::CubeQuery`]
+/// down to the engines that honour them.
 ///
 /// `encoded` enables the packed-`u64`-key engine for the hash-based
+/// algorithms; `vectorize` additionally lets the from-core and parallel
+/// paths run the columnar kernel engine when every aggregate kernelizes.
+/// `radix` / `rle` force (`Some(true)`), suppress (`Some(false)`), or
+/// leave to auto-detection (`None`) the vectorized engine's
+/// radix-partitioned grouping and run-length-compressed scan; they are
+/// ignored wherever the kernels do not apply. Results are identical on
+/// every path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PathOpts {
+    pub(crate) encoded: bool,
+    pub(crate) vectorize: bool,
+    pub(crate) radix: Option<bool>,
+    pub(crate) rle: Option<bool>,
+}
+
+impl PathOpts {
+    /// Options with `radix`/`rle` left to auto-detection — the default
+    /// shape every caller without an explicit override uses.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn new(encoded: bool, vectorize: bool) -> Self {
+        PathOpts {
+            encoded,
+            vectorize,
+            radix: None,
+            rle: None,
+        }
+    }
+}
+
+/// Execute the lattice with the chosen algorithm.
+///
+/// `opts.encoded` enables the packed-`u64`-key engine for the hash-based
 /// algorithms (2^N, unions, from-core, parallel); each falls back to
 /// `Row` keys automatically when the coordinate does not pack (see
-/// [`crate::encode`]). `vectorized` additionally lets the from-core and
-/// parallel paths run the columnar kernel engine (see [`vectorized`])
+/// [`crate::encode`]). `opts.vectorize` additionally lets the from-core
+/// and parallel paths run the columnar kernel engine (see [`vectorized`])
 /// when every aggregate kernelizes; it is ignored wherever the kernels
 /// cannot apply. The sort- and array-based algorithms have their own key
-/// machinery and ignore both flags. Results are identical either way.
+/// machinery and ignore the options. Results are identical either way.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     algorithm: Algorithm,
@@ -90,10 +123,10 @@ pub(crate) fn run(
     aggs: &[BoundAgg],
     lattice: &Lattice,
     stats: &mut ExecStats,
-    encoded: bool,
-    vectorize: bool,
+    opts: PathOpts,
     ctx: &ExecContext,
 ) -> CubeResult<Grouped> {
+    let encoded = opts.encoded;
     // A UDA built without state()/merge() has a no-op Iter_super: any plan
     // that folds sub-aggregate scratchpads (from-core cascade, sort frame
     // closes, array slab sweeps, PipeSort chain hand-offs, parallel
@@ -106,7 +139,7 @@ pub(crate) fn run(
             if !mergeable || aggs.iter().any(|a| a.func.kind() == AggKind::Holistic) {
                 naive::run(rows, dims, aggs, lattice, stats, encoded, ctx).map(Grouped::Rows)
             } else {
-                from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
+                from_core::run(rows, dims, aggs, lattice, stats, opts, ctx)
             }
         }
         Algorithm::TwoToTheN => {
@@ -120,7 +153,7 @@ pub(crate) fn run(
                 return naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
                     .map(Grouped::Rows);
             }
-            from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
+            from_core::run(rows, dims, aggs, lattice, stats, opts, ctx)
         }
         Algorithm::Sort => {
             if lattice.sets() != rollup_sets(lattice.n_dims())?.as_slice() {
@@ -154,7 +187,7 @@ pub(crate) fn run(
                     ..
                 }) => {
                     stats.degraded_dense_to_sparse = true;
-                    from_core::run(rows, dims, aggs, lattice, stats, encoded, vectorize, ctx)
+                    from_core::run(rows, dims, aggs, lattice, stats, opts, ctx)
                 }
                 other => other.map(Grouped::Rows),
             }
@@ -179,9 +212,7 @@ pub(crate) fn run(
                 return naive::run(rows, dims, aggs, lattice, stats, encoded, ctx)
                     .map(Grouped::Rows);
             }
-            parallel::run(
-                rows, dims, aggs, lattice, threads, stats, encoded, vectorize, ctx,
-            )
+            parallel::run(rows, dims, aggs, lattice, threads, stats, opts, ctx)
         }
     }
 }

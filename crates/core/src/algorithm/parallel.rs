@@ -10,6 +10,7 @@
 //! merging (the same `Iter_super` as the cascade), and the cascade then
 //! produces the super-aggregates.
 
+use super::PathOpts;
 use crate::algorithm::from_core::{cascade, ParentChoice};
 use crate::error::CubeResult;
 use crate::exec::{self, ExecContext};
@@ -26,14 +27,13 @@ pub(crate) fn run(
     lattice: &Lattice,
     threads: usize,
     stats: &mut ExecStats,
-    encoded: bool,
-    vectorize: bool,
+    opts: PathOpts,
     ctx: &ExecContext,
 ) -> CubeResult<Grouped> {
-    if encoded {
+    if opts.encoded {
         if let Some(enc) = crate::encode::encode(rows, dims) {
             stats.encoded_keys = true;
-            if vectorize {
+            if opts.vectorize {
                 if let Some(plan) = super::vectorized::plan(rows, aggs) {
                     return super::vectorized::parallel(
                         &enc,
@@ -41,6 +41,7 @@ pub(crate) fn run(
                         rows.len(),
                         lattice,
                         threads,
+                        opts,
                         stats,
                         ctx,
                     )
@@ -191,8 +192,7 @@ mod tests {
                 &lattice,
                 threads,
                 &mut ExecStats::default(),
-                true,
-                true,
+                PathOpts::new(true, true),
                 &ctx,
             )
             .unwrap()
@@ -225,8 +225,7 @@ mod tests {
             &lattice,
             16,
             &mut ExecStats::default(),
-            true,
-            true,
+            PathOpts::new(true, true),
             &ExecContext::unlimited(),
         )
         .unwrap()
@@ -248,8 +247,7 @@ mod tests {
             &lattice,
             4,
             &mut ExecStats::default(),
-            true,
-            true,
+            PathOpts::new(true, true),
             &ExecContext::unlimited(),
         )
         .unwrap()

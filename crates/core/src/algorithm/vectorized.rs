@@ -33,18 +33,44 @@ use crate::groupby::ExecStats;
 use crate::groupby::{GroupMap, SetMaps};
 use crate::lattice::{GroupingSet, Lattice};
 use crate::spec::BoundAgg;
-use dc_aggregate::{Kernel, KernelCell};
-use dc_relation::{Bitmap, Column, ColumnData, FxHashMap, Row};
+use dc_aggregate::{FusedOp, Kernel, KernelCell, Validity};
+use dc_relation::{Bitmap, Column, ColumnData, FxHashMap, RleIndex, Row};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use super::encoded::PARALLEL_CASCADE_MIN_CELLS;
 use super::from_core::ParentChoice;
+use super::PathOpts;
 
 /// Rows per morsel: two checkpoint intervals, so morsel-grained polling
 /// is at worst 2x coarser than the row paths' `tick`, while the slot
-/// buffer (4 bytes/row) stays comfortably in L1.
+/// buffer (4 bytes/row) stays comfortably in L1. A multiple of 64, so a
+/// morsel's validity bits start on a word boundary and kernels can take
+/// whole-word [`Validity::Words`] slices.
 pub(crate) const MORSEL_ROWS: usize = 2 * exec::CHECKPOINT_INTERVAL;
+
+/// Widest packed key a dense slot table may cover: `2^16` entries is a
+/// 256 KiB `u32` table — safely cache-resident next to the cells it
+/// indexes, and far cheaper than a hash probe per row.
+const DENSE_SLOT_BITS: u32 = 16;
+
+/// Auto-RLE engages only past this row count (below it the per-row scan
+/// is already cheap and tiny inputs keep bit-exact parity with the row
+/// path in tests).
+const RLE_AUTO_MIN_ROWS: usize = 4096;
+
+/// Auto-RLE requires the sampled mean key-run length to reach this many
+/// rows — below it, per-run dispatch overhead eats the fold savings.
+const RLE_AUTO_MIN_RUN: usize = 4;
+
+/// Auto-radix engages only past this row count; below it one hash map
+/// (or one dense table) wins on setup cost alone.
+const RADIX_AUTO_MIN_ROWS: usize = 32_768;
+
+/// Cells per parallel-materialize task: big enough that a chunk's decode
+/// work dwarfs the cursor fetch, small enough that the final chunks of a
+/// skewed set still spread across workers.
+const EMIT_CHUNK_CELLS: usize = 4096;
 
 /// One aggregate's vectorized input. Lanes over the same measure column
 /// share one extracted vector (`SUM(units)` and `AVG(units)` in one
@@ -63,6 +89,14 @@ pub(crate) enum LaneInput {
 pub(crate) struct Lane {
     kernel: Kernel,
     input: LaneInput,
+    /// Whether the measure column has no NULLs — computed once at plan
+    /// time so every morsel takes the branch-free [`Validity::All`] path
+    /// instead of re-deriving it.
+    all_valid: bool,
+    /// Run-length index over the measure column, attached only when the
+    /// RLE scan engages ([`KernelPlan::attach_rle`]) and the column
+    /// actually compresses. Enables the `n × value` constant-run fold.
+    rle: Option<Arc<RleIndex>>,
 }
 
 impl Lane {
@@ -74,6 +108,81 @@ impl Lane {
 /// The compiled plan: one [`Lane`] per aggregate, in aggregate order.
 pub(crate) struct KernelPlan {
     lanes: Vec<Lane>,
+}
+
+/// A qualified fused row-major scan: every lane is fully valid and reads
+/// either nothing (counting lanes) or one shared `i64` column, so one
+/// pass per morsel updates all of a row's adjacent lane cells while their
+/// cache lines are hot instead of re-touching them per lane-major pass.
+pub(crate) struct FusedScan {
+    col: Arc<(Vec<i64>, Bitmap)>,
+    ops: Vec<FusedOp>,
+}
+
+impl KernelPlan {
+    /// The fused scan for this plan, if it qualifies (see [`FusedScan`]).
+    /// Checked once per query; the scan loops take it as an `Option`.
+    fn fused_ints(&self) -> Option<FusedScan> {
+        let mut col: Option<&Arc<(Vec<i64>, Bitmap)>> = None;
+        let mut ops = Vec::with_capacity(self.lanes.len());
+        for lane in &self.lanes {
+            if !lane.all_valid {
+                return None;
+            }
+            match &lane.input {
+                LaneInput::Star => ops.push(FusedOp::Star),
+                LaneInput::Ints(c) => {
+                    match col {
+                        None => col = Some(c),
+                        Some(prev) if Arc::ptr_eq(prev, c) => {}
+                        Some(_) => return None,
+                    }
+                    ops.push(match lane.kernel {
+                        // All-valid COUNT(x) counts every row, same as *.
+                        Kernel::Count | Kernel::CountStar => FusedOp::Star,
+                        Kernel::Sum => FusedOp::Sum,
+                        Kernel::Min => FusedOp::Min,
+                        Kernel::Max => FusedOp::Max,
+                        Kernel::Avg => FusedOp::Avg,
+                    });
+                }
+                LaneInput::Floats(_) => return None,
+            }
+        }
+        Some(FusedScan {
+            col: Arc::clone(col?),
+            ops,
+        })
+    }
+
+    /// Build per-measure [`RleIndex`]es for the RLE scan, deduplicated
+    /// across lanes sharing one extracted column and kept only where the
+    /// column compresses. Called once, only when the RLE path engages —
+    /// the per-row paths never pay for it.
+    fn attach_rle(&mut self) {
+        let mut cache: Vec<(usize, Option<Arc<RleIndex>>)> = Vec::new();
+        for lane in &mut self.lanes {
+            let (ptr, built) = match &lane.input {
+                LaneInput::Star => continue,
+                LaneInput::Ints(col) => (
+                    Arc::as_ptr(col) as usize,
+                    RleIndex::from_i64(&col.0, &col.1),
+                ),
+                LaneInput::Floats(col) => (
+                    Arc::as_ptr(col) as usize,
+                    RleIndex::from_f64(&col.0, &col.1),
+                ),
+            };
+            lane.rle = match cache.iter().find(|(p, _)| *p == ptr) {
+                Some((_, idx)) => idx.clone(),
+                None => {
+                    let idx = built.is_beneficial().then(|| Arc::new(built));
+                    cache.push((ptr, idx.clone()));
+                    idx
+                }
+            };
+        }
+    }
 }
 
 /// Try to compile every aggregate to a kernel lane. `None` — an aggregate
@@ -128,16 +237,44 @@ pub(crate) fn plan(rows: &[Row], aggs: &[BoundAgg]) -> Option<KernelPlan> {
                 }
             },
         };
-        lanes.push(Lane { kernel, input });
+        let all_valid = match &input {
+            LaneInput::Star => true,
+            LaneInput::Ints(c) => c.1.all_valid(),
+            LaneInput::Floats(c) => c.1.all_valid(),
+        };
+        lanes.push(Lane {
+            kernel,
+            input,
+            all_valid,
+            rle: None,
+        });
     }
     Some(KernelPlan { lanes })
 }
 
+/// How a [`KernelArena`] resolves a packed key to a cell slot.
+enum SlotIndex {
+    /// General case: one Fx hash map over full keys.
+    Map(FxHashMap<u64, u32>),
+    /// Small key spaces (`table.len() == mask + 1`): `table[key & mask]`
+    /// holds `slot + 1` (0 = empty) — the §5 dense-array idea applied to
+    /// slot resolution. The mask is all-ones over the whole key for
+    /// narrow encoders, or just the low bits inside a radix partition
+    /// (every key in a partition shares the high bits).
+    Dense { table: Vec<u32>, mask: u64 },
+    /// An assembled radix result: slots are final, no further inserts.
+    Frozen,
+}
+
 /// Flat kernel-cell storage for one grouping set, mirroring
-/// [`super::encoded::Arena`]: `slots` resolves a packed key to a cell,
-/// cell `i`'s lanes occupy `cells[i*n_lanes..(i+1)*n_lanes]`.
+/// [`super::encoded::Arena`]: the index resolves a packed key to a cell
+/// slot, `keys[slot]` remembers the full key for decoding, and cell
+/// `i`'s lanes occupy `cells[i*n_lanes..(i+1)*n_lanes]`. Slots are
+/// assigned in first-touch order, so iteration over `keys` is
+/// deterministic.
 pub(crate) struct KernelArena {
-    slots: FxHashMap<u64, u32>,
+    index: SlotIndex,
+    keys: Vec<u64>,
     cells: Vec<KernelCell>,
     n_lanes: usize,
 }
@@ -145,7 +282,8 @@ pub(crate) struct KernelArena {
 impl KernelArena {
     fn new(n_lanes: usize) -> Self {
         KernelArena {
-            slots: FxHashMap::default(),
+            index: SlotIndex::Map(FxHashMap::default()),
+            keys: Vec::new(),
             cells: Vec::new(),
             n_lanes,
         }
@@ -153,14 +291,43 @@ impl KernelArena {
 
     fn with_capacity(n_lanes: usize, cells: usize) -> Self {
         KernelArena {
-            slots: FxHashMap::with_capacity_and_hasher(cells, Default::default()),
+            index: SlotIndex::Map(FxHashMap::with_capacity_and_hasher(
+                cells,
+                Default::default(),
+            )),
+            keys: Vec::with_capacity(cells),
             cells: Vec::with_capacity(cells * n_lanes),
             n_lanes,
         }
     }
 
+    /// A dense-indexed arena over `key & mask` (`mask + 1` table slots).
+    fn dense(n_lanes: usize, mask: u64) -> Self {
+        KernelArena {
+            index: SlotIndex::Dense {
+                table: vec![0u32; mask as usize + 1],
+                mask,
+            },
+            keys: Vec::new(),
+            cells: Vec::new(),
+            n_lanes,
+        }
+    }
+
+    /// Pick dense slot resolution when the key space is at most
+    /// [`DENSE_SLOT_BITS`] wide *and* small relative to the expected
+    /// input (`hint` rows/cells) — a giant mostly-empty table loses to
+    /// the hash map on allocation and cache footprint alone.
+    fn sized_for(n_lanes: usize, key_bits: u32, hint: usize) -> Self {
+        if key_bits <= DENSE_SLOT_BITS && (1usize << key_bits) <= (64 * hint).max(1024) {
+            KernelArena::dense(n_lanes, (1u64 << key_bits) - 1)
+        } else {
+            KernelArena::new(n_lanes)
+        }
+    }
+
     fn n_cells(&self) -> usize {
-        self.slots.len()
+        self.keys.len()
     }
 
     /// The cell slot for `key`; a fresh cell charges the budget and
@@ -168,17 +335,104 @@ impl KernelArena {
     /// user code, so no panic guard needed).
     #[inline]
     fn slot(&mut self, key: u64, ctx: &ExecContext) -> CubeResult<u32> {
-        match self.slots.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => Ok(*e.get()),
-            std::collections::hash_map::Entry::Vacant(e) => {
+        let next = self.keys.len() as u32;
+        match &mut self.index {
+            SlotIndex::Map(map) => match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => return Ok(*e.get()),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    ctx.charge_cells(1)?;
+                    e.insert(next);
+                }
+            },
+            SlotIndex::Dense { table, mask } => {
+                let t = &mut table[(key & *mask) as usize];
+                if *t != 0 {
+                    return Ok(*t - 1);
+                }
                 ctx.charge_cells(1)?;
-                let s = (self.cells.len() / self.n_lanes) as u32;
-                e.insert(s);
-                self.cells
-                    .resize(self.cells.len() + self.n_lanes, KernelCell::default());
-                Ok(s)
+                *t = next + 1;
+            }
+            SlotIndex::Frozen => {
+                // cube-lint: allow(panic, frozen arenas are only iterated, never inserted into)
+                unreachable!("insert into a frozen radix arena")
             }
         }
+        self.keys.push(key);
+        self.cells
+            .resize(self.cells.len() + self.n_lanes, KernelCell::default());
+        Ok(next)
+    }
+
+    /// Resolve one morsel of keys to slots, appended to `slot_buf`. For
+    /// dense arenas the index `match` (and its bounds state) is hoisted
+    /// out of the per-row loop; other arenas fall back to [`Self::slot`].
+    #[inline]
+    fn slots_for(
+        &mut self,
+        morsel_keys: &[u64],
+        slot_buf: &mut Vec<u32>,
+        ctx: &ExecContext,
+    ) -> CubeResult<()> {
+        if let SlotIndex::Dense { table, mask } = &mut self.index {
+            let mask = *mask;
+            // cube-lint: allow(checkpoint, bounded by one morsel; the caller checkpoints per morsel)
+            for &key in morsel_keys {
+                let t = &mut table[(key & mask) as usize];
+                if *t != 0 {
+                    slot_buf.push(*t - 1);
+                    continue;
+                }
+                ctx.charge_cells(1)?;
+                let next = self.keys.len() as u32;
+                *t = next + 1;
+                self.keys.push(key);
+                self.cells
+                    .resize(self.cells.len() + self.n_lanes, KernelCell::default());
+                slot_buf.push(next);
+            }
+            return Ok(());
+        }
+        // cube-lint: allow(checkpoint, bounded by one morsel; the caller checkpoints per morsel)
+        for &key in morsel_keys {
+            let s = self.slot(key, ctx)?;
+            slot_buf.push(s);
+        }
+        Ok(())
+    }
+
+    /// Slot lookup-or-insert without budget accounting and without cell
+    /// allocation — the parallel coalesce, where cells were already
+    /// charged by the worker that created them and fresh slots adopt the
+    /// worker's cells wholesale. Returns `(slot, fresh)`.
+    #[inline]
+    fn entry_uncharged(&mut self, key: u64) -> (u32, bool) {
+        let next = self.keys.len() as u32;
+        let (slot, fresh) = match &mut self.index {
+            SlotIndex::Map(map) => match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(next);
+                    (next, true)
+                }
+            },
+            SlotIndex::Dense { table, mask } => {
+                let t = &mut table[(key & *mask) as usize];
+                if *t != 0 {
+                    (*t - 1, false)
+                } else {
+                    *t = next + 1;
+                    (next, true)
+                }
+            }
+            SlotIndex::Frozen => {
+                // cube-lint: allow(panic, frozen arenas are only iterated, never inserted into)
+                unreachable!("insert into a frozen radix arena")
+            }
+        };
+        if fresh {
+            self.keys.push(key);
+        }
+        (slot, fresh)
     }
 
     /// Rehydrate every cell into boxed row-path accumulators keyed by
@@ -194,9 +448,9 @@ impl KernelArena {
         aggs: &[BoundAgg],
     ) -> CubeResult<GroupMap> {
         let n = self.n_lanes;
-        let mut map = GroupMap::with_capacity_and_hasher(self.slots.len(), Default::default());
-        for (key, slot) in self.slots {
-            let base = slot as usize * n;
+        let mut map = GroupMap::with_capacity_and_hasher(self.keys.len(), Default::default());
+        for (slot, &key) in self.keys.iter().enumerate() {
+            let base = slot * n;
             let mut accs = Vec::with_capacity(n);
             for (lane, (cell, agg)) in plan
                 .lanes
@@ -242,29 +496,157 @@ impl KernelSets {
             encoder,
         } = self;
         let n = plan.lanes.len();
-        let mut out = dc_relation::Table::empty(schema);
-        for (_set, arena) in sets {
+        let nd = encoder.n_dims();
+        // Sort each set by collation-remapped keys — a plain `u64` sort in
+        // decoded-`Row` order — then decode each key exactly once while
+        // emitting. Decode-then-compare-`Row`s costs ~10× more on large
+        // results.
+        let collator = encoder.collator();
+
+        // Per-set prep: collation-sort the cells and invert to a
+        // slot -> output-rank map, laying out each set's base offset in
+        // the final table. Rows are then *emitted in slot order* — keys
+        // and cells stream sequentially instead of one gather cache miss
+        // per cell — and each decoded row scatters to its ranked slot.
+        let mut ranks: Vec<Vec<u32>> = Vec::with_capacity(sets.len());
+        let mut bases: Vec<usize> = Vec::with_capacity(sets.len());
+        let mut total = 0usize;
+        let mut order: Vec<(u64, u32)> = Vec::new();
+        for (_set, arena) in &sets {
             ctx.checkpoint()?;
-            let mut cells: Vec<(Row, u32)> = arena
-                .slots
-                .iter()
-                .map(|(&key, &slot)| (encoder.decode_key(key), slot))
-                .collect();
-            cells.sort_by(|a, b| a.0.cmp(&b.0));
-            for (i, (key, slot)) in cells.into_iter().enumerate() {
-                ctx.tick(i)?;
-                let mut vals = key.0;
-                let base = slot as usize * n;
+            order.clear();
+            order.extend(
+                arena
+                    .keys
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &key)| (collator.sort_key(key), slot as u32)),
+            );
+            order.sort_unstable_by_key(|c| c.0);
+            let mut rank: Vec<u32> = vec![0; order.len()];
+            for (i, &(_, slot)) in order.iter().enumerate() {
+                rank[slot as usize] = i as u32;
+            }
+            ranks.push(rank);
+            bases.push(total);
+            total += arena.keys.len();
+        }
+
+        // Decode slots `[lo, hi)` of set `si` into `(output index, Row)`
+        // pairs. Shared by the serial and parallel emitters below.
+        let emit = |si: usize,
+                    lo: usize,
+                    hi: usize,
+                    out: &mut Vec<(usize, Row)>,
+                    final_calls: &mut u64,
+                    ctx: &ExecContext|
+         -> CubeResult<()> {
+            let arena = &sets[si].1;
+            let (rank, set_base) = (&ranks[si], bases[si]);
+            for ((off, &key), &rk) in arena.keys[lo..hi].iter().enumerate().zip(&rank[lo..hi]) {
+                let slot = lo + off;
+                ctx.tick(slot)?;
+                let mut vals = Vec::with_capacity(nd + n);
+                encoder.append_key(key, &mut vals);
+                let cbase = slot * n;
                 // cube-lint: allow(checkpoint, bounded by the lane count; the cell loop above ticks)
-                for (lane, cell) in plan.lanes.iter().zip(&arena.cells[base..base + n]) {
+                for (lane, cell) in plan.lanes.iter().zip(&arena.cells[cbase..cbase + n]) {
                     // cube-lint: allow(guard, engine-owned POD kernel, runs no user code)
                     vals.push(lane.kernel.final_value(cell, lane.float_input()));
-                    stats.final_calls += 1;
+                    *final_calls += 1;
                 }
-                out.push_unchecked(Row::new(vals));
+                out.push((set_base + rk as usize, Row::new(vals)));
             }
+            Ok(())
+        };
+
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let mut rows: Vec<Row> = vec![Row::new(Vec::new()); total];
+        if threads > 1 && total >= PARALLEL_CASCADE_MIN_CELLS {
+            // Large results: workers pull fixed slot chunks from a cursor
+            // (decode cost is uniform per cell, and chunks keep the
+            // sequential-read layout), then one pass scatters the built
+            // rows — cheap `Row` moves — into final positions.
+            let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+            for (si, (_, arena)) in sets.iter().enumerate() {
+                let mut lo = 0;
+                while lo < arena.keys.len() {
+                    let hi = (lo + EMIT_CHUNK_CELLS).min(arena.keys.len());
+                    tasks.push((si, lo, hi));
+                    lo = hi;
+                }
+            }
+            let cursor = AtomicUsize::new(0);
+            type EmitOutcome = (CubeResult<Vec<(usize, Row)>>, u64);
+            let emit_ref = &emit;
+            let tasks_ref = &tasks;
+            let cursor_ref = &cursor;
+            let outcomes: Vec<EmitOutcome> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads.min(tasks.len()))
+                    .map(|_| {
+                        scope.spawn(move |_| -> EmitOutcome {
+                            let mut out = Vec::new();
+                            let mut final_calls = 0u64;
+                            loop {
+                                let t = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                                if t >= tasks_ref.len() {
+                                    break;
+                                }
+                                let (si, lo, hi) = tasks_ref[t];
+                                if let Err(e) =
+                                    emit_ref(si, lo, hi, &mut out, &mut final_calls, ctx)
+                                {
+                                    return (Err(e), final_calls);
+                                }
+                            }
+                            (Ok(out), final_calls)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|p| {
+                            (Err(exec::panic_error("materialize", p.as_ref())), 0)
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|p| vec![(Err(exec::panic_error("materialize", p.as_ref())), 0)]);
+            // Fold every worker's stats in before surfacing the first
+            // error, mirroring the scan and cascade scopes.
+            let mut failed = None;
+            for (result, final_calls) in outcomes {
+                stats.final_calls += final_calls;
+                match result {
+                    Ok(pairs) => {
+                        // cube-lint: allow(checkpoint, plain Row moves; workers polled per cell while decoding)
+                        for (idx, row) in pairs {
+                            rows[idx] = row;
+                        }
+                    }
+                    Err(e) => failed = failed.or(Some(e)),
+                }
+            }
+            if let Some(e) = failed {
+                return Err(e);
+            }
+        } else {
+            let mut out: Vec<(usize, Row)> = Vec::new();
+            let mut final_calls = 0u64;
+            for (si, set) in sets.iter().enumerate() {
+                out.clear();
+                emit(si, 0, set.1.keys.len(), &mut out, &mut final_calls, ctx)?;
+                // cube-lint: allow(checkpoint, plain Row moves; emit above polled per cell)
+                for (idx, row) in out.drain(..) {
+                    rows[idx] = row;
+                }
+            }
+            stats.final_calls += final_calls;
         }
-        Ok(out)
+        Ok(dc_relation::Table::from_validated_rows(schema, rows))
     }
 
     /// Hydrate into the row-path representation — test-only, for
@@ -282,17 +664,36 @@ impl KernelSets {
     }
 }
 
+/// The validity words for morsel rows `[base, base + n)`: morsels start
+/// on 64-row boundaries, so this is a whole-word slice of the column's
+/// bitmap (tail bits past the column end are zero by construction).
+fn morsel_validity(bitmap: &Bitmap, all_valid: bool, base: usize, n: usize) -> Validity<'_> {
+    if all_valid {
+        Validity::All
+    } else {
+        Validity::Words(&bitmap.words()[base / 64..(base + n).div_ceil(64)])
+    }
+}
+
 /// Run every lane's kernel over one morsel. `slots[j]` is the group slot
 /// of row `base + j`; `iter_calls` counts one fold per (row, lane), the
 /// row path's accounting.
 fn update_morsel(
     arena: &mut KernelArena,
     plan: &KernelPlan,
+    fused: Option<&FusedScan>,
     slots: &[u32],
     base: usize,
     stats: &mut ExecStats,
 ) {
+    debug_assert_eq!(base % 64, 0);
+    let n = slots.len();
     let stride = plan.lanes.len();
+    if let Some(f) = fused {
+        dc_aggregate::update_i64_fused(&mut arena.cells, &f.ops, slots, &f.col.0[base..base + n]);
+        stats.iter_calls += (n * stride) as u64;
+        return;
+    }
     for (l, lane) in plan.lanes.iter().enumerate() {
         match &lane.input {
             LaneInput::Star => Kernel::update_star(&mut arena.cells, stride, l, slots),
@@ -301,18 +702,16 @@ fn update_morsel(
                 stride,
                 l,
                 slots,
-                &col.0[base..base + slots.len()],
-                &col.1,
-                base,
+                &col.0[base..base + n],
+                morsel_validity(&col.1, lane.all_valid, base, n),
             ),
             LaneInput::Floats(col) => lane.kernel.update_f64(
                 &mut arena.cells,
                 stride,
                 l,
                 slots,
-                &col.0[base..base + slots.len()],
-                &col.1,
-                base,
+                &col.0[base..base + n],
+                morsel_validity(&col.1, lane.all_valid, base, n),
             ),
         }
         stats.iter_calls += slots.len() as u64;
@@ -326,6 +725,7 @@ fn scan_morsel(
     arena: &mut KernelArena,
     enc: &EncodedInput,
     plan: &KernelPlan,
+    fused: Option<&FusedScan>,
     slot_buf: &mut Vec<u32>,
     base: usize,
     end: usize,
@@ -335,11 +735,16 @@ fn scan_morsel(
     exec::failpoint("vectorized::morsel")?;
     ctx.checkpoint()?;
     slot_buf.clear();
-    for &key in &enc.keys[base..end] {
-        stats.rows_scanned += 1;
-        slot_buf.push(arena.slot(key, ctx)?);
-    }
-    update_morsel(arena, plan, slot_buf, base, stats);
+    let resolved = arena.slots_for(&enc.keys[base..end], slot_buf, ctx);
+    // On a mid-morsel budget trip, the slots resolved so far are the rows
+    // actually scanned — surface that partial progress in the error stats.
+    stats.rows_scanned += if resolved.is_ok() {
+        (end - base) as u64
+    } else {
+        slot_buf.len() as u64
+    };
+    resolved?;
+    update_morsel(arena, plan, fused, slot_buf, base, stats);
     stats.morsels_processed += 1;
     Ok(())
 }
@@ -354,33 +759,472 @@ fn compute_core(
     ctx: &ExecContext,
 ) -> CubeResult<KernelArena> {
     exec::failpoint("core::scan")?;
-    let mut arena = KernelArena::new(plan.lanes.len());
+    let mut arena = KernelArena::sized_for(plan.lanes.len(), enc.encoder.total_bits(), n_rows);
+    let fused = plan.fused_ints();
     let mut slot_buf = Vec::with_capacity(MORSEL_ROWS.min(n_rows));
     let mut base = 0;
     // cube-lint: allow(checkpoint, scan_morsel checkpoints at its own failpoint per morsel)
     while base < n_rows {
         let end = (base + MORSEL_ROWS).min(n_rows);
-        scan_morsel(&mut arena, enc, plan, &mut slot_buf, base, end, stats, ctx)?;
+        scan_morsel(
+            &mut arena,
+            enc,
+            plan,
+            fused.as_ref(),
+            &mut slot_buf,
+            base,
+            end,
+            stats,
+            ctx,
+        )?;
         base = end;
     }
     Ok(arena)
 }
 
+/// Scan one RLE morsel `[base, end)`: detect maximal key runs and fold
+/// each run's rows into its cell with one kernel call — `n × value` when
+/// the measure is constant over the run, a register-reduction fold when it
+/// is merely fully valid, a masked fold otherwise. Row order within and
+/// across runs matches the plain scan, so float results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn scan_morsel_rle(
+    arena: &mut KernelArena,
+    enc: &EncodedInput,
+    plan: &KernelPlan,
+    base: usize,
+    end: usize,
+    stats: &mut ExecStats,
+    ctx: &ExecContext,
+) -> CubeResult<()> {
+    exec::failpoint("vectorized::rle_run")?;
+    ctx.checkpoint()?;
+    let stride = plan.lanes.len();
+    let keys = &enc.keys;
+    let mut s = base;
+    // cube-lint: allow(checkpoint, run count per morsel is bounded by MORSEL_ROWS; the enclosing morsel loop checkpoints)
+    while s < end {
+        let key = keys[s];
+        let mut e = s + 1;
+        while e < end && keys[e] == key {
+            e += 1;
+        }
+        let len = e - s;
+        let slot = arena.slot(key, ctx)? as usize;
+        let cbase = slot * stride;
+        for (l, lane) in plan.lanes.iter().enumerate() {
+            let cell = &mut arena.cells[cbase + l];
+            match &lane.input {
+                LaneInput::Star => Kernel::fold_star(cell, len as i64),
+                LaneInput::Ints(col) => {
+                    if lane.all_valid {
+                        let constant = lane.rle.as_ref().is_some_and(|r| r.constant_over(s, e));
+                        if constant {
+                            lane.kernel.fold_repeat_i64(cell, col.0[s], len as i64);
+                        } else {
+                            lane.kernel.fold_i64(cell, &col.0[s..e]);
+                        }
+                    } else {
+                        lane.kernel
+                            .fold_i64_masked(cell, &col.0, col.1.words(), s, e);
+                    }
+                }
+                LaneInput::Floats(col) => {
+                    if lane.all_valid {
+                        let constant = lane.rle.as_ref().is_some_and(|r| r.constant_over(s, e));
+                        if constant {
+                            lane.kernel.fold_repeat_f64(cell, col.0[s], len as i64);
+                        } else {
+                            lane.kernel.fold_f64(cell, &col.0[s..e]);
+                        }
+                    } else {
+                        lane.kernel
+                            .fold_f64_masked(cell, &col.0, col.1.words(), s, e);
+                    }
+                }
+            }
+            stats.iter_calls += len as u64;
+        }
+        stats.rows_scanned += len as u64;
+        stats.rle_runs += 1;
+        s = e;
+    }
+    stats.morsels_processed += 1;
+    Ok(())
+}
+
+/// The core GROUP BY over run-length-compressed keys: the same serial
+/// morsel walk as [`compute_core`], but each morsel is scanned run-at-a-
+/// time by [`scan_morsel_rle`].
+fn compute_core_rle(
+    enc: &EncodedInput,
+    plan: &KernelPlan,
+    n_rows: usize,
+    stats: &mut ExecStats,
+    ctx: &ExecContext,
+) -> CubeResult<KernelArena> {
+    exec::failpoint("core::scan")?;
+    let mut arena = KernelArena::sized_for(plan.lanes.len(), enc.encoder.total_bits(), n_rows);
+    let mut base = 0;
+    // cube-lint: allow(checkpoint, scan_morsel_rle checkpoints at its own failpoint per morsel)
+    while base < n_rows {
+        let end = (base + MORSEL_ROWS).min(n_rows);
+        scan_morsel_rle(&mut arena, enc, plan, base, end, stats, ctx)?;
+        base = end;
+    }
+    Ok(arena)
+}
+
+/// Partition-count heuristic for radix grouping: peel the key bits above
+/// [`DENSE_SLOT_BITS`] into the partition index (so every partition's
+/// residual key space fits a dense table), clamped to `2^4..=2^12`
+/// partitions. Narrow keys (which would not use radix anyway) get a
+/// token 2-partition split so the path stays exercisable when forced.
+fn radix_partition_bits(key_bits: u32) -> u32 {
+    if key_bits > DENSE_SLOT_BITS {
+        (key_bits - DENSE_SLOT_BITS).clamp(4, 12)
+    } else {
+        key_bits.clamp(1, 4).min(key_bits.max(1))
+    }
+}
+
+/// Should the RLE scan run? Explicit override wins; otherwise engage on
+/// large inputs whose leading keys sample to runs of at least
+/// [`RLE_AUTO_MIN_RUN`] rows.
+fn rle_engages(opt: Option<bool>, enc: &EncodedInput, n_rows: usize) -> bool {
+    match opt {
+        Some(x) => x && n_rows > 0,
+        None => {
+            if n_rows < RLE_AUTO_MIN_ROWS {
+                return false;
+            }
+            let sample = &enc.keys[..n_rows.min(4096)];
+            let runs = 1 + sample.windows(2).filter(|w| w[0] != w[1]).count();
+            sample.len() / runs >= RLE_AUTO_MIN_RUN
+        }
+    }
+}
+
+/// Should radix-partitioned grouping run? Explicit override wins;
+/// otherwise engage on large inputs whose key space overflows one dense
+/// slot table — exactly when the single shared hash map starts missing
+/// cache on every probe.
+fn radix_engages(opt: Option<bool>, enc: &EncodedInput, n_rows: usize) -> bool {
+    if n_rows == 0 {
+        return false;
+    }
+    match opt {
+        Some(x) => x,
+        None => enc.encoder.total_bits() > DENSE_SLOT_BITS && n_rows >= RADIX_AUTO_MIN_ROWS,
+    }
+}
+
+/// The core GROUP BY by radix partitioning (§5's "partition the cube into
+/// chunks" applied to grouping): scatter row indices into `2^p_bits`
+/// partitions by high key bits, then aggregate each partition into its
+/// own arena — dense-indexed over the low bits whenever the residual key
+/// space allows — and concatenate. No lock is ever taken on an arena:
+/// phase 1 writes thread-local buckets, phase 2 gives each partition to
+/// exactly one worker.
+///
+/// Determinism: each key lives in exactly one partition, phase 1 workers
+/// own fixed contiguous row ranges and scatter in row order, and phase 2
+/// replays each partition's buckets in worker (= row) order — so every
+/// group folds its rows in global row order and float accumulation is
+/// bit-identical to the single-map scan. Partitions are assembled in
+/// partition order, giving a deterministic (if different from
+/// first-touch) slot order; `materialize` sorts cells by decoded key, so
+/// output order is unchanged.
+fn radix_core(
+    enc: &EncodedInput,
+    plan: &KernelPlan,
+    n_rows: usize,
+    threads: usize,
+    stats: &mut ExecStats,
+    ctx: &ExecContext,
+) -> CubeResult<KernelArena> {
+    exec::failpoint("core::scan")?;
+    let n = plan.lanes.len();
+    let key_bits = enc.encoder.total_bits();
+    let p_bits = radix_partition_bits(key_bits);
+    let n_parts = 1usize << p_bits;
+    let shift = key_bits.saturating_sub(p_bits);
+    stats.radix_partitions = stats.radix_partitions.max(n_parts as u64);
+
+    let threads = threads.max(1).min(n_rows.max(1));
+
+    // Phase 1: scatter row indices into per-worker partition buckets.
+    // Workers take fixed contiguous chunks (not cursor-pulled morsels) so
+    // bucket contents are a deterministic function of the input, and
+    // phase 2 can replay them in row order.
+    type ScatterOutcome = (CubeResult<Vec<Vec<u32>>>, ExecStats);
+    let scatter_chunk = |lo: usize, hi: usize, ctx: &ExecContext| -> ScatterOutcome {
+        let mut local = ExecStats::default();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+        let mut base = lo;
+        // cube-lint: allow(checkpoint, the per-morsel failpoint+checkpoint below bounds poll latency)
+        while base < hi {
+            let end = (base + MORSEL_ROWS).min(hi);
+            if let Err(e) = exec::failpoint("vectorized::radix_partition") {
+                return (Err(e), local);
+            }
+            if let Err(e) = ctx.checkpoint() {
+                return (Err(e), local);
+            }
+            for (i, &key) in enc.keys[base..end].iter().enumerate() {
+                buckets[(key >> shift) as usize].push((base + i) as u32);
+            }
+            local.rows_scanned += (end - base) as u64;
+            local.morsels_processed += 1;
+            base = end;
+        }
+        (Ok(buckets), local)
+    };
+
+    let chunk = n_rows.div_ceil(threads);
+    let scattered: Vec<ScatterOutcome> = if threads > 1 {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = (w * chunk).min(n_rows);
+                    let hi = (lo + chunk).min(n_rows);
+                    scope.spawn(move |_| scatter_chunk(lo, hi, ctx))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        (
+                            Err(exec::panic_error("vectorized::radix_partition", p.as_ref())),
+                            ExecStats::default(),
+                        )
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|p| {
+            vec![(
+                Err(exec::panic_error("vectorized::radix_partition", p.as_ref())),
+                ExecStats::default(),
+            )]
+        })
+    } else {
+        vec![scatter_chunk(0, n_rows, ctx)]
+    };
+
+    let mut failed = None;
+    let mut worker_buckets: Vec<Vec<Vec<u32>>> = Vec::with_capacity(scattered.len());
+    for (result, local) in scattered {
+        stats.add(&local);
+        match result {
+            Ok(b) => worker_buckets.push(b),
+            Err(e) => failed = failed.or(Some(e)),
+        }
+    }
+    if let Some(e) = failed {
+        return Err(e);
+    }
+
+    // Phase 2: one owner per partition, pulled from an atomic cursor.
+    // Each partition's rows are replayed in worker order (= row order,
+    // because phase 1 chunks are contiguous and ordered) through the
+    // gather kernels.
+    let fused = plan.fused_ints();
+    let aggregate_partition = |p: usize,
+                               stats: &mut ExecStats,
+                               ctx: &ExecContext|
+     -> CubeResult<KernelArena> {
+        let part_rows: usize = worker_buckets.iter().map(|b| b[p].len()).sum();
+        let mut arena = if shift <= DENSE_SLOT_BITS {
+            // Every key in this partition shares the high bits, so the
+            // low `shift` bits index a dense table.
+            KernelArena::dense(n, (1u64 << shift) - 1)
+        } else {
+            KernelArena::with_capacity(n, part_rows.min(1 << 10))
+        };
+        let mut slot_buf: Vec<u32> = Vec::with_capacity(MORSEL_ROWS);
+        let mut key_buf: Vec<u64> = Vec::with_capacity(MORSEL_ROWS);
+        for bucket in worker_buckets.iter().map(|b| &b[p]) {
+            let mut base = 0;
+            // cube-lint: allow(checkpoint, the per-chunk failpoint+checkpoint below bounds poll latency)
+            while base < bucket.len() {
+                let end = (base + MORSEL_ROWS).min(bucket.len());
+                exec::failpoint("vectorized::radix_partition")?;
+                ctx.checkpoint()?;
+                let idxs = &bucket[base..end];
+                slot_buf.clear();
+                key_buf.clear();
+                key_buf.extend(idxs.iter().map(|&ri| enc.keys[ri as usize]));
+                arena.slots_for(&key_buf, &mut slot_buf, ctx)?;
+                if let Some(f) = &fused {
+                    dc_aggregate::update_i64_gather_fused(
+                        &mut arena.cells,
+                        &f.ops,
+                        &slot_buf,
+                        idxs,
+                        &f.col.0,
+                    );
+                    stats.iter_calls += (idxs.len() * n) as u64;
+                    base = end;
+                    continue;
+                }
+                for (l, lane) in plan.lanes.iter().enumerate() {
+                    match &lane.input {
+                        LaneInput::Star => Kernel::update_star(&mut arena.cells, n, l, &slot_buf),
+                        LaneInput::Ints(col) => lane.kernel.update_i64_gather(
+                            &mut arena.cells,
+                            n,
+                            l,
+                            &slot_buf,
+                            idxs,
+                            &col.0,
+                            (!lane.all_valid).then(|| col.1.words()),
+                        ),
+                        LaneInput::Floats(col) => lane.kernel.update_f64_gather(
+                            &mut arena.cells,
+                            n,
+                            l,
+                            &slot_buf,
+                            idxs,
+                            &col.0,
+                            (!lane.all_valid).then(|| col.1.words()),
+                        ),
+                    }
+                    stats.iter_calls += idxs.len() as u64;
+                }
+                base = end;
+            }
+        }
+        Ok(arena)
+    };
+
+    type PartOutcome = (CubeResult<Vec<(usize, KernelArena)>>, ExecStats);
+    let parts: Vec<PartOutcome> = if threads > 1 {
+        let cursor = AtomicUsize::new(0);
+        let cursor_ref = &cursor;
+        let aggregate_ref = &aggregate_partition;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move |_| -> PartOutcome {
+                        let mut local = ExecStats::default();
+                        let mut built = Vec::new();
+                        loop {
+                            let p = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                            if p >= n_parts {
+                                break;
+                            }
+                            match aggregate_ref(p, &mut local, ctx) {
+                                Ok(arena) => built.push((p, arena)),
+                                Err(e) => return (Err(e), local),
+                            }
+                        }
+                        (Ok(built), local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        (
+                            Err(exec::panic_error("vectorized::radix_partition", p.as_ref())),
+                            ExecStats::default(),
+                        )
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|p| {
+            vec![(
+                Err(exec::panic_error("vectorized::radix_partition", p.as_ref())),
+                ExecStats::default(),
+            )]
+        })
+    } else {
+        let mut local = ExecStats::default();
+        let mut built = Vec::with_capacity(n_parts);
+        let mut err = None;
+        for p in 0..n_parts {
+            // cube-lint: allow(checkpoint, aggregate_partition checkpoints per chunk inside)
+            match aggregate_partition(p, &mut local, ctx) {
+                Ok(arena) => built.push((p, arena)),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        match err {
+            None => vec![(Ok(built), local)],
+            Some(e) => vec![(Err(e), local)],
+        }
+    };
+
+    let mut failed = None;
+    let mut arenas: Vec<(usize, KernelArena)> = Vec::with_capacity(n_parts);
+    for (result, local) in parts {
+        stats.add(&local);
+        match result {
+            Ok(built) => arenas.extend(built),
+            Err(e) => failed = failed.or(Some(e)),
+        }
+    }
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    arenas.sort_by_key(|(p, _)| *p);
+
+    // Assemble: concatenate partition arenas in partition order. Slots
+    // are final, so the result needs no index — it is only iterated.
+    let total: usize = arenas.iter().map(|(_, a)| a.n_cells()).sum();
+    let mut keys = Vec::with_capacity(total);
+    let mut cells = Vec::with_capacity(total * n);
+    for (_, arena) in arenas {
+        keys.extend_from_slice(&arena.keys);
+        cells.extend_from_slice(&arena.cells);
+    }
+    Ok(KernelArena {
+        index: SlotIndex::Frozen,
+        keys,
+        cells,
+        n_lanes: n,
+    })
+}
+
 /// From-core on kernels: core scan + [`cascade`]. Takes the plan by value
 /// — the returned [`KernelSets`] owns it through materialization.
+///
+/// `opts` picks the core-scan strategy: the RLE run-fold scan when it
+/// engages (forced or auto — sorted/low-cardinality key streams), else
+/// radix-partitioned grouping when *it* engages (forced or auto — wide
+/// key spaces at scale), else the plain morsel scan. RLE wins when both
+/// are viable: folding whole runs subsumes the partitioning win, and
+/// sorted keys make partition scatter pure overhead.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn from_core(
     enc: &EncodedInput,
     plan: KernelPlan,
     n_rows: usize,
     lattice: &Lattice,
     choice: ParentChoice,
+    opts: PathOpts,
     stats: &mut ExecStats,
     ctx: &ExecContext,
 ) -> CubeResult<KernelSets> {
     // Recorded before the scan so partial stats on a budget trip already
     // say which engine was running.
     stats.vectorized_kernels_used = stats.vectorized_kernels_used.max(plan.lanes.len() as u64);
-    let core = compute_core(enc, &plan, n_rows, stats, ctx)?;
+    let mut plan = plan;
+    let core = if rle_engages(opts.rle, enc, n_rows) {
+        plan.attach_rle();
+        compute_core_rle(enc, &plan, n_rows, stats, ctx)?
+    } else if radix_engages(opts.radix, enc, n_rows) {
+        radix_core(enc, &plan, n_rows, 1, stats, ctx)?
+    } else {
+        compute_core(enc, &plan, n_rows, stats, ctx)?
+    };
     let sets = cascade(core, &enc.encoder, &plan, lattice, choice, stats, ctx)?;
     Ok(KernelSets {
         sets,
@@ -395,21 +1239,32 @@ pub(crate) fn from_core(
 fn merged_child(
     parent: &KernelArena,
     mask: u64,
+    key_bits: u32,
     plan: &KernelPlan,
     ctx: &ExecContext,
 ) -> CubeResult<(KernelArena, u64)> {
     let n = plan.lanes.len();
-    let mut child = KernelArena::with_capacity(n, parent.n_cells() / 2 + 1);
+    let hint = parent.n_cells() / 2 + 1;
+    // Children index masked keys through the same packed-key space, so a
+    // narrow encoder gets the dense table here too; wide keys keep a
+    // pre-sized map (children shrink, but rarely below half the parent).
+    let mut child = if key_bits <= DENSE_SLOT_BITS && (1usize << key_bits) <= (64 * hint).max(1024)
+    {
+        KernelArena::dense(n, (1u64 << key_bits) - 1)
+    } else {
+        KernelArena::with_capacity(n, hint)
+    };
     let mut merges = 0u64;
-    for (i, (&pkey, &pslot)) in parent.slots.iter().enumerate() {
-        ctx.tick(i)?;
+    for (pslot, &pkey) in parent.keys.iter().enumerate() {
+        ctx.tick(pslot)?;
         let cslot = child.slot(pkey & mask, ctx)? as usize;
-        let pbase = pslot as usize * n;
-        for (l, lane) in plan.lanes.iter().enumerate() {
-            let src = parent.cells[pbase + l];
+        let pbase = pslot * n;
+        let srcs = &parent.cells[pbase..pbase + n];
+        let dsts = &mut child.cells[cslot * n..(cslot + 1) * n];
+        for ((lane, src), dst) in plan.lanes.iter().zip(srcs).zip(dsts) {
             lane.kernel
                 // cube-lint: allow(guard, engine-owned POD kernel, runs no user code)
-                .merge(&mut child.cells[cslot * n + l], &src, lane.float_input());
+                .merge(dst, src, lane.float_input());
             merges += 1;
         }
     }
@@ -496,6 +1351,7 @@ fn cascade(
                                     let (arena, merges) = merged_child(
                                         &done_ref[&parent],
                                         encoder.set_mask(set),
+                                        encoder.total_bits(),
                                         plan,
                                         ctx,
                                     )?;
@@ -525,8 +1381,13 @@ fn cascade(
             let mut built = Vec::with_capacity(level.len());
             for &(set, parent) in &level {
                 ctx.checkpoint()?;
-                let (arena, merges) =
-                    merged_child(&done[&parent], encoder.set_mask(set), plan, ctx)?;
+                let (arena, merges) = merged_child(
+                    &done[&parent],
+                    encoder.set_mask(set),
+                    encoder.total_bits(),
+                    plan,
+                    ctx,
+                )?;
                 built.push((set, arena, merges));
             }
             built
@@ -552,18 +1413,44 @@ fn cascade(
 /// (a worker bogged down in a collision-heavy range simply pulls fewer
 /// morsels). Partition arenas coalesce by adopting first-seen cells (POD
 /// copy, no merge counted) and merging collisions, then the cascade runs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn parallel(
     enc: &EncodedInput,
     plan: KernelPlan,
     n_rows: usize,
     lattice: &Lattice,
     threads: usize,
+    opts: PathOpts,
     stats: &mut ExecStats,
     ctx: &ExecContext,
 ) -> CubeResult<KernelSets> {
     stats.vectorized_kernels_used = stats.vectorized_kernels_used.max(plan.lanes.len() as u64);
     let threads = threads.max(1).min(n_rows.max(1));
     stats.threads_used = stats.threads_used.max(threads as u64);
+
+    let mut plan = plan;
+    let use_rle = rle_engages(opts.rle, enc, n_rows);
+    if use_rle {
+        plan.attach_rle();
+    } else if radix_engages(opts.radix, enc, n_rows) {
+        // Radix grouping is itself a parallel core build — partitions are
+        // aggregated without any shared map or coalesce pass.
+        let core = radix_core(enc, &plan, n_rows, threads, stats, ctx)?;
+        let sets = cascade(
+            core,
+            &enc.encoder,
+            &plan,
+            lattice,
+            ParentChoice::SmallestCardinality,
+            stats,
+            ctx,
+        )?;
+        return Ok(KernelSets {
+            sets,
+            plan,
+            encoder: enc.encoder.clone(),
+        });
+    }
 
     let cursor = AtomicUsize::new(0);
     // Each worker reports its local stats alongside the result so that a
@@ -581,7 +1468,12 @@ pub(crate) fn parallel(
                         if let Err(e) = exec::failpoint("parallel::worker") {
                             return (Err(e), local);
                         }
-                        let mut arena = KernelArena::new(plan.lanes.len());
+                        let mut arena = KernelArena::sized_for(
+                            plan.lanes.len(),
+                            enc.encoder.total_bits(),
+                            n_rows / threads + 1,
+                        );
+                        let fused = plan.fused_ints();
                         let mut slot_buf = Vec::with_capacity(MORSEL_ROWS);
                         loop {
                             let base = cursor_ref.fetch_add(MORSEL_ROWS, Ordering::Relaxed);
@@ -589,16 +1481,22 @@ pub(crate) fn parallel(
                                 break;
                             }
                             let end = (base + MORSEL_ROWS).min(n_rows);
-                            if let Err(e) = scan_morsel(
-                                &mut arena,
-                                enc,
-                                plan,
-                                &mut slot_buf,
-                                base,
-                                end,
-                                &mut local,
-                                ctx,
-                            ) {
+                            let scanned = if use_rle {
+                                scan_morsel_rle(&mut arena, enc, plan, base, end, &mut local, ctx)
+                            } else {
+                                scan_morsel(
+                                    &mut arena,
+                                    enc,
+                                    plan,
+                                    fused.as_ref(),
+                                    &mut slot_buf,
+                                    base,
+                                    end,
+                                    &mut local,
+                                    ctx,
+                                )
+                            };
+                            if let Err(e) = scanned {
                                 return (Err(e), local);
                             }
                         }
@@ -627,7 +1525,7 @@ pub(crate) fn parallel(
     };
 
     let n = plan.lanes.len();
-    let mut core = KernelArena::new(n);
+    let mut core = KernelArena::sized_for(n, enc.encoder.total_bits(), n_rows);
     // Fold every worker's stats in before propagating the first error —
     // the whole point of reporting them separately.
     let mut failed = None;
@@ -643,26 +1541,23 @@ pub(crate) fn parallel(
         return Err(e);
     }
     for partial in arenas {
-        for (key, pslot) in partial.slots {
-            let pbase = pslot as usize * n;
-            match core.slots.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    let cbase = *e.get() as usize * n;
-                    for (l, lane) in plan.lanes.iter().enumerate() {
-                        let src = partial.cells[pbase + l];
-                        lane.kernel
-                            // cube-lint: allow(guard, engine-owned POD kernel, runs no user code)
-                            .merge(&mut core.cells[cbase + l], &src, lane.float_input());
-                        stats.merge_calls += 1;
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    // First worker to produce this cell: adopt the POD
-                    // lanes outright — no Init, no merge.
-                    let s = (core.cells.len() / n) as u32;
-                    e.insert(s);
-                    core.cells
-                        .extend_from_slice(&partial.cells[pbase..pbase + n]);
+        for (pslot, &key) in partial.keys.iter().enumerate() {
+            let pbase = pslot * n;
+            let (cslot, fresh) = core.entry_uncharged(key);
+            if fresh {
+                // First worker to produce this cell: adopt the POD lanes
+                // outright — no Init, no merge. Cells were charged by the
+                // worker that created them.
+                core.cells
+                    .extend_from_slice(&partial.cells[pbase..pbase + n]);
+            } else {
+                let cbase = cslot as usize * n;
+                for (l, lane) in plan.lanes.iter().enumerate() {
+                    let src = partial.cells[pbase + l];
+                    lane.kernel
+                        // cube-lint: allow(guard, engine-owned POD kernel, runs no user code)
+                        .merge(&mut core.cells[cbase + l], &src, lane.float_input());
+                    stats.merge_calls += 1;
                 }
             }
         }
@@ -790,6 +1685,7 @@ mod tests {
             t.rows().len(),
             &lattice,
             ParentChoice::SmallestCardinality,
+            PathOpts::new(true, true),
             &mut sv,
             &ctx,
         )
@@ -832,6 +1728,7 @@ mod tests {
                 t.rows().len(),
                 &lattice,
                 ParentChoice::SmallestCardinality,
+                PathOpts::new(true, true),
                 &mut ExecStats::default(),
                 &ctx,
             )
@@ -847,6 +1744,7 @@ mod tests {
                 t.rows().len(),
                 &lattice,
                 threads,
+                PathOpts::new(true, true),
                 &mut sp,
                 &ctx,
             )
@@ -855,96 +1753,6 @@ mod tests {
             .unwrap();
             assert_eq!(sp.threads_used, threads as u64);
             assert_eq!(finals(par), expected, "{threads} threads");
-        }
-    }
-
-    #[test]
-    #[ignore = "stage profiler, run by hand with --release --nocapture"]
-    fn profile_stages() {
-        use std::time::Instant;
-        let n_rows = 100_000usize;
-        let n_dims = 4usize;
-        let card = 10i64;
-        let mut cols: Vec<(String, DataType)> = (0..n_dims)
-            .map(|d| (format!("d{d}"), DataType::Int))
-            .collect();
-        cols.push(("units".into(), DataType::Int));
-        let pairs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
-        let schema = Schema::from_pairs(&pairs);
-        let mut t = Table::empty(schema);
-        let mut state = 88172645463325252u64;
-        let mut rng = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for _ in 0..n_rows {
-            let mut vals: Vec<Value> = (0..n_dims)
-                .map(|_| Value::Int((rng() % card as u64) as i64))
-                .collect();
-            vals.push(Value::Int((rng() % 100) as i64));
-            t.push_unchecked(dc_relation::Row::new(vals));
-        }
-        let dims: Vec<BoundDimension> = (0..n_dims)
-            .map(|d| Dimension::column(format!("d{d}")).bind(t.schema()).unwrap())
-            .collect();
-        let aggs: Vec<BoundAgg> = ["SUM", "AVG", "MIN", "MAX", "COUNT"]
-            .iter()
-            .map(|n| {
-                AggSpec::new(builtin(n).unwrap(), "units")
-                    .bind(t.schema())
-                    .unwrap()
-            })
-            .chain([AggSpec::star(builtin("COUNT(*)").unwrap())
-                .bind(t.schema())
-                .unwrap()])
-            .collect();
-        let lattice = Lattice::cube(n_dims).unwrap();
-        let ctx = ExecContext::unlimited();
-        for _ in 0..3 {
-            let t0 = Instant::now();
-            let enc = encode(t.rows(), &dims).unwrap();
-            let t1 = Instant::now();
-            let p = plan(t.rows(), &aggs).unwrap();
-            let t2 = Instant::now();
-            let mut stats = ExecStats::default();
-            let core = compute_core(&enc, &p, n_rows, &mut stats, &ctx).unwrap();
-            let t3 = Instant::now();
-            let n_core = core.n_cells();
-            let sets = cascade(
-                core,
-                &enc.encoder,
-                &p,
-                &lattice,
-                ParentChoice::SmallestCardinality,
-                &mut stats,
-                &ctx,
-            )
-            .unwrap();
-            let t4 = Instant::now();
-            let mut rstats = ExecStats::default();
-            let rmaps = super::super::encoded::from_core(
-                &enc,
-                t.rows(),
-                &aggs,
-                &lattice,
-                ParentChoice::SmallestCardinality,
-                &mut rstats,
-                &ctx,
-            )
-            .unwrap();
-            let t5 = Instant::now();
-            eprintln!(
-                "encode {:?} | plan {:?} | core({n_core}) {:?} | cascade({}) {:?} | row_all({}) {:?}",
-                t1 - t0,
-                t2 - t1,
-                t3 - t2,
-                sets.len(),
-                t4 - t3,
-                rmaps.len(),
-                t5 - t4,
-            );
         }
     }
 }

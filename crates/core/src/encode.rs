@@ -141,25 +141,76 @@ impl KeyEncoder {
     /// Decode a packed key back to the `Row` form the `Row`-key engine
     /// produces: field 0 → `ALL`, field `c + 1` → the interned value `c`.
     pub fn decode_key(&self, key: u64) -> Row {
-        Row::new(
-            (0..self.n_dims())
-                .map(|d| {
-                    let field = if self.widths[d] == u64::BITS {
-                        key >> self.shifts[d]
-                    } else {
-                        (key >> self.shifts[d]) & ((1u64 << self.widths[d]) - 1)
-                    };
-                    match field {
-                        0 => Value::All,
-                        c => self.symbols[d]
-                            .decode((c - 1) as u32)
-                            // cube-lint: allow(panic, keys were packed from this very symbol table)
-                            .expect("packed field within interned range")
-                            .clone(),
-                    }
-                })
-                .collect(),
-        )
+        let mut vals = Vec::with_capacity(self.n_dims());
+        self.append_key(key, &mut vals);
+        Row::new(vals)
+    }
+
+    /// [`decode_key`](Self::decode_key) into a caller-owned buffer, so
+    /// materialization can size one allocation for dimensions *and*
+    /// aggregate values.
+    pub fn append_key(&self, key: u64, out: &mut Vec<Value>) {
+        for d in 0..self.n_dims() {
+            let field = if self.widths[d] == u64::BITS {
+                key >> self.shifts[d]
+            } else {
+                (key >> self.shifts[d]) & ((1u64 << self.widths[d]) - 1)
+            };
+            out.push(match field {
+                0 => Value::All,
+                c => self.symbols[d]
+                    .decode((c - 1) as u32)
+                    // cube-lint: allow(panic, keys were packed from this very symbol table)
+                    .expect("packed field within interned range")
+                    .clone(),
+            });
+        }
+    }
+
+    /// Build the collation map for packed keys: `collator.sort_key(k)` is
+    /// a `u64` whose natural order equals the decoded-`Row` order the
+    /// materializer must emit (dimension 0 most significant, interned
+    /// values in `Value` order, `ALL` collating last). Sorting cells by
+    /// these remapped keys replaces the decode-then-compare-`Row`s sort —
+    /// the dominant cost of materializing large results — with a plain
+    /// `u64` sort; each key is then decoded exactly once, in output
+    /// order. Cost: one `Value` sort per symbol table, paid once.
+    pub fn collator(&self) -> KeyCollator {
+        let mut tables = Vec::with_capacity(self.n_dims());
+        for symbols in &self.symbols {
+            let c = symbols.cardinality();
+            let mut order: Vec<u32> = (0..c as u32).collect();
+            order.sort_by(|&a, &b| {
+                // cube-lint: allow(panic, codes 0..cardinality are all interned)
+                let va = symbols.decode(a).expect("interned code");
+                // cube-lint: allow(panic, codes 0..cardinality are all interned)
+                let vb = symbols.decode(b).expect("interned code");
+                va.cmp(vb)
+            });
+            // ranks[field]: field 0 is ALL (rank C, last); field c + 1 is
+            // code c (its position in Value order).
+            let mut ranks = vec![0u64; c + 1];
+            ranks[0] = c as u64;
+            for (pos, &code) in order.iter().enumerate() {
+                ranks[code as usize + 1] = pos as u64;
+            }
+            tables.push(ranks);
+        }
+        // Dimension 0 takes the most significant field: Row comparison is
+        // lexicographic from dimension 0.
+        let total: u32 = self.widths.iter().sum();
+        let mut out_shifts = Vec::with_capacity(self.n_dims());
+        let mut used = 0u32;
+        for &w in &self.widths {
+            used += w;
+            out_shifts.push(total - used);
+        }
+        KeyCollator {
+            shifts: self.shifts.clone(),
+            widths: self.widths.clone(),
+            out_shifts,
+            tables,
+        }
     }
 
     /// Distinct-value count per dimension, read off the symbol tables
@@ -169,6 +220,42 @@ impl KeyEncoder {
     /// core keys equal those among base rows.
     pub fn cardinalities(&self) -> Vec<usize> {
         self.symbols.iter().map(|t| t.cardinality()).collect()
+    }
+
+    /// Total packed key width in bits (`Σ widths`, `<= 64` whenever
+    /// encoding succeeded). Every packed key is `< 1 << total_bits()`,
+    /// which is what lets the vectorized engine size dense slot tables
+    /// and pick radix partition counts.
+    pub fn total_bits(&self) -> u32 {
+        self.widths.iter().sum()
+    }
+}
+
+/// Packed-key → collation-key remapper built by [`KeyEncoder::collator`].
+/// `sort_key` is a strictly monotone map from packed keys (within one
+/// grouping set) to the decoded-`Row` collation order: distinct keys in a
+/// set differ in some member field, and member fields map to distinct
+/// ranks in disjoint bit ranges.
+pub(crate) struct KeyCollator {
+    shifts: Vec<u32>,
+    widths: Vec<u32>,
+    out_shifts: Vec<u32>,
+    tables: Vec<Vec<u64>>,
+}
+
+impl KeyCollator {
+    #[inline]
+    pub fn sort_key(&self, key: u64) -> u64 {
+        let mut out = 0u64;
+        for d in 0..self.tables.len() {
+            let field = if self.widths[d] == u64::BITS {
+                key >> self.shifts[d]
+            } else {
+                (key >> self.shifts[d]) & ((1u64 << self.widths[d]) - 1)
+            };
+            out |= self.tables[d][field as usize] << self.out_shifts[d];
+        }
+        out
     }
 }
 

@@ -48,6 +48,12 @@ pub struct ExecStats {
     /// Fixed-size row-range morsels pulled by scan workers (0 for the
     /// pre-split `Row`-keyed paths).
     pub morsels_processed: u64,
+    /// Partitions used by radix-partitioned grouping (0 when the core
+    /// scan ran the single hash map or the RLE path instead).
+    pub radix_partitions: u64,
+    /// Key runs folded by the run-length scan (0 when the per-row morsel
+    /// scan ran instead).
+    pub rle_runs: u64,
 }
 
 impl ExecStats {
@@ -65,6 +71,8 @@ impl ExecStats {
             .vectorized_kernels_used
             .max(other.vectorized_kernels_used);
         self.morsels_processed += other.morsels_processed;
+        self.radix_partitions = self.radix_partitions.max(other.radix_partitions);
+        self.rle_runs += other.rle_runs;
     }
 }
 

@@ -372,7 +372,13 @@ pub fn gen_case(seed: u64) -> Case {
         _ => rng.gen_range(61usize..=200),
     };
 
-    let mut table = Table::empty(schema);
+    // RLE-facing shapes: sorting the rows gives the key stream long runs
+    // (the sorted-input case the RLE scan optimizes), and a tiny measure
+    // domain creates constant measure runs for the `n × value` fold.
+    let sort_rows = rng.gen_bool(0.3);
+    let tiny_measures = rng.gen_bool(0.2);
+
+    let mut rows: Vec<Row> = Vec::with_capacity(n_rows);
     for _ in 0..n_rows {
         let mut vals = Vec::with_capacity(n_dims + 4);
         for (d, arch) in archs.iter().enumerate() {
@@ -385,11 +391,15 @@ pub fn gen_case(seed: u64) -> Case {
         // m_int: modest range so i64 SUM cannot overflow.
         vals.push(if rng.gen_bool(measure_null_p[0]) {
             Value::Null
+        } else if tiny_measures {
+            Value::Int(rng.gen_range(0i64..=1))
         } else {
             Value::Int(rng.gen_range(-50i64..=50))
         });
         vals.push(if rng.gen_bool(measure_null_p[1]) {
             Value::Null
+        } else if tiny_measures {
+            Value::Float([0.25, 0.5][rng.gen_range(0..2)])
         } else {
             sample_float_measure(&mut rng)
         });
@@ -404,9 +414,14 @@ pub fn gen_case(seed: u64) -> Case {
         } else {
             Value::Bool(rng.gen_bool(0.5))
         });
-        table
-            .push(Row::new(vals))
-            .expect("generated row fits schema");
+        rows.push(Row::new(vals));
+    }
+    if sort_rows {
+        rows.sort();
+    }
+    let mut table = Table::empty(schema);
+    for row in rows {
+        table.push(row).expect("generated row fits schema");
     }
 
     let query = match rng.gen_range(0u32..10) {
@@ -484,8 +499,10 @@ mod tests {
         let mut saw_compound = false;
         let mut saw_gov = false;
         let mut saw_nan_dim = false;
+        let mut saw_sorted = false;
         for seed in 0..400u64 {
             let c = gen_case(seed);
+            saw_sorted |= c.table.len() > 10 && c.table.rows().windows(2).all(|w| w[0] <= w[1]);
             saw_empty |= c.table.is_empty();
             saw_null |= c
                 .table
@@ -505,6 +522,7 @@ mod tests {
         assert!(saw_compound, "no compound specs in 400 seeds");
         assert!(saw_gov, "no governed cases in 400 seeds");
         assert!(saw_nan_dim, "no NaN dimension keys in 400 seeds");
+        assert!(saw_sorted, "no sorted (long-key-run) tables in 400 seeds");
     }
 
     #[test]

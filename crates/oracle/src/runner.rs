@@ -2,7 +2,9 @@
 //!
 //! Hash-based algorithms (Auto, 2^N, union-of-GROUP-BYs, from-core,
 //! parallel at 1/4/16 threads) run under all four {encoded} × {vectorized}
-//! flag combinations; the sort- and array-based algorithms have their own
+//! flag combinations, plus three forced radix/RLE overrides inside the
+//! vectorized engine (radix-vs-hash and RLE-vs-plain are execution axes
+//! of their own); the sort- and array-based algorithms have their own
 //! key machinery (the flags are documented no-ops) and run once each,
 //! gated on the lattice shapes they support — Sort on ROLLUP lattices,
 //! Array and PipeSort on full cubes.
@@ -25,6 +27,10 @@ pub struct Combo {
     pub algorithm: Algorithm,
     pub encoded: bool,
     pub vectorized: bool,
+    /// Vectorized-engine radix-grouping override (`None` = auto-detect).
+    pub radix: Option<bool>,
+    /// Vectorized-engine RLE-scan override (`None` = auto-detect).
+    pub rle: Option<bool>,
 }
 
 /// All configurations applicable to a query kind.
@@ -38,7 +44,7 @@ pub fn combos(query: &QueryKind) -> Vec<Combo> {
         Algorithm::Parallel { threads: 4 },
         Algorithm::Parallel { threads: 16 },
     ];
-    let mut all = Vec::with_capacity(30);
+    let mut all = Vec::with_capacity(51);
     for algorithm in hash_algorithms {
         for encoded in [true, false] {
             for vectorized in [true, false] {
@@ -46,8 +52,28 @@ pub fn combos(query: &QueryKind) -> Vec<Combo> {
                     algorithm,
                     encoded,
                     vectorized,
+                    radix: None,
+                    rle: None,
                 });
             }
+        }
+        // The radix-vs-hash and RLE-vs-plain axes live inside the
+        // vectorized engine, so they are exercised only where it can run
+        // (encoded + vectorized): force each on, force each off, and
+        // force both on (RLE must win) against the auto-detecting base
+        // combo above.
+        for (radix, rle) in [
+            (Some(true), Some(false)),
+            (Some(false), Some(true)),
+            (Some(true), Some(true)),
+        ] {
+            all.push(Combo {
+                algorithm,
+                encoded: true,
+                vectorized: true,
+                radix,
+                rle,
+            });
         }
     }
     match query {
@@ -55,6 +81,8 @@ pub fn combos(query: &QueryKind) -> Vec<Combo> {
             algorithm: Algorithm::Sort,
             encoded: true,
             vectorized: true,
+            radix: None,
+            rle: None,
         }),
         QueryKind::Cube => {
             for algorithm in [Algorithm::Array, Algorithm::PipeSort] {
@@ -62,6 +90,8 @@ pub fn combos(query: &QueryKind) -> Vec<Combo> {
                     algorithm,
                     encoded: true,
                     vectorized: true,
+                    radix: None,
+                    rle: None,
                 });
             }
         }
@@ -77,6 +107,12 @@ pub fn run_engine(case: &Case, combo: &Combo) -> CubeResult<Table> {
         .encoded_keys(combo.encoded)
         .vectorized(combo.vectorized)
         .limits(case.gov.limits());
+    if let Some(radix) = combo.radix {
+        q = q.radix(radix);
+    }
+    if let Some(rle) = combo.rle {
+        q = q.rle(rle);
+    }
     for (i, desc) in case.aggs.iter().enumerate() {
         q = q.aggregate(desc.spec(i));
     }
@@ -136,8 +172,12 @@ mod tests {
         assert!(cube.iter().any(|c| c.algorithm == Algorithm::Array));
         assert!(cube.iter().any(|c| c.algorithm == Algorithm::PipeSort));
         assert!(!cube.iter().any(|c| c.algorithm == Algorithm::Sort));
-        // 7 hash algorithms × 4 flag combos, plus the dense pair.
-        assert_eq!(cube.len(), 30);
+        // 7 hash algorithms × (4 flag combos + 3 forced radix/rle
+        // combos), plus the dense pair.
+        assert_eq!(cube.len(), 51);
+        assert!(cube
+            .iter()
+            .any(|c| c.radix == Some(true) && c.rle == Some(true)));
         assert!(cube
             .iter()
             .any(|c| c.algorithm == Algorithm::Parallel { threads: 16 }));
