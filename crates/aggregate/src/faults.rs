@@ -55,6 +55,9 @@ pub const SITES: &[&str] = &[
     "vectorized::radix_partition",
     "vectorized::rle_run",
     "pipesort::pipeline",
+    "service::admit",
+    "service::queue_wait",
+    "service::respond",
 ];
 
 /// Count of armed sites — the fast-path guard. Zero means every failpoint

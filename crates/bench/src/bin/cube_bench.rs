@@ -1,6 +1,6 @@
 //! `cube_bench`: the PR-level acceptance harness, writing `BENCH_pr*.json`.
 //!
-//! Four workloads, timed with `std::time::Instant` (criterion's report
+//! Five workloads, timed with `std::time::Instant` (criterion's report
 //! machinery is deliberately avoided so the binary can run in CI and
 //! emit one machine-readable file):
 //!
@@ -15,10 +15,15 @@
 //!   single shared hash map (`.radix(false)`);
 //! * **rle_sorted** — a 100k-row sorted table with a piecewise-constant
 //!   measure: the run-length-compressed scan (`.rle(true)`) vs the plain
-//!   morsel scan (`.rle(false)`).
+//!   morsel scan (`.rle(false)`);
+//! * **service_concurrent** — sustained throughput through the shared
+//!   `Engine` service: 1 vs 8 concurrent sessions, each alternating a
+//!   cheap single-set GROUP BY with a full 2-dimension CUBE under the
+//!   admission controller (`ns_per_op` is wall time per query, so lower
+//!   at 8 sessions means the shared catalog and admission gate scale).
 //!
 //! Output: a JSON array of `{workload, rows, dims, algorithm, ns_per_op}`
-//! records, written to `--json <path>` (default: `BENCH_pr6.json` at the
+//! records, written to `--json <path>` (default: `BENCH_pr7.json` at the
 //! repository root; see EXPERIMENTS.md "BENCH files"). `--smoke` shrinks
 //! every workload to a few thousand rows and a single iteration — a
 //! seconds-long sanity pass for verify.sh, not a measurement — and
@@ -27,6 +32,8 @@
 use datacube::CubeQuery;
 use dc_bench::{kernel_query, radix_table, sales_query, sales_table, sorted_table, wide_table};
 use dc_relation::Table;
+use dc_sql::{Engine, ServiceConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Record {
@@ -58,7 +65,7 @@ fn time_cube(query: &CubeQuery, table: &Table, iters: usize) -> u128 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let mut json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json").to_string();
+    let mut json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json").to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--json" {
@@ -70,6 +77,7 @@ fn main() {
     } else {
         (50_000, 100_000, 200_000, 100_000, 5)
     };
+    let (service_rows, service_queries) = if smoke { (5_000, 4) } else { (50_000, 32) };
     let mut records: Vec<Record> = Vec::new();
 
     // ---- E-keys: encoded vs Row keys over string dimensions ----------
@@ -142,6 +150,59 @@ fn main() {
         });
         eprintln!(
             "rle_sorted/{algorithm}: {} ns/op",
+            records.last().unwrap().ns_per_op
+        );
+    }
+
+    // ---- Service: concurrent sessions through the shared engine ------
+    let service = wide_table(service_rows, 2, 16);
+    const CHEAP_SQL: &str = "SELECT d0, SUM(units) AS s FROM t GROUP BY d0";
+    const CUBE_SQL: &str = "SELECT d0, d1, SUM(units) AS s FROM t GROUP BY CUBE d0, d1";
+    for (algorithm, sessions) in [("sessions_1", 1usize), ("sessions_8", 8)] {
+        let mut engine = Engine::with_service(ServiceConfig {
+            max_concurrent: 8,
+            cheap_reserved: 2,
+            cheap_cells: service_rows as u64 + 1,
+            global_cells: 64 * (service_rows as u64 + 1),
+            min_grant_cells: 1,
+            queue_depth: 64,
+        });
+        engine
+            .register_table("t", service.clone())
+            .expect("bench table");
+        let engine = Arc::new(engine);
+        // One warmup query touches every page the timed sessions will.
+        std::hint::black_box(engine.execute(CUBE_SQL).expect("bench query"));
+        let start = Instant::now();
+        let workers: Vec<_> = (0..sessions)
+            .map(|w| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let session = engine.session();
+                    for q in 0..service_queries {
+                        let sql = if (w + q) % 2 == 0 {
+                            CHEAP_SQL
+                        } else {
+                            CUBE_SQL
+                        };
+                        std::hint::black_box(session.execute(sql).expect("bench query"));
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join().expect("bench session");
+        }
+        let total = (sessions * service_queries) as u128;
+        records.push(Record {
+            workload: "service_concurrent",
+            rows: service_rows,
+            dims: 2,
+            algorithm,
+            ns_per_op: start.elapsed().as_nanos() / total,
+        });
+        eprintln!(
+            "service_concurrent/{algorithm}: {} ns/op",
             records.last().unwrap().ns_per_op
         );
     }

@@ -432,7 +432,7 @@ pub(crate) fn parallel(
     ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     let threads = threads.max(1).min(rows.len().max(1));
-    stats.threads_used = stats.threads_used.max(threads as u64);
+    stats.threads_used = stats.threads_used.max(threads as u32);
 
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     // Join every handle before surfacing any error — see `cascade`.

@@ -67,7 +67,7 @@ pub(crate) fn run_row_path(
     ctx: &ExecContext,
 ) -> CubeResult<SetMaps> {
     let threads = threads.max(1).min(rows.len().max(1));
-    stats.threads_used = stats.threads_used.max(threads as u64);
+    stats.threads_used = stats.threads_used.max(threads as u32);
     let chunk = rows.len().div_ceil(threads);
 
     // Aggregate each partition's core in parallel. Every handle is joined

@@ -1426,7 +1426,7 @@ pub(crate) fn parallel(
 ) -> CubeResult<KernelSets> {
     stats.vectorized_kernels_used = stats.vectorized_kernels_used.max(plan.lanes.len() as u64);
     let threads = threads.max(1).min(n_rows.max(1));
-    stats.threads_used = stats.threads_used.max(threads as u64);
+    stats.threads_used = stats.threads_used.max(threads as u32);
 
     let mut plan = plan;
     let use_rle = rle_engages(opts.rle, enc, n_rows);
@@ -1751,7 +1751,7 @@ mod tests {
             .unwrap()
             .into_set_maps(&aggs)
             .unwrap();
-            assert_eq!(sp.threads_used, threads as u64);
+            assert_eq!(sp.threads_used, threads as u32);
             assert_eq!(finals(par), expected, "{threads} threads");
         }
     }

@@ -14,6 +14,11 @@ pub enum Resource {
     MemoryBytes,
     /// The wall-clock deadline (`ExecLimits::timeout`), in milliseconds.
     TimeMs,
+    /// The bounded admission queue of the concurrent cube service: the
+    /// query was load-shed because the queue was full (or a failpoint
+    /// tripped the admission path). `ExecStats::retry_after_ms` on the
+    /// carried stats holds the controller's backoff hint.
+    AdmissionQueue,
 }
 
 impl fmt::Display for Resource {
@@ -22,6 +27,7 @@ impl fmt::Display for Resource {
             Resource::Cells => write!(f, "cells"),
             Resource::MemoryBytes => write!(f, "memory bytes"),
             Resource::TimeMs => write!(f, "milliseconds"),
+            Resource::AdmissionQueue => write!(f, "admission queue slots"),
         }
     }
 }

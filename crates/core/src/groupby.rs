@@ -14,6 +14,25 @@ use crate::spec::{BoundAgg, BoundDimension};
 use dc_aggregate::Accumulator;
 use dc_relation::{ColumnDef, FxHashMap, Row, Schema, Table, Value};
 
+/// How the admission controller (the concurrent-service layer in
+/// `dc-sql`) disposed of the query before execution started. Library
+/// callers that run `CubeQuery` directly are `Ungoverned`; the service
+/// records its verdict here so clients can observe queueing and shedding
+/// in the same stats channel as the §5 work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// No admission controller in the path (direct library execution).
+    #[default]
+    Ungoverned,
+    /// Admitted immediately: a slot and a budget share were free.
+    Admitted,
+    /// Admitted after waiting in the bounded admission queue.
+    Queued,
+    /// Rejected by load shedding; `ExecStats::retry_after_ms` carries the
+    /// controller's backoff hint.
+    Shed,
+}
+
 /// Work counters for one cube execution; the currency of the paper's cost
 /// analysis ("the 2^N-algorithm invokes the Iter() function T × 2^N
 /// times").
@@ -31,7 +50,7 @@ pub struct ExecStats {
     pub sorts: u64,
     /// Worker threads the parallel paths actually used after clamping to
     /// the partition count (0 for serial algorithms).
-    pub threads_used: u64,
+    pub threads_used: u32,
     /// Whether the packed-u64 encoded-key engine carried this query
     /// (false under the `Row`-key fallback: >64 key bits or >16 dims).
     pub encoded_keys: bool,
@@ -54,6 +73,19 @@ pub struct ExecStats {
     /// Key runs folded by the run-length scan (0 when the per-row morsel
     /// scan ran instead).
     pub rle_runs: u64,
+    /// Milliseconds the query spent waiting in the admission queue before
+    /// execution (0 when admitted immediately or ungoverned). Queue time
+    /// counts against the query's own deadline.
+    pub queue_wait_ms: u32,
+    /// Cell budget granted by the admission controller out of the global
+    /// budget (0 = unlimited / ungoverned).
+    pub granted_cells: u64,
+    /// Backoff hint attached to a load-shedding rejection, in
+    /// milliseconds (0 = no hint; on a shed whose cost can never fit the
+    /// global budget, retrying is pointless and the hint stays 0).
+    pub retry_after_ms: u32,
+    /// The admission controller's disposition of this query.
+    pub admission: AdmissionVerdict,
 }
 
 impl ExecStats {
@@ -73,6 +105,19 @@ impl ExecStats {
         self.morsels_processed += other.morsels_processed;
         self.radix_partitions = self.radix_partitions.max(other.radix_partitions);
         self.rle_runs += other.rle_runs;
+        self.queue_wait_ms += other.queue_wait_ms;
+        self.granted_cells = self.granted_cells.max(other.granted_cells);
+        self.retry_after_ms = self.retry_after_ms.max(other.retry_after_ms);
+        // The most severe verdict wins when folding partial stats.
+        let rank = |v: AdmissionVerdict| match v {
+            AdmissionVerdict::Ungoverned => 0,
+            AdmissionVerdict::Admitted => 1,
+            AdmissionVerdict::Queued => 2,
+            AdmissionVerdict::Shed => 3,
+        };
+        if rank(other.admission) > rank(self.admission) {
+            self.admission = other.admission;
+        }
     }
 }
 

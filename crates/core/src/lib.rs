@@ -56,7 +56,7 @@ pub mod subcube;
 pub use algorithm::{Algorithm, ParentChoice};
 pub use error::{CubeError, CubeResult, Resource};
 pub use exec::{CancelToken, ExecContext, ExecLimits};
-pub use groupby::ExecStats;
+pub use groupby::{AdmissionVerdict, ExecStats};
 pub use lattice::{cube_sets, rollup_sets, GroupingSet, Lattice};
 pub use operator::{dense_cube_cardinality, rows_in_set, CubeQuery};
 pub use spec::{AggSpec, CompoundSpec, Dimension};

@@ -1,0 +1,190 @@
+//! `dc_serve` — the cube service over TCP.
+//!
+//! Serves the paper's demo `Sales` table through the dc-sql engine behind
+//! admission control. Requests are length-prefixed SQL text; responses
+//! are `OK` tables or `ERR <CODE> <retry_after_ms>` typed errors (see
+//! `dc_sql::wire`).
+//!
+//! ```text
+//! dc_serve [--addr 127.0.0.1:4780]
+//!          [--max-concurrent N] [--cheap-reserved N] [--cheap-cells N]
+//!          [--global-cells N] [--min-grant-cells N] [--queue-depth N]
+//!          [--max-connections N]
+//!          [--smoke]
+//! ```
+//!
+//! `--smoke` runs the self-test used by `verify.sh`: start on an
+//! ephemeral port with a deliberately tiny budget, prove that a cheap
+//! GROUP BY succeeds while a 3-dimension CUBE is shed with a typed
+//! `RESOURCE_EXHAUSTED` frame and a retry hint, that a parse error
+//! leaves the connection usable, then shut down cleanly. Exit code 0 on
+//! success.
+
+use dc_relation::{row, DataType, Schema, Table};
+use dc_sql::wire::{self, Response};
+use dc_sql::{serve, Engine, ServerConfig, ServiceConfig};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    service: ServiceConfig,
+    server: ServerConfig,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:4780".to_string(),
+        service: ServiceConfig::default(),
+        server: ServerConfig::default(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let num = |name: &str, it: &mut dyn Iterator<Item = String>| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = it
+                    .next()
+                    .ok_or_else(|| "--addr needs a value".to_string())?;
+            }
+            "--max-concurrent" => args.service.max_concurrent = num(&flag, &mut it)? as usize,
+            "--cheap-reserved" => args.service.cheap_reserved = num(&flag, &mut it)? as usize,
+            "--cheap-cells" => args.service.cheap_cells = num(&flag, &mut it)?,
+            "--global-cells" => args.service.global_cells = num(&flag, &mut it)?,
+            "--min-grant-cells" => args.service.min_grant_cells = num(&flag, &mut it)?,
+            "--queue-depth" => args.service.queue_depth = num(&flag, &mut it)? as usize,
+            "--max-connections" => args.server.max_connections = num(&flag, &mut it)? as usize,
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The paper's Table 4 sales data, enough for demo queries.
+fn demo_table() -> Result<Table, String> {
+    let schema = Schema::from_pairs(&[
+        ("model", DataType::Str),
+        ("year", DataType::Int),
+        ("color", DataType::Str),
+        ("units", DataType::Int),
+    ]);
+    let rows = vec![
+        row!["Chevy", 1994, "black", 50],
+        row!["Chevy", 1994, "white", 40],
+        row!["Chevy", 1995, "black", 115],
+        row!["Chevy", 1995, "white", 85],
+        row!["Ford", 1994, "black", 50],
+        row!["Ford", 1994, "white", 10],
+        row!["Ford", 1995, "black", 85],
+        row!["Ford", 1995, "white", 75],
+    ];
+    Table::new(schema, rows).map_err(|e| format!("demo table: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.smoke {
+        return smoke();
+    }
+    let mut engine = Engine::with_service(args.service);
+    engine
+        .register_table("Sales", demo_table()?)
+        .map_err(|e| format!("register: {e}"))?;
+    let handle =
+        serve(&engine, &args.addr, args.server).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    eprintln!("dc_serve listening on {}", handle.local_addr());
+    handle.wait();
+    Ok(())
+}
+
+fn expect_table(resp: &Response, what: &str) -> Result<usize, String> {
+    match resp {
+        Response::Table { rows, .. } => Ok(rows.len()),
+        Response::Error { code, message, .. } => {
+            Err(format!("{what}: expected table, got ERR {code}: {message}"))
+        }
+    }
+}
+
+/// The verify.sh self-test: overload behaviour end to end over TCP.
+fn smoke() -> Result<(), String> {
+    // A budget sized so the cheap lane fits a plain GROUP BY (estimate:
+    // 1 set × 9 cells) but a 3-dimension CUBE (8 sets × 9 = 72 cells)
+    // overflows the whole global budget and must be shed.
+    let service = ServiceConfig {
+        max_concurrent: 2,
+        cheap_reserved: 1,
+        cheap_cells: 32,
+        global_cells: 16,
+        min_grant_cells: 1,
+        queue_depth: 2,
+    };
+    let mut engine = Engine::with_service(service);
+    engine
+        .register_table("Sales", demo_table()?)
+        .map_err(|e| format!("register: {e}"))?;
+    let handle =
+        serve(&engine, "127.0.0.1:0", ServerConfig::default()).map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr();
+
+    let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let ask = |conn: &mut TcpStream, sql: &str| -> Result<Response, String> {
+        wire::request(conn, sql).map_err(|e| format!("request failed: {e}"))
+    };
+
+    // 1. Cheap GROUP BY rides the reserved lane, exempt from the budget.
+    let resp = ask(
+        &mut conn,
+        "SELECT model, SUM(units) AS total FROM Sales GROUP BY model",
+    )?;
+    let n = expect_table(&resp, "cheap group by")?;
+    if n != 2 {
+        return Err(format!("cheap group by: expected 2 rows, got {n}"));
+    }
+
+    // 2. A 3-dimension CUBE overflows the 16-cell global budget: typed
+    //    shed with Resource::Cells, and the connection survives.
+    let resp = ask(
+        &mut conn,
+        "SELECT model, year, color, SUM(units) AS total FROM Sales \
+         GROUP BY CUBE model, year, color",
+    )?;
+    match &resp {
+        Response::Error { code, .. } if code == "RESOURCE_EXHAUSTED" => {}
+        other => return Err(format!("cube under budget: expected shed, got {other:?}")),
+    }
+
+    // 3. Parse errors are typed frames, not dropped connections.
+    let resp = ask(&mut conn, "SELEKT nonsense FROM nowhere")?;
+    match &resp {
+        Response::Error { code, .. } if code == "PARSE" || code == "LEX" => {}
+        other => return Err(format!("parse error: expected ERR PARSE, got {other:?}")),
+    }
+
+    // 4. The same connection still serves queries after both errors.
+    let resp = ask(&mut conn, "SELECT COUNT(*) AS n FROM Sales GROUP BY model")?;
+    expect_table(&resp, "post-error query")?;
+
+    drop(conn);
+    handle.shutdown();
+    eprintln!("dc_serve --smoke: OK (cheap lane served, cube shed typed, errors survived)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dc_serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

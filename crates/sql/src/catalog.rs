@@ -1,0 +1,181 @@
+//! The shared catalog: tables, aggregate functions, and scalar functions
+//! behind one poison-tolerant `RwLock`.
+//!
+//! One engine serves many concurrent sessions (the paper positions CUBE
+//! as an *interactive* operator — §1's "users of data analysis tools"),
+//! so the name→object maps that used to live inside a single-owner
+//! `Engine` are shared: registration takes the write lock, and query
+//! execution takes a cheap [`CatalogSnapshot`] — `Arc` clones of the
+//! tables plus shallow clones of the two registries — so no lock is held
+//! while a query runs. A long 2^N cube therefore never blocks another
+//! session's registration, and a writer never blocks readers for longer
+//! than a map clone.
+//!
+//! Poisoning: a panicking session unwinds through `catch_unwind` in the
+//! session layer, which can leave the `RwLock` poisoned. Every accessor
+//! here recovers with `into_inner` — the catalog holds plain maps whose
+//! invariants cannot be torn mid-update (each registration is a single
+//! `insert`), so the poison flag carries no information for us.
+
+use crate::error::{SqlError, SqlResult};
+use crate::scalar::{self, ScalarFn, ScalarRegistry};
+use dc_aggregate::{AggRef, Registry};
+use dc_relation::Table;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// The mutable name→object maps, guarded by [`SharedCatalog`].
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+    aggs: Registry,
+    scalars: ScalarRegistry,
+}
+
+impl Catalog {
+    /// A catalog preloaded with the built-in aggregate and scalar
+    /// functions.
+    pub fn new() -> Self {
+        Catalog {
+            tables: HashMap::new(),
+            aggs: dc_aggregate::builtins(),
+            scalars: scalar::builtins(),
+        }
+    }
+
+    /// Register a base table (case-insensitive name).
+    pub fn register_table(&mut self, name: impl AsRef<str>, table: Table) -> SqlResult<()> {
+        let key = name.as_ref().to_uppercase();
+        if self.tables.contains_key(&key) {
+            return Err(SqlError::Plan(format!("table already registered: {key}")));
+        }
+        self.tables.insert(key, Arc::new(table));
+        Ok(())
+    }
+
+    /// Register a user-defined aggregate (the §1.2 extension mechanism).
+    pub fn register_aggregate(&mut self, f: AggRef) -> SqlResult<()> {
+        self.aggs.register(f)?;
+        Ok(())
+    }
+
+    /// Register a scalar function (e.g. the paper's `Nation(lat, lon)`).
+    pub fn register_scalar(&mut self, f: ScalarFn) -> SqlResult<()> {
+        self.scalars.register(f)
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+/// An immutable view of the catalog taken at statement start: `Arc`
+/// clones of the registered tables plus shallow clones of the function
+/// registries (both are maps of `Arc`'d implementations). Executing
+/// against a snapshot means a statement sees one consistent catalog for
+/// its whole lifetime, and concurrent registrations never invalidate an
+/// in-flight plan.
+#[derive(Clone)]
+pub struct CatalogSnapshot {
+    pub(crate) tables: HashMap<String, Arc<Table>>,
+    pub(crate) aggs: Registry,
+    pub(crate) scalars: ScalarRegistry,
+}
+
+impl CatalogSnapshot {
+    /// A registered table, by case-insensitive name.
+    pub fn table(&self, name: &str) -> SqlResult<Arc<Table>> {
+        self.tables
+            .get(&name.to_uppercase())
+            .cloned()
+            .ok_or_else(|| SqlError::Plan(format!("unknown table: {name}")))
+    }
+}
+
+/// The `Arc`-shared, lock-guarded catalog handed to every [`crate::Session`].
+#[derive(Clone)]
+pub struct SharedCatalog(Arc<RwLock<Catalog>>);
+
+impl SharedCatalog {
+    pub fn new() -> Self {
+        SharedCatalog(Arc::new(RwLock::new(Catalog::new())))
+    }
+
+    /// Run `f` with the write lock held (registration path).
+    pub fn with_write<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
+        let mut guard = self.0.write().unwrap_or_else(|p| p.into_inner());
+        f(&mut guard)
+    }
+
+    /// Snapshot the catalog for one statement's execution. The read lock
+    /// is held only for the duration of the map clones.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        let guard = self.0.read().unwrap_or_else(|p| p.into_inner());
+        CatalogSnapshot {
+            tables: guard.tables.clone(),
+            aggs: guard.aggs.clone(),
+            scalars: guard.scalars.clone(),
+        }
+    }
+}
+
+impl Default for SharedCatalog {
+    fn default() -> Self {
+        SharedCatalog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relation::{row, DataType, Schema};
+
+    fn small() -> Table {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        Table::new(schema, vec![row![1], row![2]]).unwrap()
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_registration() {
+        let shared = SharedCatalog::new();
+        shared
+            .with_write(|c| c.register_table("a", small()))
+            .unwrap();
+        let snap = shared.snapshot();
+        shared
+            .with_write(|c| c.register_table("b", small()))
+            .unwrap();
+        // The old snapshot does not see table B; a fresh one does.
+        assert!(snap.table("b").is_err());
+        assert!(shared.snapshot().table("b").is_ok());
+        assert_eq!(snap.table("a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_table_registration_is_a_typed_error() {
+        let shared = SharedCatalog::new();
+        shared
+            .with_write(|c| c.register_table("t", small()))
+            .unwrap();
+        let err = shared
+            .with_write(|c| c.register_table("T", small()))
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Plan(_)));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let shared = SharedCatalog::new();
+        let clone = shared.clone();
+        // Poison the lock by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            clone.with_write(|_| panic!("poison"));
+        }));
+        // The catalog is still usable.
+        shared
+            .with_write(|c| c.register_table("t", small()))
+            .unwrap();
+        assert!(shared.snapshot().table("t").is_ok());
+    }
+}

@@ -1,4 +1,4 @@
-//! The query engine: catalog, planner, and executor.
+//! The query engine: shared catalog, planner, and executor.
 //!
 //! Aggregation queries are planned onto [`datacube::CubeQuery`], so a SQL
 //! `GROUP BY a ROLLUP b CUBE c` runs through exactly the operator algebra
@@ -6,20 +6,30 @@
 //! the cube *relation* — which is the paper's point: the cube composes
 //! with projection, HAVING, ORDER BY, UNION, and decoration like any
 //! other table.
+//!
+//! Concurrency shape (see DESIGN.md "Concurrent serving"): the [`Engine`]
+//! owns the [`SharedCatalog`] and the [`AdmissionController`] and embeds
+//! one default [`Session`] so the single-caller API is unchanged.
+//! [`Engine::session`] mints further sessions — each with private
+//! options and cancel token — that execute against catalog *snapshots*,
+//! so no lock is held while a query runs. The stateless executor is
+//! [`QueryRuntime`]: one per statement, built from a snapshot plus the
+//! session's effective limits.
 
+use crate::admission::{AdmissionController, ServiceConfig};
 use crate::ast::*;
+use crate::catalog::{CatalogSnapshot, SharedCatalog};
 use crate::error::{SqlError, SqlResult};
 use crate::eval::{eval, infer_type, EvalContext};
-use crate::parser::parse;
-use crate::scalar::{self, ScalarFn, ScalarRegistry};
+use crate::scalar::ScalarFn;
+use crate::session::Session;
 use datacube::{AggSpec, Algorithm, CancelToken, CompoundSpec, CubeQuery, Dimension, ExecLimits};
-use dc_aggregate::{AggRef, Registry};
+use dc_aggregate::AggRef;
 use dc_relation::{ColumnDef, DataType, Row, Schema, Table, Value};
 use std::collections::HashMap;
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::Arc;
 
-/// A SQL engine over an in-memory catalog.
+/// A SQL engine over an in-memory catalog, shareable across threads.
 ///
 /// ```
 /// use dc_sql::Engine;
@@ -42,53 +52,11 @@ use std::time::Duration;
 /// assert_eq!(out.len(), 3); // Chevy, Ford, and the ALL row
 /// ```
 pub struct Engine {
-    tables: HashMap<String, Table>,
-    aggs: Registry,
-    scalars: ScalarRegistry,
-    /// Session execution options (`SET ...` or the programmatic setters).
-    /// Behind a mutex so `SET` works through the `&self` `execute` path.
-    options: Mutex<EngineOptions>,
-}
-
-/// Session-level execution governance, applied to every aggregation
-/// query. `0` means "no limit" / "default" throughout (`vectorized`
-/// defaults to on; `SET VECTORIZED = 0` turns it off).
-#[derive(Debug, Clone)]
-struct EngineOptions {
-    max_cells: u64,
-    max_memory_bytes: u64,
-    timeout_ms: u64,
-    threads: u64,
-    vectorized: bool,
-    cancel: Option<CancelToken>,
-}
-
-impl Default for EngineOptions {
-    fn default() -> Self {
-        EngineOptions {
-            max_cells: 0,
-            max_memory_bytes: 0,
-            timeout_ms: 0,
-            threads: 0,
-            vectorized: true,
-            cancel: None,
-        }
-    }
-}
-
-impl EngineOptions {
-    fn limits(&self) -> ExecLimits {
-        let mut limits = ExecLimits::none()
-            .max_cells(self.max_cells)
-            .max_memory_bytes(self.max_memory_bytes);
-        if self.timeout_ms > 0 {
-            limits = limits.timeout(Duration::from_millis(self.timeout_ms));
-        }
-        if let Some(token) = &self.cancel {
-            limits = limits.cancel_token(token.clone());
-        }
-        limits
-    }
+    catalog: SharedCatalog,
+    admission: Arc<AdmissionController>,
+    /// The engine's own default session, so the single-caller API
+    /// (`execute`, `set_option`, `set_cancel_token`) works unchanged.
+    session: Session,
 }
 
 impl Default for Engine {
@@ -98,119 +66,104 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with the built-in aggregate and scalar functions.
+    /// An engine with the built-in aggregate and scalar functions and no
+    /// admission limits — identical to pre-service behaviour.
     pub fn new() -> Self {
+        Engine::with_service(ServiceConfig::default())
+    }
+
+    /// An engine governed by service-level admission control: a global
+    /// cell budget apportioned across in-flight queries, bounded
+    /// queueing, load shedding, and a reserved cheap lane.
+    pub fn with_service(cfg: ServiceConfig) -> Self {
+        let catalog = SharedCatalog::new();
+        let admission = AdmissionController::new(cfg);
+        let session = Session::new(catalog.clone(), Arc::clone(&admission));
         Engine {
-            tables: HashMap::new(),
-            aggs: dc_aggregate::builtins(),
-            scalars: scalar::builtins(),
-            options: Mutex::new(EngineOptions::default()),
+            catalog,
+            admission,
+            session,
         }
+    }
+
+    /// Mint a new session sharing this engine's catalog and admission
+    /// controller, with its own options and cancel token. Sessions are
+    /// `Send + Sync`; hand one to each thread or connection.
+    pub fn session(&self) -> Session {
+        Session::new(self.catalog.clone(), Arc::clone(&self.admission))
+    }
+
+    /// The shared admission controller (counters for observability).
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Owned handles to the shared service state, for the server's accept
+    /// thread to mint per-connection sessions without borrowing `self`.
+    pub(crate) fn service_parts(&self) -> (SharedCatalog, Arc<AdmissionController>) {
+        (self.catalog.clone(), Arc::clone(&self.admission))
     }
 
     /// Register a base table (case-insensitive name).
     pub fn register_table(&mut self, name: impl AsRef<str>, table: Table) -> SqlResult<()> {
-        let key = name.as_ref().to_uppercase();
-        if self.tables.contains_key(&key) {
-            return Err(SqlError::Plan(format!("table already registered: {key}")));
-        }
-        self.tables.insert(key, table);
-        Ok(())
+        self.catalog.with_write(|c| c.register_table(name, table))
     }
 
     /// Register a user-defined aggregate (the §1.2 extension mechanism).
     pub fn register_aggregate(&mut self, f: AggRef) -> SqlResult<()> {
-        self.aggs.register(f)?;
-        Ok(())
+        self.catalog.with_write(|c| c.register_aggregate(f))
     }
 
     /// Register a scalar function (e.g. the paper's `Nation(lat, lon)`).
     pub fn register_scalar(&mut self, f: ScalarFn) -> SqlResult<()> {
-        self.scalars.register(f)
-    }
-
-    /// Is `name` an aggregate in this engine (registry built-ins, UDAs,
-    /// or the parameterized MAXN/MINN/PERCENTILE family)?
-    fn is_aggregate_name(&self, name: &str) -> bool {
-        self.aggs.get(name).is_ok()
-            || matches!(name.to_uppercase().as_str(), "MAXN" | "MINN" | "PERCENTILE")
+        self.catalog.with_write(|c| c.register_scalar(f))
     }
 
     /// A registered table, by name.
-    pub fn table(&self, name: &str) -> SqlResult<&Table> {
-        self.tables
-            .get(&name.to_uppercase())
-            .ok_or_else(|| SqlError::Plan(format!("unknown table: {name}")))
+    pub fn table(&self, name: &str) -> SqlResult<Arc<Table>> {
+        self.catalog.snapshot().table(name)
     }
 
-    /// Parse and execute one statement.
+    /// Parse and execute one statement on the engine's default session.
     pub fn execute(&self, sql: &str) -> SqlResult<Table> {
-        match parse(sql)? {
-            Statement::Select(stmt) => self.exec_select(&stmt),
-            Statement::Explain(stmt) => self.explain_select(&stmt),
-            Statement::Set { name, value } => self.exec_set(&name, value),
-        }
+        self.session.execute(sql)
     }
 
-    /// Set one session execution option. Recognized names
-    /// (case-insensitive): `MAX_CELLS`, `MAX_MEMORY_BYTES`, `TIMEOUT_MS`,
-    /// `THREADS`, `VECTORIZED`. `0` resets the option to
-    /// unlimited/default — except `VECTORIZED`, where `0` disables the
-    /// columnar kernel engine and any non-zero value re-enables it
-    /// (default on). Also the programmatic form of the `SET` statement.
+    /// Set one execution option on the engine's default session (see
+    /// [`Session::set_option`]). Other sessions are unaffected.
     pub fn set_option(&self, name: &str, value: i64) -> SqlResult<()> {
-        if value < 0 {
-            return Err(SqlError::Plan(format!(
-                "option {name} must be non-negative, got {value}"
-            )));
-        }
-        let value = value as u64;
-        let mut opts = self.options.lock().unwrap_or_else(|p| p.into_inner());
-        match name.to_uppercase().as_str() {
-            "MAX_CELLS" => opts.max_cells = value,
-            "MAX_MEMORY_BYTES" => opts.max_memory_bytes = value,
-            "TIMEOUT_MS" => opts.timeout_ms = value,
-            "THREADS" => opts.threads = value,
-            "VECTORIZED" => opts.vectorized = value != 0,
-            other => {
-                return Err(SqlError::Plan(format!(
-                    "unknown option: {other} (expected MAX_CELLS, MAX_MEMORY_BYTES, \
-                     TIMEOUT_MS, THREADS, or VECTORIZED)"
-                )))
-            }
-        }
-        Ok(())
+        self.session.set_option(name, value)
     }
 
-    /// Attach (or clear, with `None`) a cancellation token observed by
-    /// every subsequent aggregation query on this engine.
+    /// Attach (or clear, with `None`) a cancellation token on the
+    /// engine's default session (see [`Session::set_cancel_token`]).
     pub fn set_cancel_token(&self, token: Option<CancelToken>) {
-        self.options
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .cancel = token;
+        self.session.set_cancel_token(token)
     }
+}
 
-    /// `SET <option> = <value>`: store the option and return a one-row
-    /// confirmation relation.
-    fn exec_set(&self, name: &str, value: i64) -> SqlResult<Table> {
-        self.set_option(name, value)?;
-        let schema = Schema::new(vec![
-            ColumnDef::new("option", DataType::Str),
-            ColumnDef::new("value", DataType::Int),
-        ])?;
-        let mut out = Table::empty(schema);
-        out.push_unchecked(Row::new(vec![
-            Value::str(name.to_uppercase()),
-            Value::Int(value),
-        ]));
-        Ok(out)
+/// The stateless statement executor: a catalog snapshot plus the
+/// session's effective execution parameters. Built per statement by
+/// [`Session`]; holds no locks, so concurrent runtimes never contend.
+pub(crate) struct QueryRuntime {
+    pub(crate) snap: CatalogSnapshot,
+    pub(crate) limits: ExecLimits,
+    pub(crate) threads: u64,
+    pub(crate) vectorized: bool,
+}
+
+impl QueryRuntime {
+    /// Is `name` an aggregate in this snapshot (registry built-ins, UDAs,
+    /// or the parameterized MAXN/MINN/PERCENTILE family)?
+    fn is_aggregate_name(&self, name: &str) -> bool {
+        self.snap.aggs.get(name).is_ok()
+            || matches!(name.to_uppercase().as_str(), "MAXN" | "MINN" | "PERCENTILE")
     }
 
     /// `EXPLAIN SELECT ...`: a one-column relation describing the plan —
     /// which tables are scanned, the grouping-set lattice, and how each
     /// aggregate's §5 taxonomy routes it (cascade vs 2^N).
-    fn explain_select(&self, stmt: &SelectStmt) -> SqlResult<Table> {
+    pub(crate) fn explain_select(&self, stmt: &SelectStmt) -> SqlResult<Table> {
         let mut lines: Vec<String> = Vec::new();
         let mut cursor = Some(stmt);
         let mut block = 0;
@@ -258,13 +211,13 @@ impl Engine {
                 } = call
                 {
                     let kind = if *distinct {
-                        self.aggs.get("COUNT DISTINCT")?.kind()
+                        self.snap.aggs.get("COUNT DISTINCT")?.kind()
                     } else if matches!(args.first(), Some(Expr::Star)) {
-                        self.aggs.get("COUNT(*)")?.kind()
+                        self.snap.aggs.get("COUNT(*)")?.kind()
                     } else if let Some(param) = parameterized_aggregate(name, args)? {
                         param.kind()
                     } else {
-                        self.aggs.get(name)?.kind()
+                        self.snap.aggs.get(name)?.kind()
                     };
                     any_holistic |= kind == dc_aggregate::AggKind::Holistic;
                     lines.push(format!("    aggregate fn: {} [{kind:?}]", call.canonical()));
@@ -302,7 +255,7 @@ impl Engine {
 
     // ---------------------------------------------------------- executor --
 
-    fn exec_select(&self, stmt: &SelectStmt) -> SqlResult<Table> {
+    pub(crate) fn exec_select(&self, stmt: &SelectStmt) -> SqlResult<Table> {
         let mut result = self.exec_single(stmt)?;
         let mut cursor = &stmt.union;
         while let Some((all, rhs)) = cursor {
@@ -345,13 +298,13 @@ impl Engine {
         // WHERE.
         let filtered = match &where_clause {
             Some(pred) => {
-                let ctx = EvalContext::base(base.schema(), &self.scalars);
+                let ctx = EvalContext::base(base.schema(), &self.snap.scalars);
                 // Validate once so unknown columns error instead of
                 // silently filtering everything.
                 if let Some(first) = base.rows().first() {
                     eval(pred, first, &ctx)?;
                 } else {
-                    infer_type(pred, base.schema(), &self.scalars, &HashMap::new())?;
+                    infer_type(pred, base.schema(), &self.snap.scalars, &HashMap::new())?;
                 }
                 let mut kept = Table::empty(base.schema().clone());
                 for row in base.rows() {
@@ -388,7 +341,7 @@ impl Engine {
         if items.len() == 1 && items[0].expr == Expr::Star {
             return Ok(input);
         }
-        let ctx = EvalContext::base(input.schema(), &self.scalars);
+        let ctx = EvalContext::base(input.schema(), &self.snap.scalars);
         // Each item is either a per-row expression or an ordered aggregate
         // over the column of its argument (§1.2's Red Brick functions work
         // directly on ordered selections too).
@@ -407,7 +360,7 @@ impl Engine {
                 types.push(infer_type(
                     &it.expr,
                     input.schema(),
-                    &self.scalars,
+                    &self.snap.scalars,
                     &HashMap::new(),
                 )?);
                 kinds.push(None);
@@ -467,7 +420,7 @@ impl Engine {
             dim_types.push(infer_type(
                 &g.expr,
                 input.schema(),
-                &self.scalars,
+                &self.snap.scalars,
                 &HashMap::new(),
             )?);
             dim_names.push(name);
@@ -504,8 +457,9 @@ impl Engine {
                     let canon = expr.canonical();
                     if let std::collections::hash_map::Entry::Vacant(e) = arg_columns.entry(canon) {
                         let col_name = format!("__arg{k}");
-                        let ty = infer_type(expr, input.schema(), &self.scalars, &HashMap::new())?;
-                        let ctx = EvalContext::base(input.schema(), &self.scalars);
+                        let ty =
+                            infer_type(expr, input.schema(), &self.snap.scalars, &HashMap::new())?;
+                        let ctx = EvalContext::base(input.schema(), &self.snap.scalars);
                         let mut schema = working.schema().clone();
                         schema.push(ColumnDef::new(&col_name, ty))?;
                         let mut next = Table::empty(schema);
@@ -536,7 +490,7 @@ impl Engine {
             let out_name = format!("__agg{k}");
             let spec = match (args.first(), *distinct) {
                 (Some(Expr::Star), false) if name.eq_ignore_ascii_case("count") => {
-                    AggSpec::star(self.aggs.get("COUNT(*)")?).with_name(&out_name)
+                    AggSpec::star(self.snap.aggs.get("COUNT(*)")?).with_name(&out_name)
                 }
                 (Some(Expr::Star), _) => {
                     return Err(SqlError::Plan(format!(
@@ -558,7 +512,7 @@ impl Engine {
                                 call.canonical()
                             )));
                         }
-                        self.aggs.get("COUNT DISTINCT")?
+                        self.snap.aggs.get("COUNT DISTINCT")?
                     } else if let Some(param) = parameterized_aggregate(name, args)? {
                         param
                     } else {
@@ -568,7 +522,7 @@ impl Engine {
                                 call.canonical()
                             )));
                         }
-                        self.aggs.get(name)?
+                        self.snap.aggs.get(name)?
                     };
                     let input_col: String = match arg {
                         Expr::Column { name, .. } => {
@@ -600,7 +554,7 @@ impl Engine {
                 expr => {
                     let expr = expr.clone();
                     let schema = working.schema().clone();
-                    let scalars = self.scalars.clone();
+                    let scalars = self.snap.scalars.clone();
                     Dimension::computed(name, ty, move |row: &Row| {
                         let ctx = EvalContext::base(&schema, &scalars);
                         eval(&expr, row, &ctx).unwrap_or(Value::Null)
@@ -609,20 +563,17 @@ impl Engine {
             }
         };
 
-        // Session governance: resource budgets and the thread count from
-        // `SET ...` / the programmatic setters apply to every cube run.
-        let (limits, threads, vectorized) = {
-            let opts = self.options.lock().unwrap_or_else(|p| p.into_inner());
-            (opts.limits(), opts.threads, opts.vectorized)
-        };
+        // Session governance: the effective limits (session budgets, the
+        // remaining deadline share, and the admission grant) plus the
+        // thread count apply to every cube run of this statement.
         let mut query = agg_specs
             .iter()
             .fold(CubeQuery::new(), |q, spec| q.aggregate(spec.clone()))
-            .limits(limits)
-            .vectorized(vectorized);
-        if threads > 0 {
+            .limits(self.limits.clone())
+            .vectorized(self.vectorized);
+        if self.threads > 0 {
             query = query.algorithm(Algorithm::Parallel {
-                threads: threads as usize,
+                threads: self.threads as usize,
             });
         }
 
@@ -705,7 +656,7 @@ impl Engine {
         let cube_schema = cube.schema().clone();
         let result_ctx = EvalContext {
             schema: &cube_schema,
-            scalars: &self.scalars,
+            scalars: &self.snap.scalars,
             substitutions: subs,
         };
 
@@ -752,13 +703,13 @@ impl Engine {
             let name = it.output_name();
             if let Some((kind, arg)) = ordered_aggregate(&it.expr)? {
                 // Validate the argument against the result context.
-                infer_type(&arg, cube.schema(), &self.scalars, &sub_types)?;
+                infer_type(&arg, cube.schema(), &self.snap.scalars, &sub_types)?;
                 plans.push((name, ItemPlan::Ordered { arg, kind }));
                 continue;
             }
             // Resolvable in the result context (dimension, aggregate, or an
             // expression over them)?
-            let resolvable = infer_type(&it.expr, cube.schema(), &self.scalars, &sub_types);
+            let resolvable = infer_type(&it.expr, cube.schema(), &self.snap.scalars, &sub_types);
             match resolvable {
                 Ok(ty) => plans.push((name, ItemPlan::Eval(it.expr.clone(), ty))),
                 Err(_) => {
@@ -861,7 +812,7 @@ impl Engine {
             ))
         })?;
         // Evaluate dimension values per base row once.
-        let ctx = EvalContext::base(working.schema(), &self.scalars);
+        let ctx = EvalContext::base(working.schema(), &self.snap.scalars);
         let mut dim_vals: Vec<Vec<Value>> = Vec::with_capacity(group_exprs.len());
         for g in group_exprs {
             let mut col_vals = Vec::with_capacity(working.len());
@@ -906,7 +857,7 @@ impl Engine {
 
     fn resolve_from(&self, from: &TableRef) -> SqlResult<Table> {
         match from {
-            TableRef::Named(name) => Ok(self.table(name)?.clone()),
+            TableRef::Named(name) => Ok((*self.snap.table(name)?).clone()),
             TableRef::JoinUsing { left, right, using } => {
                 let l = self.resolve_from(left)?;
                 let r = self.resolve_from(right)?;
@@ -1384,5 +1335,41 @@ mod tests {
         collect_aggregates(&sum, &is_agg, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].canonical(), "SUM(x)");
+    }
+
+    #[test]
+    fn sessions_have_independent_options_and_tokens() {
+        let mut engine = Engine::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let t = Table::new(schema, (0..64).map(|i| row![i % 4, 1i64]).collect()).unwrap();
+        engine.register_table("t", t).unwrap();
+
+        // Session A gets a cancelled token; session B stays clean. The
+        // old engine-global token would have cancelled both.
+        let a = engine.session();
+        let b = engine.session();
+        let token = CancelToken::new();
+        token.cancel();
+        a.set_cancel_token(Some(token));
+        let err = a
+            .execute("SELECT k, SUM(v) AS s FROM t GROUP BY CUBE k")
+            .unwrap_err();
+        assert!(
+            matches!(err, SqlError::Cube(datacube::CubeError::Cancelled { .. })),
+            "{err:?}"
+        );
+        assert!(b
+            .execute("SELECT k, SUM(v) AS s FROM t GROUP BY CUBE k")
+            .is_ok());
+
+        // Session A's tight budget does not leak into B either.
+        a.set_cancel_token(None);
+        a.set_option("MAX_CELLS", 1).unwrap();
+        assert!(a
+            .execute("SELECT k, SUM(v) AS s FROM t GROUP BY CUBE k")
+            .is_err());
+        assert!(b
+            .execute("SELECT k, SUM(v) AS s FROM t GROUP BY CUBE k")
+            .is_ok());
     }
 }

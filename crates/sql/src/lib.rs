@@ -29,15 +29,32 @@
 //!
 //! The executor plans aggregation through [`datacube::CubeQuery`], so
 //! every query benefits from the §5 algorithms.
+//!
+//! Beyond the single-caller API, the crate is a *cube service*: one
+//! [`Engine`] shares its catalog across any number of [`Session`]s, an
+//! [`AdmissionController`] apportions a global memory/cell budget across
+//! in-flight queries (queueing, shedding, and a reserved cheap lane), and
+//! [`server::serve`] exposes it all over a length-prefixed TCP protocol
+//! (see the `dc_serve` binary and DESIGN.md "Concurrent serving").
 
+pub mod admission;
 pub mod ast;
+pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod parser;
 pub mod scalar;
+pub mod server;
+pub mod session;
 pub mod token;
+pub mod wire;
 
+pub use admission::{AdmissionController, AdmissionCounters, QueryCost, ServiceConfig};
+pub use catalog::{Catalog, CatalogSnapshot, SharedCatalog};
 pub use engine::Engine;
 pub use error::{SqlError, SqlResult};
 pub use scalar::ScalarRegistry;
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use session::Session;
+pub use wire::{read_frame, write_frame, Response};

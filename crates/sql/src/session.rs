@@ -1,0 +1,371 @@
+//! Per-session state of the concurrent cube service.
+//!
+//! One [`crate::Engine`] is shared by N sessions; everything that used to
+//! be engine-global but is really *per caller* lives here: the `SET ...`
+//! execution options, the cancellation token, and the admission verdict
+//! of the last statement. Two sessions on one engine can therefore run
+//! with different budgets and cancel independently — the latent
+//! cross-session race of the single-owner engine (where one session's
+//! `SET TIMEOUT_MS` or cancel token clobbered another's) is gone by
+//! construction.
+//!
+//! A statement's lifecycle:
+//!
+//! 1. parse;
+//! 2. estimate its cost against a catalog snapshot ([`QueryCost`] — the
+//!    upper bound `sets × (rows + 1)` per UNION branch);
+//! 3. pass admission ([`crate::admission::AdmissionController`]); the
+//!    deadline is computed *before* queueing, so time spent waiting for
+//!    a slot counts against the statement's own `TIMEOUT_MS`;
+//! 4. execute against the snapshot with the granted cell reservation
+//!    folded into the statement's `ExecLimits`;
+//! 5. release the permit (RAII) and record the admission stats.
+//!
+//! The whole lifecycle runs inside [`datacube::exec::guard`], so a panic
+//! anywhere — a UDA, a poisoned lock, an injected fault — unwinds into
+//! `CubeError::AggPanicked` for this session only; the shared engine and
+//! every other session keep running.
+
+use crate::admission::{AdmissionController, Permit, QueryCost};
+use crate::ast::{SelectStmt, Statement, TableRef};
+use crate::catalog::{CatalogSnapshot, SharedCatalog};
+use crate::engine::QueryRuntime;
+use crate::error::{SqlError, SqlResult};
+use crate::parser::parse;
+use datacube::{CancelToken, ExecLimits, ExecStats};
+use dc_relation::{ColumnDef, DataType, Row, Schema, Table, Value};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Session-level execution governance, applied to every aggregation
+/// query. `0` means "no limit" / "default" throughout (`vectorized`
+/// defaults to on; `SET VECTORIZED = 0` turns it off).
+#[derive(Debug, Clone)]
+pub(crate) struct SessionOptions {
+    pub(crate) max_cells: u64,
+    pub(crate) max_memory_bytes: u64,
+    pub(crate) timeout_ms: u64,
+    pub(crate) threads: u64,
+    pub(crate) vectorized: bool,
+    pub(crate) cancel: Option<CancelToken>,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            max_cells: 0,
+            max_memory_bytes: 0,
+            timeout_ms: 0,
+            threads: 0,
+            vectorized: true,
+            cancel: None,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Build the statement's `ExecLimits`: the session budgets, the
+    /// remaining share of the deadline (queue time already spent), and
+    /// the admission grant folded into the cell cap.
+    fn limits(&self, deadline: Option<Instant>, granted_cells: u64) -> ExecLimits {
+        let max_cells = match (self.max_cells, granted_cells) {
+            (0, g) => g,
+            (m, 0) => m,
+            (m, g) => m.min(g),
+        };
+        let mut limits = ExecLimits::none()
+            .max_cells(max_cells)
+            .max_memory_bytes(self.max_memory_bytes);
+        if let Some(d) = deadline {
+            // Already-expired deadlines become a zero timeout, tripping
+            // at the first checkpoint with `Resource::TimeMs`.
+            limits = limits.timeout(d.saturating_duration_since(Instant::now()));
+        }
+        if let Some(token) = &self.cancel {
+            limits = limits.cancel_token(token.clone());
+        }
+        limits
+    }
+}
+
+/// One caller's handle onto a shared engine: private options and cancel
+/// token, shared catalog and admission controller. Cheap to create (two
+/// `Arc` clones), `Send + Sync`, and safe to use from its own thread.
+pub struct Session {
+    catalog: SharedCatalog,
+    admission: Arc<AdmissionController>,
+    opts: Mutex<SessionOptions>,
+    /// Admission stats of the most recent statement (queue wait, grant,
+    /// verdict) — observability for callers and the stress suites.
+    last: Mutex<ExecStats>,
+}
+
+impl Session {
+    pub(crate) fn new(catalog: SharedCatalog, admission: Arc<AdmissionController>) -> Self {
+        Session {
+            catalog,
+            admission,
+            opts: Mutex::new(SessionOptions::default()),
+            last: Mutex::new(ExecStats::default()),
+        }
+    }
+
+    /// Parse and execute one statement under this session's governance.
+    /// Never panics: the whole statement lifecycle is wrapped in the
+    /// panic guard, so a UDA bomb or injected fault becomes a typed
+    /// `CubeError::AggPanicked` scoped to this call.
+    pub fn execute(&self, sql: &str) -> SqlResult<Table> {
+        match datacube::exec::guard("session", || self.execute_inner(sql)) {
+            Ok(result) => result,
+            Err(e) => Err(SqlError::Cube(e)),
+        }
+    }
+
+    fn execute_inner(&self, sql: &str) -> SqlResult<Table> {
+        match parse(sql)? {
+            Statement::Select(stmt) => self.exec_select_governed(&stmt),
+            Statement::Explain(stmt) => {
+                // EXPLAIN is metadata-only: no scan, no cube, no
+                // admission — it must work even on an overloaded engine.
+                let opts = self.options();
+                let runtime = QueryRuntime {
+                    snap: self.catalog.snapshot(),
+                    limits: opts.limits(None, 0),
+                    threads: opts.threads,
+                    vectorized: opts.vectorized,
+                };
+                runtime.explain_select(&stmt)
+            }
+            Statement::Set { name, value } => self.exec_set(&name, value),
+        }
+    }
+
+    /// The governed SELECT path: estimate → admit → execute → release.
+    fn exec_select_governed(&self, stmt: &SelectStmt) -> SqlResult<Table> {
+        let opts = self.options();
+        let snap = self.catalog.snapshot();
+        let cost = estimate_cost(stmt, &snap);
+        // The deadline is fixed *before* admission: a statement that
+        // spends its whole TIMEOUT_MS in the queue gets (almost) none of
+        // it for execution, exactly as a caller-side timer would observe.
+        let deadline =
+            (opts.timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(opts.timeout_ms));
+        let permit = self
+            .admission
+            .admit(&cost, deadline, opts.cancel.as_ref())
+            .map_err(|e| {
+                self.record_admission(&admission_stats_of(&e));
+                SqlError::Cube(e)
+            })?;
+        self.record_permit(&permit);
+        let runtime = QueryRuntime {
+            snap,
+            limits: opts.limits(deadline, permit.granted_cells()),
+            threads: opts.threads,
+            vectorized: opts.vectorized,
+        };
+        // `permit` is still alive here: the reservation covers the whole
+        // execution and is released when it drops at scope end.
+        runtime.exec_select(stmt)
+    }
+
+    fn options(&self) -> SessionOptions {
+        self.opts.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    fn record_permit(&self, permit: &Permit) {
+        let stats = ExecStats {
+            admission: permit.verdict,
+            queue_wait_ms: permit.queue_wait.as_millis() as u32,
+            granted_cells: permit.granted_cells(),
+            ..Default::default()
+        };
+        self.record_admission(&stats);
+    }
+
+    fn record_admission(&self, stats: &ExecStats) {
+        *self.last.lock().unwrap_or_else(|p| p.into_inner()) = *stats;
+    }
+
+    /// Admission outcome of this session's most recent statement:
+    /// verdict, queue wait, and granted cell reservation.
+    pub fn last_admission(&self) -> ExecStats {
+        *self.last.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Set one session execution option. Recognized names
+    /// (case-insensitive): `MAX_CELLS`, `MAX_MEMORY_BYTES`, `TIMEOUT_MS`,
+    /// `THREADS`, `VECTORIZED`. `0` resets the option to
+    /// unlimited/default — except `VECTORIZED`, where `0` disables the
+    /// columnar kernel engine and any non-zero value re-enables it
+    /// (default on). Also the programmatic form of the `SET` statement.
+    /// Scoped to this session: other sessions of the same engine are
+    /// unaffected.
+    pub fn set_option(&self, name: &str, value: i64) -> SqlResult<()> {
+        if value < 0 {
+            return Err(SqlError::Plan(format!(
+                "option {name} must be non-negative, got {value}"
+            )));
+        }
+        let value = value as u64;
+        let mut opts = self.opts.lock().unwrap_or_else(|p| p.into_inner());
+        match name.to_uppercase().as_str() {
+            "MAX_CELLS" => opts.max_cells = value,
+            "MAX_MEMORY_BYTES" => opts.max_memory_bytes = value,
+            "TIMEOUT_MS" => opts.timeout_ms = value,
+            "THREADS" => opts.threads = value,
+            "VECTORIZED" => opts.vectorized = value != 0,
+            other => {
+                return Err(SqlError::Plan(format!(
+                    "unknown option: {other} (expected MAX_CELLS, MAX_MEMORY_BYTES, \
+                     TIMEOUT_MS, THREADS, or VECTORIZED)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Attach (or clear, with `None`) a cancellation token observed by
+    /// every subsequent aggregation query on *this session* — including
+    /// time spent waiting in the admission queue.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        self.opts.lock().unwrap_or_else(|p| p.into_inner()).cancel = token;
+    }
+
+    /// `SET <option> = <value>`: store the option and return a one-row
+    /// confirmation relation.
+    fn exec_set(&self, name: &str, value: i64) -> SqlResult<Table> {
+        self.set_option(name, value)?;
+        let schema = Schema::new(vec![
+            ColumnDef::new("option", DataType::Str),
+            ColumnDef::new("value", DataType::Int),
+        ])?;
+        let mut out = Table::empty(schema);
+        out.push_unchecked(Row::new(vec![
+            Value::str(name.to_uppercase()),
+            Value::Int(value),
+        ]));
+        Ok(out)
+    }
+}
+
+/// Extract the admission-relevant stats carried by an admission error so
+/// the session can record them (shed verdict, queue wait, retry hint).
+fn admission_stats_of(e: &datacube::CubeError) -> ExecStats {
+    match e {
+        datacube::CubeError::ResourceExhausted { stats, .. }
+        | datacube::CubeError::Cancelled { stats } => *stats,
+        _ => ExecStats::default(),
+    }
+}
+
+/// Upper-bound cost estimate for one statement against a snapshot:
+/// per UNION branch, `sets × (rows + 1)` cells where `rows` is the
+/// worst-case size of the FROM (joins multiply), summed across branches.
+/// Unknown tables estimate as 0 rows — the statement will fail in
+/// planning anyway, and a cheap admission keeps that error fast.
+pub(crate) fn estimate_cost(stmt: &SelectStmt, snap: &CatalogSnapshot) -> QueryCost {
+    fn from_rows(from: &TableRef, snap: &CatalogSnapshot) -> u64 {
+        match from {
+            TableRef::Named(name) => snap.table(name).map(|t| t.len() as u64).unwrap_or(0),
+            TableRef::JoinUsing { left, right, .. } => {
+                // Inner-join upper bound: the cross product.
+                from_rows(left, snap).saturating_mul(from_rows(right, snap).max(1))
+            }
+        }
+    }
+    let mut max_rows = 0u64;
+    let mut max_sets = 1u64;
+    let mut cells = 0u64;
+    let mut cursor = Some(stmt);
+    while let Some(sel) = cursor {
+        let rows = from_rows(&sel.from, snap);
+        let sets = match &sel.group_by {
+            Some(g) => match &g.grouping_sets {
+                Some(sets) => sets.len() as u64,
+                None => {
+                    let cube_bits = (g.cube.len() as u32).min(40);
+                    ((g.rollup.len() as u64) + 1).saturating_mul(1u64 << cube_bits)
+                }
+            },
+            None => 1,
+        };
+        max_rows = max_rows.max(rows);
+        max_sets = max_sets.max(sets);
+        cells = cells.saturating_add(sets.saturating_mul(rows.saturating_add(1)));
+        cursor = sel.union.as_ref().map(|(_, rhs)| rhs.as_ref());
+    }
+    QueryCost {
+        rows: max_rows,
+        sets: max_sets,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use dc_relation::row;
+
+    fn snapshot_with(rows: i64) -> CatalogSnapshot {
+        let shared = SharedCatalog::new();
+        shared
+            .with_write(|c: &mut Catalog| {
+                let schema = Schema::from_pairs(&[
+                    ("a", DataType::Int),
+                    ("b", DataType::Int),
+                    ("c", DataType::Int),
+                ]);
+                let data: Vec<Row> = (0..rows).map(|i| row![i, i % 3, 1i64]).collect();
+                c.register_table("t", Table::new(schema, data).unwrap())
+            })
+            .unwrap();
+        shared.snapshot()
+    }
+
+    fn cost_of(sql: &str, snap: &CatalogSnapshot) -> QueryCost {
+        let Ok(Statement::Select(stmt)) = parse(sql) else {
+            panic!("not a select: {sql}");
+        };
+        estimate_cost(&stmt, snap)
+    }
+
+    #[test]
+    fn cube_estimates_two_to_the_n_sets() {
+        let snap = snapshot_with(10);
+        let cost = cost_of("SELECT SUM(c) FROM t GROUP BY CUBE a, b", &snap);
+        assert_eq!(cost.sets, 4);
+        assert_eq!(cost.rows, 10);
+        assert_eq!(cost.cells, 4 * 11);
+    }
+
+    #[test]
+    fn plain_group_by_is_one_set() {
+        let snap = snapshot_with(10);
+        let cost = cost_of("SELECT a, SUM(c) FROM t GROUP BY a", &snap);
+        assert_eq!(cost.sets, 1);
+        assert_eq!(cost.cells, 11);
+    }
+
+    #[test]
+    fn rollup_and_union_compose() {
+        let snap = snapshot_with(10);
+        // ROLLUP a, b → 3 sets; UNION adds a 1-set branch.
+        let cost = cost_of(
+            "SELECT a, b, SUM(c) FROM t GROUP BY ROLLUP a, b \
+             UNION ALL SELECT a, b, SUM(c) FROM t GROUP BY a, b",
+            &snap,
+        );
+        assert_eq!(cost.sets, 3);
+        assert_eq!(cost.cells, 3 * 11 + 11);
+    }
+
+    #[test]
+    fn unknown_table_estimates_zero_rows() {
+        let snap = snapshot_with(10);
+        let cost = cost_of("SELECT SUM(x) FROM nope GROUP BY CUBE x", &snap);
+        assert_eq!(cost.rows, 0);
+        assert_eq!(cost.cells, 2); // 2 sets × (0 + 1)
+    }
+}

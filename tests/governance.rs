@@ -578,8 +578,10 @@ mod faults_suite {
     use super::*;
     use dc_aggregate::faults::{arm, disarm_all, Fault};
 
-    /// Every named failpoint site across the engine.
-    const SITES: [&str; 16] = [
+    /// Every named failpoint site across the engine, including the
+    /// service layer's (`service::*`, exercised separately below — they
+    /// sit on the SQL session/server path, not the core cube path).
+    const SITES: [&str; 19] = [
         "uda::init",
         "uda::iter",
         "uda::merge",
@@ -596,6 +598,9 @@ mod faults_suite {
         "vectorized::radix_partition",
         "vectorized::rle_run",
         "materialize",
+        "service::admit",
+        "service::queue_wait",
+        "service::respond",
     ];
 
     /// Disarms all faults when dropped, so a failing assertion cannot
@@ -914,5 +919,132 @@ mod faults_suite {
                 }
             }
         });
+    }
+
+    // --------------------------------------------- service-layer sites --
+
+    /// The local site list can never drift from the registry cube-lint
+    /// enforces.
+    #[test]
+    fn local_site_list_matches_registry() {
+        let mut local: Vec<&str> = SITES.to_vec();
+        let mut registry: Vec<&str> = dc_aggregate::faults::SITES.to_vec();
+        local.sort_unstable();
+        registry.sort_unstable();
+        assert_eq!(local, registry);
+    }
+
+    fn service_engine(cfg: dc_sql::ServiceConfig) -> dc_sql::Engine {
+        let mut engine = dc_sql::Engine::with_service(cfg);
+        engine.register_table("g", grid(6, 5)).unwrap();
+        engine
+    }
+
+    /// Faults at the admission gate surface as typed errors through the
+    /// session guard, and the engine keeps serving afterwards.
+    #[test]
+    fn service_admit_faults_yield_only_typed_errors() {
+        let engine = service_engine(dc_sql::ServiceConfig::default());
+        let sql = "SELECT x, y, SUM(units) AS s FROM g GROUP BY CUBE x, y";
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            arm("service::admit", Fault::TripBudget);
+            let err = engine.execute(sql).unwrap_err();
+            disarm_all();
+            assert!(
+                matches!(
+                    err,
+                    dc_sql::SqlError::Cube(CubeError::ResourceExhausted {
+                        resource: Resource::AdmissionQueue,
+                        ..
+                    })
+                ),
+                "{err:?}"
+            );
+
+            arm("service::admit", Fault::Panic("admission down".into()));
+            let err = engine.execute(sql).unwrap_err();
+            disarm_all();
+            assert!(
+                matches!(err, dc_sql::SqlError::Cube(CubeError::AggPanicked { .. })),
+                "{err:?}"
+            );
+
+            // The engine survives both faults.
+            assert!(engine.execute(sql).is_ok());
+        });
+    }
+
+    /// Faults inside the bounded queue wait (reached only when the query
+    /// actually queues behind a held slot) also stay typed, and the
+    /// queued-count bookkeeping survives the unwind: the engine still
+    /// admits normally afterwards.
+    #[test]
+    fn service_queue_wait_faults_yield_only_typed_errors() {
+        let engine = service_engine(dc_sql::ServiceConfig {
+            max_concurrent: 1,
+            queue_depth: 4,
+            ..Default::default()
+        });
+        let sql = "SELECT x, SUM(units) AS s FROM g GROUP BY x";
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            for fault in [Fault::TripBudget, Fault::Panic("queue down".into())] {
+                // Hold the only execution slot so the query must queue.
+                let permit = engine
+                    .admission()
+                    .admit(&dc_sql::QueryCost::new(100, 2), None, None)
+                    .unwrap();
+                arm("service::queue_wait", fault);
+                let err = engine.execute(sql).unwrap_err();
+                disarm_all();
+                drop(permit);
+                assert!(
+                    matches!(
+                        err,
+                        dc_sql::SqlError::Cube(
+                            CubeError::ResourceExhausted { .. } | CubeError::AggPanicked { .. }
+                        )
+                    ),
+                    "{err:?}"
+                );
+            }
+            assert!(engine.execute(sql).is_ok());
+        });
+    }
+
+    /// Faults at the server's respond path become typed ERR frames on one
+    /// connection; the process and the connection both keep serving.
+    #[test]
+    fn service_respond_faults_become_typed_frames_and_server_survives() {
+        use dc_sql::wire::{self, Response};
+        let engine = service_engine(dc_sql::ServiceConfig::default());
+        let handle =
+            dc_sql::serve(&engine, "127.0.0.1:0", dc_sql::ServerConfig::default()).unwrap();
+        let mut conn = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+        let sql = "SELECT x, SUM(units) AS s FROM g GROUP BY x";
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            arm("service::respond", Fault::TripBudget);
+            let resp = wire::request(&mut conn, sql).unwrap();
+            disarm_all();
+            assert!(
+                matches!(resp, Response::Error { ref code, .. } if code == "RESOURCE_EXHAUSTED"),
+                "{resp:?}"
+            );
+
+            arm("service::respond", Fault::Panic("respond down".into()));
+            let resp = wire::request(&mut conn, sql).unwrap();
+            disarm_all();
+            assert!(
+                matches!(resp, Response::Error { ref code, .. } if code == "AGG_PANICKED"),
+                "{resp:?}"
+            );
+
+            // Same connection, same process: still serving.
+            let resp = wire::request(&mut conn, sql).unwrap();
+            assert!(matches!(resp, Response::Table { .. }), "{resp:?}");
+        });
+        handle.shutdown();
     }
 }

@@ -207,3 +207,170 @@ fn materialized_cube_contains_uda_panics() {
     // The cube object itself is still usable for maintenance.
     mat.insert(row!["c", 4]).unwrap();
 }
+
+// ------------------------------------------------------ shared service --
+
+/// 128 concurrent sessions storm one shared engine under a tight
+/// admission budget, mixing cheap GROUP BYs, 2^N cubes, mid-flight
+/// cancellations, and a panicking UDA. Every request must end in a
+/// result or a typed error, the cheap lane must never starve behind the
+/// cubes, and the engine must still serve exact answers afterwards.
+#[test]
+fn service_storm_128_sessions_survive_overload() {
+    use dc_sql::{Engine, ServiceConfig, SqlError};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const SESSIONS: usize = 128;
+
+    let mut engine = Engine::with_service(ServiceConfig {
+        max_concurrent: 8,
+        cheap_reserved: 2,
+        // One-set GROUP BYs (40_001 estimated cells) ride the cheap lane.
+        cheap_cells: 100_000,
+        // A two-dimension CUBE estimates 4 * 40_001 cells, so the budget
+        // admits one at a time; a three-dimension CUBE (320_008) is
+        // oversized outright and must shed immediately.
+        global_cells: 200_000,
+        min_grant_cells: 1,
+        // Deep enough that queueing, not shedding, is the normal fate.
+        queue_depth: SESSIONS,
+    });
+    engine.register_table("t", big_table()).unwrap();
+    engine
+        .register_aggregate(Arc::new(Bomb { in_iter: true }))
+        .unwrap();
+    let engine = Arc::new(engine);
+
+    let cheap_ok = Arc::new(AtomicU64::new(0));
+    let heavy_ok = Arc::new(AtomicU64::new(0));
+    let heavy_shed = Arc::new(AtomicU64::new(0));
+    let cancelled = Arc::new(AtomicU64::new(0));
+    let panicked = Arc::new(AtomicU64::new(0));
+    let oversized_shed = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let engine = Arc::clone(&engine);
+            let cheap_ok = Arc::clone(&cheap_ok);
+            let heavy_ok = Arc::clone(&heavy_ok);
+            let heavy_shed = Arc::clone(&heavy_shed);
+            let cancelled = Arc::clone(&cancelled);
+            let panicked = Arc::clone(&panicked);
+            let oversized_shed = Arc::clone(&oversized_shed);
+            std::thread::spawn(move || {
+                let session = engine.session();
+                match i % 4 {
+                    // The cheap lane is reserved and budget-exempt: these
+                    // must all succeed no matter how many cubes are queued.
+                    0 => {
+                        let cube = session
+                            .execute("SELECT model, SUM(units) AS s FROM t GROUP BY model")
+                            .expect("cheap GROUP BY must never be starved or shed");
+                        assert_eq!(cube.rows().len(), MODELS as usize);
+                        cheap_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Full cubes compete for the cell budget: each either
+                    // runs to the exact answer or sheds with a typed error.
+                    1 => {
+                        let sql =
+                            "SELECT model, year, SUM(units) AS s FROM t GROUP BY CUBE model, year";
+                        match session.execute(sql) {
+                            Ok(cube) => {
+                                assert_eq!(grand_total(&cube), ROWS as i64);
+                                heavy_ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(SqlError::Cube(CubeError::ResourceExhausted { .. })) => {
+                                heavy_shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("heavy cube: unexpected error {other}"),
+                        }
+                    }
+                    // Cancellation racing admission and execution: all
+                    // three outcomes are legal, torn results are not.
+                    2 => {
+                        let token = CancelToken::new();
+                        session.set_cancel_token(Some(token.clone()));
+                        let delay_us = (i as u64 * 37) % 2_000;
+                        let canceller = std::thread::spawn(move || {
+                            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                            token.cancel();
+                        });
+                        let sql =
+                            "SELECT model, year, SUM(units) AS s FROM t GROUP BY CUBE model, year";
+                        let result = session.execute(sql);
+                        canceller.join().unwrap();
+                        match result {
+                            Ok(cube) => {
+                                assert_eq!(grand_total(&cube), ROWS as i64);
+                                heavy_ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(SqlError::Cube(CubeError::Cancelled { .. })) => {
+                                cancelled.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(SqlError::Cube(CubeError::ResourceExhausted { .. })) => {
+                                heavy_shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("cancel race: unexpected error {other}"),
+                        }
+                    }
+                    // Half bombs (the UDA panics in Iter and must be
+                    // contained to this session), half oversized cubes
+                    // (estimated over the whole budget: shed immediately).
+                    _ => {
+                        if i % 8 == 3 {
+                            let err = session
+                                .execute("SELECT model, BOMB(units) AS b FROM t GROUP BY model")
+                                .expect_err("bomb UDA must fail, not succeed");
+                            assert!(
+                                matches!(err, SqlError::Cube(CubeError::AggPanicked { .. })),
+                                "bomb: {err:?}"
+                            );
+                            panicked.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            let err = session
+                                .execute(
+                                    "SELECT model, year, units, SUM(units) AS s FROM t \
+                                     GROUP BY CUBE model, year, units",
+                                )
+                                .expect_err("oversized cube must shed, not run");
+                            assert!(
+                                matches!(err, SqlError::Cube(CubeError::ResourceExhausted { .. })),
+                                "oversized: {err:?}"
+                            );
+                            oversized_shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Every request resolved, and each class resolved the way it must.
+    assert_eq!(cheap_ok.load(Ordering::Relaxed), 32);
+    assert_eq!(panicked.load(Ordering::Relaxed), 16);
+    assert_eq!(oversized_shed.load(Ordering::Relaxed), 16);
+    assert_eq!(
+        heavy_ok.load(Ordering::Relaxed)
+            + heavy_shed.load(Ordering::Relaxed)
+            + cancelled.load(Ordering::Relaxed),
+        64
+    );
+    let counters = engine.admission().counters();
+    assert!(counters.shed >= 16, "oversized cubes must register as shed");
+
+    // The storm leaves no residue: a fresh session still gets the exact
+    // cube, and the admission slots have all been returned.
+    let cube = engine
+        .session()
+        .execute("SELECT model, year, SUM(units) AS s FROM t GROUP BY CUBE model, year")
+        .expect("engine must serve correctly after the storm");
+    assert_eq!(grand_total(&cube), ROWS as i64);
+    assert_eq!(
+        cube.rows().len(),
+        ((MODELS + 1) * (YEARS + 1)) as usize,
+        "cube cardinality after the storm"
+    );
+}

@@ -29,6 +29,9 @@ cargo test -q --features faults --test governance
 echo "== cube_bench smoke (vectorized + encoded workloads wire up) =="
 cargo run -q --release -p dc-bench --bin cube_bench -- --smoke
 
+echo "== dc-serve smoke (TCP round trip, admission shed, malformed query survival) =="
+cargo run -q --release -p dc-sql --bin dc_serve -- --smoke
+
 echo "== paper_tables vs golden =="
 cargo run -q --release -p dc-bench --bin paper_tables > /tmp/paper_tables_actual.txt
 if diff -u paper_tables_output.txt /tmp/paper_tables_actual.txt; then
