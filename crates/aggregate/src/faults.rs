@@ -58,6 +58,9 @@ pub const SITES: &[&str] = &[
     "service::admit",
     "service::queue_wait",
     "service::respond",
+    "cache::lookup",
+    "cache::rewrite",
+    "cache::evict",
 ];
 
 /// Count of armed sites — the fast-path guard. Zero means every failpoint

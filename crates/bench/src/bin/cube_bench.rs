@@ -21,13 +21,21 @@
 //!   cheap single-set GROUP BY with a full 2-dimension CUBE under the
 //!   admission controller (`ns_per_op` is wall time per query, so lower
 //!   at 8 sessions means the shared catalog and admission gate scale).
+//!   The lattice cache is pinned OFF here so the record stays comparable
+//!   with earlier BENCH files — cache serving has its own workload;
+//! * **cache_serving** — repeated ancestor queries (GROUP BY d0, GROUP BY
+//!   d1, and the full CUBE) against one shared engine, 1 and 8 sessions,
+//!   with the lattice cache on vs off: the `on` axes answer from the
+//!   materialized core cuboid, the `off` axes rescan the base rows.
 //!
 //! Output: a JSON array of `{workload, rows, dims, algorithm, ns_per_op}`
-//! records, written to `--json <path>` (default: `BENCH_pr7.json` at the
+//! records, written to `--json <path>` (default: `BENCH_pr8.json` at the
 //! repository root; see EXPERIMENTS.md "BENCH files"). `--smoke` shrinks
 //! every workload to a few thousand rows and a single iteration — a
 //! seconds-long sanity pass for verify.sh, not a measurement — and
-//! prints to stderr without writing any file.
+//! prints to stderr without writing any file. `--cache-smoke` runs only
+//! the cache_serving workload at smoke sizes and fails unless cache-on
+//! beats cache-off, wiring the PR's headline claim into verify.sh.
 
 use datacube::CubeQuery;
 use dc_bench::{kernel_query, radix_table, sales_query, sales_table, sorted_table, wide_table};
@@ -62,10 +70,91 @@ fn time_cube(query: &CubeQuery, table: &Table, iters: usize) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// The cache_serving workload: repeated ancestor queries through the
+/// shared engine, 1 and 8 sessions, lattice cache on vs off. Every query
+/// after the warmup CUBE is answerable from the materialized core cuboid
+/// when the cache is on; off, each one rescans the base table.
+fn cache_serving(service_rows: usize, service_queries: usize, records: &mut Vec<Record>) {
+    let service = wide_table(service_rows, 2, 16);
+    const ANCESTOR_SQLS: [&str; 3] = [
+        "SELECT d0, d1, SUM(units) AS s FROM t GROUP BY CUBE d0, d1",
+        "SELECT d0, SUM(units) AS s FROM t GROUP BY d0",
+        "SELECT d1, SUM(units) AS s FROM t GROUP BY d1",
+    ];
+    for (algorithm, cache_on, sessions) in [
+        ("cache_on_1", true, 1usize),
+        ("cache_off_1", false, 1),
+        ("cache_on_8", true, 8),
+        ("cache_off_8", false, 8),
+    ] {
+        let mut engine = Engine::with_service(ServiceConfig {
+            max_concurrent: 8,
+            cheap_reserved: 2,
+            cheap_cells: service_rows as u64 + 1,
+            global_cells: 64 * (service_rows as u64 + 1),
+            min_grant_cells: 1,
+            queue_depth: 64,
+        });
+        engine.cube_cache().set_enabled(cache_on);
+        engine
+            .register_table("t", service.clone())
+            .expect("bench table");
+        let engine = Arc::new(engine);
+        // The warmup CUBE touches every page and, cache on, materializes
+        // the core cuboid every later query re-aggregates from.
+        std::hint::black_box(engine.execute(ANCESTOR_SQLS[0]).expect("bench query"));
+        let start = Instant::now();
+        let workers: Vec<_> = (0..sessions)
+            .map(|w| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let session = engine.session();
+                    for q in 0..service_queries {
+                        let sql = ANCESTOR_SQLS[(w + q) % ANCESTOR_SQLS.len()];
+                        std::hint::black_box(session.execute(sql).expect("bench query"));
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join().expect("bench session");
+        }
+        let total = (sessions * service_queries) as u128;
+        records.push(Record {
+            workload: "cache_serving",
+            rows: service_rows,
+            dims: 2,
+            algorithm,
+            ns_per_op: start.elapsed().as_nanos() / total,
+        });
+        eprintln!(
+            "cache_serving/{algorithm}: {} ns/op",
+            records.last().unwrap().ns_per_op
+        );
+    }
+}
+
+/// The on-vs-off wall-time ratio per session count from cache_serving
+/// records, for the `--cache-smoke` gate.
+fn cache_speedups(records: &[Record]) -> Vec<(usize, f64)> {
+    let ns_of = |alg: &str| {
+        records
+            .iter()
+            .find(|r| r.workload == "cache_serving" && r.algorithm == alg)
+            .map(|r| r.ns_per_op as f64)
+            .expect("cache_serving record")
+    };
+    vec![
+        (1, ns_of("cache_off_1") / ns_of("cache_on_1")),
+        (8, ns_of("cache_off_8") / ns_of("cache_on_8")),
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let mut json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json").to_string();
+    let cache_smoke = args.iter().any(|a| a == "--cache-smoke");
+    let mut json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json").to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--json" {
@@ -77,8 +166,28 @@ fn main() {
     } else {
         (50_000, 100_000, 200_000, 100_000, 5)
     };
-    let (service_rows, service_queries) = if smoke { (5_000, 4) } else { (50_000, 32) };
+    let (service_rows, service_queries) = if smoke || cache_smoke {
+        (5_000, 4)
+    } else {
+        (50_000, 32)
+    };
     let mut records: Vec<Record> = Vec::new();
+
+    // The verify.sh gate for the lattice cache: run only cache_serving at
+    // smoke sizes and require cache-on to beat cache-off outright.
+    if cache_smoke {
+        cache_serving(service_rows, service_queries, &mut records);
+        for (sessions, speedup) in cache_speedups(&records) {
+            eprintln!("cache_serving sessions_{sessions}: {speedup:.1}x on-vs-off");
+            assert!(
+                speedup > 1.0,
+                "lattice cache must not be slower than the base scan \
+                 (sessions={sessions}, {speedup:.2}x)"
+            );
+        }
+        println!("cache smoke pass ok");
+        return;
+    }
 
     // ---- E-keys: encoded vs Row keys over string dimensions ----------
     let sales = sales_table(sales_rows, 8);
@@ -167,6 +276,10 @@ fn main() {
             min_grant_cells: 1,
             queue_depth: 64,
         });
+        // Cache off: this record measures admission + base-scan scaling,
+        // comparable with earlier BENCH files; cache_serving below owns
+        // the lattice-cache axes.
+        engine.cube_cache().set_enabled(false);
         engine
             .register_table("t", service.clone())
             .expect("bench table");
@@ -206,6 +319,9 @@ fn main() {
             records.last().unwrap().ns_per_op
         );
     }
+
+    // ---- Lattice cache: ancestor serving vs base rescans --------------
+    cache_serving(service_rows, service_queries, &mut records);
 
     // The deliverable: one BENCH_pr*.json at the repository root. Smoke
     // runs are sanity passes, not measurements — they write nothing.

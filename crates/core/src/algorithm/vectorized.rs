@@ -949,7 +949,7 @@ fn radix_core(
     let p_bits = radix_partition_bits(key_bits);
     let n_parts = 1usize << p_bits;
     let shift = key_bits.saturating_sub(p_bits);
-    stats.radix_partitions = stats.radix_partitions.max(n_parts as u64);
+    stats.radix_partitions = stats.radix_partitions.max(n_parts as u32);
 
     let threads = threads.max(1).min(n_rows.max(1));
 

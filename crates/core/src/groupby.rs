@@ -46,8 +46,10 @@ pub struct ExecStats {
     pub merge_calls: u64,
     /// Final() calls — one per output cell per aggregate.
     pub final_calls: u64,
-    /// Sort passes performed.
-    pub sorts: u64,
+    /// Sort passes performed (`u32`: at most one per grouping set, and
+    /// with the rest of the narrowed fields it keeps `ExecStats` — and so
+    /// `CubeError` — within clippy's 128-byte `Result` threshold).
+    pub sorts: u32,
     /// Worker threads the parallel paths actually used after clamping to
     /// the partition count (0 for serial algorithms).
     pub threads_used: u32,
@@ -68,8 +70,9 @@ pub struct ExecStats {
     /// pre-split `Row`-keyed paths).
     pub morsels_processed: u64,
     /// Partitions used by radix-partitioned grouping (0 when the core
-    /// scan ran the single hash map or the RLE path instead).
-    pub radix_partitions: u64,
+    /// scan ran the single hash map or the RLE path instead; `u32` — the
+    /// scatter clamps to 4096 partitions).
+    pub radix_partitions: u32,
     /// Key runs folded by the run-length scan (0 when the per-row morsel
     /// scan ran instead).
     pub rle_runs: u64,
@@ -86,6 +89,13 @@ pub struct ExecStats {
     pub retry_after_ms: u32,
     /// The admission controller's disposition of this query.
     pub admission: AdmissionVerdict,
+    /// Whether a lattice cache answered this query by re-aggregating a
+    /// materialized ancestor instead of scanning base rows (the §5
+    /// smallest-parent rewrite applied across queries, not within one).
+    pub answered_from_cache: bool,
+    /// Bitmask of the materialized ancestor grouping set that served the
+    /// cache hit (0 when `answered_from_cache` is false).
+    pub cache_ancestor_bits: u32,
 }
 
 impl ExecStats {
@@ -108,6 +118,8 @@ impl ExecStats {
         self.queue_wait_ms += other.queue_wait_ms;
         self.granted_cells = self.granted_cells.max(other.granted_cells);
         self.retry_after_ms = self.retry_after_ms.max(other.retry_after_ms);
+        self.answered_from_cache |= other.answered_from_cache;
+        self.cache_ancestor_bits = self.cache_ancestor_bits.max(other.cache_ancestor_bits);
         // The most severe verdict wins when folding partial stats.
         let rank = |v: AdmissionVerdict| match v {
             AdmissionVerdict::Ungoverned => 0,

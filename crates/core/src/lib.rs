@@ -40,6 +40,7 @@
 
 pub mod addressing;
 pub mod algorithm;
+pub mod cache;
 pub mod decoration;
 pub(crate) mod encode;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod spec;
 pub mod subcube;
 
 pub use algorithm::{Algorithm, ParentChoice};
+pub use cache::{rewritable, AncestorRequest, CachedView};
 pub use error::{CubeError, CubeResult, Resource};
 pub use exec::{CancelToken, ExecContext, ExecLimits};
 pub use groupby::{AdmissionVerdict, ExecStats};

@@ -57,6 +57,10 @@ struct Inner {
     base: Vec<Row>,
     cells: Vec<(GroupingSet, HashMap<Row, Cell>)>,
     stats: MaintainStats,
+    /// Monotone maintenance version: bumped by every successful insert or
+    /// delete, so derived structures (the SQL layer's lattice cache keys
+    /// results by table version) can detect staleness without diffing.
+    version: u64,
 }
 
 /// A cube kept up to date under INSERT / DELETE / UPDATE.
@@ -122,6 +126,7 @@ impl MaterializedCube {
                 base: Vec::new(),
                 cells,
                 stats: MaintainStats::default(),
+                version: 0,
             }),
         };
         for row in table.rows() {
@@ -162,6 +167,7 @@ impl MaterializedCube {
         }
         inner.stats.cells_updated += inner.cells.len() as u64;
         inner.stats.inserts += 1;
+        inner.version += 1;
         inner.base.push(row);
         Ok(())
     }
@@ -180,7 +186,12 @@ impl MaterializedCube {
         inner.base.swap_remove(pos);
         let full = full_key(&self.dims, row);
 
-        let Inner { base, cells, stats } = &mut *inner;
+        let Inner {
+            base,
+            cells,
+            stats,
+            version,
+        } = &mut *inner;
         for (set, map) in cells.iter_mut() {
             let key = project_key(&full, *set);
             let Some(cell) = map.get_mut(&key) else {
@@ -219,6 +230,7 @@ impl MaterializedCube {
             }
         }
         stats.deletes += 1;
+        *version += 1;
         Ok(())
     }
 
@@ -283,6 +295,14 @@ impl MaterializedCube {
     /// Number of materialized cells across all grouping sets.
     pub fn cell_count(&self) -> usize {
         self.inner.read().cells.iter().map(|(_, m)| m.len()).sum()
+    }
+
+    /// Maintenance version: 0 at construction, +1 per successful insert
+    /// or delete (an update counts twice). Republishing a maintained cube
+    /// under a new version invalidates any cached ancestor views keyed to
+    /// the old one.
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
     }
 }
 

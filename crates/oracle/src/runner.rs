@@ -18,8 +18,11 @@
 use crate::diff::diff_tables;
 use crate::gen::{Case, Gov, QueryKind};
 use crate::model::model_result;
-use datacube::{Algorithm, CompoundSpec, CubeError, CubeQuery, CubeResult, Dimension};
-use dc_relation::Table;
+use datacube::{
+    cube_sets, rewritable, rollup_sets, AggSpec, Algorithm, AncestorRequest, CachedView,
+    CompoundSpec, CubeError, CubeQuery, CubeResult, Dimension, ExecContext, GroupingSet,
+};
+use dc_relation::{Row, Table};
 
 /// One engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -156,7 +159,71 @@ pub fn check_case(case: &Case) -> Result<(), String> {
             }
         }
     }
+    check_cache_path(case, &names, &expected)?;
     Ok(())
+}
+
+/// The lattice-cache path axis: when every aggregate of the case is
+/// rewrite-legal (distributive/algebraic and mergeable), answering the
+/// case's grouping-set family from a `CachedView` over the full dimension
+/// set must reproduce the model exactly — this is the SQL engine's
+/// ancestor-rewrite path with the ancestor pinned to the core cuboid.
+/// When any aggregate is holistic or non-mergeable, the view build must
+/// refuse with the typed fallthrough error instead of caching it.
+fn check_cache_path(case: &Case, names: &[String], expected: &[Row]) -> Result<(), String> {
+    let dims: Vec<Dimension> = (0..case.n_dims)
+        .map(|d| Dimension::column(format!("d{d}")))
+        .collect();
+    let specs: Vec<AggSpec> = case
+        .aggs
+        .iter()
+        .enumerate()
+        .map(|(i, desc)| desc.spec(i))
+        .collect();
+    let legal = specs.iter().all(|s| rewritable(&s.func));
+    let built = CachedView::build(&case.table, &dims, &specs);
+    if !legal {
+        return match built {
+            Err(CubeError::Unsupported(_)) => Ok(()),
+            Ok(_) => Err("cache axis: non-rewritable aggregate was accepted for caching".into()),
+            Err(e) => Err(format!("cache axis: wrong refusal for holistic case: {e}")),
+        };
+    }
+    let view = built.map_err(|e| format!("cache axis: view build failed: {e}"))?;
+    let sets: Vec<GroupingSet> = match &case.query {
+        QueryKind::GroupBy => vec![GroupingSet::full(case.n_dims)],
+        QueryKind::Rollup => rollup_sets(case.n_dims).map_err(|e| format!("cache axis: {e}"))?,
+        QueryKind::Cube => cube_sets(case.n_dims).map_err(|e| format!("cache axis: {e}"))?,
+        QueryKind::GroupingSets(sets) => sets
+            .iter()
+            .map(|s| GroupingSet::from_dims(s))
+            .collect::<CubeResult<_>>()
+            .map_err(|e| format!("cache axis: {e}"))?,
+        QueryKind::Compound { g, r } => CompoundSpec::new()
+            .group_by(dims[..*g].to_vec())
+            .rollup(dims[*g..g + r].to_vec())
+            .cube(dims[g + r..].to_vec())
+            .grouping_sets()
+            .map_err(|e| format!("cache axis: {e}"))?,
+    };
+    let dim_map: Vec<usize> = (0..case.n_dims).collect();
+    let dim_names: Vec<String> = (0..case.n_dims).map(|d| format!("d{d}")).collect();
+    let dim_name_refs: Vec<&str> = dim_names.iter().map(String::as_str).collect();
+    let agg_map: Vec<usize> = (0..specs.len()).collect();
+    let agg_names: Vec<&str> = specs.iter().map(|s| &*s.output).collect();
+    let table = view
+        .answer(
+            &AncestorRequest {
+                dim_map: &dim_map,
+                dim_names: &dim_name_refs,
+                agg_map: &agg_map,
+                agg_names: &agg_names,
+                sets: &sets,
+            },
+            &ExecContext::unlimited(),
+        )
+        .map_err(|e| format!("cache axis: answer failed: {e}"))?;
+    diff_tables(names, expected, &table, case.n_dims).map_err(|m| format!("cache axis: {m}"))
 }
 
 #[cfg(test)]

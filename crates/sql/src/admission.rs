@@ -344,6 +344,35 @@ impl AdmissionController {
         }
     }
 
+    /// Try to reserve `n` cells of the global budget for cached subcube
+    /// views, so cache memory and query memory share one governed pool.
+    /// Returns `false` (without reserving) when the budget cannot cover
+    /// it right now — the caller simply skips caching. With no global
+    /// budget configured the reservation is free and always granted.
+    pub(crate) fn try_reserve_cache_cells(&self, n: u64) -> bool {
+        if self.cfg.global_cells == 0 {
+            return true;
+        }
+        let mut st = self.lock();
+        if st.cells_out.saturating_add(n) > self.cfg.global_cells {
+            return false;
+        }
+        st.cells_out = st.cells_out.saturating_add(n);
+        true
+    }
+
+    /// Release a cache reservation taken by
+    /// [`Self::try_reserve_cache_cells`] (eviction / invalidation path).
+    pub(crate) fn release_cache_cells(&self, n: u64) {
+        if self.cfg.global_cells == 0 || n == 0 {
+            return;
+        }
+        let mut st = self.lock();
+        st.cells_out = st.cells_out.saturating_sub(n);
+        drop(st);
+        self.cv.notify_all();
+    }
+
     /// Admit one query, waiting (bounded by `deadline` and the lane's
     /// queue depth) until a slot and a budget share are available.
     ///

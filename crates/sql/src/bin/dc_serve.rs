@@ -10,6 +10,7 @@
 //!          [--max-concurrent N] [--cheap-reserved N] [--cheap-cells N]
 //!          [--global-cells N] [--min-grant-cells N] [--queue-depth N]
 //!          [--max-connections N]
+//!          [--no-cube-cache] [--cache-cells N]
 //!          [--smoke]
 //! ```
 //!
@@ -30,6 +31,11 @@ struct Args {
     addr: String,
     service: ServiceConfig,
     server: ServerConfig,
+    /// Engine-wide lattice cache switch (sessions can still opt out with
+    /// `SET CUBE_CACHE OFF`; `--no-cube-cache` disables it for everyone).
+    cube_cache: bool,
+    /// Lattice-cache cell budget override (`--cache-cells N`).
+    cache_cells: Option<u64>,
     smoke: bool,
 }
 
@@ -38,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:4780".to_string(),
         service: ServiceConfig::default(),
         server: ServerConfig::default(),
+        cube_cache: true,
+        cache_cells: None,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -61,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
             "--min-grant-cells" => args.service.min_grant_cells = num(&flag, &mut it)?,
             "--queue-depth" => args.service.queue_depth = num(&flag, &mut it)? as usize,
             "--max-connections" => args.server.max_connections = num(&flag, &mut it)? as usize,
+            "--no-cube-cache" => args.cube_cache = false,
+            "--cache-cells" => args.cache_cells = Some(num(&flag, &mut it)?),
             "--smoke" => args.smoke = true,
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -95,6 +105,10 @@ fn run() -> Result<(), String> {
         return smoke();
     }
     let mut engine = Engine::with_service(args.service);
+    engine.cube_cache().set_enabled(args.cube_cache);
+    if let Some(cells) = args.cache_cells {
+        engine.cube_cache().set_budget_cells(cells);
+    }
     engine
         .register_table("Sales", demo_table()?)
         .map_err(|e| format!("register: {e}"))?;
@@ -173,9 +187,35 @@ fn smoke() -> Result<(), String> {
     let resp = ask(&mut conn, "SELECT COUNT(*) AS n FROM Sales GROUP BY model")?;
     expect_table(&resp, "post-error query")?;
 
+    // 5. The repeated cheap query is now a lattice-cache hit (the first
+    //    run materialized the MODEL view) and must return the same rows;
+    //    `SET CUBE_CACHE OFF` parses over the wire and the base-scan
+    //    answer agrees.
+    let resp = ask(
+        &mut conn,
+        "SELECT model, SUM(units) AS total FROM Sales GROUP BY model",
+    )?;
+    if expect_table(&resp, "cached group by")? != 2 {
+        return Err("cached group by: expected 2 rows".to_string());
+    }
+    if engine.cube_cache().counters().hits == 0 {
+        return Err("cube cache: expected at least one hit".to_string());
+    }
+    expect_table(&ask(&mut conn, "SET CUBE_CACHE OFF")?, "set cube_cache off")?;
+    let resp = ask(
+        &mut conn,
+        "SELECT model, SUM(units) AS total FROM Sales GROUP BY model",
+    )?;
+    if expect_table(&resp, "uncached group by")? != 2 {
+        return Err("uncached group by: expected 2 rows".to_string());
+    }
+
     drop(conn);
     handle.shutdown();
-    eprintln!("dc_serve --smoke: OK (cheap lane served, cube shed typed, errors survived)");
+    eprintln!(
+        "dc_serve --smoke: OK (cheap lane served, cube shed typed, errors survived, \
+         cache hit observed)"
+    );
     Ok(())
 }
 

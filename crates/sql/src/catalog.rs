@@ -27,6 +27,10 @@ use std::sync::{Arc, RwLock};
 /// The mutable name→object maps, guarded by [`SharedCatalog`].
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
+    /// Per-table version, bumped by [`Catalog::update_table`]. Cached
+    /// subcube views are keyed by `(name, version)`, so republishing a
+    /// table under the same name makes every stale view unreachable.
+    versions: HashMap<String, u64>,
     aggs: Registry,
     scalars: ScalarRegistry,
 }
@@ -37,6 +41,7 @@ impl Catalog {
     pub fn new() -> Self {
         Catalog {
             tables: HashMap::new(),
+            versions: HashMap::new(),
             aggs: dc_aggregate::builtins(),
             scalars: scalar::builtins(),
         }
@@ -48,6 +53,21 @@ impl Catalog {
         if self.tables.contains_key(&key) {
             return Err(SqlError::Plan(format!("table already registered: {key}")));
         }
+        self.versions.insert(key.clone(), 1);
+        self.tables.insert(key, Arc::new(table));
+        Ok(())
+    }
+
+    /// Replace a registered table's contents, bumping its version — the
+    /// maintenance path: a `MaterializedCube` (or any writer) republishes
+    /// its current state under the same name, and every cached view keyed
+    /// to the old version becomes unreachable.
+    pub fn update_table(&mut self, name: impl AsRef<str>, table: Table) -> SqlResult<()> {
+        let key = name.as_ref().to_uppercase();
+        if !self.tables.contains_key(&key) {
+            return Err(SqlError::Plan(format!("unknown table: {key}")));
+        }
+        *self.versions.entry(key.clone()).or_insert(0) += 1;
         self.tables.insert(key, Arc::new(table));
         Ok(())
     }
@@ -79,6 +99,7 @@ impl Default for Catalog {
 #[derive(Clone)]
 pub struct CatalogSnapshot {
     pub(crate) tables: HashMap<String, Arc<Table>>,
+    pub(crate) versions: HashMap<String, u64>,
     pub(crate) aggs: Registry,
     pub(crate) scalars: ScalarRegistry,
 }
@@ -90,6 +111,14 @@ impl CatalogSnapshot {
             .get(&name.to_uppercase())
             .cloned()
             .ok_or_else(|| SqlError::Plan(format!("unknown table: {name}")))
+    }
+
+    /// The table's version at snapshot time (0 if the name is unknown).
+    pub fn table_version(&self, name: &str) -> u64 {
+        self.versions
+            .get(&name.to_uppercase())
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -114,6 +143,7 @@ impl SharedCatalog {
         let guard = self.0.read().unwrap_or_else(|p| p.into_inner());
         CatalogSnapshot {
             tables: guard.tables.clone(),
+            versions: guard.versions.clone(),
             aggs: guard.aggs.clone(),
             scalars: guard.scalars.clone(),
         }

@@ -18,12 +18,16 @@
 
 use crate::admission::{AdmissionController, ServiceConfig};
 use crate::ast::*;
+use crate::cache::CubeCache;
 use crate::catalog::{CatalogSnapshot, SharedCatalog};
 use crate::error::{SqlError, SqlResult};
 use crate::eval::{eval, infer_type, EvalContext};
 use crate::scalar::ScalarFn;
 use crate::session::Session;
-use datacube::{AggSpec, Algorithm, CancelToken, CompoundSpec, CubeQuery, Dimension, ExecLimits};
+use datacube::{
+    AggSpec, Algorithm, AncestorRequest, CancelToken, CompoundSpec, CubeQuery, Dimension,
+    ExecLimits, GroupingSet,
+};
 use dc_aggregate::AggRef;
 use dc_relation::{ColumnDef, DataType, Row, Schema, Table, Value};
 use std::collections::HashMap;
@@ -54,6 +58,7 @@ use std::sync::Arc;
 pub struct Engine {
     catalog: SharedCatalog,
     admission: Arc<AdmissionController>,
+    cache: Arc<CubeCache>,
     /// The engine's own default session, so the single-caller API
     /// (`execute`, `set_option`, `set_cancel_token`) works unchanged.
     session: Session,
@@ -78,19 +83,26 @@ impl Engine {
     pub fn with_service(cfg: ServiceConfig) -> Self {
         let catalog = SharedCatalog::new();
         let admission = AdmissionController::new(cfg);
-        let session = Session::new(catalog.clone(), Arc::clone(&admission));
+        let cache = CubeCache::new(Arc::clone(&admission));
+        let session = Session::new(catalog.clone(), Arc::clone(&admission), Arc::clone(&cache));
         Engine {
             catalog,
             admission,
+            cache,
             session,
         }
     }
 
-    /// Mint a new session sharing this engine's catalog and admission
-    /// controller, with its own options and cancel token. Sessions are
-    /// `Send + Sync`; hand one to each thread or connection.
+    /// Mint a new session sharing this engine's catalog, admission
+    /// controller, and lattice cache, with its own options and cancel
+    /// token. Sessions are `Send + Sync`; hand one to each thread or
+    /// connection.
     pub fn session(&self) -> Session {
-        Session::new(self.catalog.clone(), Arc::clone(&self.admission))
+        Session::new(
+            self.catalog.clone(),
+            Arc::clone(&self.admission),
+            Arc::clone(&self.cache),
+        )
     }
 
     /// The shared admission controller (counters for observability).
@@ -98,15 +110,37 @@ impl Engine {
         &self.admission
     }
 
+    /// The engine-wide lattice cache (enable/disable, budget, counters).
+    pub fn cube_cache(&self) -> &Arc<CubeCache> {
+        &self.cache
+    }
+
     /// Owned handles to the shared service state, for the server's accept
     /// thread to mint per-connection sessions without borrowing `self`.
-    pub(crate) fn service_parts(&self) -> (SharedCatalog, Arc<AdmissionController>) {
-        (self.catalog.clone(), Arc::clone(&self.admission))
+    pub(crate) fn service_parts(
+        &self,
+    ) -> (SharedCatalog, Arc<AdmissionController>, Arc<CubeCache>) {
+        (
+            self.catalog.clone(),
+            Arc::clone(&self.admission),
+            Arc::clone(&self.cache),
+        )
     }
 
     /// Register a base table (case-insensitive name).
     pub fn register_table(&mut self, name: impl AsRef<str>, table: Table) -> SqlResult<()> {
         self.catalog.with_write(|c| c.register_table(name, table))
+    }
+
+    /// Replace a registered table's contents under the same name — the
+    /// maintenance path for `MaterializedCube`-backed tables. Bumps the
+    /// catalog version and eagerly invalidates cached subcube views, so a
+    /// query admitted after this call can never see a stale cell.
+    pub fn update_table(&self, name: impl AsRef<str>, table: Table) -> SqlResult<()> {
+        let name = name.as_ref();
+        self.catalog.with_write(|c| c.update_table(name, table))?;
+        self.cache.invalidate_table(name);
+        Ok(())
     }
 
     /// Register a user-defined aggregate (the §1.2 extension mechanism).
@@ -150,6 +184,27 @@ pub(crate) struct QueryRuntime {
     pub(crate) limits: ExecLimits,
     pub(crate) threads: u64,
     pub(crate) vectorized: bool,
+    /// The engine's lattice cache, when the session has `CUBE_CACHE ON`
+    /// (`None` both when the option is off and for EXPLAIN, which must
+    /// not touch traffic counters).
+    pub(crate) cache: Option<Arc<CubeCache>>,
+    /// Set by `exec_aggregate` when a statement was answered by
+    /// re-aggregating a materialized ancestor: `(hit, ancestor_bits)`.
+    /// The session folds this into its last-statement [`ExecStats`].
+    pub(crate) cache_touch: std::cell::Cell<(bool, u32)>,
+}
+
+/// How one aggregate statement maps onto the lattice cache, when it is
+/// eligible at all. `dim_keys`/`agg_keys` are the canonical base-column
+/// names the cache indexes views by ([`crate::cache::CubeCache`]); `sets`
+/// is the statement's grouping-set family over the query's dimension
+/// order, ready for [`datacube::CachedView::answer`].
+struct CachePlan {
+    table: String,
+    version: u64,
+    dim_keys: Vec<String>,
+    agg_keys: Vec<String>,
+    sets: Vec<GroupingSet>,
 }
 
 impl QueryRuntime {
@@ -312,7 +367,7 @@ impl QueryRuntime {
                         kept.push_unchecked(row.clone());
                     }
                 }
-                kept
+                Arc::new(kept)
             }
             None => base,
         };
@@ -336,10 +391,10 @@ impl QueryRuntime {
     }
 
     /// Plain projection (no aggregation).
-    fn exec_projection(&self, items: &[SelectItem], input: Table) -> SqlResult<Table> {
+    fn exec_projection(&self, items: &[SelectItem], input: Arc<Table>) -> SqlResult<Table> {
         // SELECT * expands to all input columns.
         if items.len() == 1 && items[0].expr == Expr::Star {
-            return Ok(input);
+            return Ok(Arc::try_unwrap(input).unwrap_or_else(|shared| (*shared).clone()));
         }
         let ctx = EvalContext::base(input.schema(), &self.snap.scalars);
         // Each item is either a per-row expression or an ordered aggregate
@@ -396,6 +451,87 @@ impl QueryRuntime {
         Ok(out)
     }
 
+    /// Decide whether this aggregate statement can be served by (and feed)
+    /// the lattice cache. `None` disqualifies it: no cache attached, a
+    /// join or WHERE clause (cached views cover whole base tables only),
+    /// computed dimensions or aggregate arguments (views are keyed by base
+    /// column names), an aggregate outside the rewrite-legal set (see
+    /// [`datacube::rewritable`]), or a lattice wider than
+    /// [`GroupingSet::MAX_DIMS`].
+    fn plan_cache(
+        &self,
+        stmt: &SelectStmt,
+        clause: &GroupByClause,
+        group_exprs: &[&GroupExpr],
+        agg_specs: &[AggSpec],
+        arg_columns: &HashMap<String, String>,
+    ) -> Option<CachePlan> {
+        self.cache.as_ref()?;
+        let TableRef::Named(table) = &stmt.from else {
+            return None;
+        };
+        if stmt.where_clause.is_some() || !arg_columns.is_empty() {
+            return None;
+        }
+        let dim_keys: Vec<String> = group_exprs
+            .iter()
+            .map(|g| match &g.expr {
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } => Some(name.clone()),
+                _ => None,
+            })
+            .collect::<Option<_>>()?;
+        if !agg_specs.iter().all(|s| datacube::rewritable(&s.func)) {
+            return None;
+        }
+        let agg_keys: Vec<String> = agg_specs
+            .iter()
+            .map(|s| match &s.input {
+                Some(col) => format!("{}({})", s.func.name(), col),
+                None => s.func.name().to_string(),
+            })
+            .collect();
+        let sets: Vec<GroupingSet> = match &clause.grouping_sets {
+            Some(sets) => {
+                let index_of = |g: &GroupExpr| {
+                    group_exprs
+                        .iter()
+                        .position(|e| e.output_name() == g.output_name())
+                };
+                let mut out = Vec::with_capacity(sets.len());
+                for s in sets {
+                    let idxs: Vec<usize> = s.iter().map(index_of).collect::<Option<_>>()?;
+                    out.push(GroupingSet::from_dims(&idxs).ok()?);
+                }
+                out
+            }
+            None => {
+                // Only the block *lengths* drive the compound expansion, so
+                // placeholder dimensions reproduce the statement's lattice.
+                let ph = |n: usize| {
+                    (0..n)
+                        .map(|i| Dimension::column(format!("d{i}")))
+                        .collect::<Vec<_>>()
+                };
+                CompoundSpec::new()
+                    .group_by(ph(clause.plain.len()))
+                    .rollup(ph(clause.rollup.len()))
+                    .cube(ph(clause.cube.len()))
+                    .grouping_sets()
+                    .ok()?
+            }
+        };
+        Some(CachePlan {
+            table: table.clone(),
+            version: self.snap.table_version(table),
+            dim_keys,
+            agg_keys,
+            sets,
+        })
+    }
+
     /// The aggregation pipeline: working table → CubeQuery → select-list
     /// evaluation over the cube relation.
     fn exec_aggregate(
@@ -403,7 +539,7 @@ impl QueryRuntime {
         stmt: &SelectStmt,
         items: &[SelectItem],
         having: Option<&Expr>,
-        input: Table,
+        input: Arc<Table>,
     ) -> SqlResult<Table> {
         let empty_clause = GroupByClause::default();
         let clause = stmt.group_by.as_ref().unwrap_or(&empty_clause);
@@ -437,7 +573,10 @@ impl QueryRuntime {
         }
 
         // ---- working table: computed aggregate arguments -----------------
-        let mut working = input.clone();
+        // Shared with the snapshot until a computed argument forces a
+        // widened copy — plain-column statements (and cache hits) never
+        // materialize a private copy of the base rows.
+        let mut working = Arc::clone(&input);
         let mut arg_columns: HashMap<String, String> = HashMap::new(); // canonical → col
         for (k, call) in agg_calls.iter().enumerate() {
             let Expr::Func { args, .. } = call else {
@@ -469,7 +608,7 @@ impl QueryRuntime {
                                 row.values().iter().cloned().chain([v]).collect(),
                             ));
                         }
-                        working = next;
+                        working = Arc::new(next);
                         e.insert(col_name);
                     }
                 }
@@ -544,6 +683,37 @@ impl QueryRuntime {
             ));
         }
 
+        // ---- lattice cache: ancestor rewrite ------------------------------
+        // If the statement is a plain scan of a registered table with
+        // plain-column dimensions and rewrite-legal aggregates, try to
+        // answer it from a materialized subcube instead of the base rows.
+        let cache_plan = self.plan_cache(stmt, clause, &group_exprs, &agg_specs, &arg_columns);
+        let mut cached_answer: Option<Table> = None;
+        if let (Some(plan), Some(cache)) = (&cache_plan, &self.cache) {
+            if let Some(hit) =
+                cache.lookup(&plan.table, plan.version, &plan.dim_keys, &plan.agg_keys)?
+            {
+                let bpc =
+                    datacube::exec::estimate_bytes_per_cell(group_exprs.len(), agg_specs.len());
+                let ctx = datacube::ExecContext::new(&self.limits, bpc);
+                let dim_name_refs: Vec<&str> = dim_names.iter().map(String::as_str).collect();
+                let agg_name_refs: Vec<&str> = agg_specs.iter().map(|s| &*s.output).collect();
+                let answered = hit.view.answer(
+                    &AncestorRequest {
+                        dim_map: &hit.dim_map,
+                        dim_names: &dim_name_refs,
+                        agg_map: &hit.agg_map,
+                        agg_names: &agg_name_refs,
+                        sets: &plan.sets,
+                    },
+                    &ctx,
+                )?;
+                self.cache_touch.set((true, hit.ancestor_bits));
+                cached_answer = Some(answered);
+            }
+        }
+        let from_cache = cached_answer.is_some();
+
         // ---- run the cube operator ---------------------------------------
         let make_dim = |g: &GroupExpr, name: &str, ty: DataType| -> Dimension {
             match &g.expr {
@@ -577,7 +747,9 @@ impl QueryRuntime {
             });
         }
 
-        let mut cube = if let Some(sets) = &clause.grouping_sets {
+        let mut cube = if let Some(answered) = cached_answer {
+            answered
+        } else if let Some(sets) = &clause.grouping_sets {
             let dims: Vec<Dimension> = group_exprs
                 .iter()
                 .zip(dim_names.iter().zip(dim_types.iter()))
@@ -625,6 +797,32 @@ impl QueryRuntime {
                 .cube(block(&clause.cube)?);
             query.compound(&working, &spec)?
         };
+
+        // Cache miss on an eligible statement: materialize its finest
+        // grouping as a new view for future ancestors. Best-effort —
+        // population is budget-gated and its errors never fail the query
+        // (the answer above is already correct from the base scan).
+        if !from_cache {
+            if let (Some(plan), Some(cache)) = (&cache_plan, &self.cache) {
+                let vdims: Vec<Dimension> = plan.dim_keys.iter().map(Dimension::column).collect();
+                let vaggs: Vec<AggSpec> = agg_specs
+                    .iter()
+                    .map(|s| match &s.input {
+                        Some(col) => AggSpec::new(Arc::clone(&s.func), &**col),
+                        None => AggSpec::star(Arc::clone(&s.func)),
+                    })
+                    .collect();
+                if let Ok(view) = datacube::CachedView::build(&working, &vdims, &vaggs) {
+                    let _ = cache.populate(
+                        &plan.table,
+                        plan.version,
+                        plan.dim_keys.clone(),
+                        plan.agg_keys.clone(),
+                        view,
+                    );
+                }
+            }
+        }
 
         // Global aggregate over an empty table: SQL returns one row of
         // empty-set aggregates (COUNT = 0, SUM = NULL, ...).
@@ -855,13 +1053,17 @@ impl QueryRuntime {
 
     // ----------------------------------------------------------- helpers --
 
-    fn resolve_from(&self, from: &TableRef) -> SqlResult<Table> {
+    fn resolve_from(&self, from: &TableRef) -> SqlResult<Arc<Table>> {
         match from {
-            TableRef::Named(name) => Ok((*self.snap.table(name)?).clone()),
+            // A named scan shares the snapshot's table — no row copies.
+            // Every consumer below holds the Arc for the statement's
+            // lifetime, so a concurrent catalog update never invalidates
+            // an in-flight read (it publishes a new Arc instead).
+            TableRef::Named(name) => self.snap.table(name),
             TableRef::JoinUsing { left, right, using } => {
                 let l = self.resolve_from(left)?;
                 let r = self.resolve_from(right)?;
-                join_using(&l, &r, using)
+                Ok(Arc::new(join_using(&l, &r, using)?))
             }
         }
     }

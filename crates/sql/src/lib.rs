@@ -39,6 +39,7 @@
 
 pub mod admission;
 pub mod ast;
+pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod error;
@@ -51,6 +52,7 @@ pub mod token;
 pub mod wire;
 
 pub use admission::{AdmissionController, AdmissionCounters, QueryCost, ServiceConfig};
+pub use cache::{CacheCounters, CubeCache};
 pub use catalog::{Catalog, CatalogSnapshot, SharedCatalog};
 pub use engine::Engine;
 pub use error::{SqlError, SqlResult};

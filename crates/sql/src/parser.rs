@@ -116,7 +116,9 @@ impl Parser {
     fn parse_statement(&mut self) -> SqlResult<Statement> {
         if self.eat_keyword(Keyword::Set) {
             let name = self.expect_ident()?;
-            self.expect_symbol(Symbol::Eq)?;
+            // `SET CUBE_CACHE ON` reads better than `= 1`, so the `=` is
+            // optional and ON/OFF are accepted alongside integers.
+            self.eat_symbol(Symbol::Eq);
             let negative = self.eat_symbol(Symbol::Minus);
             let value = match self.next() {
                 Some(Token::Int(n)) => {
@@ -126,9 +128,11 @@ impl Parser {
                         n
                     }
                 }
+                Some(Token::Keyword(Keyword::On)) if !negative => 1,
+                Some(Token::Ident(word)) if !negative && word.eq_ignore_ascii_case("OFF") => 0,
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
-                    return Err(self.error("expected an integer option value"));
+                    return Err(self.error("expected an integer option value (or ON/OFF)"));
                 }
             };
             return Ok(Statement::Set { name, value });

@@ -93,13 +93,15 @@ pub fn serve(engine: &Engine, addr: &str, cfg: ServerConfig) -> io::Result<Serve
     let shutdown = Arc::new(AtomicBool::new(false));
     let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let open = Arc::new(AtomicUsize::new(0));
-    let (catalog, admission) = engine.service_parts();
+    let (catalog, admission, cache) = engine.service_parts();
 
     let accept = {
         let shutdown = Arc::clone(&shutdown);
         let workers = Arc::clone(&workers);
         std::thread::spawn(move || {
-            accept_loop(listener, catalog, admission, cfg, shutdown, workers, open)
+            accept_loop(
+                listener, catalog, admission, cache, cfg, shutdown, workers, open,
+            )
         })
     };
 
@@ -116,6 +118,7 @@ fn accept_loop(
     listener: TcpListener,
     catalog: SharedCatalog,
     admission: Arc<AdmissionController>,
+    cache: Arc<crate::cache::CubeCache>,
     cfg: ServerConfig,
     shutdown: Arc<AtomicBool>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -136,7 +139,7 @@ fn accept_loop(
             continue;
         }
         open.fetch_add(1, Ordering::SeqCst);
-        let session = Session::new(catalog.clone(), Arc::clone(&admission));
+        let session = Session::new(catalog.clone(), Arc::clone(&admission), Arc::clone(&cache));
         let handle = {
             let shutdown = Arc::clone(&shutdown);
             let open = Arc::clone(&open);

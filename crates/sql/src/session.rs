@@ -28,6 +28,7 @@
 
 use crate::admission::{AdmissionController, Permit, QueryCost};
 use crate::ast::{SelectStmt, Statement, TableRef};
+use crate::cache::CubeCache;
 use crate::catalog::{CatalogSnapshot, SharedCatalog};
 use crate::engine::QueryRuntime;
 use crate::error::{SqlError, SqlResult};
@@ -47,6 +48,9 @@ pub(crate) struct SessionOptions {
     pub(crate) timeout_ms: u64,
     pub(crate) threads: u64,
     pub(crate) vectorized: bool,
+    /// `SET CUBE_CACHE {ON|OFF}` — whether this session's statements may
+    /// be answered from (and populate) the engine's lattice cache.
+    pub(crate) cube_cache: bool,
     pub(crate) cancel: Option<CancelToken>,
 }
 
@@ -58,6 +62,7 @@ impl Default for SessionOptions {
             timeout_ms: 0,
             threads: 0,
             vectorized: true,
+            cube_cache: true,
             cancel: None,
         }
     }
@@ -94,6 +99,7 @@ impl SessionOptions {
 pub struct Session {
     catalog: SharedCatalog,
     admission: Arc<AdmissionController>,
+    cache: Arc<CubeCache>,
     opts: Mutex<SessionOptions>,
     /// Admission stats of the most recent statement (queue wait, grant,
     /// verdict) — observability for callers and the stress suites.
@@ -101,10 +107,15 @@ pub struct Session {
 }
 
 impl Session {
-    pub(crate) fn new(catalog: SharedCatalog, admission: Arc<AdmissionController>) -> Self {
+    pub(crate) fn new(
+        catalog: SharedCatalog,
+        admission: Arc<AdmissionController>,
+        cache: Arc<CubeCache>,
+    ) -> Self {
         Session {
             catalog,
             admission,
+            cache,
             opts: Mutex::new(SessionOptions::default()),
             last: Mutex::new(ExecStats::default()),
         }
@@ -133,6 +144,9 @@ impl Session {
                     limits: opts.limits(None, 0),
                     threads: opts.threads,
                     vectorized: opts.vectorized,
+                    // EXPLAIN must not perturb cache traffic counters.
+                    cache: None,
+                    cache_touch: std::cell::Cell::new((false, 0)),
                 };
                 runtime.explain_select(&stmt)
             }
@@ -163,10 +177,19 @@ impl Session {
             limits: opts.limits(deadline, permit.granted_cells()),
             threads: opts.threads,
             vectorized: opts.vectorized,
+            cache: opts.cube_cache.then(|| Arc::clone(&self.cache)),
+            cache_touch: std::cell::Cell::new((false, 0)),
         };
         // `permit` is still alive here: the reservation covers the whole
         // execution and is released when it drops at scope end.
-        runtime.exec_select(stmt)
+        let result = runtime.exec_select(stmt);
+        let (hit, bits) = runtime.cache_touch.get();
+        if hit {
+            let mut last = self.last.lock().unwrap_or_else(|p| p.into_inner());
+            last.answered_from_cache = true;
+            last.cache_ancestor_bits = bits;
+        }
+        result
     }
 
     fn options(&self) -> SessionOptions {
@@ -195,12 +218,12 @@ impl Session {
 
     /// Set one session execution option. Recognized names
     /// (case-insensitive): `MAX_CELLS`, `MAX_MEMORY_BYTES`, `TIMEOUT_MS`,
-    /// `THREADS`, `VECTORIZED`. `0` resets the option to
-    /// unlimited/default — except `VECTORIZED`, where `0` disables the
-    /// columnar kernel engine and any non-zero value re-enables it
-    /// (default on). Also the programmatic form of the `SET` statement.
-    /// Scoped to this session: other sessions of the same engine are
-    /// unaffected.
+    /// `THREADS`, `VECTORIZED`, `CUBE_CACHE`. `0` resets the option to
+    /// unlimited/default — except `VECTORIZED` and `CUBE_CACHE`, where `0`
+    /// disables the feature and any non-zero value re-enables it (both
+    /// default on; the SQL form also accepts `SET CUBE_CACHE {ON|OFF}`).
+    /// Also the programmatic form of the `SET` statement. Scoped to this
+    /// session: other sessions of the same engine are unaffected.
     pub fn set_option(&self, name: &str, value: i64) -> SqlResult<()> {
         if value < 0 {
             return Err(SqlError::Plan(format!(
@@ -215,10 +238,11 @@ impl Session {
             "TIMEOUT_MS" => opts.timeout_ms = value,
             "THREADS" => opts.threads = value,
             "VECTORIZED" => opts.vectorized = value != 0,
+            "CUBE_CACHE" => opts.cube_cache = value != 0,
             other => {
                 return Err(SqlError::Plan(format!(
                     "unknown option: {other} (expected MAX_CELLS, MAX_MEMORY_BYTES, \
-                     TIMEOUT_MS, THREADS, or VECTORIZED)"
+                     TIMEOUT_MS, THREADS, VECTORIZED, or CUBE_CACHE)"
                 )))
             }
         }

@@ -1,0 +1,289 @@
+//! Lattice-cache behaviour through the public SQL engine: ancestor
+//! rewriting must be invisible except for speed — same rows, same order,
+//! never a stale cell after maintenance, and holistic aggregates must
+//! fall through to the base scan.
+
+use datacube::maintain::MaterializedCube;
+use datacube::{AggSpec, Dimension};
+use dc_aggregate::builtin;
+use dc_relation::{row, DataType, Row, Schema, Table, Value};
+use dc_sql::{Engine, ServiceConfig};
+
+/// The paper's Table 4 shape: model × year × color with unit counts.
+fn sales() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("model", DataType::Str),
+        ("year", DataType::Int),
+        ("color", DataType::Str),
+        ("units", DataType::Int),
+    ]);
+    let rows = vec![
+        row!["Chevy", 1994, "black", 50],
+        row!["Chevy", 1994, "white", 40],
+        row!["Chevy", 1995, "black", 115],
+        row!["Chevy", 1995, "white", 85],
+        row!["Ford", 1994, "black", 50],
+        row!["Ford", 1994, "white", 10],
+        row!["Ford", 1995, "black", 85],
+        row!["Ford", 1995, "white", 75],
+    ];
+    Table::new(schema, rows).unwrap()
+}
+
+fn engine_with_sales() -> Engine {
+    let mut engine = Engine::with_service(ServiceConfig::default());
+    engine.register_table("sales", sales()).unwrap();
+    engine
+}
+
+#[test]
+fn repeated_cube_is_served_from_cache_with_identical_rows() {
+    let engine = engine_with_sales();
+    let sql = "SELECT model, year, SUM(units) AS s FROM sales GROUP BY CUBE model, year";
+    let first = engine.execute(sql).unwrap();
+    assert!(!engine.session().last_admission().answered_from_cache);
+    let second = engine.execute(sql).unwrap();
+    assert_eq!(first.rows(), second.rows(), "cache hit changed the answer");
+    let counters = engine.cube_cache().counters();
+    assert_eq!(counters.hits, 1, "{counters:?}");
+    assert_eq!(counters.entries, 1, "{counters:?}");
+}
+
+#[test]
+fn exec_stats_report_the_serving_ancestor() {
+    let engine = engine_with_sales();
+    let session = engine.session();
+    let sql = "SELECT model, year, SUM(units) AS s FROM sales GROUP BY CUBE model, year";
+    session.execute(sql).unwrap();
+    let stats = session.last_admission();
+    assert!(!stats.answered_from_cache);
+    assert_eq!(stats.cache_ancestor_bits, 0);
+    session.execute(sql).unwrap();
+    let stats = session.last_admission();
+    assert!(stats.answered_from_cache);
+    // The serving ancestor is the 2-dimension core cuboid: bits 0b11.
+    assert_eq!(stats.cache_ancestor_bits, 0b11);
+}
+
+/// A coarser query (GROUP BY model) must be answered from the finer
+/// materialized ancestor (model × year core) and agree with a cache-off
+/// session bit for bit.
+#[test]
+fn subset_query_is_answered_from_the_finer_ancestor() {
+    let engine = engine_with_sales();
+    let warm = "SELECT model, year, SUM(units) AS s FROM sales GROUP BY model, year";
+    engine.execute(warm).unwrap();
+
+    let coarse = "SELECT model, SUM(units) AS s FROM sales GROUP BY model";
+    let session = engine.session();
+    let cached = session.execute(coarse).unwrap();
+    assert!(session.last_admission().answered_from_cache);
+
+    let reference = engine.session();
+    reference.execute("SET CUBE_CACHE OFF").unwrap();
+    let scanned = reference.execute(coarse).unwrap();
+    assert!(!reference.last_admission().answered_from_cache);
+    assert_eq!(cached.rows(), scanned.rows());
+}
+
+/// AVG is algebraic: the cache must re-derive it from SUM/COUNT partial
+/// state, not average the ancestor's averages.
+#[test]
+fn avg_is_rederived_from_partial_state_not_averaged() {
+    let engine = engine_with_sales();
+    let warm = "SELECT model, year, AVG(units) AS a FROM sales GROUP BY model, year";
+    engine.execute(warm).unwrap();
+    let session = engine.session();
+    let table = session
+        .execute("SELECT model, AVG(units) AS a FROM sales GROUP BY model")
+        .unwrap();
+    assert!(session.last_admission().answered_from_cache);
+    // Chevy: (50+40+115+85)/4 = 72.5 — the average of the two per-year
+    // averages would be (45 + 100)/2 = 72.5 here, so also pin Ford:
+    // (50+10+85+75)/4 = 55, vs averaged-averages (30 + 80)/2 = 55.
+    // Use a skewed row count instead: republish with an extra Ford row.
+    let chevy = table
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("Chevy"))
+        .unwrap();
+    assert_eq!(chevy[1], Value::Float(72.5));
+
+    // Skew the group sizes so avg-of-avgs diverges from the true mean.
+    let mut skewed = sales();
+    skewed.push(row!["Ford", 1996, "red", 1000]).unwrap();
+    engine.update_table("sales", skewed).unwrap();
+    engine
+        .execute("SELECT model, year, AVG(units) AS a FROM sales GROUP BY model, year")
+        .unwrap();
+    let table = session
+        .execute("SELECT model, AVG(units) AS a FROM sales GROUP BY model")
+        .unwrap();
+    assert!(session.last_admission().answered_from_cache);
+    let ford = table
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("Ford"))
+        .unwrap();
+    // True mean: (50+10+85+75+1000)/5 = 244. Avg-of-avgs would be
+    // (30 + 80 + 1000)/3 = 370.
+    assert_eq!(ford[1], Value::Float(244.0));
+}
+
+/// Rebuild the table a `MaterializedCube` maintains into a fresh
+/// relation, for republishing through `Engine::update_table`.
+fn republish(mat: &MaterializedCube, schema: &Schema) -> Table {
+    let rows: Vec<Row> = mat.base_rows();
+    Table::new(schema.clone(), rows).unwrap()
+}
+
+#[test]
+fn insert_through_materialized_cube_never_serves_stale_cells() {
+    let base = sales();
+    let schema = base.schema().clone();
+    let mat = MaterializedCube::cube(
+        &base,
+        vec![Dimension::column("model"), Dimension::column("year")],
+        vec![AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s")],
+    )
+    .unwrap();
+
+    let mut engine = Engine::with_service(ServiceConfig::default());
+    engine
+        .register_table("sales", republish(&mat, &schema))
+        .unwrap();
+    let session = engine.session();
+    let total = |t: &Table| t.rows()[0][0].as_i64().unwrap();
+
+    // Grand total: a global aggregate is the apex of the lattice, served
+    // from the finest cuboid's merged state.
+    let sql = "SELECT SUM(units) AS total FROM sales";
+    let before = session.execute(sql).unwrap();
+    assert_eq!(total(&before), 510);
+    let hit = session.execute(sql).unwrap();
+    assert!(session.last_admission().answered_from_cache);
+    assert_eq!(total(&hit), 510);
+
+    // Maintenance: insert through the materialized cube, republish.
+    mat.insert(row!["Chevy", 1996, "red", 90]).unwrap();
+    engine
+        .update_table("sales", republish(&mat, &schema))
+        .unwrap();
+
+    // The next read must see the new row — never the cached 510.
+    let after = session.execute(sql).unwrap();
+    assert!(!session.last_admission().answered_from_cache);
+    assert_eq!(total(&after), 600);
+    // And the repopulated view serves the *new* version.
+    let again = session.execute(sql).unwrap();
+    assert!(session.last_admission().answered_from_cache);
+    assert_eq!(total(&again), 600);
+}
+
+#[test]
+fn delete_through_materialized_cube_never_serves_stale_cells() {
+    let base = sales();
+    let schema = base.schema().clone();
+    let mat = MaterializedCube::cube(
+        &base,
+        vec![Dimension::column("model"), Dimension::column("year")],
+        vec![AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s")],
+    )
+    .unwrap();
+
+    let mut engine = Engine::with_service(ServiceConfig::default());
+    engine
+        .register_table("sales", republish(&mat, &schema))
+        .unwrap();
+    let session = engine.session();
+    let sql = "SELECT model, SUM(units) AS s FROM sales GROUP BY model";
+    let chevy_total = |t: &Table| {
+        t.rows()
+            .iter()
+            .find(|r| r[0] == Value::str("Chevy"))
+            .and_then(|r| r[1].as_i64())
+            .unwrap()
+    };
+
+    session.execute(sql).unwrap();
+    let hit = session.execute(sql).unwrap();
+    assert!(session.last_admission().answered_from_cache);
+    assert_eq!(chevy_total(&hit), 290);
+
+    mat.delete(&row!["Chevy", 1994, "black", 50]).unwrap();
+    engine
+        .update_table("sales", republish(&mat, &schema))
+        .unwrap();
+
+    let after = session.execute(sql).unwrap();
+    assert!(!session.last_admission().answered_from_cache);
+    assert_eq!(chevy_total(&after), 240);
+
+    // Old-version entries are collected, not resurrected: the cache holds
+    // only current-version views after the republished table is queried.
+    session.execute(sql).unwrap();
+    assert!(session.last_admission().answered_from_cache);
+    assert_eq!(chevy_total(&session.execute(sql).unwrap()), 240);
+}
+
+/// Holistic and DISTINCT aggregates are not mergeable from subcube state
+/// (the paper's taxonomy): they must fall through to the base scan and
+/// leave no cache entry behind.
+#[test]
+fn holistic_aggregates_fall_through_to_base_scan() {
+    let engine = engine_with_sales();
+    let session = engine.session();
+    let sql = "SELECT model, COUNT(DISTINCT color) AS c FROM sales GROUP BY model";
+    let first = session.execute(sql).unwrap();
+    let second = session.execute(sql).unwrap();
+    assert!(!session.last_admission().answered_from_cache);
+    assert_eq!(first.rows(), second.rows());
+    let counters = engine.cube_cache().counters();
+    assert_eq!(counters.entries, 0, "{counters:?}");
+    assert_eq!(counters.hits, 0, "{counters:?}");
+}
+
+#[test]
+fn set_cube_cache_off_is_per_session() {
+    let engine = engine_with_sales();
+    let off = engine.session();
+    off.execute("SET CUBE_CACHE OFF").unwrap();
+    let on = engine.session();
+    let sql = "SELECT model, SUM(units) AS s FROM sales GROUP BY ROLLUP model, year";
+
+    // The opted-out session never populates or hits.
+    off.execute(sql).unwrap();
+    off.execute(sql).unwrap();
+    assert!(!off.last_admission().answered_from_cache);
+    assert_eq!(engine.cube_cache().counters().entries, 0);
+
+    // The default session still benefits.
+    on.execute(sql).unwrap();
+    on.execute(sql).unwrap();
+    assert!(on.last_admission().answered_from_cache);
+
+    // Opting back in reuses the shared view.
+    off.execute("SET CUBE_CACHE ON").unwrap();
+    off.execute(sql).unwrap();
+    assert!(off.last_admission().answered_from_cache);
+}
+
+/// WHERE clauses, joins, and computed dimensions disqualify a statement
+/// from cache serving — correctness over cleverness.
+#[test]
+fn filtered_queries_bypass_the_cache() {
+    let engine = engine_with_sales();
+    let session = engine.session();
+    let warm = "SELECT model, year, SUM(units) AS s FROM sales GROUP BY model, year";
+    session.execute(warm).unwrap();
+
+    let filtered = "SELECT model, SUM(units) AS s FROM sales WHERE year = 1994 GROUP BY model";
+    let t = session.execute(filtered).unwrap();
+    assert!(!session.last_admission().answered_from_cache);
+    let chevy = t
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("Chevy"))
+        .unwrap();
+    assert_eq!(chevy[1], Value::Int(90));
+}

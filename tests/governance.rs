@@ -581,7 +581,7 @@ mod faults_suite {
     /// Every named failpoint site across the engine, including the
     /// service layer's (`service::*`, exercised separately below — they
     /// sit on the SQL session/server path, not the core cube path).
-    const SITES: [&str; 19] = [
+    const SITES: [&str; 22] = [
         "uda::init",
         "uda::iter",
         "uda::merge",
@@ -601,6 +601,9 @@ mod faults_suite {
         "service::admit",
         "service::queue_wait",
         "service::respond",
+        "cache::lookup",
+        "cache::rewrite",
+        "cache::evict",
     ];
 
     /// Disarms all faults when dropped, so a failing assertion cannot
@@ -1046,5 +1049,94 @@ mod faults_suite {
             assert!(matches!(resp, Response::Table { .. }), "{resp:?}");
         });
         handle.shutdown();
+    }
+
+    // ---------------------------------------------- lattice-cache sites --
+
+    /// A budget trip or panic inside the cache lookup loop surfaces as a
+    /// typed error through the session guard, and the engine serves again
+    /// once the fault is disarmed.
+    #[test]
+    fn cache_lookup_faults_yield_only_typed_errors() {
+        let engine = service_engine(dc_sql::ServiceConfig::default());
+        let sql = "SELECT x, SUM(units) AS s FROM g GROUP BY x";
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            for fault in [Fault::TripBudget, Fault::Panic("lookup down".into())] {
+                arm("cache::lookup", fault);
+                let err = engine.execute(sql).unwrap_err();
+                disarm_all();
+                assert!(
+                    matches!(
+                        err,
+                        dc_sql::SqlError::Cube(
+                            CubeError::ResourceExhausted { .. } | CubeError::AggPanicked { .. }
+                        )
+                    ),
+                    "{err:?}"
+                );
+            }
+            assert!(engine.execute(sql).is_ok());
+        });
+    }
+
+    /// The rewrite failpoint fires only on a cache hit, so populate the
+    /// view first; both fault flavours stay typed and the cached view
+    /// still answers after disarm.
+    #[test]
+    fn cache_rewrite_faults_yield_only_typed_errors() {
+        let engine = service_engine(dc_sql::ServiceConfig::default());
+        let sql = "SELECT x, SUM(units) AS s FROM g GROUP BY x";
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            // Miss + populate, so the next run takes the rewrite path.
+            assert!(engine.execute(sql).is_ok());
+            for fault in [Fault::TripBudget, Fault::Panic("rewrite down".into())] {
+                arm("cache::rewrite", fault);
+                let err = engine.execute(sql).unwrap_err();
+                disarm_all();
+                assert!(
+                    matches!(
+                        err,
+                        dc_sql::SqlError::Cube(
+                            CubeError::ResourceExhausted { .. } | CubeError::AggPanicked { .. }
+                        )
+                    ),
+                    "{err:?}"
+                );
+            }
+            assert!(engine.execute(sql).is_ok());
+            assert!(engine.cube_cache().counters().hits >= 1);
+        });
+    }
+
+    /// Eviction runs inside best-effort population, so a budget trip
+    /// there never fails the query; a panic unwinds into the session
+    /// guard's typed error at worst. The engine serves either way.
+    #[test]
+    fn cache_evict_faults_yield_only_typed_errors() {
+        let engine = service_engine(dc_sql::ServiceConfig::default());
+        // Budget fits the 6-cell x-view alone: the second view must evict.
+        engine.cube_cache().set_budget_cells(8);
+        let sql = "SELECT x, SUM(units) AS s FROM g GROUP BY x";
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            assert!(engine.execute(sql).is_ok()); // populate the x-view
+            arm("cache::evict", Fault::TripBudget);
+            let r = engine.execute("SELECT y, SUM(units) AS s FROM g GROUP BY y");
+            disarm_all();
+            assert!(r.is_ok(), "{r:?}"); // population error swallowed
+            arm("cache::evict", Fault::Panic("evict down".into()));
+            let r = engine.execute("SELECT y, COUNT(units) AS c FROM g GROUP BY y");
+            disarm_all();
+            assert!(
+                matches!(
+                    r,
+                    Ok(_) | Err(dc_sql::SqlError::Cube(CubeError::AggPanicked { .. }))
+                ),
+                "{r:?}"
+            );
+            assert!(engine.execute(sql).is_ok());
+        });
     }
 }

@@ -374,3 +374,77 @@ fn service_storm_128_sessions_survive_overload() {
         "cube cardinality after the storm"
     );
 }
+
+/// Concurrent writers republish new table versions while readers may be
+/// served from the lattice cache: every read must reflect exactly one
+/// *published* version (`units` are uniform per version, so a stale or
+/// torn answer produces an impossible total), and once the writer
+/// finishes, reads must converge on the final version — a cached cell
+/// from any earlier version would be stale.
+#[test]
+fn cached_reads_race_republishes_without_staleness() {
+    use dc_sql::{Engine, ServiceConfig};
+
+    const N: i64 = 1_000;
+    const VERSIONS: i64 = 24;
+    const READERS: usize = 7; // + 1 writer = 8 sessions
+
+    // Version v: N rows, every `units` equal to v.
+    let versioned = |v: i64| -> Table {
+        let schema = Schema::from_pairs(&[("model", DataType::Int), ("units", DataType::Int)]);
+        let mut t = Table::empty(schema);
+        for i in 0..N {
+            t.push(row![i % MODELS, v]).unwrap();
+        }
+        t
+    };
+
+    let mut engine = Engine::with_service(ServiceConfig::default());
+    engine.register_table("w", versioned(1)).unwrap();
+    let engine = Arc::new(engine);
+    let sql = "SELECT model, SUM(units) AS s FROM w GROUP BY model";
+    let total_of = |t: &Table| -> i64 { t.rows().iter().filter_map(|r| r[1].as_i64()).sum() };
+
+    let writer = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            for v in 2..=VERSIONS {
+                engine.update_table("w", versioned(v)).unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let session = engine.session();
+                for _ in 0..40 {
+                    let t = session.execute(sql).unwrap();
+                    let total = total_of(&t);
+                    // total = N * v for exactly one published version v.
+                    assert_eq!(total % N, 0, "torn or mixed-version read: {total}");
+                    let v = total / N;
+                    assert!(
+                        (1..=VERSIONS).contains(&v),
+                        "read reflects no published version: {v}"
+                    );
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // Quiesced: the cache must now serve the final version, nothing older.
+    let session = engine.session();
+    for _ in 0..2 {
+        let t = session.execute(sql).unwrap();
+        assert_eq!(total_of(&t), N * VERSIONS, "stale cell after maintenance");
+    }
+    assert!(
+        session.last_admission().answered_from_cache,
+        "repeat read of the settled table should be a cache hit"
+    );
+}

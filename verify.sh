@@ -32,6 +32,9 @@ cargo run -q --release -p dc-bench --bin cube_bench -- --smoke
 echo "== dc-serve smoke (TCP round trip, admission shed, malformed query survival) =="
 cargo run -q --release -p dc-sql --bin dc_serve -- --smoke
 
+echo "== lattice-cache smoke (cache_serving on-vs-off must not regress) =="
+cargo run -q --release -p dc-bench --bin cube_bench -- --cache-smoke
+
 echo "== paper_tables vs golden =="
 cargo run -q --release -p dc-bench --bin paper_tables > /tmp/paper_tables_actual.txt
 if diff -u paper_tables_output.txt /tmp/paper_tables_actual.txt; then
