@@ -58,6 +58,10 @@ impl Accumulator for AvgAcc {
 
     fn retract(&mut self, v: &Value) -> Retract {
         if let Some(x) = numeric(v) {
+            // NaN/±Inf contributions don't subtract back out.
+            if !x.is_finite() || !self.sum.is_finite() {
+                return Retract::Recompute;
+            }
             self.sum -= x;
             self.n -= 1;
         }
@@ -143,6 +147,11 @@ impl Accumulator for VarianceAcc {
 
     fn retract(&mut self, v: &Value) -> Retract {
         if let Some(x) = numeric(v) {
+            // `x * x` overflows to Inf before x does; either way the
+            // subtraction can't undo a non-finite contribution.
+            if !(x * x).is_finite() || !self.sum.is_finite() || !self.sumsq.is_finite() {
+                return Retract::Recompute;
+            }
             self.n -= 1;
             self.sum -= x;
             self.sumsq -= x * x;
@@ -261,7 +270,12 @@ impl Accumulator for GeoMeanAcc {
     fn retract(&mut self, v: &Value) -> Retract {
         if let Some(x) = numeric(v) {
             if x > 0.0 {
-                self.log_sum -= x.ln();
+                let l = x.ln();
+                // ln(+Inf) is Inf: not subtractable.
+                if !l.is_finite() || !self.log_sum.is_finite() {
+                    return Retract::Recompute;
+                }
+                self.log_sum -= l;
                 self.n -= 1;
             }
         }

@@ -194,6 +194,14 @@ impl Accumulator for SumAcc {
 
     fn retract(&mut self, v: &Value) -> Retract {
         if participates(v) {
+            if let Value::Float(f) = v {
+                // A non-finite contribution cannot be undone by
+                // subtraction (NaN - NaN is NaN), and a saturated sum
+                // cannot be walked back either: recompute from the base.
+                if !f.is_finite() || !self.float_sum.is_finite() {
+                    return Retract::Recompute;
+                }
+            }
             self.add(v, -1);
         }
         Retract::Applied
@@ -391,6 +399,11 @@ impl Accumulator for ProductAcc {
             if x == 0.0 {
                 self.zeros -= 1;
             } else {
+                // NaN/±Inf factors (and a product already saturated to a
+                // non-finite value) do not divide back out.
+                if !x.is_finite() || !self.nonzero_product.is_finite() {
+                    return Retract::Recompute;
+                }
                 self.nonzero_product /= x;
             }
             self.n -= 1;

@@ -61,6 +61,10 @@ pub const SITES: &[&str] = &[
     "cache::lookup",
     "cache::rewrite",
     "cache::evict",
+    "cache::absorb",
+    "maintain::batch_fold",
+    "maintain::shard_lock",
+    "maintain::recompute",
 ];
 
 /// Count of armed sites — the fast-path guard. Zero means every failpoint

@@ -26,16 +26,25 @@
 //! * **cache_serving** — repeated ancestor queries (GROUP BY d0, GROUP BY
 //!   d1, and the full CUBE) against one shared engine, 1 and 8 sessions,
 //!   with the lattice cache on vs off: the `on` axes answer from the
-//!   materialized core cuboid, the `off` axes rescan the base rows.
+//!   materialized core cuboid, the `off` axes rescan the base rows;
+//! * **ingest_serving** — sustained SQL `INSERT` throughput through the
+//!   batched write path at batch sizes 1, 256, and 8192 rows per
+//!   statement, while 8 reader sessions keep querying the same table
+//!   (`ns_per_op` is wall time per *ingested row*, so rows/sec is
+//!   `1e9 / ns_per_op`; bigger batches amortize the per-batch
+//!   grouping-set fold and the cache delta-propagation).
 //!
 //! Output: a JSON array of `{workload, rows, dims, algorithm, ns_per_op}`
-//! records, written to `--json <path>` (default: `BENCH_pr8.json` at the
+//! records, written to `--json <path>` (default: `BENCH_pr9.json` at the
 //! repository root; see EXPERIMENTS.md "BENCH files"). `--smoke` shrinks
 //! every workload to a few thousand rows and a single iteration — a
 //! seconds-long sanity pass for verify.sh, not a measurement — and
 //! prints to stderr without writing any file. `--cache-smoke` runs only
 //! the cache_serving workload at smoke sizes and fails unless cache-on
-//! beats cache-off, wiring the PR's headline claim into verify.sh.
+//! beats cache-off; `--ingest-smoke` runs only ingest_serving at smoke
+//! sizes and fails unless batch-8192 ingest is at least 5× the rows/sec
+//! of row-at-a-time ingest — both wiring PR headline claims into
+//! verify.sh.
 
 use datacube::CubeQuery;
 use dc_bench::{kernel_query, radix_table, sales_query, sales_table, sorted_table, wide_table};
@@ -134,6 +143,123 @@ fn cache_serving(service_rows: usize, service_queries: usize, records: &mut Vec<
     }
 }
 
+/// One multi-row `INSERT` statement with `batch_rows` value tuples over
+/// the `(d0, d1, units)` schema, deterministic so every batch folds into
+/// the same 16 × 16 cell neighbourhood.
+fn insert_stmt(batch_rows: usize) -> String {
+    let mut stmt = String::from("INSERT INTO t VALUES ");
+    for i in 0..batch_rows {
+        if i > 0 {
+            stmt.push_str(", ");
+        }
+        let d0 = i % 16;
+        let d1 = (i / 16) % 16;
+        let units = 1 + (i % 100);
+        stmt.push_str(&format!("({d0}, {d1}, {units})"));
+    }
+    stmt
+}
+
+/// The ingest_serving workload: one writer session streams `ingest_rows`
+/// rows through SQL `INSERT` at a fixed batch size while 8 reader
+/// sessions keep issuing the same cached GROUP BY. `ns_per_op` is wall
+/// time per ingested row. After the stream drains, a repeat read must
+/// still answer from the lattice cache — delta-propagation, not
+/// invalidate-everything.
+fn ingest_serving(seed_rows: usize, ingest_rows: usize, records: &mut Vec<Record>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const READERS: usize = 8;
+    const READER_SQL: &str = "SELECT d0, SUM(units) AS s FROM t GROUP BY d0";
+    for (algorithm, batch_rows) in [
+        ("batch_1", 1usize),
+        ("batch_256", 256),
+        ("batch_8192", 8192),
+    ] {
+        let budget = (seed_rows + ingest_rows) as u64 + 1;
+        let mut engine = Engine::with_service(ServiceConfig {
+            max_concurrent: 8,
+            cheap_reserved: 2,
+            cheap_cells: budget,
+            global_cells: 64 * budget,
+            min_grant_cells: 1,
+            queue_depth: 64,
+        });
+        engine
+            .register_table("t", wide_table(seed_rows, 2, 16))
+            .expect("bench table");
+        let engine = Arc::new(engine);
+        // Warm the cache so the readers serve from the materialized view.
+        std::hint::black_box(engine.execute(READER_SQL).expect("bench query"));
+        let done = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let session = engine.session();
+                    let mut served = 0usize;
+                    while !done.load(Ordering::Relaxed) {
+                        std::hint::black_box(session.execute(READER_SQL).expect("bench query"));
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        let stmt = insert_stmt(batch_rows);
+        // Cap the statement count: row-at-a-time ingest is ~1000× slower
+        // per row (that is the finding), so 256 single-row statements
+        // already measure it to a few percent without making the axis
+        // take minutes.
+        let batches = (ingest_rows / batch_rows).clamp(1, 256);
+        let writer = engine.session();
+        let start = Instant::now();
+        for _ in 0..batches {
+            std::hint::black_box(writer.execute(&stmt).expect("bench insert"));
+        }
+        let ns = start.elapsed().as_nanos();
+        done.store(true, Ordering::Relaxed);
+        let served: usize = readers
+            .into_iter()
+            .map(|h| h.join().expect("bench reader"))
+            .sum();
+        // The cache keeps answering after sustained ingest: a repeat read
+        // is a hit, proving the deltas were absorbed, not just dropped.
+        let check = engine.session();
+        check.execute(READER_SQL).expect("bench query");
+        check.execute(READER_SQL).expect("bench query");
+        assert!(
+            check.last_admission().answered_from_cache,
+            "lattice cache must keep answering after ingest ({algorithm})"
+        );
+        let rows_ingested = batches * batch_rows;
+        records.push(Record {
+            workload: "ingest_serving",
+            rows: rows_ingested,
+            dims: 2,
+            algorithm,
+            ns_per_op: ns / rows_ingested as u128,
+        });
+        eprintln!(
+            "ingest_serving/{algorithm}: {} ns/row ({served} reads served alongside)",
+            records.last().unwrap().ns_per_op
+        );
+    }
+}
+
+/// Rows-per-second ratio of batch-8192 over row-at-a-time ingest from
+/// ingest_serving records, for the `--ingest-smoke` gate.
+fn ingest_speedup(records: &[Record]) -> f64 {
+    let ns_of = |alg: &str| {
+        records
+            .iter()
+            .find(|r| r.workload == "ingest_serving" && r.algorithm == alg)
+            .map(|r| r.ns_per_op as f64)
+            .expect("ingest_serving record")
+    };
+    ns_of("batch_1") / ns_of("batch_8192")
+}
+
 /// The on-vs-off wall-time ratio per session count from cache_serving
 /// records, for the `--cache-smoke` gate.
 fn cache_speedups(records: &[Record]) -> Vec<(usize, f64)> {
@@ -154,7 +280,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let cache_smoke = args.iter().any(|a| a == "--cache-smoke");
-    let mut json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json").to_string();
+    let ingest_smoke = args.iter().any(|a| a == "--ingest-smoke");
+    let mut json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json").to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--json" {
@@ -166,11 +293,12 @@ fn main() {
     } else {
         (50_000, 100_000, 200_000, 100_000, 5)
     };
-    let (service_rows, service_queries) = if smoke || cache_smoke {
+    let (service_rows, service_queries) = if smoke || cache_smoke || ingest_smoke {
         (5_000, 4)
     } else {
         (50_000, 32)
     };
+    let ingest_rows = if smoke || ingest_smoke { 8_192 } else { 65_536 };
     let mut records: Vec<Record> = Vec::new();
 
     // The verify.sh gate for the lattice cache: run only cache_serving at
@@ -186,6 +314,22 @@ fn main() {
             );
         }
         println!("cache smoke pass ok");
+        return;
+    }
+
+    // The verify.sh gate for the write path: run only ingest_serving at
+    // smoke sizes and require batched ingest to amortize — at least 5×
+    // the rows/sec of row-at-a-time — with the cache still answering.
+    if ingest_smoke {
+        ingest_serving(service_rows, ingest_rows, &mut records);
+        let speedup = ingest_speedup(&records);
+        eprintln!("ingest_serving: {speedup:.1}x rows/sec, batch 8192 vs 1");
+        assert!(
+            speedup >= 5.0,
+            "batched ingest must amortize at least 5x over row-at-a-time \
+             ({speedup:.2}x)"
+        );
+        println!("ingest smoke pass ok");
         return;
     }
 
@@ -322,6 +466,9 @@ fn main() {
 
     // ---- Lattice cache: ancestor serving vs base rescans --------------
     cache_serving(service_rows, service_queries, &mut records);
+
+    // ---- Write path: batched ingest under concurrent serving ----------
+    ingest_serving(service_rows, ingest_rows, &mut records);
 
     // The deliverable: one BENCH_pr*.json at the repository root. Smoke
     // runs are sanity passes, not measurements — they write nothing.

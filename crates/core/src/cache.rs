@@ -52,6 +52,11 @@ pub struct CachedView {
     agg_names: Vec<Arc<str>>,
     agg_types: Vec<DataType>,
     funcs: Vec<AggRef>,
+    /// The unbound specs the view was built from, kept so a delta batch
+    /// can be folded in ([`CachedView::absorb`]) by re-running the same
+    /// core build over just the delta rows.
+    dims: Vec<Dimension>,
+    specs: Vec<AggSpec>,
     /// Core cells: full key over the view's dimensions (never containing
     /// `ALL` — `ALL` is introduced only when projecting onto a coarser
     /// set) plus one `state()` tuple per aggregate, sorted by key.
@@ -138,8 +143,69 @@ impl CachedView {
             agg_names: baggs.iter().map(|a| a.output.clone()).collect(),
             agg_types,
             funcs: baggs.iter().map(|a| Arc::clone(&a.func)).collect(),
+            dims: dims.to_vec(),
+            specs: aggs.to_vec(),
             cells,
             base_rows: table.len() as u64,
+        })
+    }
+
+    /// Fold a batch of freshly inserted base rows into the view by
+    /// Iter_super, producing the view that `build` would have produced
+    /// over the enlarged table — without rescanning it.
+    ///
+    /// This is §6's insert path applied to the cache: every [`rewritable`]
+    /// aggregate is mergeable by definition, so the delta's scratchpads
+    /// combine with the stored ones cell-for-cell (a sorted two-way
+    /// merge). Deletes are *not* absorbed — retraction is the holistic
+    /// direction — so callers fall back to version-bump invalidation for
+    /// those.
+    pub fn absorb(&self, delta: &Table) -> CubeResult<CachedView> {
+        exec::failpoint("cache::absorb")?;
+        let fresh = CachedView::build(delta, &self.dims, &self.specs)?;
+        let mut cells: Vec<(Row, Vec<Vec<Value>>)> =
+            Vec::with_capacity(self.cells.len() + fresh.cells.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.cells.len() && j < fresh.cells.len() {
+            match self.cells[i].0.cmp(&fresh.cells[j].0) {
+                std::cmp::Ordering::Less => {
+                    cells.push(self.cells[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    cells.push(fresh.cells[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let merged = self
+                        .funcs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, f)| {
+                            let mut acc = exec::guard(f.name(), || f.init())?;
+                            exec::guard(f.name(), || acc.merge(&self.cells[i].1[k]))?;
+                            exec::guard(f.name(), || acc.merge(&fresh.cells[j].1[k]))?;
+                            exec::guard(f.name(), || acc.state())
+                        })
+                        .collect::<CubeResult<Vec<_>>>()?;
+                    cells.push((self.cells[i].0.clone(), merged));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        cells.extend_from_slice(&self.cells[i..]);
+        cells.extend_from_slice(&fresh.cells[j..]);
+        Ok(CachedView {
+            dim_names: self.dim_names.clone(),
+            dim_types: self.dim_types.clone(),
+            agg_names: self.agg_names.clone(),
+            agg_types: self.agg_types.clone(),
+            funcs: self.funcs.clone(),
+            dims: self.dims.clone(),
+            specs: self.specs.clone(),
+            cells,
+            base_rows: self.base_rows + fresh.base_rows,
         })
     }
 
@@ -396,6 +462,45 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, CubeError::ResourceExhausted { .. }));
+    }
+
+    /// Absorbing a delta must be indistinguishable from rebuilding over
+    /// the concatenated table — same cells, same answers, same count.
+    #[test]
+    fn absorb_equals_rebuild_over_union() {
+        let t = sales();
+        let view = CachedView::build(&t, &dims(&["model", "year"]), &specs()).unwrap();
+        let delta = Table::new(
+            t.schema().clone(),
+            vec![
+                row!["Ford", 1995, 20],        // brand-new cell
+                row!["Chevy", 1994, 5],        // merges into an existing cell
+                row!["Ford", Value::Null, 30], // NULL key merges too
+            ],
+        )
+        .unwrap();
+        let absorbed = view.absorb(&delta).unwrap();
+
+        let mut union_rows = t.rows().to_vec();
+        union_rows.extend(delta.rows().iter().cloned());
+        let union = Table::new(t.schema().clone(), union_rows).unwrap();
+        let rebuilt = CachedView::build(&union, &dims(&["model", "year"]), &specs()).unwrap();
+
+        let sets = crate::lattice::cube_sets(2).unwrap();
+        let req = AncestorRequest {
+            dim_map: &[0, 1],
+            dim_names: &["model", "year"],
+            agg_map: &[0, 1],
+            agg_names: &["s", "a"],
+            sets: &sets,
+        };
+        let ctx = ExecContext::unlimited();
+        assert_eq!(
+            absorbed.answer(&req, &ctx).unwrap().rows(),
+            rebuilt.answer(&req, &ctx).unwrap().rows()
+        );
+        assert_eq!(absorbed.cell_count(), rebuilt.cell_count());
+        assert_eq!(absorbed.base_rows(), rebuilt.base_rows());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use error::{CubeError, CubeResult, Resource};
 pub use exec::{CancelToken, ExecContext, ExecLimits};
 pub use groupby::{AdmissionVerdict, ExecStats};
 pub use lattice::{cube_sets, rollup_sets, GroupingSet, Lattice};
+pub use maintain::{DeltaBatch, MaintainStats, MaterializedCube};
 pub use operator::{dense_cube_cardinality, rows_in_set, CubeQuery};
 pub use spec::{AggSpec, CompoundSpec, Dimension};
 pub use subcube::{greedy_select, PartialCube, SizeModel};

@@ -20,9 +20,11 @@ use crate::gen::{Case, Gov, QueryKind};
 use crate::model::model_result;
 use datacube::{
     cube_sets, rewritable, rollup_sets, AggSpec, Algorithm, AncestorRequest, CachedView,
-    CompoundSpec, CubeError, CubeQuery, CubeResult, Dimension, ExecContext, GroupingSet,
+    CompoundSpec, CubeError, CubeQuery, CubeResult, DeltaBatch, Dimension, ExecContext,
+    GroupingSet, Lattice, MaterializedCube,
 };
-use dc_relation::{Row, Table};
+use dc_relation::{DataType, Date, Row, Schema, Table, Value};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// One engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -160,6 +162,7 @@ pub fn check_case(case: &Case) -> Result<(), String> {
         }
     }
     check_cache_path(case, &names, &expected)?;
+    check_maintenance(case)?;
     Ok(())
 }
 
@@ -224,6 +227,156 @@ fn check_cache_path(case: &Case, names: &[String], expected: &[Row]) -> Result<(
         )
         .map_err(|e| format!("cache axis: answer failed: {e}"))?;
     diff_tables(names, expected, &table, case.n_dims).map_err(|m| format!("cache axis: {m}"))
+}
+
+/// A schema-conformant random value for maintenance deltas. Ranges mirror
+/// the generator's measure constraints (dyadic floats, `|int| ≤ 2` so
+/// PRODUCT/SUM stay exact), so maintained results are bit-comparable to a
+/// from-scratch recompute.
+fn sample_value(dtype: DataType, rng: &mut StdRng) -> Value {
+    if rng.gen_bool(0.15) {
+        return Value::Null;
+    }
+    match dtype {
+        DataType::Str => Value::str(format!("s{}", rng.gen_range(0..4))),
+        DataType::Int => Value::Int(rng.gen_range(-2i64..=2)),
+        DataType::Float => Value::Float(rng.gen_range(-16i64..=16) as f64 * 0.25),
+        DataType::Bool => Value::Bool(rng.gen_bool(0.5)),
+        DataType::Date => Value::Date(
+            Date::new(2020, 1, 1 + rng.gen_range(0u8..5)).expect("maintenance dates are valid"),
+        ),
+    }
+}
+
+fn sample_row(schema: &Schema, rng: &mut StdRng) -> Row {
+    Row::new(
+        schema
+            .columns()
+            .iter()
+            .map(|c| sample_value(c.dtype, rng))
+            .collect(),
+    )
+}
+
+/// The maintenance axis (§6): a seeded interleaving of insert / delete /
+/// update batches applied to a `MaterializedCube` over the case's lattice
+/// must leave the cube cell-for-cell equal to a from-scratch recompute of
+/// the final table — checked against the model *and* against every engine
+/// configuration, so the batched delta path cannot drift from any compute
+/// path. A shadow multiset tracks ground truth; deletes and updates pick
+/// live rows (including NULL- and NaN-keyed ones), inserts mix fresh rows
+/// with duplicates of existing keys to stress support counting.
+fn check_maintenance(case: &Case) -> Result<(), String> {
+    let dims: Vec<Dimension> = (0..case.n_dims)
+        .map(|d| Dimension::column(format!("d{d}")))
+        .collect();
+    let specs: Vec<AggSpec> = case
+        .aggs
+        .iter()
+        .enumerate()
+        .map(|(i, desc)| desc.spec(i))
+        .collect();
+    let raw_sets: Vec<GroupingSet> = match &case.query {
+        QueryKind::GroupBy => vec![GroupingSet::full(case.n_dims)],
+        QueryKind::Rollup => {
+            rollup_sets(case.n_dims).map_err(|e| format!("maintenance axis: {e}"))?
+        }
+        QueryKind::Cube => cube_sets(case.n_dims).map_err(|e| format!("maintenance axis: {e}"))?,
+        QueryKind::GroupingSets(sets) => sets
+            .iter()
+            .map(|s| GroupingSet::from_dims(s))
+            .collect::<CubeResult<_>>()
+            .map_err(|e| format!("maintenance axis: {e}"))?,
+        QueryKind::Compound { g, r } => CompoundSpec::new()
+            .group_by(dims[..*g].to_vec())
+            .rollup(dims[*g..g + r].to_vec())
+            .cube(dims[g + r..].to_vec())
+            .grouping_sets()
+            .map_err(|e| format!("maintenance axis: {e}"))?,
+    };
+    // The lattice normalizes the family (dedup + core): mirror it in the
+    // recompute query so both sides answer the same grouping sets.
+    let lattice =
+        Lattice::new(case.n_dims, raw_sets).map_err(|e| format!("maintenance axis: {e}"))?;
+    let set_dims: Vec<Vec<usize>> = lattice.sets().iter().map(|s| s.dims()).collect();
+    let cube = MaterializedCube::with_lattice(&case.table, dims, specs, lattice)
+        .map_err(|e| format!("maintenance axis: build: {e}"))?;
+
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0x4D41_494E_5441_494E);
+    let mut shadow: Vec<Row> = case.table.rows().to_vec();
+    let schema = case.table.schema();
+    for _ in 0..rng.gen_range(2usize..=4) {
+        let mut batch = DeltaBatch::new();
+        for _ in 0..rng.gen_range(1usize..=8) {
+            match rng.gen_range(0u32..4) {
+                0 | 1 => {
+                    let row = if !shadow.is_empty() && rng.gen_bool(0.4) {
+                        shadow[rng.gen_range(0..shadow.len())].clone()
+                    } else {
+                        sample_row(schema, &mut rng)
+                    };
+                    shadow.push(row.clone());
+                    batch
+                        .insert(row)
+                        .map_err(|e| format!("maintenance axis: insert: {e}"))?;
+                }
+                2 if !shadow.is_empty() => {
+                    let row = shadow.swap_remove(rng.gen_range(0..shadow.len()));
+                    batch.delete(row);
+                }
+                3 if !shadow.is_empty() => {
+                    // §6's "update is delete plus insert", in one batch.
+                    let old = shadow.swap_remove(rng.gen_range(0..shadow.len()));
+                    let mut vals = old.values().to_vec();
+                    let c = rng.gen_range(0..vals.len());
+                    vals[c] = sample_value(schema.column_at(c).dtype, &mut rng);
+                    let new = Row::new(vals);
+                    shadow.push(new.clone());
+                    batch.delete(old);
+                    batch
+                        .insert(new)
+                        .map_err(|e| format!("maintenance axis: update: {e}"))?;
+                }
+                _ => {}
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        cube.apply(&batch, &ExecContext::unlimited())
+            .map_err(|e| format!("maintenance axis: apply: {e}"))?;
+    }
+    if cube.base_rows().len() != shadow.len() {
+        return Err(format!(
+            "maintenance axis: cube tracks {} base rows, shadow has {}",
+            cube.base_rows().len(),
+            shadow.len()
+        ));
+    }
+
+    let final_table = Table::new(schema.clone(), shadow)
+        .map_err(|e| format!("maintenance axis: final table: {e}"))?;
+    let final_case = Case {
+        seed: case.seed,
+        table: final_table,
+        n_dims: case.n_dims,
+        query: QueryKind::GroupingSets(set_dims),
+        aggs: case.aggs.clone(),
+        gov: Gov::None,
+    };
+    let (names, expected) = model_result(&final_case);
+    let maintained = cube
+        .to_table()
+        .map_err(|e| format!("maintenance axis: to_table: {e}"))?;
+    diff_tables(&names, &expected, &maintained, case.n_dims)
+        .map_err(|m| format!("maintenance axis: maintained cube: {m}"))?;
+    for combo in combos(&final_case.query) {
+        let table = run_engine(&final_case, &combo)
+            .map_err(|e| format!("maintenance axis: recompute {combo:?}: {e}"))?;
+        diff_tables(&names, &expected, &table, case.n_dims)
+            .map_err(|m| format!("maintenance axis: recompute {combo:?}: {m}"))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 use dc_relation::Value;
 use std::fmt;
 
-/// A parsed statement. Only queries for now; DML against cube-maintained
-/// tables goes through [`datacube::maintain`] directly.
+/// A parsed statement: queries, session options, and the DML write path
+/// (`INSERT INTO` / `DELETE FROM`) that feeds batched cube maintenance.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(SelectStmt),
@@ -15,6 +15,18 @@ pub enum Statement {
     Set {
         name: String,
         value: i64,
+    },
+    /// `INSERT INTO <table> VALUES (...), (...)` — one statement is one
+    /// delta batch against the named table.
+    Insert {
+        table: String,
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `DELETE FROM <table> [WHERE <predicate>]` — the matching rows form
+    /// one delete batch.
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
     },
 }
 

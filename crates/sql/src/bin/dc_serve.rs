@@ -210,11 +210,35 @@ fn smoke() -> Result<(), String> {
         return Err("uncached group by: expected 2 rows".to_string());
     }
 
+    // 6. The write path works over the wire: INSERT a batch, read the
+    //    new total back, DELETE it again.
+    let resp = ask(
+        &mut conn,
+        "INSERT INTO Sales VALUES ('Dodge', 1995, 'red', 7), ('Dodge', 1995, 'blue', 3)",
+    )?;
+    expect_table(&resp, "insert batch")?;
+    let resp = ask(
+        &mut conn,
+        "SELECT model, SUM(units) AS total FROM Sales GROUP BY model",
+    )?;
+    if expect_table(&resp, "post-insert group by")? != 3 {
+        return Err("post-insert group by: expected 3 models".to_string());
+    }
+    let resp = ask(&mut conn, "DELETE FROM Sales WHERE model = 'Dodge'")?;
+    expect_table(&resp, "delete batch")?;
+    let resp = ask(
+        &mut conn,
+        "SELECT model, SUM(units) AS total FROM Sales GROUP BY model",
+    )?;
+    if expect_table(&resp, "post-delete group by")? != 2 {
+        return Err("post-delete group by: expected 2 models".to_string());
+    }
+
     drop(conn);
     handle.shutdown();
     eprintln!(
         "dc_serve --smoke: OK (cheap lane served, cube shed typed, errors survived, \
-         cache hit observed)"
+         cache hit observed, insert/delete round-tripped)"
     );
     Ok(())
 }

@@ -27,6 +27,7 @@
 
 use crate::admission::{failpoint, AdmissionController};
 use datacube::{CachedView, CubeResult};
+use dc_relation::Table;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -166,6 +167,67 @@ impl CubeCache {
                 true
             }
         });
+    }
+
+    /// Fold a batch of freshly inserted rows into every retained view of
+    /// `table` instead of invalidating them — §6's insert path applied to
+    /// the cache. `new_version` is the catalog version the insert
+    /// republished; entries at `new_version - 1` absorb the delta by
+    /// Iter_super merge and are re-keyed to `new_version`, so the very
+    /// next read hits warm. Anything that cannot absorb — an older
+    /// version, an absorb error (injected fault, panicking UDA), or a
+    /// grown view the admission pool cannot cover — falls back to
+    /// version-bump invalidation: the entry is dropped and its
+    /// reservation returned.
+    pub fn apply_delta(&self, table: &str, new_version: u64, delta: &Table) {
+        if !self.is_enabled() {
+            return;
+        }
+        let key = table.to_uppercase();
+        let prior = new_version.saturating_sub(1);
+        let mut entries = self.lock();
+        let mut i = 0;
+        while i < entries.len() {
+            if entries[i].table != key {
+                i += 1;
+                continue;
+            }
+            if entries[i].version != prior {
+                let dead = entries.swap_remove(i);
+                self.admission.release_cache_cells(dead.cells);
+                continue;
+            }
+            // Absorb under the panic guard: a UDA bomb (or injected
+            // fault) in the merge degrades to invalidation of this entry,
+            // never to failing the already-committed write.
+            let absorbed = datacube::exec::guard("cache::absorb", || entries[i].view.absorb(delta))
+                .and_then(|r| r);
+            match absorbed {
+                Ok(absorbed) => {
+                    let new_cells = absorbed.cell_count().max(1);
+                    let old_cells = entries[i].cells;
+                    let grown = new_cells.saturating_sub(old_cells);
+                    if grown > 0 && !self.admission.try_reserve_cache_cells(grown) {
+                        let dead = entries.swap_remove(i);
+                        self.admission.release_cache_cells(dead.cells);
+                        continue;
+                    }
+                    if new_cells < old_cells {
+                        self.admission.release_cache_cells(old_cells - new_cells);
+                    }
+                    let entry = &mut entries[i];
+                    entry.view = Arc::new(absorbed);
+                    entry.version = new_version;
+                    entry.cells = new_cells;
+                    i += 1;
+                }
+                Err(_) => {
+                    let dead = entries.swap_remove(i);
+                    self.admission.release_cache_cells(dead.cells);
+                }
+            }
+        }
+        let _ = self.evict_to_budget(&mut entries, 0);
     }
 
     /// Find the minimum-cardinality materialized ancestor able to answer
@@ -453,6 +515,47 @@ mod tests {
             .populate("t", 1, d1.clone(), a.clone(), view_over(&["model"]))
             .unwrap();
         assert!(cache.lookup("t", 1, &d1, &a).unwrap().is_some());
+    }
+
+    #[test]
+    fn apply_delta_absorbs_instead_of_invalidating() {
+        let cache = unlimited_cache();
+        let (d, a) = keys(&["model"]);
+        cache
+            .populate("t", 1, d.clone(), a.clone(), view_over(&["model"]))
+            .unwrap();
+        let delta = Table::new(
+            sales().schema().clone(),
+            vec![row!["Dodge", 2000, 7], row!["Chevy", 1994, 15]],
+        )
+        .unwrap();
+        cache.apply_delta("t", 2, &delta);
+        // The entry followed the version bump by absorbing the batch: a
+        // new cell for Dodge, a merged cell for Chevy, no invalidation.
+        let hit = cache.lookup("t", 2, &d, &a).unwrap().unwrap();
+        assert_eq!(hit.view.cell_count(), 3);
+        assert_eq!(hit.view.base_rows(), 5);
+        assert_eq!(cache.counters().entries, 1);
+    }
+
+    #[test]
+    fn apply_delta_drops_views_it_cannot_grow() {
+        // Global pool of exactly 2 cells: the 2-cell model view fits, but
+        // growing it to 3 cells cannot reserve — fall back to dropping.
+        let ctrl = AdmissionController::new(ServiceConfig {
+            global_cells: 2,
+            ..ServiceConfig::default()
+        });
+        let cache = CubeCache::new(ctrl);
+        let (d, a) = keys(&["model"]);
+        cache
+            .populate("t", 1, d.clone(), a.clone(), view_over(&["model"]))
+            .unwrap();
+        let delta = Table::new(sales().schema().clone(), vec![row!["Dodge", 2000, 7]]).unwrap();
+        cache.apply_delta("t", 2, &delta);
+        assert!(cache.lookup("t", 2, &d, &a).unwrap().is_none());
+        // The reservation was returned with the entry.
+        assert_eq!(cache.counters().cells, 0);
     }
 
     #[test]

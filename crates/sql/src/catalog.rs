@@ -72,6 +72,32 @@ impl Catalog {
         Ok(())
     }
 
+    /// Compare-and-swap republish for the SQL write path: replace the
+    /// table's contents only if its version is still `expected`, and
+    /// return the new version on success. `Ok(None)` means another writer
+    /// won the race — the caller re-reads a fresh snapshot, rebases its
+    /// delta, and retries; no torn state is possible because the whole
+    /// swap happens under the catalog write lock.
+    pub fn replace_if_version(
+        &mut self,
+        name: impl AsRef<str>,
+        expected: u64,
+        table: Table,
+    ) -> SqlResult<Option<u64>> {
+        let key = name.as_ref().to_uppercase();
+        if !self.tables.contains_key(&key) {
+            return Err(SqlError::Plan(format!("unknown table: {key}")));
+        }
+        let version = self.versions.entry(key.clone()).or_insert(0);
+        if *version != expected {
+            return Ok(None);
+        }
+        *version += 1;
+        let new_version = *version;
+        self.tables.insert(key, Arc::new(table));
+        Ok(Some(new_version))
+    }
+
     /// Register a user-defined aggregate (the §1.2 extension mechanism).
     pub fn register_aggregate(&mut self, f: AggRef) -> SqlResult<()> {
         self.aggs.register(f)?;
@@ -192,6 +218,29 @@ mod tests {
             .with_write(|c| c.register_table("T", small()))
             .unwrap_err();
         assert!(matches!(err, SqlError::Plan(_)));
+    }
+
+    #[test]
+    fn replace_if_version_detects_races() {
+        let shared = SharedCatalog::new();
+        shared
+            .with_write(|c| c.register_table("t", small()))
+            .unwrap();
+        // Version 1 → CAS at 1 succeeds and returns 2.
+        let v = shared
+            .with_write(|c| c.replace_if_version("t", 1, small()))
+            .unwrap();
+        assert_eq!(v, Some(2));
+        // A writer still holding the old version loses the race.
+        let stale = shared
+            .with_write(|c| c.replace_if_version("T", 1, small()))
+            .unwrap();
+        assert_eq!(stale, None);
+        assert_eq!(shared.snapshot().table_version("t"), 2);
+        // Unknown tables are a typed error, not a silent miss.
+        assert!(shared
+            .with_write(|c| c.replace_if_version("nope", 1, small()))
+            .is_err());
     }
 
     #[test]

@@ -1574,4 +1574,167 @@ mod tests {
             .execute("SELECT k, SUM(v) AS s FROM t GROUP BY CUBE k")
             .is_ok());
     }
+
+    fn write_engine() -> Engine {
+        let mut engine = Engine::new();
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+        ]);
+        let t = Table::new(
+            schema,
+            vec![
+                row!["Chevy", 1994, 50],
+                row!["Chevy", 1995, 85],
+                row!["Ford", 1994, 60],
+            ],
+        )
+        .unwrap();
+        engine.register_table("sales", t).unwrap();
+        engine
+    }
+
+    fn grand_total(engine: &Engine) -> i64 {
+        let t = engine.execute("SELECT SUM(units) AS s FROM sales").unwrap();
+        match t.rows()[0][0] {
+            Value::Int(n) => n,
+            ref other => panic!("expected Int total, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sql_insert_and_delete_round_trip() {
+        let engine = write_engine();
+        let r = engine
+            .execute("INSERT INTO sales VALUES ('Ford', 1995, 10), ('Dodge', 1994, 5)")
+            .unwrap();
+        assert_eq!(r.rows()[0][1], Value::Int(2));
+        assert_eq!(grand_total(&engine), 210);
+        assert_eq!(engine.table("sales").unwrap().len(), 5);
+
+        let r = engine
+            .execute("DELETE FROM sales WHERE model = 'Chevy'")
+            .unwrap();
+        assert_eq!(r.rows()[0][1], Value::Int(2));
+        assert_eq!(grand_total(&engine), 75);
+
+        // A predicate matching nothing deletes nothing and says so.
+        let r = engine
+            .execute("DELETE FROM sales WHERE year = 1887")
+            .unwrap();
+        assert_eq!(r.rows()[0][1], Value::Int(0));
+    }
+
+    #[test]
+    fn insert_validates_rows_before_publishing() {
+        let engine = write_engine();
+        // Wrong type: the whole batch is rejected, including its valid
+        // first row.
+        assert!(engine
+            .execute("INSERT INTO sales VALUES ('Ford', 1995, 10), ('Ford', 'oops', 1)")
+            .is_err());
+        assert_eq!(engine.table("sales").unwrap().len(), 3);
+        // Wrong arity and unknown table are typed errors too.
+        assert!(engine
+            .execute("INSERT INTO sales VALUES ('Ford', 1995)")
+            .is_err());
+        assert!(engine.execute("INSERT INTO nope VALUES (1)").is_err());
+        // Column references make no sense in a VALUES row.
+        assert!(engine
+            .execute("INSERT INTO sales VALUES (model, 1995, 1)")
+            .is_err());
+    }
+
+    #[test]
+    fn insert_absorbs_into_cached_views_delete_invalidates() {
+        let engine = Engine::with_service(crate::ServiceConfig::default());
+        let schema = Schema::from_pairs(&[
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("units", DataType::Int),
+        ]);
+        let t = Table::new(
+            schema,
+            vec![row!["Chevy", 1994, 50], row!["Ford", 1994, 60]],
+        )
+        .unwrap();
+        engine
+            .service_parts()
+            .0
+            .with_write(|c| c.register_table("sales", t))
+            .unwrap();
+
+        let session = engine.session();
+        let q = "SELECT model, year, SUM(units) AS s FROM sales GROUP BY CUBE model, year";
+        session.execute(q).unwrap(); // miss + populate
+        session.execute(q).unwrap();
+        assert!(session.last_admission().answered_from_cache);
+
+        // INSERT bumps the version, but the retained view absorbs the
+        // delta: the next read hits warm at the *new* version and sees
+        // the new rows.
+        session
+            .execute("INSERT INTO sales VALUES ('Dodge', 1995, 7)")
+            .unwrap();
+        let after = session.execute(q).unwrap();
+        assert!(
+            session.last_admission().answered_from_cache,
+            "cache should absorb an insert-only delta, not invalidate"
+        );
+        let total = after
+            .rows()
+            .iter()
+            .find(|r| r[0].is_all() && r[1].is_all())
+            .map(|r| r[2].clone());
+        assert_eq!(total, Some(Value::Int(117)));
+
+        // DELETE is the holistic direction: the view is invalidated, the
+        // next read recomputes (a miss), and the one after hits again.
+        session
+            .execute("DELETE FROM sales WHERE model = 'Chevy'")
+            .unwrap();
+        let after = session.execute(q).unwrap();
+        assert!(!session.last_admission().answered_from_cache);
+        let total = after
+            .rows()
+            .iter()
+            .find(|r| r[0].is_all() && r[1].is_all())
+            .map(|r| r[2].clone());
+        assert_eq!(total, Some(Value::Int(67)));
+        session.execute(q).unwrap();
+        assert!(session.last_admission().answered_from_cache);
+    }
+
+    #[test]
+    fn concurrent_inserts_never_lose_a_batch() {
+        use std::sync::Arc;
+        let engine = Arc::new(Engine::with_service(crate::ServiceConfig::default()));
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+        engine
+            .service_parts()
+            .0
+            .with_write(|c| c.register_table("t", Table::empty(schema)))
+            .unwrap();
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let e = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let session = e.session();
+                    for b in 0..8 {
+                        let rows: Vec<String> =
+                            (0..4).map(|i| format!("({w}, {})", b * 4 + i)).collect();
+                        session
+                            .execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Every CAS loser rebased and retried: all 4×8×4 rows landed.
+        assert_eq!(engine.table("t").unwrap().len(), 4 * 8 * 4);
+    }
 }

@@ -137,6 +137,38 @@ impl Parser {
             };
             return Ok(Statement::Set { name, value });
         }
+        if self.eat_keyword(Keyword::Insert) {
+            self.expect_keyword(Keyword::Into)?;
+            let table = self.expect_ident()?;
+            self.expect_keyword(Keyword::Values)?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect_symbol(Symbol::LParen)?;
+                let mut vals = vec![self.parse_expr()?];
+                while self.eat_symbol(Symbol::Comma) {
+                    vals.push(self.parse_expr()?);
+                }
+                self.expect_symbol(Symbol::RParen)?;
+                rows.push(vals);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert { table, rows });
+        }
+        if self.eat_keyword(Keyword::Delete) {
+            self.expect_keyword(Keyword::From)?;
+            let table = self.expect_ident()?;
+            let where_clause = if self.eat_keyword(Keyword::Where) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete {
+                table,
+                where_clause,
+            });
+        }
         let explain = self.eat_keyword(Keyword::Explain);
         let mut stmt = self.parse_select_core()?;
         // UNION chain, left-to-right.
@@ -713,6 +745,55 @@ mod tests {
         assert!(parse("SELECT a FROM t GROUP BY").is_err());
         assert!(parse("SELECT a FROM t WHERE a NOT 3").is_err());
         assert!(parse("SELECT a FROM t extra junk").is_err());
+    }
+
+    #[test]
+    fn insert_parses_multi_row_values() {
+        let stmt =
+            parse("INSERT INTO sales VALUES ('Ford', 1995, 10), ('Chevy', 1994, -5);").unwrap();
+        let Statement::Insert { table, rows } = stmt else {
+            panic!("expected INSERT, got {stmt:?}");
+        };
+        assert_eq!(table, "sales");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 3);
+        assert_eq!(rows[0][0], Expr::Literal(Value::Str("Ford".into())));
+        // Negative literals come through the unary-minus expression path.
+        assert!(matches!(rows[1][2], Expr::Neg(_)));
+    }
+
+    #[test]
+    fn delete_parses_with_and_without_predicate() {
+        let stmt = parse("DELETE FROM sales WHERE model = 'Ford'").unwrap();
+        let Statement::Delete {
+            table,
+            where_clause,
+        } = stmt
+        else {
+            panic!("expected DELETE, got {stmt:?}");
+        };
+        assert_eq!(table, "sales");
+        assert!(matches!(
+            where_clause,
+            Some(Expr::Binary { op: BinOp::Eq, .. })
+        ));
+        assert!(matches!(
+            parse("DELETE FROM sales").unwrap(),
+            Statement::Delete {
+                where_clause: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn malformed_dml_is_rejected() {
+        assert!(parse("INSERT sales VALUES (1)").is_err()); // missing INTO
+        assert!(parse("INSERT INTO sales (1, 2)").is_err()); // missing VALUES
+        assert!(parse("INSERT INTO sales VALUES 1, 2").is_err()); // bare list
+        assert!(parse("INSERT INTO sales VALUES ()").is_err()); // empty row
+        assert!(parse("DELETE sales").is_err()); // missing FROM
+        assert!(parse("DELETE FROM sales WHERE").is_err()); // dangling WHERE
     }
 
     #[test]

@@ -27,13 +27,14 @@
 //! every other session keep running.
 
 use crate::admission::{AdmissionController, Permit, QueryCost};
-use crate::ast::{SelectStmt, Statement, TableRef};
+use crate::ast::{Expr, SelectStmt, Statement, TableRef};
 use crate::cache::CubeCache;
 use crate::catalog::{CatalogSnapshot, SharedCatalog};
 use crate::engine::QueryRuntime;
 use crate::error::{SqlError, SqlResult};
+use crate::eval::{eval, EvalContext};
 use crate::parser::parse;
-use datacube::{CancelToken, ExecLimits, ExecStats};
+use datacube::{CancelToken, ExecContext, ExecLimits, ExecStats};
 use dc_relation::{ColumnDef, DataType, Row, Schema, Table, Value};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -151,6 +152,11 @@ impl Session {
                 runtime.explain_select(&stmt)
             }
             Statement::Set { name, value } => self.exec_set(&name, value),
+            Statement::Insert { table, rows } => self.exec_insert_governed(&table, &rows),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.exec_delete_governed(&table, where_clause.as_ref()),
         }
     }
 
@@ -190,6 +196,136 @@ impl Session {
             last.cache_ancestor_bits = bits;
         }
         result
+    }
+
+    /// The governed INSERT path: one statement is one delta batch.
+    /// Admission prices the batch like a one-set aggregation over its own
+    /// rows, so a flood of fat batches queues (or sheds) behind the same
+    /// controller as queries — the batch budget of the issue text.
+    ///
+    /// Publication is optimistic: build the enlarged table against a
+    /// snapshot, then compare-and-swap it in by catalog version; losing a
+    /// race to a concurrent writer just means rebasing the (already
+    /// evaluated) rows on a fresh snapshot. Readers therefore see whole
+    /// batches only — a torn batch would require observing a table that
+    /// was never published. On success, retained cache views absorb the
+    /// delta instead of being invalidated.
+    fn exec_insert_governed(&self, table: &str, rows: &[Vec<Expr>]) -> SqlResult<Table> {
+        let opts = self.options();
+        let cost = QueryCost {
+            rows: rows.len() as u64,
+            sets: 1,
+            cells: rows.len() as u64,
+        };
+        let deadline =
+            (opts.timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(opts.timeout_ms));
+        let permit = self
+            .admission
+            .admit(&cost, deadline, opts.cancel.as_ref())
+            .map_err(|e| {
+                self.record_admission(&admission_stats_of(&e));
+                SqlError::Cube(e)
+            })?;
+        self.record_permit(&permit);
+        let ctx = ExecContext::new(&opts.limits(deadline, permit.granted_cells()), 1);
+
+        // Evaluate the literal rows once, against an empty scope: column
+        // references have nothing to bind to and error in planning terms.
+        let empty_schema = Schema::new(vec![])?;
+        let snap = self.catalog.snapshot();
+        let ectx = EvalContext::base(&empty_schema, &snap.scalars);
+        let scratch = Row::new(vec![]);
+        let mut new_rows = Vec::with_capacity(rows.len());
+        for (i, exprs) in rows.iter().enumerate() {
+            ctx.tick(i).map_err(SqlError::Cube)?;
+            let vals = exprs
+                .iter()
+                .map(|e| eval(e, &scratch, &ectx))
+                .collect::<SqlResult<Vec<Value>>>()?;
+            new_rows.push(Row::new(vals));
+        }
+
+        loop {
+            ctx.checkpoint().map_err(SqlError::Cube)?;
+            let snap = self.catalog.snapshot();
+            let old = snap.table(table)?;
+            let expected = snap.table_version(table);
+            let mut next = old.rows().to_vec();
+            next.extend(new_rows.iter().cloned());
+            // Table::new re-validates every row against the schema, so a
+            // bad literal rejects the whole batch before publication.
+            let published = Table::new(old.schema().clone(), next)?;
+            let swapped = self
+                .catalog
+                .with_write(|c| c.replace_if_version(table, expected, published))?;
+            if let Some(new_version) = swapped {
+                let delta = Table::new(old.schema().clone(), new_rows)?;
+                self.cache.apply_delta(table, new_version, &delta);
+                return dml_result(table, "inserted", delta.len() as i64);
+            }
+        }
+    }
+
+    /// The governed DELETE path: matching rows form one delete batch.
+    /// Same optimistic republish as INSERT; retraction is the holistic
+    /// direction (§6: "max is ... holistic for DELETE"), so cached views
+    /// fall back to version-bump invalidation rather than absorbing.
+    fn exec_delete_governed(&self, table: &str, predicate: Option<&Expr>) -> SqlResult<Table> {
+        let opts = self.options();
+        let snap = self.catalog.snapshot();
+        let scan_rows = snap.table(table).map(|t| t.len() as u64).unwrap_or(0);
+        let cost = QueryCost {
+            rows: scan_rows,
+            sets: 1,
+            cells: scan_rows,
+        };
+        let deadline =
+            (opts.timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(opts.timeout_ms));
+        let permit = self
+            .admission
+            .admit(&cost, deadline, opts.cancel.as_ref())
+            .map_err(|e| {
+                self.record_admission(&admission_stats_of(&e));
+                SqlError::Cube(e)
+            })?;
+        self.record_permit(&permit);
+        let ctx = ExecContext::new(&opts.limits(deadline, permit.granted_cells()), 1);
+
+        loop {
+            ctx.checkpoint().map_err(SqlError::Cube)?;
+            let snap = self.catalog.snapshot();
+            let old = snap.table(table)?;
+            let expected = snap.table_version(table);
+            let ectx = EvalContext::base(old.schema(), &snap.scalars);
+            let mut kept = Vec::with_capacity(old.len());
+            let mut deleted = 0i64;
+            for (i, row) in old.rows().iter().enumerate() {
+                ctx.tick(i).map_err(SqlError::Cube)?;
+                let matches = match predicate {
+                    None => true,
+                    // SQL semantics: NULL (and ALL) predicates keep the row.
+                    Some(p) => eval(p, row, &ectx)? == Value::Bool(true),
+                };
+                if matches {
+                    deleted += 1;
+                } else {
+                    kept.push(row.clone());
+                }
+            }
+            if deleted == 0 {
+                // Nothing matched: no republish, no version bump, caches
+                // stay warm.
+                return dml_result(table, "deleted", 0);
+            }
+            let published = Table::new(old.schema().clone(), kept)?;
+            let swapped = self
+                .catalog
+                .with_write(|c| c.replace_if_version(table, expected, published))?;
+            if swapped.is_some() {
+                self.cache.invalidate_table(table);
+                return dml_result(table, "deleted", deleted);
+            }
+        }
     }
 
     fn options(&self) -> SessionOptions {
@@ -271,6 +407,20 @@ impl Session {
         ]));
         Ok(out)
     }
+}
+
+/// One-row DML confirmation relation: `(table, <verb>) = (name, count)`.
+fn dml_result(table: &str, verb: &str, count: i64) -> SqlResult<Table> {
+    let schema = Schema::new(vec![
+        ColumnDef::new("table", DataType::Str),
+        ColumnDef::new(verb, DataType::Int),
+    ])?;
+    let mut out = Table::empty(schema);
+    out.push_unchecked(Row::new(vec![
+        Value::str(table.to_uppercase()),
+        Value::Int(count),
+    ]));
+    Ok(out)
 }
 
 /// Extract the admission-relevant stats carried by an admission error so

@@ -38,6 +38,10 @@ pub enum Keyword {
     Limit,
     Explain,
     Set,
+    Insert,
+    Into,
+    Values,
+    Delete,
 }
 
 impl Keyword {
@@ -76,6 +80,10 @@ impl Keyword {
             "LIMIT" => Limit,
             "EXPLAIN" => Explain,
             "SET" => Set,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            "DELETE" => Delete,
             _ => return None,
         })
     }

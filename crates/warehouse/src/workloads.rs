@@ -99,7 +99,7 @@ pub fn analyze(name: &'static str, queries: &[&str]) -> SqlResult<WorkloadProfil
             other => other,
         })? {
             Statement::Select(stmt) | Statement::Explain(stmt) => stmt,
-            Statement::Set { .. } => continue,
+            Statement::Set { .. } | Statement::Insert { .. } | Statement::Delete { .. } => continue,
         };
         let (a, g) = count_select(&stmt);
         aggregates += a;

@@ -581,7 +581,7 @@ mod faults_suite {
     /// Every named failpoint site across the engine, including the
     /// service layer's (`service::*`, exercised separately below — they
     /// sit on the SQL session/server path, not the core cube path).
-    const SITES: [&str; 22] = [
+    const SITES: [&str; 26] = [
         "uda::init",
         "uda::iter",
         "uda::merge",
@@ -604,6 +604,10 @@ mod faults_suite {
         "cache::lookup",
         "cache::rewrite",
         "cache::evict",
+        "cache::absorb",
+        "maintain::batch_fold",
+        "maintain::shard_lock",
+        "maintain::recompute",
     ];
 
     /// Disarms all faults when dropped, so a failing assertion cannot
@@ -1137,6 +1141,155 @@ mod faults_suite {
                 "{r:?}"
             );
             assert!(engine.execute(sql).is_ok());
+        });
+    }
+
+    // ---------------------------------------------- maintenance sites --
+
+    use datacube::{DeltaBatch, ExecContext, MaterializedCube};
+
+    fn max_units() -> AggSpec {
+        AggSpec::new(builtin("MAX").unwrap(), "units").with_name("hi")
+    }
+
+    /// An insert plus a delete of `grid(4, 3)`'s unique MAX champion
+    /// (3, 2, units = 5): the insert drives the fold path, the delete
+    /// forces the deferred-recompute path on every super-aggregate cell
+    /// that contained the champion.
+    fn champion_batch(t: &Table) -> DeltaBatch {
+        let champion = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::Int(3) && r[1] == Value::Int(2))
+            .cloned()
+            .unwrap();
+        let mut batch = DeltaBatch::new();
+        batch
+            .insert(Row::new(vec![Value::Int(9), Value::Int(9), Value::Int(5)]))
+            .unwrap();
+        batch.delete(champion);
+        batch
+    }
+
+    /// Every maintenance failpoint — batch fold, shard lock, deferred
+    /// recompute — unwinds as a typed error for both fault flavours, the
+    /// cube is bit-identical to its pre-batch state (version included),
+    /// and the same batch applies cleanly once the fault is disarmed.
+    #[test]
+    fn maintain_batch_faults_yield_typed_errors_and_pristine_cube() {
+        let t = grid(4, 3);
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            for site in [
+                "maintain::batch_fold",
+                "maintain::shard_lock",
+                "maintain::recompute",
+            ] {
+                for fault in [Fault::TripBudget, Fault::Panic(format!("{site} down"))] {
+                    let cube =
+                        MaterializedCube::cube(&t, xy_dims(), vec![sum_units(), max_units()])
+                            .unwrap();
+                    let before = cube.to_table().unwrap();
+                    let batch = champion_batch(&t);
+                    arm(site, fault.clone());
+                    let err = cube.apply(&batch, &ExecContext::unlimited()).unwrap_err();
+                    disarm_all();
+                    match fault {
+                        Fault::TripBudget => assert!(
+                            matches!(err, CubeError::ResourceExhausted { .. }),
+                            "{site}: {err:?}"
+                        ),
+                        _ => assert!(
+                            matches!(err, CubeError::AggPanicked { .. }),
+                            "{site}: {err:?}"
+                        ),
+                    }
+                    // Nothing was installed: same version, same cells.
+                    assert_eq!(cube.version(), 0, "{site}: version must not advance");
+                    assert_eq!(
+                        cube.to_table().unwrap().rows(),
+                        before.rows(),
+                        "{site}: cube changed under a failed batch"
+                    );
+                    // The failed batch is not poisoned — it applies cleanly.
+                    cube.apply(&batch, &ExecContext::unlimited()).unwrap();
+                    assert_eq!(cube.version(), batch.len() as u64);
+                    assert!(cube.stats().cells_recomputed > 0, "{site}");
+                }
+            }
+        });
+    }
+
+    /// A stalled batch fold still honours the caller's deadline: the
+    /// checkpoint right after the stall trips `TimeMs` and the cube stays
+    /// at version 0.
+    #[test]
+    fn maintain_batch_fold_honors_the_deadline() {
+        let t = grid(4, 3);
+        let cube = MaterializedCube::cube(&t, xy_dims(), vec![sum_units()]).unwrap();
+        let _cleanup = Disarm;
+        arm("maintain::batch_fold", Fault::SleepMs(30));
+        let limits = ExecLimits::none().timeout(Duration::from_millis(5));
+        let ctx = ExecContext::new(&limits, 1);
+        let mut batch = DeltaBatch::new();
+        for i in 0..8 {
+            batch
+                .insert(Row::new(vec![Value::Int(i), Value::Int(i), Value::Int(1)]))
+                .unwrap();
+        }
+        let err = cube.apply(&batch, &ctx).unwrap_err();
+        disarm_all();
+        assert!(
+            matches!(
+                err,
+                CubeError::ResourceExhausted {
+                    resource: Resource::TimeMs,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(cube.version(), 0);
+        // The deadline-free retry goes through.
+        cube.apply(&batch, &ExecContext::unlimited()).unwrap();
+        assert_eq!(cube.version(), batch.len() as u64);
+    }
+
+    /// A fault inside cache delta-absorption never fails the committed
+    /// write: the INSERT succeeds, the poisoned entry degrades to a cache
+    /// miss, and the view re-warms on the next read.
+    #[test]
+    fn cache_absorb_faults_degrade_to_invalidation() {
+        let engine = service_engine(dc_sql::ServiceConfig::default());
+        let sql = "SELECT x, SUM(units) AS s FROM g GROUP BY x";
+        // grid(6, 5): x + y < 17, so SUM(units) = Σ(x + y) = 135.
+        let mut expected_total = 135i64;
+        silent_panics(|| {
+            let _cleanup = Disarm;
+            let session = engine.session();
+            for fault in [Fault::TripBudget, Fault::Panic("absorb down".into())] {
+                // Warm the x-view and prove it answers from cache.
+                session.execute(sql).unwrap();
+                session.execute(sql).unwrap();
+                assert!(session.last_admission().answered_from_cache);
+
+                arm("cache::absorb", fault);
+                let ack = session.execute("INSERT INTO g VALUES (9, 9, 1)");
+                disarm_all();
+                let ack = ack.unwrap(); // the write itself must commit
+                assert_eq!(ack.rows()[0][1].as_i64(), Some(1));
+                expected_total += 1;
+
+                // The entry was invalidated, not left stale: the next read
+                // misses, yet sees the post-insert data...
+                let table = session.execute(sql).unwrap();
+                assert!(!session.last_admission().answered_from_cache);
+                let total: i64 = table.rows().iter().filter_map(|r| r[1].as_i64()).sum();
+                assert_eq!(total, expected_total);
+                // ...and that miss re-warmed the view.
+                session.execute(sql).unwrap();
+                assert!(session.last_admission().answered_from_cache);
+            }
         });
     }
 }

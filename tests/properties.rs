@@ -4,7 +4,10 @@
 //! cubes stay dense enough to be interesting) and check the paper's
 //! algebraic claims hold for *every* input, not just the examples.
 
-use datacube::{AggSpec, Algorithm, CompoundSpec, CubeQuery, Dimension};
+use datacube::{
+    AggSpec, Algorithm, CompoundSpec, CubeQuery, DeltaBatch, Dimension, ExecContext,
+    MaterializedCube,
+};
 use dc_aggregate::builtin;
 use dc_relation::{DataType, Date, Row, Schema, Table, Value};
 use proptest::prelude::*;
@@ -468,4 +471,255 @@ proptest! {
             prop_assert_eq!(group_by.rows().len(), 0);
         }
     }
+}
+
+// ------------------------------------------------- batched maintenance --
+
+/// One row in the `arb_nullable_table` encoding: domain index 0 maps to
+/// NULL in every column, so the (0, 0, 0, 0) op is an all-NULL row.
+fn nullable_row(a: usize, b: usize, units: i64, price: i64) -> Row {
+    Row::new(vec![
+        if a == 0 {
+            Value::Null
+        } else {
+            Value::str(format!("s{a}"))
+        },
+        if b == 0 {
+            Value::Null
+        } else {
+            Value::Int(b as i64)
+        },
+        if units == 0 {
+            Value::Null
+        } else {
+            Value::Int(units - 51)
+        },
+        if price == 0 {
+            Value::Null
+        } else {
+            Value::Float((price - 201) as f64 * 0.25)
+        },
+    ])
+}
+
+/// One maintenance op in abstract form; deletes pick a live row by
+/// `idx % live.len()`, so every generated sequence is applicable.
+#[derive(Clone, Debug)]
+enum DeltaOp {
+    Insert(usize, usize, i64, i64),
+    Delete(usize),
+}
+
+fn arb_delta_ops(max_ops: usize) -> impl Strategy<Value = Vec<DeltaOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..4, 0usize..4, 0i64..101, 0i64..401)
+                .prop_map(|(a, b, u, p)| DeltaOp::Insert(a, b, u, p)),
+            (0usize..1000).prop_map(DeltaOp::Delete),
+        ],
+        0..max_ops,
+    )
+}
+
+fn maintain_dims() -> Vec<Dimension> {
+    vec![Dimension::column("d0"), Dimension::column("d1")]
+}
+
+/// Retractable aggregates with champions (MIN/MAX) in the select list, so
+/// random deletes exercise the §6 "holistic for DELETE" recompute path.
+fn maintain_aggs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::new(builtin("SUM").unwrap(), "price").with_name("sp"),
+        AggSpec::new(builtin("COUNT").unwrap(), "units").with_name("n"),
+        AggSpec::new(builtin("MIN").unwrap(), "price").with_name("lo"),
+        AggSpec::new(builtin("MAX").unwrap(), "units").with_name("hi"),
+        AggSpec::new(builtin("AVG").unwrap(), "price").with_name("avg"),
+    ]
+}
+
+fn sorted_rows(t: &Table) -> Vec<Row> {
+    let mut rows = t.rows().to_vec();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batched write path is equivalent to both alternatives on every
+    /// input: folding an arbitrary insert/delete interleaving as ONE
+    /// `DeltaBatch` gives the same cube as applying the ops row-at-a-time,
+    /// and both equal a from-scratch recompute of the final table — with
+    /// NULL keys, all-NULL rows, and champion deletes in the mix. The
+    /// version counter advances by logical ops either way.
+    #[test]
+    fn batched_maintenance_matches_row_at_a_time_and_recompute(
+        t in arb_nullable_table(40),
+        ops in arb_delta_ops(30),
+    ) {
+        let batched = MaterializedCube::cube(&t, maintain_dims(), maintain_aggs()).unwrap();
+        let stepped = MaterializedCube::cube(&t, maintain_dims(), maintain_aggs()).unwrap();
+        let mut shadow: Vec<Row> = t.rows().to_vec();
+        let mut batch = DeltaBatch::new();
+        for op in &ops {
+            match op {
+                DeltaOp::Insert(a, b, u, p) => {
+                    let row = nullable_row(*a, *b, *u, *p);
+                    shadow.push(row.clone());
+                    batch.insert(row.clone()).unwrap();
+                    stepped.insert(row).unwrap();
+                }
+                DeltaOp::Delete(i) => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let row = shadow.swap_remove(i % shadow.len());
+                    batch.delete(row.clone());
+                    stepped.delete(&row).unwrap();
+                }
+            }
+        }
+        if !batch.is_empty() {
+            batched.apply(&batch, &ExecContext::unlimited()).unwrap();
+        }
+
+        let final_table = Table::new(t.schema().clone(), shadow).unwrap();
+        let recomputed = maintain_aggs()
+            .into_iter()
+            .fold(CubeQuery::new(), |q, a| q.aggregate(a))
+            .dimensions(maintain_dims())
+            .cube(&final_table)
+            .unwrap();
+        let got_batched = sorted_rows(&batched.to_table().unwrap());
+        let got_stepped = sorted_rows(&stepped.to_table().unwrap());
+        prop_assert_eq!(&got_batched, &got_stepped, "batched vs row-at-a-time");
+        prop_assert_eq!(&got_batched, &sorted_rows(&recomputed), "batched vs recompute");
+        prop_assert_eq!(batched.version(), stepped.version());
+    }
+
+    /// Splitting one logical batch into k sub-batches and applying them in
+    /// an arbitrary order gives the same cube as the one-shot batch, for
+    /// distributive/algebraic aggregates — inserts land in whatever chunk
+    /// the split put them in, and deletes of distinct base rows ride along
+    /// in random chunks.
+    #[test]
+    fn sub_batch_split_is_order_insensitive(
+        t in arb_nullable_table(30),
+        raw in proptest::collection::vec((0usize..4, 0usize..4, 0i64..101, 0i64..401), 1..32),
+        dels in proptest::collection::vec(0usize..1000, 0..6),
+        cuts in proptest::collection::vec(0usize..1000, 0..3),
+        order_seed in proptest::collection::vec(0u64..1000, 4),
+    ) {
+        let rows: Vec<Row> = raw
+            .into_iter()
+            .map(|(a, b, u, p)| nullable_row(a, b, u, p))
+            .collect();
+        // Distinct base-row victims (distinct indices delete distinct
+        // copies, so the delete multiset is valid in any order).
+        let mut victims: Vec<usize> = dels
+            .into_iter()
+            .filter(|_| !t.is_empty())
+            .map(|i| i % t.len())
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+
+        let oneshot = MaterializedCube::cube(&t, maintain_dims(), maintain_aggs()).unwrap();
+        let mut batch = DeltaBatch::new();
+        for r in &rows {
+            batch.insert(r.clone()).unwrap();
+        }
+        for &v in &victims {
+            batch.delete(t.rows()[v].clone());
+        }
+        oneshot.apply(&batch, &ExecContext::unlimited()).unwrap();
+
+        // Split the inserts at the generated cut points, attach each
+        // victim to a chunk, then apply the chunks in a shuffled order.
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (rows.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(rows.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let chunks: Vec<&[Row]> = bounds.windows(2).map(|w| &rows[w[0]..w[1]]).collect();
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        order.sort_by_key(|i| (order_seed[i % order_seed.len()], *i));
+
+        let split = MaterializedCube::cube(&t, maintain_dims(), maintain_aggs()).unwrap();
+        for (rank, &c) in order.iter().enumerate() {
+            let mut sub = DeltaBatch::new();
+            for r in chunks[c] {
+                sub.insert(r.clone()).unwrap();
+            }
+            for (vi, &v) in victims.iter().enumerate() {
+                if vi % order.len() == rank {
+                    sub.delete(t.rows()[v].clone());
+                }
+            }
+            if !sub.is_empty() {
+                split.apply(&sub, &ExecContext::unlimited()).unwrap();
+            }
+        }
+        prop_assert_eq!(
+            sorted_rows(&split.to_table().unwrap()),
+            sorted_rows(&oneshot.to_table().unwrap())
+        );
+    }
+}
+
+/// The §6 worst case, deterministically: one batch that deletes the
+/// reigning MIN/MAX champion *and* an all-NULL row while inserting a new
+/// champion must agree with the row-at-a-time path and a recompute.
+#[test]
+fn champion_delete_and_all_null_row_in_one_batch() {
+    let champion = nullable_row(1, 1, 100, 400); // max units, max price
+    let all_null = nullable_row(0, 0, 0, 0);
+    let t = Table::new(
+        Schema::from_pairs(&[
+            ("d0", DataType::Str),
+            ("d1", DataType::Int),
+            ("units", DataType::Int),
+            ("price", DataType::Float),
+        ]),
+        vec![
+            champion.clone(),
+            all_null.clone(),
+            nullable_row(1, 1, 10, 20),
+            nullable_row(2, 2, 30, 1),
+        ],
+    )
+    .unwrap();
+    let batched = MaterializedCube::cube(&t, maintain_dims(), maintain_aggs()).unwrap();
+    let stepped = MaterializedCube::cube(&t, maintain_dims(), maintain_aggs()).unwrap();
+
+    let new_champ = nullable_row(1, 2, 99, 399);
+    let mut batch = DeltaBatch::new();
+    batch.delete(champion.clone());
+    batch.delete(all_null.clone());
+    batch.insert(new_champ.clone()).unwrap();
+    batched.apply(&batch, &ExecContext::unlimited()).unwrap();
+    stepped.delete(&champion).unwrap();
+    stepped.delete(&all_null).unwrap();
+    stepped.insert(new_champ.clone()).unwrap();
+
+    let final_table = Table::new(
+        t.schema().clone(),
+        vec![
+            nullable_row(1, 1, 10, 20),
+            nullable_row(2, 2, 30, 1),
+            new_champ,
+        ],
+    )
+    .unwrap();
+    let recomputed = maintain_aggs()
+        .into_iter()
+        .fold(CubeQuery::new(), |q, a| q.aggregate(a))
+        .dimensions(maintain_dims())
+        .cube(&final_table)
+        .unwrap();
+    let got = sorted_rows(&batched.to_table().unwrap());
+    assert_eq!(got, sorted_rows(&stepped.to_table().unwrap()));
+    assert_eq!(got, sorted_rows(&recomputed));
+    // The champion delete forced real recomputes on both paths.
+    assert!(batched.stats().cells_recomputed > 0);
 }

@@ -448,3 +448,119 @@ fn cached_reads_race_republishes_without_staleness() {
         "repeat read of the settled table should be a cache hit"
     );
 }
+
+/// Four SQL `INSERT INTO` writer sessions stream batches into one table
+/// while eight readers answer through the lattice cache. Every batch sums
+/// to exactly `BATCH_SUM`, so a read that observed a torn batch — or a
+/// cached cell mixing two published versions — produces a total that is
+/// not `T0 + k * BATCH_SUM` for any whole k. Afterwards, a cancelled
+/// mid-batch INSERT must leave the table at the pre-batch version with
+/// the cache still warm.
+#[test]
+fn sql_ingest_race_exposes_only_whole_batches() {
+    use dc_sql::{Engine, ServiceConfig, SqlError};
+
+    const WRITERS: usize = 4;
+    const BATCHES: usize = 10; // per writer
+    const BATCH_SUM: i64 = 100;
+    const READERS: usize = 8;
+
+    let schema = Schema::from_pairs(&[("model", DataType::Int), ("units", DataType::Int)]);
+    let mut t = Table::empty(schema);
+    let mut t0 = 0i64;
+    for i in 0..64i64 {
+        t.push(row![i % MODELS, 3i64]).unwrap();
+        t0 += 3;
+    }
+    let mut engine = Engine::with_service(ServiceConfig::default());
+    engine.register_table("ingest", t).unwrap();
+    let engine = Arc::new(engine);
+    let sql = "SELECT model, SUM(units) AS s FROM ingest GROUP BY model";
+    let total_of = |t: &Table| -> i64 { t.rows().iter().filter_map(|r| r[1].as_i64()).sum() };
+
+    // Seven rows of 10 plus one of 30: each statement is one whole batch
+    // worth exactly BATCH_SUM.
+    let batch_sql = {
+        let mut vals: Vec<String> = (0..7).map(|i| format!("({}, 10)", i % MODELS)).collect();
+        vals.push("(6, 30)".to_string());
+        format!("INSERT INTO ingest VALUES {}", vals.join(", "))
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let batch_sql = batch_sql.clone();
+            std::thread::spawn(move || {
+                let session = engine.session();
+                for _ in 0..BATCHES {
+                    let ack = session.execute(&batch_sql).unwrap();
+                    assert_eq!(ack.rows()[0][1].as_i64(), Some(8), "batch row count ack");
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let session = engine.session();
+                for _ in 0..40 {
+                    let total = total_of(&session.execute(sql).unwrap());
+                    let delta = total - t0;
+                    assert!(
+                        delta >= 0 && delta % BATCH_SUM == 0,
+                        "torn batch visible: total {total} (t0 {t0})"
+                    );
+                    assert!(
+                        delta / BATCH_SUM <= (WRITERS * BATCHES) as i64,
+                        "read reflects more batches than were written: {total}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // Quiesced: every batch landed exactly once.
+    let session = engine.session();
+    let before = total_of(&session.execute(sql).unwrap());
+    assert_eq!(
+        before,
+        t0 + (WRITERS * BATCHES) as i64 * BATCH_SUM,
+        "lost or duplicated batch"
+    );
+    let _ = session.execute(sql).unwrap();
+    assert!(
+        session.last_admission().answered_from_cache,
+        "settled table should be served from the cache"
+    );
+
+    // A cancelled mid-batch INSERT is all-or-nothing: pre-batch totals,
+    // pre-batch version (the cached view stays valid — a version bump
+    // would have re-keyed or dropped it).
+    let token = CancelToken::new();
+    token.cancel();
+    session.set_cancel_token(Some(token));
+    let err = session
+        .execute(&batch_sql)
+        .expect_err("cancelled INSERT must not commit");
+    assert!(
+        matches!(err, SqlError::Cube(CubeError::Cancelled { .. })),
+        "cancelled INSERT: {err:?}"
+    );
+    session.set_cancel_token(None);
+    let after = total_of(&session.execute(sql).unwrap());
+    assert_eq!(
+        after, before,
+        "cancelled batch must leave the pre-batch table"
+    );
+    assert!(
+        session.last_admission().answered_from_cache,
+        "cancelled batch must not bump the version or cool the cache"
+    );
+}

@@ -35,6 +35,9 @@ cargo run -q --release -p dc-sql --bin dc_serve -- --smoke
 echo "== lattice-cache smoke (cache_serving on-vs-off must not regress) =="
 cargo run -q --release -p dc-bench --bin cube_bench -- --cache-smoke
 
+echo "== ingest smoke (batched INSERT must amortize >= 5x over row-at-a-time) =="
+cargo run -q --release -p dc-bench --bin cube_bench -- --ingest-smoke
+
 echo "== paper_tables vs golden =="
 cargo run -q --release -p dc-bench --bin paper_tables > /tmp/paper_tables_actual.txt
 if diff -u paper_tables_output.txt /tmp/paper_tables_actual.txt; then
