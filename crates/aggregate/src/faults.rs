@@ -99,6 +99,7 @@ pub fn disarm_all() {
 /// asks the caller to unwind as if a resource budget were exhausted.
 /// Returns `false` (for free) when nothing is armed.
 pub fn hit(site: &str) -> bool {
+    // cube-lint: allow(atomic, lock-free fast path; arming happens under the registry mutex and armed paths re-read it there)
     if ARMED.load(Ordering::Relaxed) == 0 {
         return false;
     }
@@ -144,6 +145,30 @@ mod tests {
         assert!(!hit("site::b"));
         disarm_all();
         assert!(!hit("site::a"));
+    }
+
+    #[test]
+    fn registry_is_duplicate_free_and_covers_maintenance_sites() {
+        let mut sorted: Vec<&str> = SITES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), SITES.len(), "duplicate SITES entry");
+
+        // The incremental-maintenance sites must stay registered: the
+        // fault suites drive crash-consistency scenarios through each,
+        // and rule R3 cross-checks them against the code.
+        let _g = lock();
+        for site in [
+            "cache::absorb",
+            "maintain::batch_fold",
+            "maintain::shard_lock",
+            "maintain::recompute",
+        ] {
+            assert!(SITES.contains(&site), "{site} missing from SITES");
+            arm(site, Fault::TripBudget);
+            assert!(hit(site), "{site} did not fire once armed");
+        }
+        disarm_all();
     }
 
     #[test]

@@ -350,6 +350,7 @@ pub(crate) fn cascade(
                                 let mut built = Vec::new();
                                 loop {
                                     let t = cursor_ref
+                                        // cube-lint: allow(atomic, morsel work-claim counter: each claimed index is consumed only by the claiming thread, over data made visible by the scoped spawn)
                                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                                     if t >= level_ref.len() {
                                         break;
@@ -446,6 +447,7 @@ pub(crate) fn parallel(
                     let mut arena = Arena::new(aggs.len());
                     loop {
                         let base =
+                            // cube-lint: allow(atomic, morsel work-claim counter: each claimed range is consumed only by the claiming thread, over data made visible by the scoped spawn)
                             cursor_ref.fetch_add(MORSEL_ROWS, std::sync::atomic::Ordering::Relaxed);
                         if base >= rows.len() {
                             break;

@@ -590,6 +590,7 @@ impl KernelSets {
                             let mut out = Vec::new();
                             let mut final_calls = 0u64;
                             loop {
+                                // cube-lint: allow(atomic, morsel work-claim counter: each claimed task is consumed only by the claiming thread, over data made visible by the scoped spawn)
                                 let t = cursor_ref.fetch_add(1, Ordering::Relaxed);
                                 if t >= tasks_ref.len() {
                                     break;
@@ -1111,6 +1112,7 @@ fn radix_core(
                         let mut local = ExecStats::default();
                         let mut built = Vec::new();
                         loop {
+                            // cube-lint: allow(atomic, morsel work-claim counter: each claimed partition is consumed only by the claiming thread, over data made visible by the scoped spawn)
                             let p = cursor_ref.fetch_add(1, Ordering::Relaxed);
                             if p >= n_parts {
                                 break;
@@ -1342,6 +1344,7 @@ fn cascade(
                                 exec::failpoint("cascade::level")?;
                                 let mut built = Vec::new();
                                 loop {
+                                    // cube-lint: allow(atomic, morsel work-claim counter: each claimed task is consumed only by the claiming thread, over data made visible by the scoped spawn)
                                     let t = cursor_ref.fetch_add(1, Ordering::Relaxed);
                                     if t >= level_ref.len() {
                                         break;
@@ -1476,6 +1479,7 @@ pub(crate) fn parallel(
                         let fused = plan.fused_ints();
                         let mut slot_buf = Vec::with_capacity(MORSEL_ROWS);
                         loop {
+                            // cube-lint: allow(atomic, morsel work-claim counter: each claimed range is consumed only by the claiming thread, over data made visible by the scoped spawn)
                             let base = cursor_ref.fetch_add(MORSEL_ROWS, Ordering::Relaxed);
                             if base >= n_rows {
                                 break;

@@ -59,6 +59,7 @@ impl CancelToken {
     }
 
     pub fn is_cancelled(&self) -> bool {
+        // cube-lint: allow(atomic, best-effort cancellation poll; no data crosses on this flag and the setter stores SeqCst)
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -203,6 +204,7 @@ impl ExecContext {
         if !self.metered {
             return Ok(());
         }
+        // cube-lint: allow(atomic, atomic RMW keeps the budget total exact; the limit check uses only the returned value and no other memory is published through it)
         let total = self.cells.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(limit) = self.max_cells {
             if total > limit {
@@ -230,6 +232,7 @@ impl ExecContext {
 
     /// Cells charged so far (for degradation heuristics and tests).
     pub fn cells_charged(&self) -> u64 {
+        // cube-lint: allow(atomic, diagnostic read of a monotone counter)
         self.cells.load(Ordering::Relaxed)
     }
 

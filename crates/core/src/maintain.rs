@@ -472,6 +472,7 @@ impl MaterializedCube {
             for (gpos, (_, cells)) in shard_ids.iter().zip(guards.iter()).enumerate() {
                 ctx.checkpoint()?;
                 for (si, key, delta) in by_shard.get(&shard_ids[gpos]).into_iter().flatten() {
+                    // cube-lint: allow(foreign, two-phase by design: staging must fold against the pre-install cells, so UDA calls run under the shard set; every callback is individually catch_unwind-guarded, so a panic surfaces as AggPanicked without poisoning the guards)
                     let op = self.stage_group(
                         &cells.maps[*si],
                         *si,
@@ -694,6 +695,7 @@ impl MaterializedCube {
         cell.accs
             .iter()
             .zip(self.aggs.iter())
+            // cube-lint: allow(foreign, Final() must read the cell while its shard read-lock pins it; the guard converts a UDA panic into None and the read guard cannot be poisoned by it)
             .map(|(a, agg)| exec::guard(agg.func.name(), || a.final_value()).ok())
             .collect()
     }
@@ -718,6 +720,7 @@ impl MaterializedCube {
                     .ok_or_else(|| CubeError::BadSpec("corrupt cube: key without cell".into()))?;
                 let mut vals = key.values().to_vec();
                 for (a, agg) in cell.accs.iter().zip(self.aggs.iter()) {
+                    // cube-lint: allow(foreign, the snapshot holds the gate exactly so no batch can run mid-read; Final() is guarded and a panic propagates as AggPanicked after the guards unwind cleanly)
                     vals.push(exec::guard(agg.func.name(), || a.final_value())?);
                 }
                 out.push_unchecked(Row::new(vals));

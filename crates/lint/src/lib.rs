@@ -26,6 +26,19 @@
 //!   `todo!`/`unimplemented!` in non-test library code.
 //! * **R5 `wildcard`** — no `_` match arms in matches whose patterns
 //!   destructure `Value`, so adding a `Value` variant fails loudly.
+//! * **R6 `lockorder`** — the inter-procedural lock graph (built from
+//!   per-function acquisition summaries in [`locks`], propagated through
+//!   direct calls in [`callgraph`]) must be acyclic and respect the
+//!   documented hierarchy (catalog → cache → gate → shard[i asc] →
+//!   meta); multi-shard acquisitions must be provably ascending.
+//! * **R7 `foreign`** — no `exec::guard`/`guarded_init`/`catch_unwind`
+//!   or raw accumulator callback reachable while a shard, gate, or
+//!   catalog lock is held.
+//! * **R8 `atomic`** — every `Ordering::Relaxed` needs a stronger
+//!   ordering or a reasoned suppression.
+//! * **R9 `commit`** — a catalog version commit
+//!   (`replace_if_version`/`update_table`) must be followed in the same
+//!   function by the cache call that propagates it.
 //!
 //! Any finding can be suppressed with a justified annotation on the same
 //! line or the line above:
@@ -37,8 +50,12 @@
 //! The annotation *requires* a reason — `allow(panic)` alone does not
 //! parse and the finding stands.
 
+mod callgraph;
 pub mod lexer;
+pub mod locks;
 mod rules;
+
+pub use callgraph::check_lock_discipline;
 
 use lexer::{tokenize, Tok};
 use std::collections::{BTreeMap, BTreeSet};
@@ -54,6 +71,10 @@ pub enum Rule {
     Faults,
     Panic,
     Wildcard,
+    LockOrder,
+    Foreign,
+    Atomic,
+    Commit,
 }
 
 impl Rule {
@@ -64,6 +85,10 @@ impl Rule {
             Rule::Faults => "faults",
             Rule::Panic => "panic",
             Rule::Wildcard => "wildcard",
+            Rule::LockOrder => "lockorder",
+            Rule::Foreign => "foreign",
+            Rule::Atomic => "atomic",
+            Rule::Commit => "commit",
         }
     }
 }
@@ -227,6 +252,9 @@ impl Allows {
 #[derive(Debug, Default)]
 pub struct FileReport {
     pub findings: Vec<Finding>,
+    /// The path the file was linted under (workspace-relative), so the
+    /// cross-file passes can attribute findings and suppressions.
+    pub path: PathBuf,
     /// Site names declared in the `SITES` const (registry file only),
     /// with the line of each declaration.
     pub declared_sites: Vec<(String, u32)>,
@@ -234,6 +262,11 @@ pub struct FileReport {
     pub sites_decl_line: Option<u32>,
     /// Site names referenced at injection points in this file.
     pub referenced_sites: Vec<(String, u32)>,
+    /// Per-function lock summaries for the R6/R7 call-graph pass.
+    pub fns: Vec<locks::FnSummary>,
+    /// The file's suppression annotations, re-consulted by the
+    /// workspace-level passes (which run after `lint_source` returns).
+    pub allows: Allows,
 }
 
 /// Lint one file's source. `path` is used only for diagnostics.
@@ -268,6 +301,8 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> FileReport {
     }
     rules::r4_panic(&ctx, &mut push);
     rules::r5_wildcard(&ctx, &mut push);
+    callgraph::r8_atomic(&ctx, &mut push);
+    callgraph::r9_commit(&ctx, &mut push);
 
     // A malformed annotation is itself a finding: silent typos must not
     // silently re-enable what the author meant to suppress.
@@ -287,6 +322,9 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> FileReport {
     } else {
         report.referenced_sites = rules::r3_referenced_sites(&ctx);
     }
+    report.fns = locks::scan_functions(path, &toks, &test_mask);
+    report.path = path.to_path_buf();
+    report.allows = allows;
     report
 }
 
@@ -370,22 +408,24 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let mut sites_decl_line = None;
     let mut registry_path = root.join("crates/aggregate/src/faults.rs");
     let mut referenced: Vec<(PathBuf, String, u32)> = Vec::new();
+    let mut reports: Vec<FileReport> = Vec::new();
 
     for file in &files {
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("reading {}: {e}", file.display()))?;
         let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
         let class = FileClass::from_path(&rel);
-        let report = lint_source(&rel, &src, class);
-        findings.extend(report.findings);
+        let mut report = lint_source(&rel, &src, class);
+        findings.append(&mut report.findings);
         if class.faults_registry {
-            declared = report.declared_sites;
+            declared = report.declared_sites.clone();
             sites_decl_line = report.sites_decl_line;
             registry_path = rel.clone();
         }
-        for (name, line) in report.referenced_sites {
-            referenced.push((rel.clone(), name, line));
+        for (name, line) in &report.referenced_sites {
+            referenced.push((rel.clone(), name.clone(), *line));
         }
+        reports.push(report);
     }
     findings.extend(check_fault_sites(
         &registry_path,
@@ -393,6 +433,8 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         sites_decl_line,
         &referenced,
     ));
+    let report_refs: Vec<&FileReport> = reports.iter().collect();
+    findings.extend(callgraph::check_lock_discipline(&report_refs));
     findings.sort();
     Ok(findings)
 }

@@ -1,0 +1,39 @@
+// R8 fixture: atomic ordering discipline. Lexical test data for
+// cube_lint — never compiled.
+
+impl Server {
+    // FIRE: a relaxed store on the publish path.
+    pub fn publish_version(&self) {
+        self.version.store(1, Ordering::Relaxed);
+    }
+
+    // PASS: release ordering publishes correctly.
+    pub fn publish_version_release(&self) {
+        self.version.store(1, Ordering::Release);
+    }
+
+    // PASS: acquire load pairs with the release store.
+    pub fn read_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    // ALLOW: a reasoned suppression for a monotone counter.
+    pub fn bump_counter(&self) {
+        // cube-lint: allow(atomic, monotone counter with no data published through it)
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // FIRE: the fully-qualified path is the same violation.
+    pub fn shutdown(&self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // PASS (edge): test code may relax freely.
+    #[test]
+    fn relaxed_in_tests_is_fine() {
+        COUNTER.load(Ordering::Relaxed);
+    }
+}

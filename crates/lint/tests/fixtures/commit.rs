@@ -1,0 +1,57 @@
+// R9 fixture: catalog version commits must be followed, in the same
+// function, by the cache call that propagates them. Lexical test data
+// for cube_lint — never compiled.
+
+impl Session {
+    // FIRE: a version commit with no propagation anywhere after it.
+    pub fn commit_silent(&self, t: &str, v: u64, table: Table) -> SqlResult<()> {
+        self.catalog.with_write(|c| c.replace_if_version(t, v, table))?;
+        Ok(())
+    }
+
+    // PASS: the delta is absorbed into the cache after the commit.
+    pub fn commit_absorb(&self, t: &str, v: u64, table: Table, delta: &Delta) -> SqlResult<()> {
+        let swapped = self.catalog.with_write(|c| c.replace_if_version(t, v, table))?;
+        if let Some(nv) = swapped {
+            self.cache.apply_delta(t, nv, delta);
+        }
+        Ok(())
+    }
+
+    // PASS: invalidation also counts as propagation.
+    pub fn commit_invalidate(&self, t: &str, table: Table) -> SqlResult<()> {
+        self.catalog.with_write(|c| c.update_table(t, table))?;
+        self.cache.invalidate_table(t);
+        Ok(())
+    }
+
+    // FIRE: propagation *before* the commit does not pair with it.
+    pub fn propagate_first(&self, t: &str, table: Table) -> SqlResult<()> {
+        self.cache.invalidate_table(t);
+        self.catalog.with_write(|c| c.update_table(t, table))?;
+        Ok(())
+    }
+
+    // ALLOW: a reasoned suppression when the caller owns propagation.
+    pub fn allowed_commit(&self, t: &str, table: Table) -> SqlResult<()> {
+        // cube-lint: allow(commit, fixture: the caller invalidates once after its batch loop)
+        self.catalog.with_write(|c| c.update_table(t, table))?;
+        Ok(())
+    }
+
+    // PASS (edge): registering a brand-new table is not a version
+    // commit — there is nothing cached to invalidate yet.
+    pub fn register(&self, t: &str, table: Table) -> SqlResult<()> {
+        self.catalog.with_write(|c| c.register_table(t, table))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // PASS (edge): test code is exempt.
+    #[test]
+    fn commits_in_tests_are_fine() {
+        session.catalog.with_write(|c| c.replace_if_version("T", 1, table));
+    }
+}

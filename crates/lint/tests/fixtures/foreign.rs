@@ -1,0 +1,57 @@
+// R7 fixture: foreign (UDA/closure) code under engine locks. Lexical
+// test data for cube_lint — never compiled.
+
+impl Cube {
+    // FIRE: a guard wrapper runs while a shard read-lock is held.
+    pub fn final_under_shard(&self) -> Option<Value> {
+        let shard = self.shards[0].read();
+        guard("MAX", || shard.cell.final_value()).ok()
+    }
+
+    // FIRE: a raw accumulator callback under the gate.
+    pub fn merge_under_gate(&self, st: &[Value]) {
+        let _g = self.gate.write();
+        self.acc.merge(st);
+    }
+
+    // PASS: guarded code with no lock held.
+    pub fn guarded_unlocked(&self) {
+        guard("SUM", || self.acc.final_value());
+    }
+
+    // PASS (edge): foreign code under the cache mutex is out of R7's
+    // scope — absorb-under-cache-lock is the documented exception.
+    pub fn absorb_under_cache(&self) {
+        let mut entries = self.entries.lock();
+        guard("cache::absorb", || entries.view.absorb());
+    }
+
+    // FIRE (transitive): the helper reaches a guard; calling it under a
+    // shard lock is flagged at the call site.
+    pub fn stage_under_shard(&self) {
+        let shard = self.shards[0].write();
+        self.helper_that_guards();
+        consume(shard);
+    }
+
+    fn helper_that_guards(&self) {
+        guard("SUM", || self.acc.final_value());
+    }
+
+    // ALLOW: an annotated staging call is accepted.
+    pub fn allowed_stage(&self) {
+        let shard = self.shards[0].write();
+        // cube-lint: allow(foreign, fixture demonstrating the two-phase staging suppression)
+        self.helper_that_guards();
+        consume(shard);
+    }
+
+    // PASS (edge): zero-argument `.iter()` under a lock is slice
+    // iteration, not the accumulator callback.
+    pub fn slice_iter_under_lock(&self) {
+        let shard = self.shards[0].read();
+        for x in shard.rows.iter() {
+            consume(x);
+        }
+    }
+}

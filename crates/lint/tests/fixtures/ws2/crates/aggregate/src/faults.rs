@@ -1,0 +1,6 @@
+// Mini-workspace fixture registry (ws2): one site, injected exactly
+// once in core/src/lib.rs, so R3 stays quiet.
+
+pub const SITES: &[&str] = &[
+    "demo::site",
+];

@@ -1,0 +1,7 @@
+// Mini-workspace fixture (ws2): clean except for the declared fault
+// site it injects.
+
+pub fn ingest(rows: &[u64]) -> u64 {
+    failpoint("demo::site");
+    rows.iter().sum()
+}

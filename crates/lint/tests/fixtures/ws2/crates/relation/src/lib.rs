@@ -1,0 +1,5 @@
+// Mini-workspace fixture (ws2): a clean crate contributes nothing.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a + b
+}

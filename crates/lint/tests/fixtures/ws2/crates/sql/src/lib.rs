@@ -1,0 +1,33 @@
+// Mini-workspace fixture (ws2): a seeded inter-procedural lock cycle.
+//
+// `alpha` holds `journal` and calls `beta`; `beta` holds `wal` and
+// calls `gamma`; `gamma` takes `journal` again. The analyzer should
+// report exactly two lockorder findings:
+//   - `journal` transitively re-acquired (alpha → beta → gamma),
+//     anchored at alpha's call into beta;
+//   - the journal → wal → journal cycle, anchored at beta's call into
+//     gamma (the witness of the back-edge wal → journal).
+
+pub struct Journal {
+    journal: Mutex<Vec<u64>>,
+    wal: Mutex<Vec<u64>>,
+}
+
+impl Journal {
+    pub fn alpha(&self) -> usize {
+        let j = self.journal.lock();
+        let staged = self.beta();
+        j.len() + staged
+    }
+
+    pub fn beta(&self) -> usize {
+        let w = self.wal.lock();
+        let flushed = self.gamma();
+        w.len() + flushed
+    }
+
+    pub fn gamma(&self) -> usize {
+        let j = self.journal.lock();
+        j.len()
+    }
+}

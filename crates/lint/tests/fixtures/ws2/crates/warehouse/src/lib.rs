@@ -1,0 +1,5 @@
+// Mini-workspace fixture (ws2): a clean crate contributes nothing.
+
+pub fn rows() -> Vec<u64> {
+    vec![1, 2, 3]
+}

@@ -262,8 +262,11 @@ impl AdmissionController {
 
     pub fn counters(&self) -> AdmissionCounters {
         AdmissionCounters {
+            // cube-lint: allow(atomic, telemetry read of a monotone counter; admission state itself is mutex-guarded)
             admitted: self.admitted.load(Ordering::Relaxed),
+            // cube-lint: allow(atomic, telemetry read of a monotone counter; admission state itself is mutex-guarded)
             queued: self.queued.load(Ordering::Relaxed),
+            // cube-lint: allow(atomic, telemetry read of a monotone counter; admission state itself is mutex-guarded)
             shed: self.shed.load(Ordering::Relaxed),
         }
     }
@@ -329,6 +332,7 @@ impl AdmissionController {
     }
 
     fn shed_error(&self, st: &AdmState, waited: Duration, retry_after_ms: u32) -> CubeError {
+        // cube-lint: allow(atomic, monotone shed counter; the shed decision was made under the state mutex)
         self.shed.fetch_add(1, Ordering::Relaxed);
         let stats = ExecStats {
             admission: AdmissionVerdict::Shed,
@@ -393,6 +397,7 @@ impl AdmissionController {
         if self.cfg.is_unlimited() {
             // No admission governance: hand out a free permit without
             // touching the lock at all.
+            // cube-lint: allow(atomic, monotone telemetry counter; the ungoverned path hands out free permits by design and publishes no state)
             self.admitted.fetch_add(1, Ordering::Relaxed);
             return Ok(Permit {
                 ctrl: Arc::clone(self),
@@ -410,6 +415,7 @@ impl AdmissionController {
         // never be admitted: shed now, with no retry hint (retrying is
         // pointless until the budget is resized or the query shrinks).
         if self.cfg.global_cells > 0 && heavy && need > self.cfg.global_cells {
+            // cube-lint: allow(atomic, monotone shed counter; the oversized-query rejection reads only immutable config)
             self.shed.fetch_add(1, Ordering::Relaxed);
             return Err(CubeError::ResourceExhausted {
                 resource: Resource::Cells,
@@ -436,11 +442,13 @@ impl AdmissionController {
                     st.heavy_running += 1;
                 }
                 st.cells_out = st.cells_out.saturating_add(need);
+                // cube-lint: allow(atomic, monotone telemetry counter incremented under the state mutex; cells_out itself is mutex-guarded)
                 self.admitted.fetch_add(1, Ordering::Relaxed);
                 let waited = started.elapsed();
                 let verdict = if queued_guard.is_none() {
                     AdmissionVerdict::Admitted
                 } else {
+                    // cube-lint: allow(atomic, monotone telemetry counter incremented under the state mutex; cells_out itself is mutex-guarded)
                     self.queued.fetch_add(1, Ordering::Relaxed);
                     AdmissionVerdict::Queued
                 };

@@ -28,6 +28,16 @@ pub enum Statement {
         table: String,
         where_clause: Option<Expr>,
     },
+    /// `UPDATE <table> SET c1 = e1, ... [WHERE <predicate>]` — sugar for a
+    /// delete of the matching rows plus an insert of their rewritten
+    /// images, executed as one batch under a single admission permit.
+    Update {
+        table: String,
+        /// `(column, value-expression)` pairs, applied left to right; the
+        /// expressions see the *old* row, per SQL semantics.
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
 }
 
 /// One `SELECT` block, possibly chained with `UNION [ALL]`.

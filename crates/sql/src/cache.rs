@@ -136,10 +136,13 @@ impl CubeCache {
     pub fn counters(&self) -> CacheCounters {
         let entries = self.lock();
         CacheCounters {
+            // cube-lint: allow(atomic, telemetry read of a monotone counter; entry state is read under the entries mutex)
             hits: self.hits.load(Ordering::Relaxed),
+            // cube-lint: allow(atomic, telemetry read of a monotone counter; entry state is read under the entries mutex)
             misses: self.misses.load(Ordering::Relaxed),
             entries: entries.len() as u64,
             cells: entries.iter().map(|e| e.cells).sum(),
+            // cube-lint: allow(atomic, telemetry read of a monotone counter; entry state is read under the entries mutex)
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
@@ -269,6 +272,7 @@ impl CubeCache {
         match best {
             Some(entry) => {
                 entry.traffic = entry.traffic.saturating_add(1);
+                // cube-lint: allow(atomic, monotone hit counter; the entry mutation happens under the entries mutex)
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 let dim_map = dims
                     .iter()
@@ -288,6 +292,7 @@ impl CubeCache {
                 }))
             }
             None => {
+                // cube-lint: allow(atomic, monotone miss counter; lookup state is read under the entries mutex)
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Ok(None)
             }
@@ -360,6 +365,7 @@ impl CubeCache {
                 .expect("non-empty");
             let evicted = entries.swap_remove(victim);
             self.admission.release_cache_cells(evicted.cells);
+            // cube-lint: allow(atomic, monotone eviction counter; the eviction itself happens under the entries mutex)
             self.evictions.fetch_add(1, Ordering::Relaxed);
             total -= evicted.cells;
         }

@@ -1627,6 +1627,45 @@ mod tests {
     }
 
     #[test]
+    fn sql_update_rewrites_matching_rows_in_place() {
+        let engine = write_engine();
+        let r = engine
+            .execute("UPDATE sales SET units = units + 10 WHERE model = 'Chevy'")
+            .unwrap();
+        assert_eq!(r.rows()[0][1], Value::Int(2));
+        assert_eq!(grand_total(&engine), 215);
+        // A rewrite, not a delete-then-append growth: same cardinality.
+        assert_eq!(engine.table("sales").unwrap().len(), 3);
+
+        // Right-hand sides see the *old* row, so a pairwise swap works.
+        let r = engine
+            .execute("UPDATE sales SET year = units, units = year WHERE model = 'Ford'")
+            .unwrap();
+        assert_eq!(r.rows()[0][1], Value::Int(1));
+        let t = engine.table("sales").unwrap();
+        let ford = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::str("Ford"))
+            .unwrap();
+        assert_eq!((&ford[1], &ford[2]), (&Value::Int(60), &Value::Int(1994)));
+
+        // A predicate matching nothing updates nothing and says so.
+        let r = engine
+            .execute("UPDATE sales SET units = 0 WHERE year = 1887")
+            .unwrap();
+        assert_eq!(r.rows()[0][1], Value::Int(0));
+
+        // Unknown columns and schema-violating assignments reject the
+        // whole batch before publication.
+        assert!(engine.execute("UPDATE sales SET nope = 1").is_err());
+        assert!(engine
+            .execute("UPDATE sales SET units = 'oops' WHERE model = 'Ford'")
+            .is_err());
+        assert_eq!(engine.table("sales").unwrap().len(), 3);
+    }
+
+    #[test]
     fn insert_validates_rows_before_publishing() {
         let engine = write_engine();
         // Wrong type: the whole batch is rejected, including its valid

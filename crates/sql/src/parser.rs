@@ -169,6 +169,29 @@ impl Parser {
                 where_clause,
             });
         }
+        if self.eat_keyword(Keyword::Update) {
+            let table = self.expect_ident()?;
+            self.expect_keyword(Keyword::Set)?;
+            let mut sets = Vec::new();
+            loop {
+                let column = self.expect_ident()?;
+                self.expect_symbol(Symbol::Eq)?;
+                sets.push((column, self.parse_expr()?));
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            let where_clause = if self.eat_keyword(Keyword::Where) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                sets,
+                where_clause,
+            });
+        }
         let explain = self.eat_keyword(Keyword::Explain);
         let mut stmt = self.parse_select_core()?;
         // UNION chain, left-to-right.
@@ -787,6 +810,37 @@ mod tests {
     }
 
     #[test]
+    fn update_parses_set_list_and_predicate() {
+        let stmt =
+            parse("UPDATE sales SET units = units + 1, year = 1996 WHERE model = 'Ford'").unwrap();
+        let Statement::Update {
+            table,
+            sets,
+            where_clause,
+        } = stmt
+        else {
+            panic!("expected UPDATE, got {stmt:?}");
+        };
+        assert_eq!(table, "sales");
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].0, "units");
+        assert!(matches!(sets[0].1, Expr::Binary { op: BinOp::Add, .. }));
+        assert_eq!(sets[1].0, "year");
+        assert_eq!(sets[1].1, Expr::Literal(Value::Int(1996)));
+        assert!(matches!(
+            where_clause,
+            Some(Expr::Binary { op: BinOp::Eq, .. })
+        ));
+        assert!(matches!(
+            parse("UPDATE sales SET units = 0").unwrap(),
+            Statement::Update {
+                where_clause: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn malformed_dml_is_rejected() {
         assert!(parse("INSERT sales VALUES (1)").is_err()); // missing INTO
         assert!(parse("INSERT INTO sales (1, 2)").is_err()); // missing VALUES
@@ -794,6 +848,10 @@ mod tests {
         assert!(parse("INSERT INTO sales VALUES ()").is_err()); // empty row
         assert!(parse("DELETE sales").is_err()); // missing FROM
         assert!(parse("DELETE FROM sales WHERE").is_err()); // dangling WHERE
+        assert!(parse("UPDATE sales units = 1").is_err()); // missing SET
+        assert!(parse("UPDATE sales SET").is_err()); // empty SET list
+        assert!(parse("UPDATE sales SET units 1").is_err()); // missing =
+        assert!(parse("UPDATE sales SET units = 1 WHERE").is_err()); // dangling WHERE
     }
 
     #[test]

@@ -157,6 +157,11 @@ impl Session {
                 table,
                 where_clause,
             } => self.exec_delete_governed(&table, where_clause.as_ref()),
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.exec_update_governed(&table, &sets, where_clause.as_ref()),
         }
     }
 
@@ -324,6 +329,95 @@ impl Session {
             if swapped.is_some() {
                 self.cache.invalidate_table(table);
                 return dml_result(table, "deleted", deleted);
+            }
+        }
+    }
+
+    /// The governed UPDATE path: sugar for delete-plus-insert. Matching
+    /// rows are retracted and their rewritten images appended, as one
+    /// batch under a *single* admission permit — an UPDATE can never be
+    /// half-admitted, and readers see old images or new images, never a
+    /// mix. Assignment expressions see the old row (SQL semantics), so
+    /// `SET qty = qty + 1` works. Rewriting retracts old cell values, the
+    /// holistic direction, so cached views are invalidated rather than
+    /// absorbed, exactly as DELETE does.
+    fn exec_update_governed(
+        &self,
+        table: &str,
+        sets: &[(String, Expr)],
+        predicate: Option<&Expr>,
+    ) -> SqlResult<Table> {
+        let opts = self.options();
+        let snap = self.catalog.snapshot();
+        let scan_rows = snap.table(table).map(|t| t.len() as u64).unwrap_or(0);
+        let cost = QueryCost {
+            rows: scan_rows,
+            sets: 1,
+            cells: scan_rows,
+        };
+        let deadline =
+            (opts.timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(opts.timeout_ms));
+        let permit = self
+            .admission
+            .admit(&cost, deadline, opts.cancel.as_ref())
+            .map_err(|e| {
+                self.record_admission(&admission_stats_of(&e));
+                SqlError::Cube(e)
+            })?;
+        self.record_permit(&permit);
+        let ctx = ExecContext::new(&opts.limits(deadline, permit.granted_cells()), 1);
+
+        loop {
+            ctx.checkpoint().map_err(SqlError::Cube)?;
+            let snap = self.catalog.snapshot();
+            let old = snap.table(table)?;
+            let expected = snap.table_version(table);
+            // Resolve assignment targets once per attempt: a bad column
+            // name rejects the statement before any row is touched.
+            let targets = sets
+                .iter()
+                .map(|(col, expr)| Ok((old.schema().index_of(col)?, expr)))
+                .collect::<Result<Vec<_>, dc_relation::RelError>>()?;
+            let ectx = EvalContext::base(old.schema(), &snap.scalars);
+            let mut next = Vec::with_capacity(old.len());
+            let mut updated = 0i64;
+            for (i, row) in old.rows().iter().enumerate() {
+                ctx.tick(i).map_err(SqlError::Cube)?;
+                let matches = match predicate {
+                    None => true,
+                    // SQL semantics: NULL (and ALL) predicates keep the
+                    // row unchanged.
+                    Some(p) => eval(p, row, &ectx)? == Value::Bool(true),
+                };
+                if !matches {
+                    next.push(row.clone());
+                    continue;
+                }
+                updated += 1;
+                // Every right-hand side is evaluated against the *old*
+                // row before any assignment lands, so `SET a = b, b = a`
+                // swaps rather than clobbers.
+                let mut vals = row.values().to_vec();
+                for &(idx, expr) in &targets {
+                    vals[idx] = eval(expr, row, &ectx)?;
+                }
+                next.push(Row::new(vals));
+            }
+            if updated == 0 {
+                // Nothing matched: no republish, no version bump, caches
+                // stay warm.
+                return dml_result(table, "updated", 0);
+            }
+            // Table::new re-validates every rewritten row against the
+            // schema, so a type-changing assignment rejects the batch
+            // before publication.
+            let published = Table::new(old.schema().clone(), next)?;
+            let swapped = self
+                .catalog
+                .with_write(|c| c.replace_if_version(table, expected, published))?;
+            if swapped.is_some() {
+                self.cache.invalidate_table(table);
+                return dml_result(table, "updated", updated);
             }
         }
     }

@@ -42,6 +42,7 @@ pub enum Keyword {
     Into,
     Values,
     Delete,
+    Update,
 }
 
 impl Keyword {
@@ -84,6 +85,7 @@ impl Keyword {
             "INTO" => Into,
             "VALUES" => Values,
             "DELETE" => Delete,
+            "UPDATE" => Update,
             _ => return None,
         })
     }

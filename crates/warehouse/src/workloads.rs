@@ -99,7 +99,10 @@ pub fn analyze(name: &'static str, queries: &[&str]) -> SqlResult<WorkloadProfil
             other => other,
         })? {
             Statement::Select(stmt) | Statement::Explain(stmt) => stmt,
-            Statement::Set { .. } | Statement::Insert { .. } | Statement::Delete { .. } => continue,
+            Statement::Set { .. }
+            | Statement::Insert { .. }
+            | Statement::Delete { .. }
+            | Statement::Update { .. } => continue,
         };
         let (a, g) = count_select(&stmt);
         aggregates += a;

@@ -564,3 +564,82 @@ fn sql_ingest_race_exposes_only_whole_batches() {
         "cancelled batch must not bump the version or cool the cache"
     );
 }
+
+/// Loom-free lock-order torture: two writers submit delta batches whose
+/// rows are enumerated in *opposite* key orders, so the raw input order
+/// nominates overlapping shard sets adversarially on every round, while
+/// a reader pulls point cells and whole snapshots through the gate. The
+/// engine's fixed-order (ascending-shard-id) locking must make this
+/// deadlock-free: everything has to finish inside the watchdog budget,
+/// and the final SUM must be exact — a lost batch or a torn fold shows
+/// up as a wrong cell, not a flaky hang.
+#[test]
+fn adversarial_shard_order_writers_never_deadlock() {
+    use datacube::DeltaBatch;
+    use datacube::ExecContext;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    const KEYS: i64 = 64; // spans the 16-way shard map several times over
+    const ROUNDS: usize = 40;
+
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("units", DataType::Int)]);
+    let mut t = Table::empty(schema);
+    for k in 0..KEYS {
+        t.push(row![k, 0i64]).unwrap();
+    }
+    let spec = AggSpec::new(builtin("SUM").unwrap(), "units").with_name("s");
+    let mat =
+        Arc::new(MaterializedCube::cube(&t, vec![Dimension::column("k")], vec![spec]).unwrap());
+
+    let (done_tx, done_rx) = mpsc::channel();
+    let mut handles = Vec::new();
+    for dir in 0..2u8 {
+        let mat = Arc::clone(&mat);
+        let done = done_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..ROUNDS {
+                let mut batch = DeltaBatch::new();
+                for i in 0..KEYS {
+                    let k = if dir == 0 { i } else { KEYS - 1 - i };
+                    batch.insert(row![k, 1i64]).unwrap();
+                }
+                mat.apply(&batch, &ExecContext::unlimited()).unwrap();
+            }
+            done.send(()).unwrap();
+        }));
+    }
+    {
+        let mat = Arc::clone(&mat);
+        let done = done_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            for k in (0..KEYS).cycle().take(KEYS as usize * 8) {
+                let _ = mat.cell(&[Value::Int(k)]);
+                if k % 16 == 0 {
+                    let _ = mat.to_table();
+                }
+            }
+            done.send(()).unwrap();
+        }));
+    }
+    drop(done_tx);
+
+    // Watchdog: a lock-order deadlock presents as a hang, so every
+    // worker must report inside the deadline budget.
+    for _ in 0..3 {
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("deadlock suspected: a worker failed to finish within 30s");
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let per_key = 2 * ROUNDS as i64; // two writers, one unit per round
+    for k in 0..KEYS {
+        let cell = mat.cell(&[Value::Int(k)]).expect("cell present");
+        assert_eq!(cell[0], Value::Int(per_key), "cell k={k}");
+    }
+    let all = mat.cell(&[Value::All]).expect("ALL cell present");
+    assert_eq!(all[0], Value::Int(per_key * KEYS));
+}

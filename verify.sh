@@ -20,8 +20,18 @@ cargo test -q -p oracle --release
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cube_lint (workspace invariants: checkpoint, guard, faults, panic, wildcard) =="
-cargo run -q --release -p cube-lint --bin cube_lint -- --root .
+echo "== cube_lint (workspace invariants: checkpoint, guard, faults, panic, wildcard, lockorder, foreign, atomic, commit) =="
+cargo run -q --release -p cube-lint --bin cube_lint -- --root . --json /tmp/lint.json
+
+if [ "${LINT_NIGHTLY:-0}" = "1" ]; then
+    # Opt-in deep memory-model pass: only meaningful where a nightly
+    # toolchain with miri is installed; silently skipped otherwise.
+    if rustup toolchain list 2>/dev/null | grep -q nightly \
+        && rustup component list --toolchain nightly 2>/dev/null | grep -q "miri.*(installed)"; then
+        echo "== cargo miri test -p dc-relation (LINT_NIGHTLY=1) =="
+        cargo +nightly miri test -p dc-relation
+    fi
+fi
 
 echo "== fault-injection suite (--features faults) =="
 cargo test -q --features faults --test governance
